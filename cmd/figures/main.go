@@ -1,0 +1,110 @@
+// Command figures regenerates every table and figure of the paper: Tables I
+// and II (ECN codepoints), Figure 1 (queue-composition snapshot), Figures
+// 2a/2b (Hadoop runtime), 3a/3b (cluster throughput), 4a/4b (network
+// latency), plus the Section IV/VI headline numbers.
+//
+//	figures -scale test    # minutes: small cluster, small input
+//	figures -scale paper   # the full-pressure grid (longer)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/figures"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "test", "experiment scale: test | paper")
+		seed      = flag.Uint64("seed", 1, "base seed")
+		repeats   = flag.Int("repeats", 1, "seeds averaged per grid point")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+		loadPath  = flag.String("load", "", "render figures from a sweep archive (cmd/sweep -json) instead of re-simulating")
+	)
+	flag.Parse()
+
+	var scale experiment.Scale
+	var loaded *experiment.Sweep
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(2)
+		}
+		loaded, err = experiment.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(2)
+		}
+		scale = loaded.Scale
+	} else {
+		switch *scaleName {
+		case "test":
+			scale = experiment.TestScale()
+		case "paper":
+			scale = experiment.PaperScale()
+		default:
+			fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scaleName)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Print(figures.TableI())
+	fmt.Println()
+	fmt.Print(figures.TableII())
+	fmt.Println()
+
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "figures: sampling Figure 1 queue snapshot...")
+	}
+	snap := figures.Figure1(scale, 100*units.Microsecond, 200*units.Microsecond, *seed)
+	fmt.Print(snap.Render())
+	fmt.Println()
+
+	s := loaded
+	if s == nil {
+		s = experiment.NewSweep(scale, *seed)
+		s.Repeats = *repeats
+		if !*quiet {
+			start := time.Now()
+			s.Progress = func(done, total int, cfg experiment.Config) {
+				fmt.Fprintf(os.Stderr, "figures: [%3d/%3d] %-40s (%.0fs elapsed)\n",
+					done+1, total, cfg.String(), time.Since(start).Seconds())
+			}
+		}
+		s.Execute()
+	}
+
+	fmt.Print(figures.RenderFigure(s, figures.MetricRuntime, cluster.Shallow, "2a"))
+	fmt.Println()
+	fmt.Print(figures.RenderFigure(s, figures.MetricRuntime, cluster.Deep, "2b"))
+	fmt.Println()
+	fmt.Print(figures.RenderFigure(s, figures.MetricThroughput, cluster.Shallow, "3a"))
+	fmt.Println()
+	fmt.Print(figures.RenderFigure(s, figures.MetricThroughput, cluster.Deep, "3b"))
+	fmt.Println()
+	fmt.Print(figures.RenderFigure(s, figures.MetricLatency, cluster.Shallow, "4a"))
+	fmt.Println()
+	fmt.Print(figures.RenderFigure(s, figures.MetricLatency, cluster.Deep, "4b"))
+	fmt.Println()
+
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "figures: running AQM generalization comparison...")
+	}
+	cmp := experiment.CompareAQMs(scale, 100*units.Microsecond, *seed)
+	fmt.Print(figures.RenderAQMComparison(cmp))
+	fmt.Println()
+
+	h := figures.Headline(s, 0) // most aggressive marking threshold
+	fmt.Println("Headline (true simple marking scheme, aggressive threshold):")
+	fmt.Printf("  throughput vs droptail/shallow:      %.2fx (paper: ~1.10x boost)\n", h.ThroughputGain)
+	fmt.Printf("  latency reduction vs droptail/deep:  %.0f%% (paper: ~85%%)\n", 100*h.LatencyReduction)
+	fmt.Printf("  shallow marking vs droptail/deep:    %.2fx effective speed (paper: shallow reaches deep; 1.0 = parity)\n", h.ShallowReachesDeep)
+}

@@ -1,0 +1,81 @@
+// Command queueviz reproduces Figure 1: it runs a Terasort over an
+// ECN-enabled RED queue in its default (unprotected) mode and reports the
+// composition of a switch egress queue during the shuffle — showing the
+// queue dominated by ECT-capable data while the non-ECT ACKs that arrive are
+// disproportionately dropped.
+//
+// With -trace N it additionally prints the last N drop events as an
+// NS-2-style packet trace, answering "who died, and where".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/figures"
+	"repro/internal/mapred"
+	"repro/internal/metrics"
+	"repro/internal/qdisc"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 8, "cluster size")
+		input    = flag.String("input", "256MiB", "Terasort input size")
+		reducers = flag.Int("reducers", 16, "reduce tasks")
+		target   = flag.Duration("target", 100*units.Microsecond, "RED target delay")
+		interval = flag.Duration("interval", 200*units.Microsecond, "queue sampling interval")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		traceN   = flag.Int("trace", 0, "also print the last N drop events")
+	)
+	flag.Parse()
+
+	inputSz, err := units.ParseByteSize(*input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "queueviz:", err)
+		os.Exit(2)
+	}
+	scale := experiment.Scale{
+		Nodes:     *nodes,
+		InputSize: inputSz,
+		BlockSize: inputSz / units.ByteSize(*nodes),
+		Reducers:  *reducers,
+	}
+	snap := figures.Figure1(scale, *target, *interval, *seed)
+	fmt.Print(snap.Render())
+
+	if *traceN > 0 {
+		fmt.Printf("\nlast %d drop events (RED default mode):\n", *traceN)
+		dumpDropTrace(scale, *target, *seed, *traceN)
+	}
+}
+
+// dumpDropTrace reruns the Figure 1 configuration with a drop-filtered
+// tracer chained in front of the metrics collector.
+func dumpDropTrace(scale experiment.Scale, target units.Duration, seed uint64, n int) {
+	spec := cluster.DefaultSpec()
+	spec.Nodes = scale.Nodes
+	spec.Queue = cluster.QueueRED
+	spec.TargetDelay = target
+	spec.Protect = qdisc.ProtectNone
+	spec.Transport = tcp.RenoECN
+	spec.Seed = seed
+	c := cluster.New(spec)
+
+	tr := trace.New(n, metrics.New(1<<14, seed))
+	tr.Filter = trace.DropsOnly()
+	c.Topo.Net.SetObserver(tr)
+
+	jobCfg := mapred.TerasortConfig(scale.InputSize, scale.Reducers)
+	jobCfg.BlockSize = scale.BlockSize
+	c.RunJob(jobCfg)
+	if err := tr.Dump(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "queueviz:", err)
+	}
+}

@@ -1,0 +1,85 @@
+// Command sweep executes the full experiment grid and emits one
+// tab-separated row per run on stdout, for plotting or archival. Columns:
+//
+//	buffer  setup  target_delay_us  runtime_ms  throughput_mbps
+//	latency_us  p99_us  early_drops  overflow_drops  ack_drop_share
+//	marks  retransmits  rto_events  syn_retries
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "test", "experiment scale: test | paper")
+		seed      = flag.Uint64("seed", 1, "base seed")
+		repeats   = flag.Int("repeats", 1, "seeds averaged per grid point")
+		jsonPath  = flag.String("json", "", "also archive the sweep as JSON to this file")
+	)
+	flag.Parse()
+
+	var scale experiment.Scale
+	switch *scaleName {
+	case "test":
+		scale = experiment.TestScale()
+	case "paper":
+		scale = experiment.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	s := experiment.NewSweep(scale, *seed)
+	s.Repeats = *repeats
+	start := time.Now()
+	s.Progress = func(done, total int, cfg experiment.Config) {
+		fmt.Fprintf(os.Stderr, "sweep: [%3d/%3d] %-40s (%.0fs)\n",
+			done+1, total, cfg.String(), time.Since(start).Seconds())
+	}
+	s.Execute()
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		if err := s.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Println("buffer\tsetup\ttarget_us\truntime_ms\tthroughput_mbps\tlatency_us\tp99_us\tearly\toverflow\tack_share\tmarks\trtx\trto\tsyn")
+	emit := func(buf cluster.BufferDepth, label string, r experiment.Result) {
+		fmt.Printf("%s\t%s\t%.0f\t%.3f\t%.1f\t%.1f\t%.1f\t%d\t%d\t%.3f\t%d\t%d\t%d\t%d\n",
+			buf, label,
+			float64(r.Config.TargetDelay)/float64(units.Microsecond),
+			float64(r.Runtime)/float64(units.Millisecond),
+			float64(r.ThroughputPerNode)/float64(units.Mbps),
+			float64(r.MeanLatency)/float64(units.Microsecond),
+			float64(r.P99Latency)/float64(units.Microsecond),
+			r.EarlyDrops, r.OverflowDrops, r.AckDropShare,
+			r.Marks, r.Retransmits, r.RTOEvents, r.SynRetries)
+	}
+	for _, buf := range []cluster.BufferDepth{cluster.Shallow, cluster.Deep} {
+		emit(buf, "droptail", s.DropTail[buf])
+		for label, series := range s.Series[buf] {
+			for _, r := range series {
+				emit(buf, label, r)
+			}
+		}
+	}
+}

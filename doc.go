@@ -1,0 +1,27 @@
+// Package repro reproduces "High Throughput and Low Latency on Hadoop
+// Clusters using Explicit Congestion Notification: The Untold Truth"
+// (Fischer e Silva & Carpenter, IEEE CLUSTER 2017) as a self-contained Go
+// simulation suite.
+//
+// The paper shows that ECN-enabled AQMs drop the packets that cannot carry a
+// congestion mark — pure ACKs, SYNs and SYN-ACKs — and that on Hadoop
+// shuffle traffic this bias stalls TCP windows, forces retransmission
+// timeouts, and costs throughput. It proposes protecting those packets from
+// early drops (or replacing the AQM with a pure marking scheme) and shows
+// full throughput with an ~85% latency reduction.
+//
+// This module contains the full stack needed to regenerate every table and
+// figure: a discrete-event engine (internal/sim), a packet-level network
+// fabric (internal/netsim), the queue disciplines under study
+// (internal/qdisc), TCP NewReno/ECN/DCTCP with SACK (internal/tcp), an
+// MRPerf-style MapReduce simulator (internal/mapred), and the experiment and
+// figure harnesses (internal/experiment, internal/figures). See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The benchmarks in bench_test.go regenerate each figure:
+//
+//	go test -bench=Figure -benchmem
+//
+// and the commands under cmd/ expose the same as CLIs (cmd/figures,
+// cmd/sweep, cmd/hadoopsim, cmd/queueviz).
+package repro

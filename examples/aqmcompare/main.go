@@ -1,0 +1,47 @@
+// Aqmcompare: does the paper's fix generalize beyond RED? This example runs
+// the same Terasort under RED, CoDel and PIE — each in default mode and with
+// ACK+SYN protection — plus the DropTail baseline and the true simple
+// marking scheme, and prints the normalized comparison table.
+//
+//	go run ./examples/aqmcompare
+//	go run ./examples/aqmcompare -target 200us -input 512MiB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/figures"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 8, "cluster size")
+		input    = flag.String("input", "256MiB", "Terasort input size")
+		reducers = flag.Int("reducers", 16, "reduce tasks")
+		target   = flag.Duration("target", 100*units.Microsecond, "AQM target delay")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	inputSz, err := units.ParseByteSize(*input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqmcompare:", err)
+		os.Exit(2)
+	}
+	scale := experiment.Scale{
+		Nodes:     *nodes,
+		InputSize: inputSz,
+		BlockSize: inputSz / units.ByteSize(*nodes),
+		Reducers:  *reducers,
+	}
+	fmt.Printf("Terasort %v on %d nodes, shallow buffers — one row per AQM setup\n\n", inputSz, *nodes)
+	cmp := experiment.CompareAQMs(scale, *target, *seed)
+	fmt.Print(figures.RenderAQMComparison(cmp))
+	fmt.Println("\nEvery early drop any of these ECN-enabled AQMs performs lands on a")
+	fmt.Println("non-ECT packet (an ACK or SYN); the ack+syn rows show the same queue")
+	fmt.Println("with the paper's protection — zero early drops, by construction.")
+}

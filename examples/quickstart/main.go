@@ -1,0 +1,42 @@
+// Quickstart: build a small simulated Hadoop cluster, run the same Terasort
+// twice — once over DropTail switches, once over switches with the paper's
+// true simple marking scheme — and compare runtime, throughput and latency.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mapred"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+func main() {
+	run := func(name string, queue cluster.QueueKind, transport tcp.Variant) {
+		spec := cluster.DefaultSpec()
+		spec.Nodes = 8
+		spec.Queue = queue
+		spec.Transport = transport
+		spec.TargetDelay = 100 * units.Microsecond
+
+		c := cluster.New(spec)
+		job := c.RunJob(mapred.TerasortConfig(256*units.MiB, 16))
+
+		lo, hi := job.ShuffleWindow()
+		fmt.Printf("%-22s runtime=%-14v throughput/node=%-12v mean latency=%-12v drops=%d\n",
+			name,
+			job.Runtime().Round(units.Millisecond),
+			c.Metrics.MeanThroughputPerNode(spec.Nodes, lo, hi),
+			c.Metrics.MeanLatency().Round(units.Microsecond),
+			c.Metrics.EarlyDropped.Total()+c.Metrics.OverflowDropped.Total())
+	}
+
+	fmt.Println("Terasort, 8 nodes, 10 Gbps, shallow (1MB/port) switch buffers:")
+	run("droptail + tcp", cluster.QueueDropTail, tcp.Reno)
+	run("simplemark + tcp-ecn", cluster.QueueSimpleMark, tcp.RenoECN)
+	fmt.Println("\nThe marking scheme keeps full throughput with a fraction of the")
+	fmt.Println("latency and (near) zero loss — the paper's headline result.")
+}

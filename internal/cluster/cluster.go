@@ -1,0 +1,275 @@
+// Package cluster assembles a complete simulated Hadoop cluster — fabric,
+// transport stacks, MapReduce workers and the metrics collector — from a
+// single declarative spec. It is the layer the experiments and examples
+// build on.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/mapred"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// QueueKind selects the switch egress discipline.
+type QueueKind uint8
+
+// Queue kinds under study. RED, SimpleMark and DropTail carry the paper's
+// evaluation; CoDel and PIE extend the protection-mode analysis to the AQMs
+// the authors' earlier LCN 2016 study considered.
+const (
+	QueueDropTail QueueKind = iota
+	QueueRED
+	QueueSimpleMark
+	QueueCoDel
+	QueuePIE
+)
+
+// String names the kind.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueDropTail:
+		return "droptail"
+	case QueueRED:
+		return "red"
+	case QueueSimpleMark:
+		return "simplemark"
+	case QueueCoDel:
+		return "codel"
+	case QueuePIE:
+		return "pie"
+	}
+	return fmt.Sprintf("queue(%d)", uint8(k))
+}
+
+// BufferDepth selects the per-port buffer density the paper contrasts.
+type BufferDepth uint8
+
+// Buffer depths.
+const (
+	// Shallow is a commodity switch: 1 MB per port.
+	Shallow BufferDepth = iota
+	// Deep is a big-buffer switch: 10 MB per port ("10x bigger").
+	Deep
+)
+
+// String names the depth.
+func (b BufferDepth) String() string {
+	if b == Deep {
+		return "deep"
+	}
+	return "shallow"
+}
+
+// Packets returns the per-port buffer capacity in full-size packets.
+func (b BufferDepth) Packets() int {
+	perPacket := units.ByteSize(1500)
+	bytes := 1 * units.MiB
+	if b == Deep {
+		bytes = 10 * units.MiB
+	}
+	return int(bytes / perPacket)
+}
+
+// Spec declares a cluster and its queueing configuration.
+type Spec struct {
+	// Nodes and Racks shape the fabric (Racks<=1: single-switch star).
+	Nodes, Racks int
+	// LinkRate and LinkDelay parameterize every edge link.
+	LinkRate  units.Bandwidth
+	LinkDelay units.Duration
+
+	// Queue selects the switch egress discipline; Buffer its depth.
+	Queue  QueueKind
+	Buffer BufferDepth
+	// TargetDelay is the AQM knob the paper sweeps: RED thresholds or the
+	// SimpleMark threshold derive from it. Ignored for DropTail.
+	TargetDelay units.Duration
+	// Protect selects RED's protection mode (QueueRED only).
+	Protect qdisc.ProtectMode
+	// Instantaneous switches RED to instantaneous queue measurement.
+	Instantaneous bool
+	// ByteMode switches RED/SimpleMark thresholds to per-byte accounting
+	// (ablation; real switches are per-packet, per the paper).
+	ByteMode bool
+
+	// Transport selects the TCP variant on every node.
+	Transport tcp.Variant
+	// TCPOverride, if non-nil, replaces the default transport config.
+	TCPOverride *tcp.Config
+
+	// NodeSpec configures the MapReduce workers.
+	NodeSpec mapred.NodeSpec
+
+	// Seed drives every random stream in the run.
+	Seed uint64
+	// LatencyReservoir bounds latency sample memory (0 = keep all).
+	LatencyReservoir int
+}
+
+// DefaultSpec returns the paper's default testbed: a 16-node Hadoop cluster
+// on one switch with 10 Gbps links (the paper's context: thresholds of tens
+// to hundreds of packets, DCTCP's 65-packet rule of thumb), shallow buffers,
+// DropTail, plain TCP.
+func DefaultSpec() Spec {
+	return Spec{
+		Nodes:            16,
+		Racks:            1,
+		LinkRate:         10 * units.Gbps,
+		LinkDelay:        5 * units.Microsecond,
+		Queue:            QueueDropTail,
+		Buffer:           Shallow,
+		TargetDelay:      500 * units.Microsecond,
+		Transport:        tcp.Reno,
+		NodeSpec:         mapred.DefaultNodeSpec(),
+		Seed:             1,
+		LatencyReservoir: 1 << 16,
+	}
+}
+
+// Validate reports a spec error, or nil.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Nodes < 2:
+		return fmt.Errorf("cluster: need >=2 nodes")
+	case s.LinkRate <= 0:
+		return fmt.Errorf("cluster: link rate must be positive")
+	case s.Queue != QueueDropTail && s.TargetDelay <= 0:
+		return fmt.Errorf("cluster: AQM queues need a positive target delay")
+	}
+	return s.NodeSpec.Validate()
+}
+
+// Cluster is a fully wired simulated cluster.
+type Cluster struct {
+	Spec    Spec
+	Engine  *sim.Engine
+	Topo    *topo.Cluster
+	Stacks  []*tcp.Stack
+	Workers []*mapred.Worker
+	Metrics *metrics.Collector
+	TCP     *tcp.Stats
+}
+
+// queueFactory builds the spec's switch qdisc for one port.
+func (s *Spec) queueFactory() topo.QdiscFactory {
+	capacity := s.Buffer.Packets()
+	portSeq := uint64(0)
+	return func(label string, rate units.Bandwidth) qdisc.Qdisc {
+		portSeq++
+		switch s.Queue {
+		case QueueDropTail:
+			return qdisc.NewDropTail(capacity)
+		case QueueRED:
+			cfg := qdisc.REDForTargetDelay(capacity, rate, s.TargetDelay)
+			cfg.ECN = s.Transport.ECNEnabled()
+			cfg.Protect = s.Protect
+			cfg.Instantaneous = s.Instantaneous
+			cfg.Seed = s.Seed ^ portSeq*0x9e3779b97f4a7c15
+			if s.ByteMode {
+				// Convert packet thresholds to bytes at full segment size.
+				mean := float64(packet.HeaderSize + packet.DefaultMSS)
+				cfg.ByteMode = true
+				cfg.MinTh *= mean
+				cfg.MaxTh *= mean
+			}
+			return qdisc.NewRED(cfg)
+		case QueueSimpleMark:
+			if s.ByteMode {
+				k := s.LinkRateBytesIn(s.TargetDelay)
+				return qdisc.NewSimpleMarkBytes(capacity, k)
+			}
+			return qdisc.SimpleMarkForTargetDelay(capacity, rate, s.TargetDelay)
+		case QueueCoDel:
+			cfg := qdisc.DefaultCoDelConfig(capacity, s.TargetDelay)
+			cfg.ECN = s.Transport.ECNEnabled()
+			cfg.Protect = s.Protect
+			return qdisc.NewCoDel(cfg)
+		case QueuePIE:
+			cfg := qdisc.DefaultPIEConfig(capacity, rate, s.TargetDelay)
+			cfg.ECN = s.Transport.ECNEnabled()
+			cfg.Protect = s.Protect
+			cfg.Seed = s.Seed ^ portSeq*0x7f4a_7c15
+			return qdisc.NewPIE(cfg)
+		}
+		panic("cluster: unknown queue kind")
+	}
+}
+
+// LinkRateBytesIn returns bytes the edge link drains in d (helper).
+func (s *Spec) LinkRateBytesIn(d units.Duration) units.ByteSize {
+	return s.LinkRate.BytesIn(d)
+}
+
+// New builds the cluster.
+func New(spec Spec) *Cluster {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.New()
+	// As in NS-2 (the paper's simulator), the configured queue discipline
+	// applies uniformly to every link queue — host uplinks included.
+	qf := spec.queueFactory()
+	tc := topo.Build(eng, topo.Config{
+		Nodes:       spec.Nodes,
+		Racks:       spec.Racks,
+		LinkRate:    spec.LinkRate,
+		LinkDelay:   spec.LinkDelay,
+		HostQueue:   qf,
+		SwitchQueue: qf,
+	})
+	col := metrics.New(spec.LatencyReservoir, spec.Seed)
+	tc.Net.SetObserver(col)
+
+	tcpCfg := tcp.DefaultConfig(spec.Transport)
+	if spec.TCPOverride != nil {
+		tcpCfg = *spec.TCPOverride
+	}
+	stats := &tcp.Stats{}
+	c := &Cluster{
+		Spec:    spec,
+		Engine:  eng,
+		Topo:    tc,
+		Metrics: col,
+		TCP:     stats,
+	}
+	for i, h := range tc.Hosts {
+		st := tcp.NewStack(h, tcpCfg, stats)
+		c.Stacks = append(c.Stacks, st)
+		c.Workers = append(c.Workers, &mapred.Worker{
+			Index: i,
+			Spec:  spec.NodeSpec,
+			Stack: st,
+		})
+	}
+	return c
+}
+
+// RunJob creates, starts and drives a MapReduce job to completion (with a
+// generous simulated-time safety deadline), returning the finished job.
+func (c *Cluster) RunJob(cfg mapred.JobConfig) *mapred.Job {
+	job := mapred.NewJob(c.Engine, cfg, c.Workers)
+	// Start slightly after t=0 so TSVal==0 never collides with the "no
+	// timestamp" sentinel.
+	c.Engine.Schedule(units.Time(1*units.Millisecond), job.Start)
+	deadline := units.Time(6 * units.Second * units.Duration(1+c.Spec.Nodes))
+	for !job.Done() {
+		if !c.Engine.Step() {
+			panic("cluster: job deadlocked — no pending events")
+		}
+		if c.Engine.Now() > deadline {
+			panic(fmt.Sprintf("cluster: job exceeded deadline %v (done=%v)", deadline, job.Done()))
+		}
+	}
+	return job
+}
+
+// Ports returns the switch->host edge ports (the studied bottlenecks).
+func (c *Cluster) Ports() []*netsim.Port { return c.Topo.EdgePorts }

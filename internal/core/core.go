@@ -1,0 +1,152 @@
+// Package core is the high-level entry point to the reproduction: a small
+// options-style API that builds a simulated Hadoop cluster, applies one of
+// the queue configurations the paper studies — DropTail, ECN-enabled RED in
+// its default or protected modes, or the true simple marking scheme — runs a
+// Terasort, and reports the paper's three metrics.
+//
+// The heavy lifting lives in the substrate packages (sim, netsim, qdisc,
+// tcp, mapred, cluster, experiment); core exists so that a user can get from
+// zero to a result in a few lines:
+//
+//	res := core.RunTerasort(1*units.GiB, 32,
+//	    core.WithQueue(core.SimpleMark, 100*units.Microsecond),
+//	    core.WithTransport(core.DCTCP))
+//	fmt.Println(res.Runtime, res.MeanLatency)
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/mapred"
+	"repro/internal/qdisc"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// Queue names the queue disciplines under study.
+type Queue = cluster.QueueKind
+
+// Queue disciplines.
+const (
+	DropTail   = cluster.QueueDropTail
+	RED        = cluster.QueueRED
+	SimpleMark = cluster.QueueSimpleMark
+	CoDel      = cluster.QueueCoDel
+	PIE        = cluster.QueuePIE
+)
+
+// Transport names the TCP variants.
+type Transport = tcp.Variant
+
+// Transports.
+const (
+	TCP      = tcp.Reno
+	TCPECN   = tcp.RenoECN
+	DCTCP    = tcp.DCTCP
+	Cubic    = tcp.Cubic
+	CubicECN = tcp.CubicECN
+)
+
+// Protection re-exports the paper's AQM protection modes.
+type Protection = qdisc.ProtectMode
+
+// Protection modes (Section II-B of the paper).
+const (
+	ProtectNone   = qdisc.ProtectNone
+	ProtectECE    = qdisc.ProtectECE
+	ProtectACKSYN = qdisc.ProtectACKSYN
+)
+
+// Option customizes the simulated cluster.
+type Option func(*cluster.Spec)
+
+// WithNodes sets the cluster size (default 16).
+func WithNodes(n int) Option { return func(s *cluster.Spec) { s.Nodes = n } }
+
+// WithRacks arranges nodes in racks under a two-tier fabric (default: one
+// big switch).
+func WithRacks(r int) Option { return func(s *cluster.Spec) { s.Racks = r } }
+
+// WithLinkRate sets the edge link speed (default 10 Gbps).
+func WithLinkRate(b units.Bandwidth) Option { return func(s *cluster.Spec) { s.LinkRate = b } }
+
+// WithQueue installs a queue discipline with its target delay on every port.
+func WithQueue(q Queue, target units.Duration) Option {
+	return func(s *cluster.Spec) {
+		s.Queue = q
+		s.TargetDelay = target
+	}
+}
+
+// WithProtection selects RED's protection mode (implies nothing for other
+// queues).
+func WithProtection(p Protection) Option { return func(s *cluster.Spec) { s.Protect = p } }
+
+// WithTransport selects the TCP variant on every node.
+func WithTransport(v Transport) Option { return func(s *cluster.Spec) { s.Transport = v } }
+
+// WithDeepBuffers switches ports from 1 MB to 10 MB of buffering.
+func WithDeepBuffers() Option { return func(s *cluster.Spec) { s.Buffer = cluster.Deep } }
+
+// WithSeed sets the simulation seed (default 1).
+func WithSeed(seed uint64) Option { return func(s *cluster.Spec) { s.Seed = seed } }
+
+// Result is what a Terasort run reports.
+type Result struct {
+	// Runtime is the job completion time — the paper's Figure 2 metric.
+	Runtime units.Duration
+	// ThroughputPerNode is the mean received goodput per node during the
+	// shuffle — the paper's Figure 3 metric.
+	ThroughputPerNode units.Bandwidth
+	// MeanLatency is the average per-packet end-to-end latency — the
+	// paper's Figure 4 metric.
+	MeanLatency units.Duration
+	// P99Latency is the tail of the same distribution.
+	P99Latency units.Duration
+
+	// Diagnostics explaining the above.
+	EarlyDrops    uint64
+	OverflowDrops uint64
+	AckDropShare  float64
+	Marks         uint64
+	Retransmits   uint64
+	RTOEvents     uint64
+}
+
+// RunTerasort simulates one Terasort of the given input size and reducer
+// count and returns its metrics. Runs are deterministic in (inputs, seed).
+func RunTerasort(input units.ByteSize, reducers int, opts ...Option) Result {
+	spec := cluster.DefaultSpec()
+	for _, o := range opts {
+		o(&spec)
+	}
+	c := cluster.New(spec)
+	job := c.RunJob(mapred.TerasortConfig(input, reducers))
+	lo, hi := job.ShuffleWindow()
+	res := Result{
+		Runtime:           job.Runtime(),
+		ThroughputPerNode: c.Metrics.MeanThroughputPerNode(spec.Nodes, lo, hi),
+		MeanLatency:       c.Metrics.MeanLatency(),
+		P99Latency:        c.Metrics.P99Latency(),
+		AckDropShare:      c.Metrics.AckDropShare(),
+		Marks:             c.Metrics.Marked.Total(),
+		Retransmits:       c.TCP.Retransmits(),
+		RTOEvents:         c.TCP.RTOEvents,
+	}
+	res.EarlyDrops, res.OverflowDrops = c.Metrics.Drops()
+	return res
+}
+
+// Compare runs the same Terasort under several labelled option sets,
+// returning results in the given order. It is the shape of every example and
+// figure in this repository.
+func Compare(input units.ByteSize, reducers int, configs map[string][]Option, order []string) map[string]Result {
+	out := make(map[string]Result, len(configs))
+	for _, label := range order {
+		opts, ok := configs[label]
+		if !ok {
+			continue
+		}
+		out[label] = RunTerasort(input, reducers, opts...)
+	}
+	return out
+}

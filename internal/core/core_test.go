@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func TestRunTerasortDefaults(t *testing.T) {
+	res := core.RunTerasort(64*units.MiB, 8, core.WithNodes(4))
+	if res.Runtime <= 0 {
+		t.Error("runtime <= 0")
+	}
+	if res.ThroughputPerNode <= 0 {
+		t.Error("throughput <= 0")
+	}
+	if res.MeanLatency <= 0 || res.P99Latency < res.MeanLatency {
+		t.Error("latency stats malformed")
+	}
+	if res.Marks != 0 {
+		t.Error("DropTail default produced marks")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	dt := core.RunTerasort(64*units.MiB, 8, core.WithNodes(4))
+	sm := core.RunTerasort(64*units.MiB, 8,
+		core.WithNodes(4),
+		core.WithQueue(core.SimpleMark, 100*units.Microsecond),
+		core.WithTransport(core.DCTCP),
+	)
+	if sm.Marks == 0 {
+		t.Error("marking queue produced no marks")
+	}
+	if sm.EarlyDrops != 0 {
+		t.Error("simple marking early-dropped")
+	}
+	if sm.MeanLatency >= dt.MeanLatency {
+		t.Errorf("marking latency %v not below droptail %v", sm.MeanLatency, dt.MeanLatency)
+	}
+}
+
+func TestDeterministicAcrossCalls(t *testing.T) {
+	opts := []core.Option{core.WithNodes(4), core.WithSeed(7)}
+	a := core.RunTerasort(64*units.MiB, 8, opts...)
+	b := core.RunTerasort(64*units.MiB, 8, opts...)
+	if a != b {
+		t.Error("identical runs diverged")
+	}
+}
+
+func TestDeepBuffersOption(t *testing.T) {
+	shallow := core.RunTerasort(128*units.MiB, 8, core.WithNodes(4))
+	deep := core.RunTerasort(128*units.MiB, 8, core.WithNodes(4), core.WithDeepBuffers())
+	if deep.MeanLatency <= shallow.MeanLatency {
+		t.Errorf("deep buffers latency %v not above shallow %v (bufferbloat missing)",
+			deep.MeanLatency, shallow.MeanLatency)
+	}
+}
+
+func TestCompareRunsAllLabels(t *testing.T) {
+	configs := map[string][]core.Option{
+		"droptail": {core.WithNodes(4)},
+		"marking":  {core.WithNodes(4), core.WithQueue(core.SimpleMark, 100*units.Microsecond), core.WithTransport(core.TCPECN)},
+	}
+	out := core.Compare(64*units.MiB, 8, configs, []string{"droptail", "marking", "missing"})
+	if len(out) != 2 {
+		t.Fatalf("Compare returned %d results", len(out))
+	}
+	if out["marking"].Marks == 0 {
+		t.Error("marking config did not mark")
+	}
+}
+
+func TestTwoTierOption(t *testing.T) {
+	res := core.RunTerasort(64*units.MiB, 8, core.WithNodes(4), core.WithRacks(2))
+	if res.Runtime <= 0 {
+		t.Error("two-tier run failed")
+	}
+}
+
+func TestProtectionOption(t *testing.T) {
+	def := core.RunTerasort(128*units.MiB, 8,
+		core.WithNodes(4),
+		core.WithQueue(core.RED, 100*units.Microsecond),
+		core.WithTransport(core.TCPECN))
+	prot := core.RunTerasort(128*units.MiB, 8,
+		core.WithNodes(4),
+		core.WithQueue(core.RED, 100*units.Microsecond),
+		core.WithTransport(core.TCPECN),
+		core.WithProtection(core.ProtectACKSYN))
+	if def.EarlyDrops == 0 {
+		t.Skip("no congestion at this scale; bias unobservable")
+	}
+	if prot.AckDropShare >= def.AckDropShare && def.AckDropShare > 0 {
+		t.Errorf("protection did not reduce ACK drop share: %.2f vs %.2f",
+			prot.AckDropShare, def.AckDropShare)
+	}
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/qdisc"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// AQM-comparison setups: do the paper's protection modes generalize beyond
+// RED? The authors' earlier LCN 2016 study asked "do we need AQM?" over
+// CoDel-style queues; these series answer whether CoDel and PIE inherit the
+// same non-ECT bias and whether ACK+SYN protection repairs them the same
+// way.
+var (
+	SetupCoDelDefault = QueueSetup{Label: "codel-default", Queue: cluster.QueueCoDel, Protect: qdisc.ProtectNone, Transport: tcp.RenoECN}
+	SetupCoDelAckSyn  = QueueSetup{Label: "codel-ack+syn", Queue: cluster.QueueCoDel, Protect: qdisc.ProtectACKSYN, Transport: tcp.RenoECN}
+	SetupPIEDefault   = QueueSetup{Label: "pie-default", Queue: cluster.QueuePIE, Protect: qdisc.ProtectNone, Transport: tcp.RenoECN}
+	SetupPIEAckSyn    = QueueSetup{Label: "pie-ack+syn", Queue: cluster.QueuePIE, Protect: qdisc.ProtectACKSYN, Transport: tcp.RenoECN}
+)
+
+// AQMSetups returns the cross-AQM comparison series (RED, CoDel, PIE — each
+// in default and ACK+SYN-protected mode) plus the marking reference.
+func AQMSetups() []QueueSetup {
+	return []QueueSetup{
+		SetupECNDefault, SetupECNAckSyn,
+		SetupCoDelDefault, SetupCoDelAckSyn,
+		SetupPIEDefault, SetupPIEAckSyn,
+		SetupECNSimpleMark,
+	}
+}
+
+// AQMComparison holds one row per AQM setup at a fixed target delay.
+type AQMComparison struct {
+	TargetDelay units.Duration
+	Baseline    Result // DropTail shallow
+	Rows        []Result
+}
+
+// CompareAQMs runs the cross-AQM grid at one target delay on shallow
+// buffers. It answers the generalization question quantitatively.
+func CompareAQMs(scale Scale, target units.Duration, seed uint64) AQMComparison {
+	cmp := AQMComparison{TargetDelay: target}
+	cmp.Baseline = Run(Config{
+		Setup:       SetupDropTail,
+		Buffer:      cluster.Shallow,
+		TargetDelay: target,
+		Scale:       scale,
+		Seed:        seed,
+	})
+	for _, setup := range AQMSetups() {
+		cmp.Rows = append(cmp.Rows, Run(Config{
+			Setup:       setup,
+			Buffer:      cluster.Shallow,
+			TargetDelay: target,
+			Scale:       scale,
+			Seed:        seed,
+		}))
+	}
+	return cmp
+}

@@ -1,0 +1,92 @@
+package experiment_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+func TestAQMSetupsLabels(t *testing.T) {
+	labels := map[string]bool{}
+	for _, s := range experiment.AQMSetups() {
+		if labels[s.Label] {
+			t.Errorf("duplicate label %q", s.Label)
+		}
+		labels[s.Label] = true
+	}
+	for _, want := range []string{
+		"ecn-default", "ecn-ack+syn",
+		"codel-default", "codel-ack+syn",
+		"pie-default", "pie-ack+syn",
+		"ecn-simplemark",
+	} {
+		if !labels[want] {
+			t.Errorf("missing AQM setup %q", want)
+		}
+	}
+}
+
+func TestCompareAQMsStructure(t *testing.T) {
+	cmp := experiment.CompareAQMs(tinyScale(), 100*units.Microsecond, 1)
+	if cmp.Baseline.Runtime <= 0 {
+		t.Fatal("baseline missing")
+	}
+	if len(cmp.Rows) != len(experiment.AQMSetups()) {
+		t.Fatalf("rows = %d, want %d", len(cmp.Rows), len(experiment.AQMSetups()))
+	}
+	for _, r := range cmp.Rows {
+		if r.Runtime <= 0 {
+			t.Errorf("row %s has no runtime", r.Config.Setup.Label)
+		}
+	}
+}
+
+// TestProtectionGeneralizesToCoDel pins the extension result: CoDel in
+// default mode inherits RED's non-ECT bias on the shuffle, and ACK+SYN
+// protection repairs it.
+func TestProtectionGeneralizesToCoDel(t *testing.T) {
+	def := experiment.Run(experiment.Config{
+		Setup:       experiment.SetupCoDelDefault,
+		Buffer:      cluster.Shallow,
+		TargetDelay: 100 * units.Microsecond,
+		Scale:       pressureScale(),
+		Seed:        1,
+	})
+	prot := experiment.Run(experiment.Config{
+		Setup:       experiment.SetupCoDelAckSyn,
+		Buffer:      cluster.Shallow,
+		TargetDelay: 100 * units.Microsecond,
+		Scale:       pressureScale(),
+		Seed:        1,
+	})
+	if def.EarlyDrops == 0 {
+		t.Fatal("CoDel default mode never early-dropped; bias unobservable")
+	}
+	if prot.EarlyDrops != 0 {
+		t.Errorf("CoDel ack+syn still early-dropped %d packets", prot.EarlyDrops)
+	}
+	if prot.Runtime >= def.Runtime {
+		t.Errorf("protection did not speed up CoDel: %v vs %v", prot.Runtime, def.Runtime)
+	}
+}
+
+// TestPIEControllerEngagesAtScale verifies PIE's scaled gains actually move
+// the controller at datacenter targets (the RFC's reference gains are tuned
+// for 15 ms internet targets and would never engage).
+func TestPIEControllerEngagesAtScale(t *testing.T) {
+	r := experiment.Run(experiment.Config{
+		Setup:       experiment.SetupPIEDefault,
+		Buffer:      cluster.Shallow,
+		TargetDelay: 100 * units.Microsecond,
+		Scale:       pressureScale(),
+		Seed:        1,
+	})
+	if r.Marks == 0 {
+		t.Error("PIE never marked: controller failed to engage")
+	}
+	if r.MeanLatency <= 0 {
+		t.Error("no latency measured")
+	}
+}

@@ -1,0 +1,185 @@
+// Package experiment defines and executes the paper's experiments: a single
+// Terasort run over a configured fabric/queue/transport combination,
+// returning the three metrics every figure reports (runtime, mean throughput
+// per node, mean per-packet latency), plus the sweep grids behind Figures
+// 2-4 and the headline comparisons.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mapred"
+	"repro/internal/packet"
+	"repro/internal/qdisc"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// QueueSetup names one of the queue configurations under study.
+type QueueSetup struct {
+	// Label is the series name used in figures ("droptail", "ecn-default",
+	// "dctcp-ack+syn", "ecn-simplemark", ...).
+	Label string
+	// Queue is the discipline kind.
+	Queue cluster.QueueKind
+	// Protect applies to RED.
+	Protect qdisc.ProtectMode
+	// Transport is the TCP variant all nodes run.
+	Transport tcp.Variant
+}
+
+// Canonical queue setups.
+var (
+	SetupDropTail = QueueSetup{Label: "droptail", Queue: cluster.QueueDropTail, Transport: tcp.Reno}
+
+	SetupECNDefault = QueueSetup{Label: "ecn-default", Queue: cluster.QueueRED, Protect: qdisc.ProtectNone, Transport: tcp.RenoECN}
+	SetupECNECE     = QueueSetup{Label: "ecn-ece-bit", Queue: cluster.QueueRED, Protect: qdisc.ProtectECE, Transport: tcp.RenoECN}
+	SetupECNAckSyn  = QueueSetup{Label: "ecn-ack+syn", Queue: cluster.QueueRED, Protect: qdisc.ProtectACKSYN, Transport: tcp.RenoECN}
+
+	SetupDCTCPDefault = QueueSetup{Label: "dctcp-default", Queue: cluster.QueueRED, Protect: qdisc.ProtectNone, Transport: tcp.DCTCP}
+	SetupDCTCPECE     = QueueSetup{Label: "dctcp-ece-bit", Queue: cluster.QueueRED, Protect: qdisc.ProtectECE, Transport: tcp.DCTCP}
+	SetupDCTCPAckSyn  = QueueSetup{Label: "dctcp-ack+syn", Queue: cluster.QueueRED, Protect: qdisc.ProtectACKSYN, Transport: tcp.DCTCP}
+
+	SetupECNSimpleMark   = QueueSetup{Label: "ecn-simplemark", Queue: cluster.QueueSimpleMark, Transport: tcp.RenoECN}
+	SetupDCTCPSimpleMark = QueueSetup{Label: "dctcp-simplemark", Queue: cluster.QueueSimpleMark, Transport: tcp.DCTCP}
+)
+
+// REDSetups are the six series of the paper's Figures 2-4.
+func REDSetups() []QueueSetup {
+	return []QueueSetup{
+		SetupECNDefault, SetupECNECE, SetupECNAckSyn,
+		SetupDCTCPDefault, SetupDCTCPECE, SetupDCTCPAckSyn,
+	}
+}
+
+// MarkingSetups are the true-simple-marking series (Section IV headline).
+func MarkingSetups() []QueueSetup {
+	return []QueueSetup{SetupECNSimpleMark, SetupDCTCPSimpleMark}
+}
+
+// Scale selects how much data the Terasort moves; the paper's shapes emerge
+// at every scale, smaller scales just run faster.
+type Scale struct {
+	Nodes int
+	// Racks > 1 arranges nodes under top-of-rack switches joined by a 2:1
+	// oversubscribed aggregation switch (0/1 = single-switch star).
+	Racks     int
+	InputSize units.ByteSize
+	BlockSize units.ByteSize
+	Reducers  int
+}
+
+// TestScale is small enough for unit tests (seconds of wall time per grid).
+func TestScale() Scale {
+	return Scale{Nodes: 8, InputSize: 128 * units.MiB, BlockSize: 16 * units.MiB, Reducers: 8}
+}
+
+// PaperScale approximates the paper's testbed pressure: 16 nodes, one map
+// wave, 1 GiB through the shuffle.
+func PaperScale() Scale {
+	return Scale{Nodes: 16, InputSize: 1 * units.GiB, BlockSize: 64 * units.MiB, Reducers: 32}
+}
+
+// Config fully describes one run.
+type Config struct {
+	Setup       QueueSetup
+	Buffer      cluster.BufferDepth
+	TargetDelay units.Duration
+	Scale       Scale
+	Seed        uint64
+	// AckWireSize overrides the pure-ACK wire size (0 = default 40 B).
+	AckWireSize units.ByteSize
+	// ByteMode switches the AQM to per-byte thresholds (ablation).
+	ByteMode bool
+	// Instantaneous switches RED to instantaneous queue length (ablation;
+	// Wu et al. recommendation).
+	Instantaneous bool
+	// MinRTO overrides TCP's minimum RTO (0 = default 200 ms).
+	MinRTO units.Duration
+	// DisableSACK turns selective acknowledgements off (ablation).
+	DisableSACK bool
+	// DisableDelAck turns delayed ACKs off (ablation: doubles the ACK rate
+	// and with it the exposure to per-packet AQM drops).
+	DisableDelAck bool
+}
+
+// String identifies the run compactly.
+func (c *Config) String() string {
+	return fmt.Sprintf("%s/%s/d=%v", c.Setup.Label, c.Buffer, c.TargetDelay)
+}
+
+// Result carries everything the figures consume from one run.
+type Result struct {
+	Config Config
+
+	Runtime           units.Duration
+	ThroughputPerNode units.Bandwidth
+	MeanLatency       units.Duration
+	P99Latency        units.Duration
+
+	ShuffledBytes units.ByteSize
+	EarlyDrops    uint64
+	OverflowDrops uint64
+	AckDropShare  float64 // fraction of drops that hit pure ACKs
+	Marks         uint64
+	Retransmits   uint64
+	RTOEvents     uint64
+	SynRetries    uint64
+	FetchRetries  int
+}
+
+// Run executes one Terasort under the configuration and returns its result.
+// Runs are deterministic in (Config, Seed).
+func Run(cfg Config) Result {
+	spec := cluster.DefaultSpec()
+	spec.Nodes = cfg.Scale.Nodes
+	spec.Racks = cfg.Scale.Racks
+	spec.Queue = cfg.Setup.Queue
+	spec.Buffer = cfg.Buffer
+	spec.TargetDelay = cfg.TargetDelay
+	spec.Protect = cfg.Setup.Protect
+	spec.Transport = cfg.Setup.Transport
+	spec.Seed = cfg.Seed
+	spec.ByteMode = cfg.ByteMode
+	spec.Instantaneous = cfg.Instantaneous
+
+	tcpCfg := tcp.DefaultConfig(spec.Transport)
+	if cfg.AckWireSize > 0 {
+		tcpCfg.AckWireSize = cfg.AckWireSize
+	}
+	if cfg.MinRTO > 0 {
+		tcpCfg.MinRTO = cfg.MinRTO
+	}
+	if cfg.DisableSACK {
+		tcpCfg.SACK = false
+	}
+	if cfg.DisableDelAck {
+		tcpCfg.DelayedAck = false
+	}
+	spec.TCPOverride = &tcpCfg
+
+	c := cluster.New(spec)
+	jobCfg := mapred.TerasortConfig(cfg.Scale.InputSize, cfg.Scale.Reducers)
+	jobCfg.BlockSize = cfg.Scale.BlockSize
+	job := c.RunJob(jobCfg)
+
+	lo, hi := job.ShuffleWindow()
+	res := Result{
+		Config:            cfg,
+		Runtime:           job.Runtime(),
+		ThroughputPerNode: c.Metrics.MeanThroughputPerNode(spec.Nodes, lo, hi),
+		MeanLatency:       c.Metrics.MeanLatency(),
+		P99Latency:        c.Metrics.P99Latency(),
+		ShuffledBytes:     job.ShuffledBytes(),
+		AckDropShare:      c.Metrics.AckDropShare(),
+		Marks:             c.Metrics.Marked.Total(),
+		Retransmits:       c.TCP.Retransmits(),
+		RTOEvents:         c.TCP.RTOEvents,
+		SynRetries:        c.TCP.SynRetries,
+		FetchRetries:      job.FetchRetries,
+	}
+	res.EarlyDrops, res.OverflowDrops = c.Metrics.Drops()
+	_ = packet.HeaderSize
+	return res
+}

@@ -1,0 +1,311 @@
+package experiment_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+// tinyScale keeps unit-test runs under a second each.
+func tinyScale() experiment.Scale {
+	return experiment.Scale{
+		Nodes:     4,
+		InputSize: 64 * units.MiB,
+		BlockSize: 16 * units.MiB,
+		Reducers:  8,
+	}
+}
+
+func tinyRun(setup experiment.QueueSetup, buf cluster.BufferDepth, d units.Duration) experiment.Result {
+	return experiment.Run(experiment.Config{
+		Setup:       setup,
+		Buffer:      buf,
+		TargetDelay: d,
+		Scale:       tinyScale(),
+		Seed:        1,
+	})
+}
+
+func TestRunProducesSaneMetrics(t *testing.T) {
+	r := tinyRun(experiment.SetupDropTail, cluster.Shallow, 500*units.Microsecond)
+	if r.Runtime <= 0 {
+		t.Error("runtime <= 0")
+	}
+	if r.ThroughputPerNode <= 0 {
+		t.Error("throughput <= 0")
+	}
+	if r.MeanLatency <= 0 || r.P99Latency < r.MeanLatency {
+		t.Errorf("latency stats malformed: mean=%v p99=%v", r.MeanLatency, r.P99Latency)
+	}
+	if r.ShuffledBytes != 64*units.MiB {
+		t.Errorf("shuffled %v, want 64MiB (ratio 1.0)", r.ShuffledBytes)
+	}
+	if r.EarlyDrops != 0 {
+		t.Error("DropTail produced early drops")
+	}
+	if r.Marks != 0 {
+		t.Error("DropTail produced CE marks")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := tinyRun(experiment.SetupECNAckSyn, cluster.Shallow, 100*units.Microsecond)
+	b := tinyRun(experiment.SetupECNAckSyn, cluster.Shallow, 100*units.Microsecond)
+	if a.Runtime != b.Runtime || a.Marks != b.Marks || a.Retransmits != b.Retransmits {
+		t.Error("identical configs diverged")
+	}
+}
+
+// TestAckDropBiasInDefaultMode pins the paper's central observation: with an
+// ECN-enabled AQM in default mode under tight thresholds, essentially every
+// dropped packet is a non-ECT packet (ACKs/SYNs), because data is marked
+// instead of dropped.
+func TestAckDropBiasInDefaultMode(t *testing.T) {
+	r := tinyRun(experiment.SetupECNDefault, cluster.Shallow, 100*units.Microsecond)
+	if r.EarlyDrops == 0 {
+		t.Fatal("no early drops; cannot assess bias")
+	}
+	if r.AckDropShare < 0.9 {
+		t.Errorf("ACK share of drops = %.2f, want >= 0.9 (disproportionate ACK dropping)", r.AckDropShare)
+	}
+	if r.Marks == 0 {
+		t.Error("no CE marks despite ECN")
+	}
+}
+
+// TestProtectionEliminatesAckDrops pins the proposed fix: ACK+SYN protection
+// must eliminate (essentially all) early ACK drops.
+func TestProtectionEliminatesAckDrops(t *testing.T) {
+	def := tinyRun(experiment.SetupECNDefault, cluster.Shallow, 100*units.Microsecond)
+	prot := tinyRun(experiment.SetupECNAckSyn, cluster.Shallow, 100*units.Microsecond)
+	if prot.EarlyDrops >= def.EarlyDrops {
+		t.Errorf("protection did not reduce early drops: %d vs %d", prot.EarlyDrops, def.EarlyDrops)
+	}
+	if prot.AckDropShare > 0.5 && prot.EarlyDrops > 10 {
+		t.Errorf("ACK+SYN mode still early-drops ACKs (share %.2f of %d)", prot.AckDropShare, prot.EarlyDrops)
+	}
+}
+
+// pressureScale generates sustained shuffle congestion; the comparative
+// shape assertions need it (a tiny shuffle doesn't stress the AQM).
+func pressureScale() experiment.Scale {
+	return experiment.Scale{
+		Nodes:     8,
+		InputSize: 256 * units.MiB,
+		BlockSize: 32 * units.MiB,
+		Reducers:  16,
+	}
+}
+
+func pressureRun(setup experiment.QueueSetup, buf cluster.BufferDepth, d units.Duration) experiment.Result {
+	return experiment.Run(experiment.Config{
+		Setup:       setup,
+		Buffer:      buf,
+		TargetDelay: d,
+		Scale:       pressureScale(),
+		Seed:        1,
+	})
+}
+
+// TestProtectedModesOutperformDefault pins the paper's Figure 2/3 ordering
+// at an aggressive threshold: ACK+SYN protection beats the default mode on
+// runtime and throughput.
+func TestProtectedModesOutperformDefault(t *testing.T) {
+	def := pressureRun(experiment.SetupECNDefault, cluster.Shallow, 100*units.Microsecond)
+	prot := pressureRun(experiment.SetupECNAckSyn, cluster.Shallow, 100*units.Microsecond)
+	if prot.Runtime >= def.Runtime {
+		t.Errorf("ack+syn runtime %v not better than default %v", prot.Runtime, def.Runtime)
+	}
+	if prot.ThroughputPerNode <= def.ThroughputPerNode {
+		t.Errorf("ack+syn throughput %v not better than default %v",
+			prot.ThroughputPerNode, def.ThroughputPerNode)
+	}
+}
+
+// TestSimpleMarkNoEarlyDropsFullThroughput pins the second proposal: the
+// true marking scheme never early-drops and sustains DropTail-or-better
+// throughput with far lower latency.
+func TestSimpleMarkNoEarlyDropsFullThroughput(t *testing.T) {
+	dt := tinyRun(experiment.SetupDropTail, cluster.Shallow, 500*units.Microsecond)
+	sm := tinyRun(experiment.SetupECNSimpleMark, cluster.Shallow, 100*units.Microsecond)
+	if sm.EarlyDrops != 0 {
+		t.Errorf("simple marking early-dropped %d packets", sm.EarlyDrops)
+	}
+	if sm.ThroughputPerNode < dt.ThroughputPerNode {
+		t.Errorf("simplemark throughput %v below droptail %v", sm.ThroughputPerNode, dt.ThroughputPerNode)
+	}
+	if sm.MeanLatency >= dt.MeanLatency {
+		t.Errorf("simplemark latency %v not below droptail %v", sm.MeanLatency, dt.MeanLatency)
+	}
+}
+
+// TestDeepBuffersBufferbloat pins the Figure 4 normalization premise: deep
+// DropTail buffers trade latency for throughput.
+func TestDeepBuffersBufferbloat(t *testing.T) {
+	shallow := tinyRun(experiment.SetupDropTail, cluster.Shallow, 500*units.Microsecond)
+	deep := tinyRun(experiment.SetupDropTail, cluster.Deep, 500*units.Microsecond)
+	if deep.MeanLatency <= shallow.MeanLatency {
+		t.Errorf("deep latency %v not above shallow %v (no bufferbloat)", deep.MeanLatency, shallow.MeanLatency)
+	}
+	if deep.Runtime > shallow.Runtime {
+		t.Errorf("deep runtime %v worse than shallow %v", deep.Runtime, shallow.Runtime)
+	}
+}
+
+func TestRepeatAverages(t *testing.T) {
+	cfg := experiment.Config{
+		Setup:       experiment.SetupDropTail,
+		Buffer:      cluster.Shallow,
+		TargetDelay: 500 * units.Microsecond,
+		Scale:       tinyScale(),
+	}
+	avg := experiment.Repeat(cfg, []uint64{1, 2})
+	cfg.Seed = 1
+	r1 := experiment.Run(cfg)
+	cfg.Seed = 2
+	r2 := experiment.Run(cfg)
+	want := (r1.Runtime + r2.Runtime) / 2
+	if avg.Runtime != want {
+		t.Errorf("averaged runtime %v, want %v", avg.Runtime, want)
+	}
+}
+
+func TestSweepStructure(t *testing.T) {
+	s := experiment.NewSweep(tinyScale(), 1)
+	s.TargetDelays = []units.Duration{100 * units.Microsecond, 2 * units.Millisecond}
+	var calls int
+	s.Progress = func(done, total int, cfg experiment.Config) { calls++ }
+	s.Execute()
+
+	wantRuns := 2 + 2*8*2 // 2 droptail + 2 buffers x 8 setups x 2 delays
+	if calls != wantRuns {
+		t.Errorf("progress calls = %d, want %d", calls, wantRuns)
+	}
+	for _, buf := range []cluster.BufferDepth{cluster.Shallow, cluster.Deep} {
+		if _, ok := s.DropTail[buf]; !ok {
+			t.Fatalf("missing droptail baseline for %v", buf)
+		}
+		for _, setup := range append(experiment.REDSetups(), experiment.MarkingSetups()...) {
+			series := s.Series[buf][setup.Label]
+			if len(series) != 2 {
+				t.Fatalf("series %q/%v has %d points, want 2", setup.Label, buf, len(series))
+			}
+		}
+	}
+	// Normalizations: droptail shallow normalizes to exactly 1.0.
+	if got := s.NormalizedRuntime(s.DropTail[cluster.Shallow]); got != 1.0 {
+		t.Errorf("droptail/shallow normalized runtime = %g", got)
+	}
+	if got := s.NormalizedThroughput(s.DropTail[cluster.Shallow]); got != 1.0 {
+		t.Errorf("droptail/shallow normalized throughput = %g", got)
+	}
+	if got := s.NormalizedLatency(s.DropTail[cluster.Deep]); got != 1.0 {
+		t.Errorf("droptail/deep normalized latency (vs itself) = %g", got)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	cfg := experiment.Config{
+		Setup:       experiment.SetupECNECE,
+		Buffer:      cluster.Deep,
+		TargetDelay: 500 * units.Microsecond,
+	}
+	if got := cfg.String(); got != "ecn-ece-bit/deep/d=500µs" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSetupLabelsStable(t *testing.T) {
+	// Figure rendering keys on these labels; lock them.
+	want := map[string]experiment.QueueSetup{
+		"droptail":         experiment.SetupDropTail,
+		"ecn-default":      experiment.SetupECNDefault,
+		"ecn-ece-bit":      experiment.SetupECNECE,
+		"ecn-ack+syn":      experiment.SetupECNAckSyn,
+		"dctcp-default":    experiment.SetupDCTCPDefault,
+		"dctcp-ece-bit":    experiment.SetupDCTCPECE,
+		"dctcp-ack+syn":    experiment.SetupDCTCPAckSyn,
+		"ecn-simplemark":   experiment.SetupECNSimpleMark,
+		"dctcp-simplemark": experiment.SetupDCTCPSimpleMark,
+	}
+	for label, setup := range want {
+		if setup.Label != label {
+			t.Errorf("setup label %q != %q", setup.Label, label)
+		}
+	}
+}
+
+func TestMinRTOOverride(t *testing.T) {
+	// Datacenter-tuned 10ms min RTO must change outcomes under loss
+	// (ablation 4 in DESIGN.md).
+	base := experiment.Config{
+		Setup:       experiment.SetupDropTail,
+		Buffer:      cluster.Shallow,
+		TargetDelay: 500 * units.Microsecond,
+		Scale:       tinyScale(),
+		Seed:        1,
+	}
+	slow := experiment.Run(base)
+	base.MinRTO = 10 * units.Millisecond
+	fast := experiment.Run(base)
+	if slow.RTOEvents > 0 && fast.Runtime >= slow.Runtime {
+		t.Errorf("10ms minRTO (%v) not faster than 200ms (%v) despite %d RTOs",
+			fast.Runtime, slow.Runtime, slow.RTOEvents)
+	}
+}
+
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	mk := func(workers int) *experiment.Sweep {
+		s := experiment.NewSweep(tinyScale(), 1)
+		s.TargetDelays = []units.Duration{100 * units.Microsecond}
+		s.Workers = workers
+		s.Execute()
+		return s
+	}
+	serial := mk(1)
+	parallel := mk(8)
+	for _, buf := range []cluster.BufferDepth{cluster.Shallow, cluster.Deep} {
+		if serial.DropTail[buf].Runtime != parallel.DropTail[buf].Runtime {
+			t.Errorf("droptail/%v differs across worker counts", buf)
+		}
+		for label, ss := range serial.Series[buf] {
+			ps := parallel.Series[buf][label]
+			for i := range ss {
+				if ss[i].Runtime != ps[i].Runtime || ss[i].Marks != ps[i].Marks {
+					t.Errorf("%s/%v[%d] differs across worker counts", label, buf, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTwoTierFabricPreservesOrdering checks the paper's generalization: the
+// protection-mode benefit is not an artifact of the single-switch star. On
+// an oversubscribed two-tier fabric the ACK+SYN mode must still beat the
+// default mode at an aggressive threshold.
+func TestTwoTierFabricPreservesOrdering(t *testing.T) {
+	scale := pressureScale()
+	scale.Racks = 2
+	run := func(setup experiment.QueueSetup) experiment.Result {
+		return experiment.Run(experiment.Config{
+			Setup:       setup,
+			Buffer:      cluster.Shallow,
+			TargetDelay: 100 * units.Microsecond,
+			Scale:       scale,
+			Seed:        1,
+		})
+	}
+	def := run(experiment.SetupECNDefault)
+	prot := run(experiment.SetupECNAckSyn)
+	if def.EarlyDrops == 0 {
+		t.Skip("no early drops on two-tier at this scale")
+	}
+	if prot.Runtime >= def.Runtime {
+		t.Errorf("two-tier: ack+syn runtime %v not better than default %v", prot.Runtime, def.Runtime)
+	}
+	if def.AckDropShare < 0.9 {
+		t.Errorf("two-tier default-mode ACK drop share %.2f, want >= 0.9", def.AckDropShare)
+	}
+}

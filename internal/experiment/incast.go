@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/flow"
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// Incast is the microbenchmark beneath the shuffle's worst case, and the
+// scenario behind the paper's burst-absorption discussion (the Cisco
+// deep-buffer study it cites): N synchronized senders, one receiver, one
+// switch. IncastResult reports completion and loss for one configuration.
+type IncastResult struct {
+	Config  Config
+	Senders int
+	Flow    units.ByteSize
+
+	Completed     int
+	Last          units.Duration // completion time of the slowest flow
+	AggGoodput    units.Bandwidth
+	EarlyDrops    uint64
+	OverflowDrops uint64
+	Retransmits   uint64
+	RTOEvents     uint64
+	MeanLatency   units.Duration
+}
+
+// RunIncast executes senders->1 bulk transfers of flowSize each through the
+// configured queue discipline. Scale.Nodes is ignored; the fabric has
+// senders+1 hosts.
+func RunIncast(cfg Config, senders int, flowSize units.ByteSize) IncastResult {
+	spec := cluster.DefaultSpec()
+	spec.Nodes = senders + 1
+	spec.Queue = cfg.Setup.Queue
+	spec.Buffer = cfg.Buffer
+	spec.TargetDelay = cfg.TargetDelay
+	spec.Protect = cfg.Setup.Protect
+	spec.Transport = cfg.Setup.Transport
+	spec.Seed = cfg.Seed
+
+	c := cluster.New(spec)
+	flow.RegisterBulkSink(c.Stacks[senders], 9000, nil)
+	dst := packet.Addr{Node: c.Topo.Hosts[senders].ID(), Port: 9000}
+
+	res := IncastResult{Config: cfg, Senders: senders, Flow: flowSize}
+	var last units.Time
+	for i := 0; i < senders; i++ {
+		flow.StartBulk(c.Stacks[i], dst, flowSize, func(r *flow.BulkResult) {
+			if r.Failed {
+				return
+			}
+			res.Completed++
+			if r.Done > last {
+				last = r.Done
+			}
+		})
+	}
+	c.Engine.SetDeadline(units.Time(300 * units.Second))
+	c.Engine.Run()
+
+	res.Last = units.Duration(last)
+	if last > 0 {
+		res.AggGoodput = units.Bandwidth(float64(units.ByteSize(senders)*flowSize*8) / last.Seconds())
+	}
+	res.EarlyDrops, res.OverflowDrops = c.Metrics.Drops()
+	res.Retransmits = c.TCP.Retransmits()
+	res.RTOEvents = c.TCP.RTOEvents
+	res.MeanLatency = c.Metrics.MeanLatency()
+	return res
+}

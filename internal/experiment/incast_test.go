@@ -1,0 +1,95 @@
+package experiment_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+func incastCfg(setup experiment.QueueSetup, buf cluster.BufferDepth) experiment.Config {
+	return experiment.Config{
+		Setup:       setup,
+		Buffer:      buf,
+		TargetDelay: 100 * units.Microsecond,
+		Seed:        1,
+	}
+}
+
+func TestIncastAllFlowsComplete(t *testing.T) {
+	for _, setup := range []experiment.QueueSetup{
+		experiment.SetupDropTail,
+		experiment.SetupECNAckSyn,
+		experiment.SetupECNSimpleMark,
+	} {
+		r := experiment.RunIncast(incastCfg(setup, cluster.Shallow), 8, 2*units.MiB)
+		if r.Completed != 8 {
+			t.Errorf("%s: %d/8 flows completed", setup.Label, r.Completed)
+		}
+		if r.AggGoodput <= 0 || r.Last <= 0 {
+			t.Errorf("%s: degenerate result %+v", setup.Label, r)
+		}
+	}
+}
+
+// TestIncastMarkingBeatsDropTail pins the burst story: under synchronized
+// incast, the marking scheme avoids the loss-and-RTO collapse DropTail
+// suffers on shallow buffers.
+func TestIncastMarkingBeatsDropTail(t *testing.T) {
+	dt := experiment.RunIncast(incastCfg(experiment.SetupDropTail, cluster.Shallow), 8, 4*units.MiB)
+	sm := experiment.RunIncast(incastCfg(experiment.SetupDCTCPSimpleMark, cluster.Shallow), 8, 4*units.MiB)
+	if dt.OverflowDrops == 0 {
+		t.Skip("droptail incast produced no drops at this scale")
+	}
+	if sm.OverflowDrops+sm.EarlyDrops >= dt.OverflowDrops {
+		t.Errorf("marking drops (%d) not below droptail (%d)",
+			sm.OverflowDrops+sm.EarlyDrops, dt.OverflowDrops)
+	}
+	if sm.AggGoodput <= dt.AggGoodput {
+		t.Errorf("marking goodput %v not above droptail %v", sm.AggGoodput, dt.AggGoodput)
+	}
+}
+
+// TestIncastDeepBufferAbsorbsBursts pins the Cisco-study premise the paper
+// cites: deep buffers absorb synchronized bursts that overflow shallow
+// ones. The claim holds in the regime where the aggregate burst fits the
+// deep buffer (12 x 512 KiB = 6 MiB: above the 1 MB shallow port, below the
+// 10 MB deep port); beyond that, deeper buffers just defer a bigger loss.
+func TestIncastDeepBufferAbsorbsBursts(t *testing.T) {
+	shallow := experiment.RunIncast(incastCfg(experiment.SetupDropTail, cluster.Shallow), 12, 512*units.KiB)
+	deep := experiment.RunIncast(incastCfg(experiment.SetupDropTail, cluster.Deep), 12, 512*units.KiB)
+	if shallow.OverflowDrops == 0 {
+		t.Skip("shallow incast produced no drops at this scale")
+	}
+	if deep.OverflowDrops >= shallow.OverflowDrops {
+		t.Errorf("deep drops %d not below shallow %d", deep.OverflowDrops, shallow.OverflowDrops)
+	}
+	if deep.MeanLatency <= shallow.MeanLatency {
+		t.Errorf("deep latency %v not above shallow %v (absorption has a latency price)",
+			deep.MeanLatency, shallow.MeanLatency)
+	}
+}
+
+// TestIncastDeeperIsNotAlwaysBetter pins the complementary observation
+// (the Bufferbloat citation): once the synchronized burst exceeds even the
+// deep buffer, extra depth defers a bigger loss instead of avoiding it.
+func TestIncastDeeperIsNotAlwaysBetter(t *testing.T) {
+	shallow := experiment.RunIncast(incastCfg(experiment.SetupDropTail, cluster.Shallow), 12, 4*units.MiB)
+	deep := experiment.RunIncast(incastCfg(experiment.SetupDropTail, cluster.Deep), 12, 4*units.MiB)
+	if deep.MeanLatency <= shallow.MeanLatency {
+		t.Errorf("deep latency %v not above shallow %v", deep.MeanLatency, shallow.MeanLatency)
+	}
+	// Both must still complete every flow.
+	if shallow.Completed != 12 || deep.Completed != 12 {
+		t.Errorf("completions %d/%d of 12", shallow.Completed, deep.Completed)
+	}
+}
+
+func TestIncastDeterministic(t *testing.T) {
+	a := experiment.RunIncast(incastCfg(experiment.SetupECNDefault, cluster.Shallow), 6, 1*units.MiB)
+	b := experiment.RunIncast(incastCfg(experiment.SetupECNDefault, cluster.Shallow), 6, 1*units.MiB)
+	if a.Last != b.Last || a.Retransmits != b.Retransmits {
+		t.Error("incast runs diverged across identical configs")
+	}
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/units"
+)
+
+// Serialized sweep format. Sweeps are expensive (minutes at paper scale);
+// WriteJSON/ReadJSON let commands archive a grid and let figure rendering
+// re-run without re-simulating.
+
+// sweepJSON is the stable on-disk layout.
+type sweepJSON struct {
+	FormatVersion int                            `json:"format_version"`
+	Scale         Scale                          `json:"scale"`
+	TargetDelays  []int64                        `json:"target_delays_ns"`
+	Seed          uint64                         `json:"seed"`
+	Repeats       int                            `json:"repeats"`
+	DropTail      map[string]Result              `json:"droptail"`
+	Series        map[string]map[string][]Result `json:"series"`
+}
+
+const sweepFormatVersion = 1
+
+func bufKey(b cluster.BufferDepth) string { return b.String() }
+
+func parseBufKey(s string) (cluster.BufferDepth, error) {
+	switch s {
+	case "shallow":
+		return cluster.Shallow, nil
+	case "deep":
+		return cluster.Deep, nil
+	}
+	return 0, fmt.Errorf("experiment: unknown buffer depth %q", s)
+}
+
+// WriteJSON serializes an executed sweep.
+func (s *Sweep) WriteJSON(w io.Writer) error {
+	out := sweepJSON{
+		FormatVersion: sweepFormatVersion,
+		Scale:         s.Scale,
+		Seed:          s.Seed,
+		Repeats:       s.Repeats,
+		DropTail:      make(map[string]Result),
+		Series:        make(map[string]map[string][]Result),
+	}
+	for _, d := range s.TargetDelays {
+		out.TargetDelays = append(out.TargetDelays, int64(d))
+	}
+	for buf, r := range s.DropTail {
+		out.DropTail[bufKey(buf)] = r
+	}
+	for buf, bySetup := range s.Series {
+		m := make(map[string][]Result, len(bySetup))
+		for label, series := range bySetup {
+			m[label] = series
+		}
+		out.Series[bufKey(buf)] = m
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a sweep previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Sweep, error) {
+	var in sweepJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("experiment: decoding sweep: %w", err)
+	}
+	if in.FormatVersion != sweepFormatVersion {
+		return nil, fmt.Errorf("experiment: sweep format %d unsupported (want %d)",
+			in.FormatVersion, sweepFormatVersion)
+	}
+	s := NewSweep(in.Scale, in.Seed)
+	s.Repeats = in.Repeats
+	s.TargetDelays = s.TargetDelays[:0]
+	for _, ns := range in.TargetDelays {
+		s.TargetDelays = append(s.TargetDelays, units.Duration(ns))
+	}
+	for k, r := range in.DropTail {
+		buf, err := parseBufKey(k)
+		if err != nil {
+			return nil, err
+		}
+		s.DropTail[buf] = r
+	}
+	for k, bySetup := range in.Series {
+		buf, err := parseBufKey(k)
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[string][]Result, len(bySetup))
+		for label, series := range bySetup {
+			if len(series) != len(s.TargetDelays) {
+				return nil, fmt.Errorf("experiment: series %s/%s has %d points, want %d",
+					k, label, len(series), len(s.TargetDelays))
+			}
+			m[label] = series
+		}
+		s.Series[buf] = m
+	}
+	return s, nil
+}

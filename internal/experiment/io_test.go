@@ -1,0 +1,66 @@
+package experiment_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	s := experiment.NewSweep(tinyScale(), 3)
+	s.TargetDelays = []units.Duration{100 * units.Microsecond}
+	s.Execute()
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := experiment.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Seed != s.Seed || got.Scale != s.Scale {
+		t.Error("header fields lost")
+	}
+	if len(got.TargetDelays) != 1 || got.TargetDelays[0] != s.TargetDelays[0] {
+		t.Error("target delays lost")
+	}
+	for _, b := range []cluster.BufferDepth{cluster.Shallow, cluster.Deep} {
+		if got.DropTail[b].Runtime != s.DropTail[b].Runtime {
+			t.Errorf("droptail/%v runtime lost", b)
+		}
+		for label, series := range s.Series[b] {
+			gs := got.Series[b][label]
+			if len(gs) != len(series) {
+				t.Fatalf("series %s/%v length mismatch", label, b)
+			}
+			for i := range series {
+				if gs[i].Runtime != series[i].Runtime || gs[i].Marks != series[i].Marks {
+					t.Errorf("series %s/%v[%d] field lost", label, b, i)
+				}
+			}
+		}
+	}
+	// Normalizations must work identically on the loaded sweep.
+	want := s.NormalizedRuntime(s.Series[cluster.Shallow]["ecn-simplemark"][0])
+	if g := got.NormalizedRuntime(got.Series[cluster.Shallow]["ecn-simplemark"][0]); g != want {
+		t.Errorf("normalized runtime differs after round trip: %g vs %g", g, want)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := experiment.ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := experiment.ReadJSON(strings.NewReader(`{"format_version":99}`)); err == nil {
+		t.Error("future format accepted")
+	}
+	if _, err := experiment.ReadJSON(strings.NewReader(`{"format_version":1,"droptail":{"bogus":{}}}`)); err == nil {
+		t.Error("bad buffer key accepted")
+	}
+}

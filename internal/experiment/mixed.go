@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/flow"
+	"repro/internal/mapred"
+	"repro/internal/packet"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// MixedResult reports the paper's motivating scenario quantitatively: a
+// latency-sensitive RPC service sharing the fabric with a Hadoop job. The
+// paper's introduction cites IoT/SQL-on-Hadoop services with millisecond
+// requirements; MixedResult says what they would actually observe.
+type MixedResult struct {
+	Config Config
+
+	JobRuntime units.Duration
+
+	// RPC latency distribution over the job's lifetime.
+	RPCCount  uint64
+	RPCMean   units.Duration
+	RPCP50    units.Duration
+	RPCP99    units.Duration
+	RPCMax    units.Duration
+	RPCFailed int
+}
+
+// RunMixed executes a Terasort with an RPC probe (128 B request / 4 KiB
+// response every 2 ms) between the first two nodes, returning both the job
+// and service views.
+func RunMixed(cfg Config) MixedResult {
+	spec := cluster.DefaultSpec()
+	spec.Nodes = cfg.Scale.Nodes
+	spec.Queue = cfg.Setup.Queue
+	spec.Buffer = cfg.Buffer
+	spec.TargetDelay = cfg.TargetDelay
+	spec.Protect = cfg.Setup.Protect
+	spec.Transport = cfg.Setup.Transport
+	spec.Seed = cfg.Seed
+
+	c := cluster.New(spec)
+	flow.RegisterRPCServer(c.Stacks[1], 7000, 128, 4096)
+	probe := flow.StartRPCClient(c.Stacks[0],
+		packet.Addr{Node: c.Topo.Hosts[1].ID(), Port: 7000},
+		flow.RPCConfig{ReqSize: 128, RespSize: 4096, Interval: 2 * units.Millisecond})
+
+	jobCfg := mapred.TerasortConfig(cfg.Scale.InputSize, cfg.Scale.Reducers)
+	jobCfg.BlockSize = cfg.Scale.BlockSize
+	job := c.RunJob(jobCfg)
+	probe.Stop()
+
+	sample := stats.NewSample()
+	failed := 0
+	for i := range probe.Results {
+		if probe.Results[i].Failed {
+			failed++
+			continue
+		}
+		sample.Add(probe.Results[i].Latency().Seconds())
+	}
+	toDur := func(sec float64) units.Duration {
+		return units.Duration(sec * float64(units.Second))
+	}
+	return MixedResult{
+		Config:     cfg,
+		JobRuntime: job.Runtime(),
+		RPCCount:   sample.N(),
+		RPCMean:    toDur(sample.Mean()),
+		RPCP50:     toDur(sample.Quantile(0.5)),
+		RPCP99:     toDur(sample.Quantile(0.99)),
+		RPCMax:     toDur(sample.Max()),
+		RPCFailed:  failed,
+	}
+}

@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/units"
+)
+
+// DefaultTargetDelays is the RED/SimpleMark target-delay sweep of the
+// paper's x-axes, from aggressive to loose.
+func DefaultTargetDelays() []units.Duration {
+	return []units.Duration{
+		50 * units.Microsecond,
+		100 * units.Microsecond,
+		200 * units.Microsecond,
+		500 * units.Microsecond,
+		1000 * units.Microsecond,
+		2000 * units.Microsecond,
+		4000 * units.Microsecond,
+	}
+}
+
+// Repeat runs cfg once per seed and returns the metric-averaged result
+// (counters are averaged too, rounding down).
+func Repeat(cfg Config, seeds []uint64) Result {
+	if len(seeds) == 0 {
+		seeds = []uint64{cfg.Seed}
+	}
+	var acc Result
+	for i, s := range seeds {
+		cfg.Seed = s
+		r := Run(cfg)
+		if i == 0 {
+			acc = r
+			continue
+		}
+		acc.Runtime += r.Runtime
+		acc.ThroughputPerNode += r.ThroughputPerNode
+		acc.MeanLatency += r.MeanLatency
+		acc.P99Latency += r.P99Latency
+		acc.ShuffledBytes += r.ShuffledBytes
+		acc.EarlyDrops += r.EarlyDrops
+		acc.OverflowDrops += r.OverflowDrops
+		acc.AckDropShare += r.AckDropShare
+		acc.Marks += r.Marks
+		acc.Retransmits += r.Retransmits
+		acc.RTOEvents += r.RTOEvents
+		acc.SynRetries += r.SynRetries
+		acc.FetchRetries += r.FetchRetries
+	}
+	n := len(seeds)
+	acc.Runtime /= units.Duration(n)
+	acc.ThroughputPerNode /= units.Bandwidth(n)
+	acc.MeanLatency /= units.Duration(n)
+	acc.P99Latency /= units.Duration(n)
+	acc.ShuffledBytes /= units.ByteSize(n)
+	acc.EarlyDrops /= uint64(n)
+	acc.OverflowDrops /= uint64(n)
+	acc.AckDropShare /= float64(n)
+	acc.Marks /= uint64(n)
+	acc.Retransmits /= uint64(n)
+	acc.RTOEvents /= uint64(n)
+	acc.SynRetries /= uint64(n)
+	acc.FetchRetries /= n
+	acc.Config.Seed = seeds[0]
+	return acc
+}
+
+// Sweep is the full grid behind Figures 2-4 plus the DropTail baselines and
+// the SimpleMark headline series.
+type Sweep struct {
+	Scale        Scale
+	TargetDelays []units.Duration
+	Seed         uint64
+	// Repeats averages each grid point over this many consecutive seeds
+	// starting at Seed (0 or 1 = single run).
+	Repeats int
+	// Workers bounds concurrent runs. Each simulation is single-threaded
+	// and fully independent, so the grid parallelizes perfectly; results
+	// are identical to serial execution. 0 means GOMAXPROCS; 1 forces
+	// serial.
+	Workers int
+
+	// Baselines, keyed by buffer depth.
+	DropTail map[cluster.BufferDepth]Result
+	// Series: per buffer depth, per setup label, results indexed like
+	// TargetDelays.
+	Series map[cluster.BufferDepth]map[string][]Result
+
+	// Progress, if non-nil, is called before each run.
+	Progress func(done, total int, cfg Config) `json:"-"`
+}
+
+// NewSweep prepares an empty sweep at the given scale.
+func NewSweep(scale Scale, seed uint64) *Sweep {
+	return &Sweep{
+		Scale:        scale,
+		TargetDelays: DefaultTargetDelays(),
+		Seed:         seed,
+		DropTail:     make(map[cluster.BufferDepth]Result),
+		Series:       make(map[cluster.BufferDepth]map[string][]Result),
+	}
+}
+
+// TotalRuns returns how many simulations Execute will perform.
+func (s *Sweep) TotalRuns() int {
+	setups := len(REDSetups()) + len(MarkingSetups())
+	return 2 + 2*setups*len(s.TargetDelays)
+}
+
+// gridJob locates one run's slot in the sweep output.
+type gridJob struct {
+	cfg      Config
+	baseline bool // DropTail baseline for cfg.Buffer
+	label    string
+	index    int // position in the series
+}
+
+// Execute runs the whole grid, spreading independent simulations over
+// Workers goroutines. Results are deterministic in (Scale, Seed, Repeats)
+// and independent of Workers.
+func (s *Sweep) Execute() {
+	seeds := []uint64{s.Seed}
+	for i := 1; i < s.Repeats; i++ {
+		seeds = append(seeds, s.Seed+uint64(i))
+	}
+
+	// Lay out the grid.
+	var jobs []gridJob
+	buffers := []cluster.BufferDepth{cluster.Shallow, cluster.Deep}
+	for _, buf := range buffers {
+		jobs = append(jobs, gridJob{
+			cfg: Config{
+				Setup:       SetupDropTail,
+				Buffer:      buf,
+				TargetDelay: 500 * units.Microsecond, // ignored by DropTail
+				Scale:       s.Scale,
+				Seed:        s.Seed,
+			},
+			baseline: true,
+		})
+		bySetup := make(map[string][]Result)
+		s.Series[buf] = bySetup
+		all := append(REDSetups(), MarkingSetups()...)
+		for _, setup := range all {
+			bySetup[setup.Label] = make([]Result, len(s.TargetDelays))
+			for i, d := range s.TargetDelays {
+				jobs = append(jobs, gridJob{
+					cfg: Config{
+						Setup:       setup,
+						Buffer:      buf,
+						TargetDelay: d,
+						Scale:       s.Scale,
+						Seed:        s.Seed,
+					},
+					label: setup.Label,
+					index: i,
+				})
+			}
+		}
+	}
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		mu   sync.Mutex
+		done int
+		next int
+		wg   sync.WaitGroup
+	)
+	total := len(jobs)
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			if next >= len(jobs) {
+				mu.Unlock()
+				return
+			}
+			j := jobs[next]
+			next++
+			if s.Progress != nil {
+				s.Progress(done, total, j.cfg)
+			}
+			mu.Unlock()
+
+			res := Repeat(j.cfg, seeds)
+
+			mu.Lock()
+			done++
+			if j.baseline {
+				s.DropTail[j.cfg.Buffer] = res
+			} else {
+				s.Series[j.cfg.Buffer][j.label][j.index] = res
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	wg.Wait()
+}
+
+// NormalizedRuntime returns runtime relative to DropTail-shallow (the
+// paper's Figure 2 normalization; <1 is faster).
+func (s *Sweep) NormalizedRuntime(r Result) float64 {
+	base := s.DropTail[cluster.Shallow].Runtime
+	if base <= 0 {
+		return 0
+	}
+	return float64(r.Runtime) / float64(base)
+}
+
+// NormalizedThroughput returns shuffle throughput relative to
+// DropTail-shallow (Figure 3; >1 is better).
+func (s *Sweep) NormalizedThroughput(r Result) float64 {
+	base := s.DropTail[cluster.Shallow].ThroughputPerNode
+	if base <= 0 {
+		return 0
+	}
+	return float64(r.ThroughputPerNode) / float64(base)
+}
+
+// NormalizedLatency returns mean packet latency relative to DropTail with
+// the same buffer depth (Figure 4; <1 is better).
+func (s *Sweep) NormalizedLatency(r Result) float64 {
+	base := s.DropTail[r.Config.Buffer].MeanLatency
+	if base <= 0 {
+		return 0
+	}
+	return float64(r.MeanLatency) / float64(base)
+}

@@ -1,0 +1,210 @@
+// Package flow provides the application-level traffic sources used by the
+// experiments: finite bulk transfers (the shuffle's building block), sinks,
+// and a request/response RPC probe that measures application-visible latency
+// for the mixed-cluster scenarios.
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// BulkResult summarizes a finished bulk transfer.
+type BulkResult struct {
+	Bytes     units.ByteSize
+	Start     units.Time // when Dial was issued
+	Connected units.Time // when the handshake completed
+	Done      units.Time // when the receiver saw all bytes (or EOF)
+	Failed    bool
+	Err       error
+}
+
+// Duration returns the flow completion time (connection setup included).
+func (r *BulkResult) Duration() units.Duration { return r.Done.Sub(r.Start) }
+
+// Goodput returns delivered application throughput over the whole flow.
+func (r *BulkResult) Goodput() units.Bandwidth {
+	d := r.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return units.Bandwidth(float64(r.Bytes*8) / d.Seconds())
+}
+
+// Bulk is a one-shot sender: dial, push N bytes, close.
+type Bulk struct {
+	eng    *sim.Engine
+	result BulkResult
+	conn   *tcp.Conn
+	onDone func(*BulkResult)
+}
+
+// StartBulk launches a bulk transfer of size bytes from the stack src to the
+// destination address dst (which must have a BulkSink listening). onDone
+// fires exactly once, on receiver-side completion or on failure.
+//
+// Receiver-side completion requires the sink to have been registered with
+// RegisterBulkSink on the destination stack.
+func StartBulk(src *tcp.Stack, dst packet.Addr, size units.ByteSize, onDone func(*BulkResult)) *Bulk {
+	if size <= 0 {
+		panic("flow: bulk size must be positive")
+	}
+	eng := src.Host().Network().Engine
+	b := &Bulk{eng: eng, onDone: onDone}
+	b.result.Bytes = size
+	b.result.Start = eng.Now()
+	c := src.Dial(dst)
+	b.conn = c
+	c.OnConnected = func() { b.result.Connected = eng.Now() }
+	c.OnError = func(err error) {
+		b.result.Failed = true
+		b.result.Err = err
+		b.result.Done = eng.Now()
+		if b.onDone != nil {
+			b.onDone(&b.result)
+		}
+	}
+	// The receiver signals completion via EOF-acked FIN; the sender's view
+	// of completion is its FIN being acknowledged, which bounds the
+	// receiver having everything.
+	c.OnClosed = func() {
+		b.result.Done = eng.Now()
+		if b.onDone != nil {
+			b.onDone(&b.result)
+		}
+	}
+	c.Send(int(size))
+	c.Close()
+	return b
+}
+
+// Conn exposes the underlying connection (diagnostics).
+func (b *Bulk) Conn() *tcp.Conn { return b.conn }
+
+// Result returns the current result snapshot.
+func (b *Bulk) Result() BulkResult { return b.result }
+
+// RegisterBulkSink listens on port and absorbs any number of inbound bulk
+// flows. The optional onFlow callback fires per accepted connection with the
+// connection once it delivers EOF.
+func RegisterBulkSink(st *tcp.Stack, port uint16, onFlow func(c *tcp.Conn)) {
+	st.Listen(port, func(c *tcp.Conn) {
+		c.OnEOF = func() {
+			if onFlow != nil {
+				onFlow(c)
+			}
+		}
+	})
+}
+
+// RPCResult is one request/response latency sample.
+type RPCResult struct {
+	Issued   units.Time
+	Finished units.Time
+	Failed   bool
+}
+
+// Latency returns the application-observed round trip.
+func (r *RPCResult) Latency() units.Duration { return r.Finished.Sub(r.Issued) }
+
+// RPCClient issues fixed-size request/response exchanges on a persistent
+// connection at a configurable interval, modelling the latency-sensitive
+// services the paper wants to co-locate with Hadoop.
+type RPCClient struct {
+	eng      *sim.Engine
+	conn     *tcp.Conn
+	reqSize  int
+	respSize int
+	interval units.Duration
+	inFlight bool
+	issued   units.Time
+	expected units.ByteSize
+	Results  []RPCResult
+	stopped  bool
+}
+
+// RPCConfig parameterizes an RPC probe.
+type RPCConfig struct {
+	ReqSize  int            // request payload bytes
+	RespSize int            // response payload bytes
+	Interval units.Duration // think time between exchanges
+}
+
+// DefaultRPCConfig returns a small-message probe: 128-byte request,
+// 4 KiB response, 5 ms apart.
+func DefaultRPCConfig() RPCConfig {
+	return RPCConfig{ReqSize: 128, RespSize: 4096, Interval: 5 * units.Millisecond}
+}
+
+// StartRPCClient dials the echo server at dst and begins issuing exchanges.
+func StartRPCClient(src *tcp.Stack, dst packet.Addr, cfg RPCConfig) *RPCClient {
+	if cfg.ReqSize <= 0 || cfg.RespSize <= 0 || cfg.Interval <= 0 {
+		panic(fmt.Sprintf("flow: invalid RPC config %+v", cfg))
+	}
+	eng := src.Host().Network().Engine
+	r := &RPCClient{
+		eng: eng, reqSize: cfg.ReqSize, respSize: cfg.RespSize, interval: cfg.Interval,
+	}
+	c := src.Dial(dst)
+	r.conn = c
+	c.OnConnected = func() { r.issueNext() }
+	c.OnError = func(err error) {
+		r.Results = append(r.Results, RPCResult{Issued: r.issued, Finished: eng.Now(), Failed: true})
+	}
+	c.OnDeliver = func(n int) {
+		if !r.inFlight {
+			return
+		}
+		if r.conn.BytesDelivered() >= r.expected {
+			r.inFlight = false
+			r.Results = append(r.Results, RPCResult{Issued: r.issued, Finished: eng.Now()})
+			if !r.stopped {
+				eng.After(r.interval, r.issueNext)
+			}
+		}
+	}
+	return r
+}
+
+func (r *RPCClient) issueNext() {
+	if r.stopped || r.inFlight {
+		return
+	}
+	r.inFlight = true
+	r.issued = r.eng.Now()
+	r.expected = r.conn.BytesDelivered() + units.ByteSize(r.respSize)
+	r.conn.Send(r.reqSize)
+}
+
+// Stop ends the probe after the in-flight exchange (if any).
+func (r *RPCClient) Stop() { r.stopped = true }
+
+// Latencies returns the successful exchange latencies.
+func (r *RPCClient) Latencies() []units.Duration {
+	out := make([]units.Duration, 0, len(r.Results))
+	for i := range r.Results {
+		if !r.Results[i].Failed {
+			out = append(out, r.Results[i].Latency())
+		}
+	}
+	return out
+}
+
+// RegisterRPCServer installs an echo-style responder: for every respTrigger
+// bytes of request received it sends respSize bytes back.
+func RegisterRPCServer(st *tcp.Stack, port uint16, reqSize, respSize int) {
+	st.Listen(port, func(c *tcp.Conn) {
+		var pending int
+		c.OnDeliver = func(n int) {
+			pending += n
+			for pending >= reqSize {
+				pending -= reqSize
+				c.Send(respSize)
+			}
+		}
+	})
+}

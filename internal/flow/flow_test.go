@@ -1,0 +1,193 @@
+package flow_test
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/packet"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+type harness struct {
+	eng     *sim.Engine
+	cluster *topo.Cluster
+	stacks  []*tcp.Stack
+}
+
+func build(t testing.TB, n int) *harness {
+	t.Helper()
+	eng := sim.New()
+	cl := topo.Build(eng, topo.Config{
+		Nodes:     n,
+		LinkRate:  1 * units.Gbps,
+		LinkDelay: 5 * units.Microsecond,
+		SwitchQueue: func(label string, rate units.Bandwidth) qdisc.Qdisc {
+			return qdisc.NewDropTail(500)
+		},
+	})
+	h := &harness{eng: eng, cluster: cl}
+	stats := &tcp.Stats{}
+	for _, host := range cl.Hosts {
+		h.stacks = append(h.stacks, tcp.NewStack(host, tcp.DefaultConfig(tcp.Reno), stats))
+	}
+	return h
+}
+
+func (h *harness) addr(i int, port uint16) packet.Addr {
+	return packet.Addr{Node: h.cluster.Hosts[i].ID(), Port: port}
+}
+
+func TestBulkDeliversAndCompletes(t *testing.T) {
+	h := build(t, 2)
+	flow.RegisterBulkSink(h.stacks[1], 9000, nil)
+	var res *flow.BulkResult
+	flow.StartBulk(h.stacks[0], h.addr(1, 9000), 1*units.MiB, func(r *flow.BulkResult) { res = r })
+	h.eng.Run()
+	if res == nil {
+		t.Fatal("onDone never fired")
+	}
+	if res.Failed {
+		t.Fatalf("flow failed: %v", res.Err)
+	}
+	if res.Bytes != 1*units.MiB {
+		t.Errorf("Bytes = %v", res.Bytes)
+	}
+	if res.Connected <= res.Start {
+		t.Error("Connected not after Start")
+	}
+	if res.Done <= res.Connected {
+		t.Error("Done not after Connected")
+	}
+}
+
+func TestBulkGoodputPlausible(t *testing.T) {
+	h := build(t, 2)
+	flow.RegisterBulkSink(h.stacks[1], 9000, nil)
+	var res *flow.BulkResult
+	flow.StartBulk(h.stacks[0], h.addr(1, 9000), 8*units.MiB, func(r *flow.BulkResult) { res = r })
+	h.eng.Run()
+	if res == nil || res.Failed {
+		t.Fatal("flow did not complete")
+	}
+	g := res.Goodput()
+	if g < 800*units.Mbps || g > 1*units.Gbps {
+		t.Errorf("goodput = %v, want between 0.8 and 1 Gbps", g)
+	}
+	if res.Duration() <= 0 {
+		t.Error("non-positive duration")
+	}
+}
+
+func TestBulkSinkCallbackPerFlow(t *testing.T) {
+	h := build(t, 3)
+	done := 0
+	flow.RegisterBulkSink(h.stacks[2], 9000, func(c *tcp.Conn) { done++ })
+	flow.StartBulk(h.stacks[0], h.addr(2, 9000), 64*units.KiB, nil)
+	flow.StartBulk(h.stacks[1], h.addr(2, 9000), 64*units.KiB, nil)
+	h.eng.Run()
+	if done != 2 {
+		t.Errorf("sink callback fired %d times, want 2", done)
+	}
+}
+
+func TestBulkFailurePath(t *testing.T) {
+	h := build(t, 2)
+	// No sink listening: dial must exhaust retries and report failure.
+	var res *flow.BulkResult
+	flow.StartBulk(h.stacks[0], h.addr(1, 9000), 1*units.KiB, func(r *flow.BulkResult) { res = r })
+	h.eng.Run()
+	if res == nil {
+		t.Fatal("onDone never fired")
+	}
+	if !res.Failed || res.Err == nil {
+		t.Error("expected failure against missing listener")
+	}
+}
+
+func TestBulkInvalidSizePanics(t *testing.T) {
+	h := build(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	flow.StartBulk(h.stacks[0], h.addr(1, 9000), 0, nil)
+}
+
+func TestRPCPingPong(t *testing.T) {
+	h := build(t, 2)
+	flow.RegisterRPCServer(h.stacks[1], 7000, 128, 4096)
+	cli := flow.StartRPCClient(h.stacks[0], h.addr(1, 7000), flow.RPCConfig{
+		ReqSize: 128, RespSize: 4096, Interval: 1 * units.Millisecond,
+	})
+	h.eng.RunUntil(units.Time(50 * units.Millisecond))
+	cli.Stop()
+	h.eng.Run()
+
+	lats := cli.Latencies()
+	if len(lats) < 20 {
+		t.Fatalf("only %d exchanges in 50ms at 1ms interval", len(lats))
+	}
+	for i, l := range lats {
+		if l <= 0 {
+			t.Fatalf("exchange %d latency %v", i, l)
+		}
+		if l > 10*units.Millisecond {
+			t.Errorf("exchange %d latency %v implausibly high on idle fabric", i, l)
+		}
+	}
+}
+
+func TestRPCLatencyReflectsCongestion(t *testing.T) {
+	// RPC through a congested port must see higher latency than idle.
+	idle := rpcMeanLatency(t, false)
+	busy := rpcMeanLatency(t, true)
+	if busy <= idle {
+		t.Errorf("busy latency %v <= idle %v", busy, idle)
+	}
+}
+
+func rpcMeanLatency(t *testing.T, congest bool) units.Duration {
+	t.Helper()
+	h := build(t, 3)
+	flow.RegisterRPCServer(h.stacks[1], 7000, 128, 1024)
+	if congest {
+		flow.RegisterBulkSink(h.stacks[1], 9000, nil)
+		flow.StartBulk(h.stacks[2], h.addr(1, 9000), 64*units.MiB, nil)
+	}
+	cli := flow.StartRPCClient(h.stacks[0], h.addr(1, 7000), flow.RPCConfig{
+		ReqSize: 128, RespSize: 1024, Interval: 1 * units.Millisecond,
+	})
+	h.eng.RunUntil(units.Time(100 * units.Millisecond))
+	cli.Stop()
+	lats := cli.Latencies()
+	if len(lats) == 0 {
+		t.Fatal("no RPC samples")
+	}
+	var sum units.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	return sum / units.Duration(len(lats))
+}
+
+func TestRPCInvalidConfigPanics(t *testing.T) {
+	h := build(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	flow.StartRPCClient(h.stacks[0], h.addr(1, 7000), flow.RPCConfig{})
+}
+
+func TestDefaultRPCConfigSane(t *testing.T) {
+	cfg := flow.DefaultRPCConfig()
+	if cfg.ReqSize <= 0 || cfg.RespSize <= 0 || cfg.Interval <= 0 {
+		t.Errorf("default config invalid: %+v", cfg)
+	}
+}

@@ -1,0 +1,108 @@
+package mapred
+
+import (
+	"repro/internal/packet"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// HDFS write-pipeline model. When a reduce task commits its output with
+// replication factor > 1, the bytes stream over the network through a
+// pipeline of replica nodes, exactly as HDFS DataNodes chain writes:
+// writer -> replica1 -> replica2. Each hop is a real simulated TCP
+// connection with cut-through forwarding (bytes are relayed downstream as
+// they arrive), so output commits add genuine post-shuffle network pressure
+// — the "production from the batch workload" the paper's introduction says
+// low-latency services will read.
+//
+// Terasort is conventionally run with output replication 1 (no pipeline);
+// JobConfig's default preserves that. Set ReplicationFactor to 3 for
+// HDFS-default behaviour.
+
+// ReplicaPort is the well-known port of the DataNode write service.
+const ReplicaPort uint16 = 50010
+
+// replicaFlowSpec describes one expected inbound replica stream at a node.
+type replicaFlowSpec struct {
+	size   units.ByteSize
+	chain  []int  // worker indices still downstream of the receiving node
+	onDone func() // runs when this hop has received the full stream
+}
+
+// replicaTargets returns the pipeline nodes for a writer, chosen like
+// HDFS's default placement: the next nodes in index order (a deterministic
+// stand-in for rack-aware placement on our flat topologies).
+func replicaTargets(writer, nodes, replicas int) []int {
+	var out []int
+	for i := 1; i < replicas && len(out) < nodes-1; i++ {
+		out = append(out, (writer+i)%nodes)
+	}
+	return out
+}
+
+// installReplicaServer registers the DataNode write sink on a worker.
+func (j *Job) installReplicaServer(w *Worker) {
+	w.Stack.Listen(ReplicaPort, func(c *tcp.Conn) {
+		spec, ok := j.replicaFlows[c.RemoteAddr()]
+		if !ok {
+			c.Close()
+			return
+		}
+		delete(j.replicaFlows, c.RemoteAddr())
+		var next *tcp.Conn
+		if len(spec.chain) > 0 {
+			next = j.dialReplica(w, spec.size, spec.chain, spec.onDone)
+		}
+		var got units.ByteSize
+		finished := false
+		c.OnDeliver = func(n int) {
+			got += units.ByteSize(n)
+			if next != nil {
+				next.Send(n) // cut-through forwarding downstream
+			}
+			if !finished && got >= spec.size {
+				finished = true
+				if next != nil {
+					next.Close()
+				}
+				spec.onDone()
+			}
+		}
+	})
+}
+
+// dialReplica opens the next pipeline hop from worker w toward chain[0],
+// registering the inbound-flow spec the far server will look up.
+func (j *Job) dialReplica(w *Worker, size units.ByteSize, chain []int, onDone func()) *tcp.Conn {
+	dst := packet.Addr{Node: j.workers[chain[0]].Stack.Host().ID(), Port: ReplicaPort}
+	c := w.Stack.Dial(dst)
+	j.replicaFlows[c.LocalAddr()] = &replicaFlowSpec{size: size, chain: chain[1:], onDone: onDone}
+	return c
+}
+
+// startOutputCommit begins the replicated write of a reduce task's output.
+// done fires once every replica holds the full stream. With replication <= 1
+// it fires immediately (the local write is already in the reduce time).
+func (j *Job) startOutputCommit(r *ReduceTask, done func()) {
+	targets := replicaTargets(r.Node, len(j.workers), j.Cfg.ReplicationFactor)
+	if len(targets) == 0 {
+		done()
+		return
+	}
+	size := r.Received // Terasort: output bytes = input bytes
+	if size <= 0 {
+		done()
+		return
+	}
+	remaining := len(targets)
+	hopDone := func() {
+		remaining--
+		if remaining == 0 {
+			done()
+		}
+	}
+	w := j.workers[r.Node]
+	c := j.dialReplica(w, size, targets, hopDone)
+	c.Send(int(size))
+	c.Close()
+}

@@ -1,0 +1,567 @@
+// Package mapred implements the MapReduce cluster simulator that drives the
+// network experiments, playing the role MRPerf played in the paper's
+// methodology. It models a Hadoop-style job: block-based input placement,
+// map slots with compute/disk phases, the all-to-all shuffle in which every
+// reducer fetches a partition from every map output over a real simulated
+// TCP connection, and a final reduce (merge + write) phase.
+//
+// The shuffle is the point of contact with the paper: each fetch is a TCP
+// flow through the shared fabric, so the switch egress queues see exactly
+// the data-plus-ACK mix whose mistreatment by ECN-enabled AQMs the paper
+// analyses.
+package mapred
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// ShufflePort is the well-known port map-output servers listen on.
+const ShufflePort uint16 = 13562
+
+// NodeSpec describes the compute capabilities of one worker.
+type NodeSpec struct {
+	MapSlots    int
+	ReduceSlots int
+	// DiskRead/DiskWrite bound the streaming disk bandwidth.
+	DiskRead, DiskWrite units.Bandwidth
+	// MapCPURate and ReduceCPURate are the record-processing rates of the
+	// map and reduce functions (bytes/second through the CPU).
+	MapCPURate, ReduceCPURate units.Bandwidth
+}
+
+// DefaultNodeSpec returns a Hadoop-era worker: 2+2 slots, a small RAID of
+// spinning disks (~250 MB/s streaming), CPU fast enough that Terasort is
+// I/O- and network-bound.
+func DefaultNodeSpec() NodeSpec {
+	return NodeSpec{
+		MapSlots:      2,
+		ReduceSlots:   2,
+		DiskRead:      2 * units.Gbps,
+		DiskWrite:     2 * units.Gbps,
+		MapCPURate:    8 * units.Gbps,
+		ReduceCPURate: 8 * units.Gbps,
+	}
+}
+
+// Validate reports a spec error, or nil.
+func (s *NodeSpec) Validate() error {
+	switch {
+	case s.MapSlots <= 0 || s.ReduceSlots <= 0:
+		return fmt.Errorf("mapred: slots must be positive")
+	case s.DiskRead <= 0 || s.DiskWrite <= 0:
+		return fmt.Errorf("mapred: disk rates must be positive")
+	case s.MapCPURate <= 0 || s.ReduceCPURate <= 0:
+		return fmt.Errorf("mapred: CPU rates must be positive")
+	}
+	return nil
+}
+
+// mapTaskTime returns the duration of one map task over block bytes with
+// output ratio r: read + process + write intermediate output.
+func (s *NodeSpec) mapTaskTime(block units.ByteSize, r float64) units.Duration {
+	read := s.DiskRead.TransmitTime(block * 8 / 8) // streaming read
+	cpu := s.MapCPURate.TransmitTime(block)
+	out := units.ByteSize(float64(block) * r)
+	write := s.DiskWrite.TransmitTime(out)
+	return read + cpu + write
+}
+
+// reduceTaskTime returns the post-shuffle merge/sort/write duration over the
+// reducer's total input bytes.
+func (s *NodeSpec) reduceTaskTime(input units.ByteSize) units.Duration {
+	cpu := s.ReduceCPURate.TransmitTime(input)
+	write := s.DiskWrite.TransmitTime(input)
+	return cpu + write
+}
+
+// JobConfig describes one MapReduce job.
+type JobConfig struct {
+	Name string
+	// InputSize is the total job input.
+	InputSize units.ByteSize
+	// BlockSize is the HDFS block size; the job runs one map per block.
+	BlockSize units.ByteSize
+	// Reducers is the number of reduce tasks.
+	Reducers int
+	// OutputRatio is map-output bytes per input byte (Terasort: 1.0).
+	OutputRatio float64
+	// ParallelFetches bounds concurrent shuffle fetches per reducer
+	// (Hadoop's mapreduce.reduce.shuffle.parallelcopies, default 5).
+	ParallelFetches int
+	// SlowStartAfterMaps delays reducer launch until this fraction of maps
+	// finished (Hadoop's slowstart, default 0.05 — reducers start early and
+	// fetch as map outputs appear).
+	SlowStartAfterMaps float64
+	// ReplicationFactor is the HDFS replication of the job's output.
+	// 0 or 1 means a local write only (Terasort's convention); 3 streams
+	// the output through a two-hop DataNode write pipeline over the
+	// network (HDFS default).
+	ReplicationFactor int
+}
+
+// TerasortConfig returns a Terasort-shaped job over the given input size:
+// output ratio 1.0, identity-ish CPU cost.
+func TerasortConfig(input units.ByteSize, reducers int) JobConfig {
+	return JobConfig{
+		Name:               "terasort",
+		InputSize:          input,
+		BlockSize:          64 * units.MiB,
+		Reducers:           reducers,
+		OutputRatio:        1.0,
+		ParallelFetches:    5,
+		SlowStartAfterMaps: 0.05,
+	}
+}
+
+// WordCountConfig returns a WordCount-shaped job: aggregation shrinks map
+// output (ratio 0.2), so the shuffle carries far less than the input. The
+// paper claims its findings extend to "other types of workloads that present
+// the characteristics described"; this config is the harness for checking
+// that on a lighter-shuffle job.
+func WordCountConfig(input units.ByteSize, reducers int) JobConfig {
+	cfg := TerasortConfig(input, reducers)
+	cfg.Name = "wordcount"
+	cfg.OutputRatio = 0.2
+	return cfg
+}
+
+// ShuffleOnlyConfig returns a degenerate job whose maps are nearly free, so
+// runtime is dominated by the all-to-all transfer — a pure network
+// microworkload for qdisc studies.
+func ShuffleOnlyConfig(input units.ByteSize, reducers int) JobConfig {
+	cfg := TerasortConfig(input, reducers)
+	cfg.Name = "shuffle-only"
+	cfg.SlowStartAfterMaps = 0
+	return cfg
+}
+
+// Validate reports a config error, or nil.
+func (c *JobConfig) Validate() error {
+	switch {
+	case c.InputSize <= 0:
+		return fmt.Errorf("mapred: input size must be positive")
+	case c.BlockSize <= 0:
+		return fmt.Errorf("mapred: block size must be positive")
+	case c.Reducers <= 0:
+		return fmt.Errorf("mapred: reducers must be positive")
+	case c.OutputRatio <= 0:
+		return fmt.Errorf("mapred: output ratio must be positive")
+	case c.ParallelFetches <= 0:
+		return fmt.Errorf("mapred: parallel fetches must be positive")
+	case c.SlowStartAfterMaps < 0 || c.SlowStartAfterMaps > 1:
+		return fmt.Errorf("mapred: slowstart fraction out of [0,1]")
+	case c.ReplicationFactor < 0:
+		return fmt.Errorf("mapred: replication factor must be non-negative")
+	}
+	return nil
+}
+
+// NumMaps returns the number of map tasks the config induces.
+func (c *JobConfig) NumMaps() int {
+	n := int((c.InputSize + c.BlockSize - 1) / c.BlockSize)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// TaskState tracks one task's lifecycle.
+type TaskState uint8
+
+// Task states.
+const (
+	TaskPending TaskState = iota
+	TaskRunning
+	TaskShuffling // reduce only
+	TaskDone
+)
+
+// MapTask is one map task instance.
+type MapTask struct {
+	ID    int
+	Node  int // worker index
+	Block units.ByteSize
+	State TaskState
+	Start units.Time
+	End   units.Time
+}
+
+// OutputPerReducer returns the partition size this map produces for each
+// reducer.
+func (m *MapTask) OutputPerReducer(cfg *JobConfig) units.ByteSize {
+	out := units.ByteSize(float64(m.Block) * cfg.OutputRatio)
+	per := out / units.ByteSize(cfg.Reducers)
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// ReduceTask is one reduce task instance.
+type ReduceTask struct {
+	ID    int
+	Node  int
+	State TaskState
+	// Fetched counts completed fetches; Received counts payload bytes.
+	Fetched      int
+	Received     units.ByteSize
+	Start        units.Time // slot acquired
+	ShuffleStart units.Time // first fetch issued
+	ShuffleEnd   units.Time // last fetch completed
+	End          units.Time // reduce function finished
+
+	pendingFetch []int // map IDs whose output is ready to fetch
+	activeFetch  int
+	queuedFetch  map[int]bool // map IDs already queued or fetched
+}
+
+// Worker is the per-node runtime: slots plus the map-output server.
+type Worker struct {
+	Index int
+	Spec  NodeSpec
+	Stack *tcp.Stack
+
+	mapFree    int
+	reduceFree int
+	mapQueue   []*MapTask
+}
+
+// Job orchestrates one MapReduce execution over a set of workers.
+type Job struct {
+	Cfg     JobConfig
+	eng     *sim.Engine
+	workers []*Worker
+
+	Maps    []*MapTask
+	Reduces []*ReduceTask
+
+	mapsDone     int
+	reducesDone  int
+	reducersLive bool
+
+	// Fetch metadata registry: (reducer conn local addr) -> size, consumed
+	// by the shuffle servers.
+	fetchSize map[packet.Addr]units.ByteSize
+	// Replica-stream registry for the HDFS write pipeline, keyed by the
+	// dialing end's address.
+	replicaFlows map[packet.Addr]*replicaFlowSpec
+
+	Started  units.Time
+	Finished units.Time
+	done     bool
+	OnDone   func(*Job)
+
+	// FetchRetries counts shuffle fetches that failed (connection error)
+	// and were re-queued.
+	FetchRetries int
+}
+
+// NewJob builds a job over the workers. Workers must already have stacks
+// attached; NewJob installs the shuffle server on each.
+func NewJob(eng *sim.Engine, cfg JobConfig, workers []*Worker) *Job {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(workers) == 0 {
+		panic("mapred: no workers")
+	}
+	for _, w := range workers {
+		if err := w.Spec.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	j := &Job{
+		Cfg:          cfg,
+		eng:          eng,
+		workers:      workers,
+		fetchSize:    make(map[packet.Addr]units.ByteSize),
+		replicaFlows: make(map[packet.Addr]*replicaFlowSpec),
+	}
+	j.placeTasks()
+	for _, w := range workers {
+		j.installShuffleServer(w)
+		if cfg.ReplicationFactor > 1 {
+			j.installReplicaServer(w)
+		}
+	}
+	return j
+}
+
+// placeTasks distributes map blocks and reducers round-robin, which matches
+// HDFS default placement well enough for a network study: every node holds
+// an equal share of blocks and runs its maps data-locally.
+func (j *Job) placeTasks() {
+	n := len(j.workers)
+	m := j.Cfg.NumMaps()
+	remaining := j.Cfg.InputSize
+	for i := 0; i < m; i++ {
+		block := j.Cfg.BlockSize
+		if remaining < block {
+			block = remaining
+		}
+		remaining -= block
+		j.Maps = append(j.Maps, &MapTask{ID: i, Node: i % n, Block: block})
+	}
+	for r := 0; r < j.Cfg.Reducers; r++ {
+		j.Reduces = append(j.Reduces, &ReduceTask{
+			ID:          r,
+			Node:        r % n,
+			queuedFetch: make(map[int]bool),
+		})
+	}
+}
+
+// FetchRequestBytes models the HTTP GET a reducer sends on each shuffle
+// connection. Being payload, it is ECT-capable under ECN — which is why real
+// shuffles survive handshake-ACK drops: the request itself completes the
+// handshake at the server.
+const FetchRequestBytes = 120
+
+// installShuffleServer registers the map-output server on a worker: when a
+// reducer's connection delivers its fetch request, look up how many bytes
+// that fetch moves and stream them, then close.
+func (j *Job) installShuffleServer(w *Worker) {
+	w.Stack.Listen(ShufflePort, func(c *tcp.Conn) {
+		var got int
+		served := false
+		c.OnDeliver = func(n int) {
+			got += n
+			if served || got < FetchRequestBytes {
+				return
+			}
+			served = true
+			size, ok := j.fetchSize[c.RemoteAddr()]
+			if !ok {
+				// Unknown fetch: a stale retry; close immediately.
+				c.Close()
+				return
+			}
+			c.Send(int(size))
+			c.Close()
+		}
+	})
+}
+
+// Start launches the job at the current simulated time.
+func (j *Job) Start() {
+	j.Started = j.eng.Now()
+	for _, w := range j.workers {
+		w.mapFree = w.Spec.MapSlots
+		w.reduceFree = w.Spec.ReduceSlots
+		w.mapQueue = w.mapQueue[:0]
+	}
+	for _, m := range j.Maps {
+		j.workers[m.Node].mapQueue = append(j.workers[m.Node].mapQueue, m)
+	}
+	for _, w := range j.workers {
+		j.scheduleMaps(w)
+	}
+	// With slowstart 0, reducers launch immediately.
+	j.maybeStartReducers()
+}
+
+// Done reports whether the job has finished.
+func (j *Job) Done() bool { return j.done }
+
+// Runtime returns the job's completion time (valid once Done).
+func (j *Job) Runtime() units.Duration { return j.Finished.Sub(j.Started) }
+
+// ShuffleWindow returns the earliest fetch start and latest fetch end across
+// reducers — the interval the throughput metric is computed over.
+func (j *Job) ShuffleWindow() (units.Time, units.Time) {
+	var lo, hi units.Time
+	first := true
+	for _, r := range j.Reduces {
+		if r.ShuffleStart == 0 {
+			continue
+		}
+		if first || r.ShuffleStart < lo {
+			lo = r.ShuffleStart
+			first = false
+		}
+		if r.ShuffleEnd > hi {
+			hi = r.ShuffleEnd
+		}
+	}
+	return lo, hi
+}
+
+// ShuffledBytes returns total payload moved by the shuffle.
+func (j *Job) ShuffledBytes() units.ByteSize {
+	var total units.ByteSize
+	for _, r := range j.Reduces {
+		total += r.Received
+	}
+	return total
+}
+
+// ----------------------------------------------------------------------
+// Map phase
+
+func (j *Job) scheduleMaps(w *Worker) {
+	for w.mapFree > 0 && len(w.mapQueue) > 0 {
+		task := w.mapQueue[0]
+		w.mapQueue = w.mapQueue[1:]
+		w.mapFree--
+		task.State = TaskRunning
+		task.Start = j.eng.Now()
+		dur := w.Spec.mapTaskTime(task.Block, j.Cfg.OutputRatio)
+		j.eng.After(dur, func() { j.mapFinished(w, task) })
+	}
+}
+
+func (j *Job) mapFinished(w *Worker, task *MapTask) {
+	task.State = TaskDone
+	task.End = j.eng.Now()
+	w.mapFree++
+	j.mapsDone++
+	j.scheduleMaps(w)
+	j.maybeStartReducers()
+	// Publish this map's output to all live reducers.
+	for _, r := range j.Reduces {
+		if r.State == TaskShuffling && !r.queuedFetch[task.ID] {
+			r.queuedFetch[task.ID] = true
+			r.pendingFetch = append(r.pendingFetch, task.ID)
+		}
+	}
+	j.pumpFetchers()
+}
+
+// ----------------------------------------------------------------------
+// Shuffle phase
+
+func (j *Job) maybeStartReducers() {
+	if j.reducersLive {
+		return
+	}
+	need := int(j.Cfg.SlowStartAfterMaps * float64(len(j.Maps)))
+	if j.mapsDone < need {
+		return
+	}
+	j.reducersLive = true
+	// Sort reducers by node for deterministic slot assignment.
+	byNode := make([]*ReduceTask, len(j.Reduces))
+	copy(byNode, j.Reduces)
+	sort.SliceStable(byNode, func(a, b int) bool { return byNode[a].ID < byNode[b].ID })
+	for _, r := range byNode {
+		w := j.workers[r.Node]
+		if w.reduceFree <= 0 {
+			continue // reduce waves beyond slots start when a slot frees
+		}
+		w.reduceFree--
+		j.activateReducer(r)
+	}
+}
+
+func (j *Job) activateReducer(r *ReduceTask) {
+	r.State = TaskShuffling
+	r.Start = j.eng.Now()
+	// Queue every already-finished map output.
+	for _, m := range j.Maps {
+		if m.State == TaskDone && !r.queuedFetch[m.ID] {
+			r.queuedFetch[m.ID] = true
+			r.pendingFetch = append(r.pendingFetch, m.ID)
+		}
+	}
+	j.pumpFetcher(r)
+}
+
+func (j *Job) pumpFetchers() {
+	for _, r := range j.Reduces {
+		if r.State == TaskShuffling {
+			j.pumpFetcher(r)
+		}
+	}
+}
+
+// pumpFetcher issues fetches for reducer r up to the parallelism bound.
+func (j *Job) pumpFetcher(r *ReduceTask) {
+	for r.activeFetch < j.Cfg.ParallelFetches && len(r.pendingFetch) > 0 {
+		mapID := r.pendingFetch[0]
+		r.pendingFetch = r.pendingFetch[1:]
+		r.activeFetch++
+		if r.ShuffleStart == 0 {
+			r.ShuffleStart = j.eng.Now()
+		}
+		j.startFetch(r, mapID)
+	}
+}
+
+// startFetch opens one shuffle connection: reducer dials the mapper's
+// shuffle server, which streams the partition and closes.
+func (j *Job) startFetch(r *ReduceTask, mapID int) {
+	m := j.Maps[mapID]
+	size := m.OutputPerReducer(&j.Cfg)
+	src := j.workers[r.Node].Stack
+	dst := packet.Addr{Node: j.workers[m.Node].Stack.Host().ID(), Port: ShufflePort}
+
+	c := src.Dial(dst)
+	j.fetchSize[c.LocalAddr()] = size
+	c.Send(FetchRequestBytes) // the "HTTP GET"; flows once established
+	c.OnDeliver = func(n int) { r.Received += units.ByteSize(n) }
+	c.OnEOF = func() {
+		delete(j.fetchSize, c.LocalAddr())
+		r.Fetched++
+		r.activeFetch--
+		j.fetchDone(r)
+	}
+	c.OnError = func(err error) {
+		// Connection setup failed (SYN retries exhausted under extreme
+		// congestion): re-queue the fetch, as Hadoop's fetcher does.
+		delete(j.fetchSize, c.LocalAddr())
+		j.FetchRetries++
+		r.activeFetch--
+		r.pendingFetch = append(r.pendingFetch, mapID)
+		j.pumpFetcher(r)
+	}
+}
+
+func (j *Job) fetchDone(r *ReduceTask) {
+	if r.Fetched == len(j.Maps) {
+		r.ShuffleEnd = j.eng.Now()
+		j.startReduceCompute(r)
+		return
+	}
+	j.pumpFetcher(r)
+}
+
+// ----------------------------------------------------------------------
+// Reduce phase
+
+func (j *Job) startReduceCompute(r *ReduceTask) {
+	r.State = TaskRunning
+	w := j.workers[r.Node]
+	dur := w.Spec.reduceTaskTime(r.Received)
+	j.eng.After(dur, func() {
+		// Commit the output through the HDFS write pipeline (a no-op at
+		// replication <= 1), then finish the task.
+		j.startOutputCommit(r, func() { j.reduceFinished(w, r) })
+	})
+}
+
+func (j *Job) reduceFinished(w *Worker, r *ReduceTask) {
+	r.State = TaskDone
+	r.End = j.eng.Now()
+	w.reduceFree++
+	j.reducesDone++
+	// Launch a waiting reducer wave if any.
+	for _, nxt := range j.Reduces {
+		if nxt.State == TaskPending && nxt.Node == r.Node && w.reduceFree > 0 {
+			w.reduceFree--
+			j.activateReducer(nxt)
+		}
+	}
+	if j.reducesDone == len(j.Reduces) {
+		j.done = true
+		j.Finished = j.eng.Now()
+		if j.OnDone != nil {
+			j.OnDone(j)
+		}
+	}
+}

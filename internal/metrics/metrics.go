@@ -1,0 +1,156 @@
+// Package metrics implements the run-wide measurement pipeline. A Collector
+// observes the netsim fabric and produces the three quantities every figure
+// in the paper reports — job/flow runtime, per-node throughput, and average
+// per-packet end-to-end network latency — plus the drop/mark breakdowns by
+// packet kind that explain *why* (the paper's Figure 1 story).
+package metrics
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/qdisc"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// KindCounts indexes counters by packet.Kind.
+type KindCounts [6]uint64
+
+// Add increments the counter for kind k.
+func (kc *KindCounts) Add(k packet.Kind) { kc[int(k)]++ }
+
+// Get returns the counter for kind k.
+func (kc *KindCounts) Get(k packet.Kind) uint64 { return kc[int(k)] }
+
+// Total sums all kinds.
+func (kc *KindCounts) Total() uint64 {
+	var t uint64
+	for _, v := range kc {
+		t += v
+	}
+	return t
+}
+
+// Collector implements netsim.Observer and aggregates everything the
+// experiments report. Construct with New, install via Network.SetObserver.
+type Collector struct {
+	// Latency is the per-packet end-to-end latency distribution in seconds,
+	// from first transmission at the source host to final delivery.
+	Latency *stats.Sample
+	// DataLatency restricts the latency distribution to payload packets.
+	DataLatency *stats.Sample
+
+	// Enqueued / Marked / EarlyDropped / OverflowDropped count Enqueue
+	// verdicts by packet kind across all observed ports.
+	Enqueued        KindCounts
+	Marked          KindCounts
+	EarlyDropped    KindCounts
+	OverflowDropped KindCounts
+
+	// DeliveredPayload accumulates payload bytes delivered per destination
+	// node (wire view; includes retransmitted duplicates).
+	DeliveredPayload map[packet.NodeID]units.ByteSize
+	// DeliveredPackets counts final deliveries.
+	DeliveredPackets uint64
+
+	// QueueOccupancy tracks the time-weighted occupancy of each watched
+	// port's queue, keyed by port label.
+	QueueOccupancy map[string]*stats.TimeWeighted
+
+	watchQueues bool
+}
+
+// New creates an empty collector. If reservoir is > 0, per-packet latency
+// samples are reservoir-sampled to that capacity (means remain exact).
+func New(reservoir int, seed uint64) *Collector {
+	newSample := func(tag uint64) *stats.Sample {
+		if reservoir > 0 {
+			return stats.NewReservoir(reservoir, seed^tag)
+		}
+		return stats.NewSample()
+	}
+	return &Collector{
+		Latency:          newSample(0xa11),
+		DataLatency:      newSample(0xda7a),
+		DeliveredPayload: make(map[packet.NodeID]units.ByteSize),
+		QueueOccupancy:   make(map[string]*stats.TimeWeighted),
+	}
+}
+
+// WatchQueues enables per-port occupancy tracking (small overhead).
+func (c *Collector) WatchQueues() { c.watchQueues = true }
+
+// PacketEnqueued implements netsim.Observer.
+func (c *Collector) PacketEnqueued(now units.Time, port *netsim.Port, p *packet.Packet, v qdisc.Verdict) {
+	k := p.Kind()
+	switch v {
+	case qdisc.Enqueued:
+		c.Enqueued.Add(k)
+	case qdisc.EnqueuedMarked:
+		c.Enqueued.Add(k)
+		c.Marked.Add(k)
+	case qdisc.DroppedEarly:
+		c.EarlyDropped.Add(k)
+	case qdisc.DroppedOverflow:
+		c.OverflowDropped.Add(k)
+	}
+	if c.watchQueues {
+		w := c.QueueOccupancy[port.Label]
+		if w == nil {
+			w = &stats.TimeWeighted{}
+			c.QueueOccupancy[port.Label] = w
+		}
+		w.Observe(now.Seconds(), float64(port.Queue().Len()))
+	}
+}
+
+// PacketDelivered implements netsim.Observer.
+func (c *Collector) PacketDelivered(now units.Time, p *packet.Packet) {
+	c.DeliveredPackets++
+	lat := now.Sub(p.SentAt).Seconds()
+	c.Latency.Add(lat)
+	if p.Payload > 0 {
+		c.DataLatency.Add(lat)
+		c.DeliveredPayload[p.Dst.Node] += units.ByteSize(p.Payload)
+	}
+}
+
+// MeanLatency returns the average end-to-end per-packet latency.
+func (c *Collector) MeanLatency() units.Duration {
+	return units.Duration(c.Latency.Mean() * float64(units.Second))
+}
+
+// P99Latency returns the 99th percentile end-to-end latency.
+func (c *Collector) P99Latency() units.Duration {
+	return units.Duration(c.Latency.Percentile(99) * float64(units.Second))
+}
+
+// Drops returns total early and overflow drops.
+func (c *Collector) Drops() (early, overflow uint64) {
+	return c.EarlyDropped.Total(), c.OverflowDropped.Total()
+}
+
+// AckDropShare returns the fraction of all dropped packets that were pure
+// ACKs — the paper's "disproportionate number of ACK drops" diagnostic.
+func (c *Collector) AckDropShare() float64 {
+	dropped := c.EarlyDropped.Total() + c.OverflowDropped.Total()
+	if dropped == 0 {
+		return 0
+	}
+	acks := c.EarlyDropped.Get(packet.KindPureACK) + c.OverflowDropped.Get(packet.KindPureACK)
+	return float64(acks) / float64(dropped)
+}
+
+// MeanThroughputPerNode returns average received goodput per node over the
+// interval [start, end] for the given node count.
+func (c *Collector) MeanThroughputPerNode(nodes int, start, end units.Time) units.Bandwidth {
+	if nodes <= 0 || end <= start {
+		return 0
+	}
+	var total units.ByteSize
+	for _, b := range c.DeliveredPayload {
+		total += b
+	}
+	sec := end.Sub(start).Seconds()
+	return units.Bandwidth(float64(total*8) / sec / float64(nodes))
+}

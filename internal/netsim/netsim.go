@@ -1,0 +1,315 @@
+// Package netsim implements the packet-level network fabric: hosts with a
+// protocol stack attachment, switches with per-destination forwarding and
+// per-egress-port queue disciplines, and links with serialization and
+// propagation delay. Together with internal/sim it stands in for NS-2 in the
+// paper's methodology.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Observer receives fabric-level events for metrics collection. All methods
+// may be called at very high rate; implementations must be cheap.
+type Observer interface {
+	// PacketEnqueued reports an Enqueue verdict at a port's qdisc.
+	PacketEnqueued(now units.Time, port *Port, p *packet.Packet, v qdisc.Verdict)
+	// PacketDelivered reports final delivery of a packet to its
+	// destination host (after the last hop).
+	PacketDelivered(now units.Time, p *packet.Packet)
+}
+
+// NopObserver ignores every event.
+type NopObserver struct{}
+
+// PacketEnqueued implements Observer.
+func (NopObserver) PacketEnqueued(units.Time, *Port, *packet.Packet, qdisc.Verdict) {}
+
+// PacketDelivered implements Observer.
+func (NopObserver) PacketDelivered(units.Time, *packet.Packet) {}
+
+// Node is anything packets can be handed to: hosts and switches.
+type Node interface {
+	ID() packet.NodeID
+	// Receive accepts a packet that has finished propagating over a link.
+	Receive(p *packet.Packet)
+}
+
+// Network owns the set of nodes, allocates packet IDs and fans out observer
+// events.
+type Network struct {
+	Engine   *sim.Engine
+	nodes    map[packet.NodeID]Node
+	nextID   packet.NodeID
+	nextPkt  uint64
+	observer Observer
+}
+
+// New creates an empty network on the given engine.
+func New(eng *sim.Engine) *Network {
+	return &Network{
+		Engine:   eng,
+		nodes:    make(map[packet.NodeID]Node),
+		observer: NopObserver{},
+	}
+}
+
+// SetObserver installs the metrics observer (nil restores the no-op).
+func (n *Network) SetObserver(o Observer) {
+	if o == nil {
+		o = NopObserver{}
+	}
+	n.observer = o
+}
+
+// Observer returns the current observer.
+func (n *Network) Observer() Observer { return n.observer }
+
+// NewPacketID allocates a unique packet ID.
+func (n *Network) NewPacketID() uint64 {
+	n.nextPkt++
+	return n.nextPkt
+}
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id packet.NodeID) Node { return n.nodes[id] }
+
+func (n *Network) register(node Node) packet.NodeID {
+	id := n.nextID
+	n.nextID++
+	n.nodes[id] = node
+	return id
+}
+
+// LinkParams describes one direction of a link.
+type LinkParams struct {
+	Rate  units.Bandwidth
+	Delay units.Duration // propagation
+}
+
+// Validate reports a parameter error, or nil.
+func (l LinkParams) Validate() error {
+	if l.Rate <= 0 {
+		return fmt.Errorf("netsim: link rate %v must be positive", l.Rate)
+	}
+	if l.Delay < 0 {
+		return fmt.Errorf("netsim: link delay %v must be non-negative", l.Delay)
+	}
+	return nil
+}
+
+// Port is a unidirectional egress interface: it serializes packets from its
+// queue discipline onto a link toward a fixed peer node. A bidirectional
+// cable is modelled as two Ports, one on each end.
+type Port struct {
+	net   *Network
+	owner Node
+	peer  Node
+	link  LinkParams
+	queue qdisc.Qdisc
+	busy  bool
+
+	// Label identifies the port in reports, e.g. "sw0->host3".
+	Label string
+
+	// OnSent, if non-nil, runs when a packet finishes serializing onto the
+	// link. Host uplinks use it to deliver TSQ-style backpressure to the
+	// transport.
+	OnSent func(p *packet.Packet)
+
+	// Counters.
+	sentPackets uint64
+	sentBytes   units.ByteSize
+}
+
+// NewPort wires an egress port from owner to peer with the given link
+// parameters and queue discipline.
+func (n *Network) NewPort(owner, peer Node, link LinkParams, q qdisc.Qdisc) *Port {
+	if err := link.Validate(); err != nil {
+		panic(err)
+	}
+	if q == nil {
+		panic("netsim: port requires a qdisc")
+	}
+	p := &Port{
+		net:   n,
+		owner: owner,
+		peer:  peer,
+		link:  link,
+		queue: q,
+		Label: fmt.Sprintf("n%d->n%d", owner.ID(), peer.ID()),
+	}
+	// Surface dequeue-time drops (CoDel) to the observer; they would
+	// otherwise be invisible, since the observer only sees enqueue
+	// verdicts.
+	if hd, ok := q.(qdisc.HeadDropper); ok {
+		hd.SetHeadDropCallback(func(pkt *packet.Packet) {
+			n.observer.PacketEnqueued(n.Engine.Now(), p, pkt, qdisc.DroppedEarly)
+		})
+	}
+	return p
+}
+
+// Queue exposes the port's queue discipline (for snapshots and tests).
+func (p *Port) Queue() qdisc.Qdisc { return p.queue }
+
+// Link returns the link parameters.
+func (p *Port) Link() LinkParams { return p.link }
+
+// Peer returns the node at the far end.
+func (p *Port) Peer() Node { return p.peer }
+
+// Owner returns the node that owns this egress.
+func (p *Port) Owner() Node { return p.owner }
+
+// Sent returns the packets and bytes fully serialized onto the link.
+func (p *Port) Sent() (uint64, units.ByteSize) { return p.sentPackets, p.sentBytes }
+
+// Send offers a packet to the egress queue and starts the transmitter if it
+// is idle. Dropped packets are reported to the observer and discarded.
+func (p *Port) Send(pkt *packet.Packet) {
+	now := p.net.Engine.Now()
+	v := p.queue.Enqueue(now, pkt)
+	p.net.observer.PacketEnqueued(now, p, pkt, v)
+	if v.Dropped() {
+		return
+	}
+	if !p.busy {
+		p.transmitNext()
+	}
+}
+
+// transmitNext pulls the head packet and schedules its serialization and
+// propagation. Invariant: called only when the transmitter is idle.
+func (p *Port) transmitNext() {
+	now := p.net.Engine.Now()
+	pkt := p.queue.Dequeue(now)
+	if pkt == nil {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	tx := p.link.Rate.TransmitTime(pkt.Size())
+	p.net.Engine.After(tx, func() {
+		p.sentPackets++
+		p.sentBytes += pkt.Size()
+		if p.OnSent != nil {
+			p.OnSent(pkt)
+		}
+		// Transmitter becomes free as the last bit leaves.
+		p.transmitNext()
+	})
+	p.net.Engine.After(tx+p.link.Delay, func() {
+		pkt.Hops++
+		p.peer.Receive(pkt)
+	})
+}
+
+// Protocol is the stack a Host delivers packets to (implemented by
+// internal/tcp's Stack).
+type Protocol interface {
+	Deliver(p *packet.Packet)
+}
+
+// Host is an end system with a single uplink port and an attached protocol
+// stack.
+type Host struct {
+	id     packet.NodeID
+	net    *Network
+	uplink *Port
+	proto  Protocol
+
+	// Name is a human label, e.g. "node07".
+	Name string
+}
+
+// NewHost registers a new host.
+func (n *Network) NewHost(name string) *Host {
+	h := &Host{net: n, Name: name}
+	h.id = n.register(h)
+	return h
+}
+
+// ID implements Node.
+func (h *Host) ID() packet.NodeID { return h.id }
+
+// Network returns the owning network.
+func (h *Host) Network() *Network { return h.net }
+
+// AttachUplink installs the host's egress port.
+func (h *Host) AttachUplink(p *Port) { h.uplink = p }
+
+// Uplink returns the host's egress port.
+func (h *Host) Uplink() *Port { return h.uplink }
+
+// AttachProtocol installs the protocol stack that receives delivered
+// packets.
+func (h *Host) AttachProtocol(p Protocol) { h.proto = p }
+
+// Send transmits a packet from this host into the fabric. It stamps SentAt.
+func (h *Host) Send(pkt *packet.Packet) {
+	if h.uplink == nil {
+		panic(fmt.Sprintf("netsim: host %s has no uplink", h.Name))
+	}
+	pkt.SentAt = h.net.Engine.Now()
+	h.uplink.Send(pkt)
+}
+
+// Receive implements Node: a packet has arrived addressed to this host.
+func (h *Host) Receive(pkt *packet.Packet) {
+	if pkt.Dst.Node != h.id {
+		panic(fmt.Sprintf("netsim: host n%d received packet for n%d (misrouted)", h.id, pkt.Dst.Node))
+	}
+	h.net.observer.PacketDelivered(h.net.Engine.Now(), pkt)
+	if h.proto != nil {
+		h.proto.Deliver(pkt)
+	}
+}
+
+// Switch forwards packets to the egress port registered for the packet's
+// destination node.
+type Switch struct {
+	id     packet.NodeID
+	net    *Network
+	routes map[packet.NodeID]*Port
+	ports  []*Port
+
+	// Name is a human label, e.g. "tor0".
+	Name string
+}
+
+// NewSwitch registers a new switch.
+func (n *Network) NewSwitch(name string) *Switch {
+	s := &Switch{net: n, routes: make(map[packet.NodeID]*Port), Name: name}
+	s.id = n.register(s)
+	return s
+}
+
+// ID implements Node.
+func (s *Switch) ID() packet.NodeID { return s.id }
+
+// AddPort registers an egress port on the switch.
+func (s *Switch) AddPort(p *Port) { s.ports = append(s.ports, p) }
+
+// Ports returns the switch's egress ports.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// SetRoute directs traffic for dst out of port p.
+func (s *Switch) SetRoute(dst packet.NodeID, p *Port) { s.routes[dst] = p }
+
+// RouteFor returns the egress port for dst, or nil.
+func (s *Switch) RouteFor(dst packet.NodeID) *Port { return s.routes[dst] }
+
+// Receive implements Node: forward toward the destination.
+func (s *Switch) Receive(pkt *packet.Packet) {
+	out, ok := s.routes[pkt.Dst.Node]
+	if !ok {
+		panic(fmt.Sprintf("netsim: switch %s has no route to n%d", s.Name, pkt.Dst.Node))
+	}
+	out.Send(pkt)
+}

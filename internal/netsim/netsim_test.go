@@ -1,0 +1,313 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// sinkProto records delivered packets.
+type sinkProto struct{ got []*packet.Packet }
+
+func (s *sinkProto) Deliver(p *packet.Packet) { s.got = append(s.got, p) }
+
+// recorder counts observer callbacks.
+type recorder struct {
+	enq     []qdisc.Verdict
+	deliver []*packet.Packet
+	times   []units.Time
+}
+
+func (r *recorder) PacketEnqueued(_ units.Time, _ *Port, _ *packet.Packet, v qdisc.Verdict) {
+	r.enq = append(r.enq, v)
+}
+func (r *recorder) PacketDelivered(now units.Time, p *packet.Packet) {
+	r.deliver = append(r.deliver, p)
+	r.times = append(r.times, now)
+}
+
+// twoHosts wires A -> B directly with the given link and queue.
+func twoHosts(eng *sim.Engine, link LinkParams, q qdisc.Qdisc) (*Network, *Host, *Host, *sinkProto) {
+	n := New(eng)
+	a := n.NewHost("a")
+	b := n.NewHost("b")
+	a.AttachUplink(n.NewPort(a, b, link, q))
+	sink := &sinkProto{}
+	b.AttachProtocol(sink)
+	return n, a, b, sink
+}
+
+func mkPkt(n *Network, src, dst *Host, payload int) *packet.Packet {
+	return &packet.Packet{
+		ID:      n.NewPacketID(),
+		Src:     packet.Addr{Node: src.ID(), Port: 1},
+		Dst:     packet.Addr{Node: dst.ID(), Port: 2},
+		Payload: payload,
+		Flags:   packet.FlagACK,
+	}
+}
+
+func TestSerializationPlusPropagationDelay(t *testing.T) {
+	eng := sim.New()
+	link := LinkParams{Rate: 1 * units.Gbps, Delay: 10 * units.Microsecond}
+	n, a, b, sink := twoHosts(eng, link, qdisc.NewDropTail(10))
+	p := mkPkt(n, a, b, 1460) // 1500 bytes on the wire = 12 µs at 1 Gbps
+	a.Send(p)
+	eng.Run()
+	if len(sink.got) != 1 {
+		t.Fatalf("delivered %d packets", len(sink.got))
+	}
+	want := units.Time(22 * units.Microsecond) // 12 tx + 10 prop
+	if eng.Now() != want {
+		t.Errorf("delivery at %v, want %v", eng.Now(), want)
+	}
+}
+
+func TestBackToBackSerialization(t *testing.T) {
+	// Two packets share one transmitter: the second is delayed by one
+	// serialization time, not propagated in parallel.
+	eng := sim.New()
+	link := LinkParams{Rate: 1 * units.Gbps, Delay: 0}
+	n, a, b, _ := twoHosts(eng, link, qdisc.NewDropTail(10))
+	rec := &recorder{}
+	n.SetObserver(rec)
+	a.Send(mkPkt(n, a, b, 1460))
+	a.Send(mkPkt(n, a, b, 1460))
+	eng.Run()
+	if len(rec.times) != 2 {
+		t.Fatalf("delivered %d", len(rec.times))
+	}
+	if rec.times[1]-rec.times[0] != units.Time(12*units.Microsecond) {
+		t.Errorf("spacing = %v, want 12µs serialization", rec.times[1]-rec.times[0])
+	}
+}
+
+func TestHopStamping(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	a := n.NewHost("a")
+	sw := n.NewSwitch("sw")
+	b := n.NewHost("b")
+	link := LinkParams{Rate: 1 * units.Gbps, Delay: 0}
+	a.AttachUplink(n.NewPort(a, sw, link, qdisc.NewDropTail(10)))
+	down := n.NewPort(sw, b, link, qdisc.NewDropTail(10))
+	sw.AddPort(down)
+	sw.SetRoute(b.ID(), down)
+	sink := &sinkProto{}
+	b.AttachProtocol(sink)
+
+	p := mkPkt(n, a, b, 100)
+	a.Send(p)
+	eng.Run()
+	if len(sink.got) != 1 {
+		t.Fatal("not delivered")
+	}
+	if sink.got[0].Hops != 2 {
+		t.Errorf("hops = %d, want 2 (host->switch->host)", sink.got[0].Hops)
+	}
+}
+
+func TestSwitchRoutesByDestination(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	sw := n.NewSwitch("sw")
+	hosts := make([]*Host, 3)
+	sinks := make([]*sinkProto, 3)
+	link := LinkParams{Rate: 1 * units.Gbps, Delay: 0}
+	for i := range hosts {
+		hosts[i] = n.NewHost("h")
+		hosts[i].AttachUplink(n.NewPort(hosts[i], sw, link, qdisc.NewDropTail(10)))
+		down := n.NewPort(sw, hosts[i], link, qdisc.NewDropTail(10))
+		sw.AddPort(down)
+		sw.SetRoute(hosts[i].ID(), down)
+		sinks[i] = &sinkProto{}
+		hosts[i].AttachProtocol(sinks[i])
+	}
+	hosts[0].Send(mkPkt(n, hosts[0], hosts[1], 10))
+	hosts[0].Send(mkPkt(n, hosts[0], hosts[2], 10))
+	hosts[1].Send(mkPkt(n, hosts[1], hosts[2], 10))
+	eng.Run()
+	if len(sinks[0].got) != 0 || len(sinks[1].got) != 1 || len(sinks[2].got) != 2 {
+		t.Errorf("deliveries = %d/%d/%d, want 0/1/2",
+			len(sinks[0].got), len(sinks[1].got), len(sinks[2].got))
+	}
+}
+
+func TestMisroutedPacketPanics(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	a := n.NewHost("a")
+	b := n.NewHost("b")
+	link := LinkParams{Rate: 1 * units.Gbps, Delay: 0}
+	// Wire a's uplink to b but address the packet to a third node id.
+	a.AttachUplink(n.NewPort(a, b, link, qdisc.NewDropTail(10)))
+	p := mkPkt(n, a, b, 10)
+	p.Dst.Node = 99
+	a.Send(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("misrouted delivery must panic")
+		}
+	}()
+	eng.Run()
+}
+
+func TestSwitchWithoutRoutePanics(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	a := n.NewHost("a")
+	sw := n.NewSwitch("sw")
+	link := LinkParams{Rate: 1 * units.Gbps, Delay: 0}
+	a.AttachUplink(n.NewPort(a, sw, link, qdisc.NewDropTail(10)))
+	p := mkPkt(n, a, a, 10)
+	p.Dst.Node = 42
+	a.Send(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("unrouted switch delivery must panic")
+		}
+	}()
+	eng.Run()
+}
+
+func TestObserverSeesDropsAndDeliveries(t *testing.T) {
+	eng := sim.New()
+	link := LinkParams{Rate: 1 * units.Gbps, Delay: 0}
+	n, a, b, _ := twoHosts(eng, link, qdisc.NewDropTail(1))
+	rec := &recorder{}
+	n.SetObserver(rec)
+	// Burst of 5: queue holds 1 + 1 in flight; expect drops.
+	for i := 0; i < 5; i++ {
+		a.Send(mkPkt(n, a, b, 1460))
+	}
+	eng.Run()
+	drops := 0
+	for _, v := range rec.enq {
+		if v.Dropped() {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Error("no drops observed with 1-packet queue")
+	}
+	if len(rec.deliver)+drops != 5 {
+		t.Errorf("delivered %d + dropped %d != 5", len(rec.deliver), drops)
+	}
+}
+
+func TestPortCounters(t *testing.T) {
+	eng := sim.New()
+	link := LinkParams{Rate: 1 * units.Gbps, Delay: 0}
+	n, a, b, _ := twoHosts(eng, link, qdisc.NewDropTail(10))
+	a.Send(mkPkt(n, a, b, 1460))
+	a.Send(mkPkt(n, a, b, 460))
+	eng.Run()
+	pkts, bytes := a.Uplink().Sent()
+	if pkts != 2 {
+		t.Errorf("sent packets = %d", pkts)
+	}
+	if bytes != 1500+500 {
+		t.Errorf("sent bytes = %d, want 2000", bytes)
+	}
+}
+
+func TestSentAtStamped(t *testing.T) {
+	eng := sim.New()
+	link := LinkParams{Rate: 1 * units.Gbps, Delay: 0}
+	n, a, b, sink := twoHosts(eng, link, qdisc.NewDropTail(10))
+	eng.Schedule(units.Time(5*units.Microsecond), func() {
+		a.Send(mkPkt(n, a, b, 100))
+	})
+	eng.Run()
+	if len(sink.got) != 1 || sink.got[0].SentAt != units.Time(5*units.Microsecond) {
+		t.Error("SentAt not stamped at host send time")
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	if (LinkParams{Rate: 0, Delay: 0}).Validate() == nil {
+		t.Error("zero rate validated")
+	}
+	if (LinkParams{Rate: 1, Delay: -1}).Validate() == nil {
+		t.Error("negative delay validated")
+	}
+	if (LinkParams{Rate: 1 * units.Gbps, Delay: 0}).Validate() != nil {
+		t.Error("valid link rejected")
+	}
+}
+
+func TestPacketIDsUnique(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := n.NewPacketID()
+		if seen[id] {
+			t.Fatalf("duplicate packet id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilObserverRestoresNop(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	n.SetObserver(nil)
+	if n.Observer() == nil {
+		t.Fatal("observer nil after SetObserver(nil)")
+	}
+}
+
+func TestOnSentHookFires(t *testing.T) {
+	eng := sim.New()
+	link := LinkParams{Rate: 1 * units.Gbps, Delay: 0}
+	n, a, b, _ := twoHosts(eng, link, qdisc.NewDropTail(10))
+	var sent []uint64
+	a.Uplink().OnSent = func(p *packet.Packet) { sent = append(sent, p.ID) }
+	p1 := mkPkt(n, a, b, 100)
+	p2 := mkPkt(n, a, b, 100)
+	a.Send(p1)
+	a.Send(p2)
+	eng.Run()
+	if len(sent) != 2 || sent[0] != p1.ID || sent[1] != p2.ID {
+		t.Errorf("OnSent saw %v, want [%d %d] in order", sent, p1.ID, p2.ID)
+	}
+}
+
+func TestHeadDropperSurfacedToObserver(t *testing.T) {
+	// A port wrapping a CoDel queue must report dequeue-time drops to the
+	// network observer as early drops.
+	eng := sim.New()
+	net := New(eng)
+	a := net.NewHost("a")
+	bHost := net.NewHost("b")
+	cfg := qdisc.DefaultCoDelConfig(1000, 10*units.Microsecond)
+	cfg.ECN = true // non-ECT packets get dropped in the dropping state
+	q := qdisc.NewCoDel(cfg)
+	port := net.NewPort(a, bHost, LinkParams{Rate: 1 * units.Mbps, Delay: 0}, q)
+	a.AttachUplink(port)
+	bHost.AttachProtocol(&sinkProto{})
+	rec := &recorder{}
+	net.SetObserver(rec)
+
+	// Flood with ACKs at a rate far beyond the 1 Mbps drain: sojourn grows
+	// well past target and CoDel starts dropping at the head.
+	for i := 0; i < 400; i++ {
+		p := mkPkt(net, a, bHost, 0)
+		p.Wire = 40
+		a.Send(p)
+	}
+	eng.Run()
+	early := 0
+	for _, v := range rec.enq {
+		if v == qdisc.DroppedEarly {
+			early++
+		}
+	}
+	if early == 0 {
+		t.Error("CoDel head drops never reached the observer")
+	}
+}

@@ -1,0 +1,243 @@
+// Package packet defines the simulated packet model: addresses, the IP-header
+// ECN field (Table II of the paper), the TCP-header flags including the ECN
+// codepoints ECE and CWR (Table I of the paper), sizes and the timestamps the
+// metrics pipeline uses to compute per-packet end-to-end latency.
+package packet
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// NodeID identifies a host or switch in the simulated network.
+type NodeID int32
+
+// Broadcast is an invalid destination used to catch routing bugs.
+const Broadcast NodeID = -1
+
+// Addr is a (node, port) transport address.
+type Addr struct {
+	Node NodeID
+	Port uint16
+}
+
+// String formats the address as node:port.
+func (a Addr) String() string { return fmt.Sprintf("n%d:%d", a.Node, a.Port) }
+
+// ECN is the two-bit ECN field of the IP header (paper Table II).
+type ECN uint8
+
+// ECN codepoints (paper Table II).
+const (
+	NotECT ECN = 0b00 // Non ECN-Capable Transport
+	ECT0   ECN = 0b10 // ECN Capable Transport (0)
+	ECT1   ECN = 0b01 // ECN Capable Transport (1)
+	CE     ECN = 0b11 // Congestion Encountered
+)
+
+// ECTCapable reports whether the codepoint marks an ECN-capable transport
+// (including an already congestion-marked packet).
+func (e ECN) ECTCapable() bool { return e != NotECT }
+
+// String returns the paper's name for the codepoint.
+func (e ECN) String() string {
+	switch e {
+	case NotECT:
+		return "Non-ECT"
+	case ECT0:
+		return "ECT(0)"
+	case ECT1:
+		return "ECT(1)"
+	case CE:
+		return "CE"
+	}
+	return fmt.Sprintf("ECN(%02b)", uint8(e))
+}
+
+// TCPFlags is the flag set of the TCP header, including the two ECN
+// codepoints on the TCP header (paper Table I).
+type TCPFlags uint16
+
+// TCP header flags.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+	FlagECE // ECN-Echo (paper Table I codepoint 01)
+	FlagCWR // Congestion Window Reduced (paper Table I codepoint 10)
+)
+
+// Has reports whether all flags in mask are set.
+func (f TCPFlags) Has(mask TCPFlags) bool { return f&mask == mask }
+
+// HasAny reports whether any flag in mask is set.
+func (f TCPFlags) HasAny(mask TCPFlags) bool { return f&mask != 0 }
+
+// String formats the flag set like "SYN|ACK|ECE".
+func (f TCPFlags) String() string {
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagFIN, "FIN"}, {FlagSYN, "SYN"}, {FlagRST, "RST"},
+		{FlagPSH, "PSH"}, {FlagACK, "ACK"}, {FlagURG, "URG"},
+		{FlagECE, "ECE"}, {FlagCWR, "CWR"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// Standard sizes in bytes. HeaderSize covers IP + TCP headers without
+// options; the paper quotes ~150 bytes for an ACK on the wire, which is
+// configurable at the experiment level via AckWireSize.
+const (
+	HeaderSize     = 40   // bytes: 20 IP + 20 TCP
+	DefaultMSS     = 1460 // bytes of TCP payload per full segment
+	DefaultAckSize = HeaderSize
+)
+
+// Kind classifies packets for statistics and for the AQM protection modes.
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindData    Kind = iota // segment carrying payload
+	KindPureACK             // ACK with no payload
+	KindSYN                 // SYN (no ACK)
+	KindSYNACK              // SYN+ACK
+	KindFIN                 // FIN (possibly with ACK)
+	KindOther
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "DATA"
+	case KindPureACK:
+		return "ACK"
+	case KindSYN:
+		return "SYN"
+	case KindSYNACK:
+		return "SYN-ACK"
+	case KindFIN:
+		return "FIN"
+	}
+	return "OTHER"
+}
+
+// SACKBlock is one selective-acknowledgement range [Start, End).
+type SACKBlock struct {
+	Start, End uint64
+}
+
+// Packet is a simulated TCP/IP packet. Packets are passed by pointer and
+// never aliased between two in-flight locations, so components may stamp
+// fields in place.
+type Packet struct {
+	ID uint64 // unique per simulation run
+
+	Src Addr
+	Dst Addr
+
+	// TCP header. Sequence numbers are 64-bit in the simulation to avoid
+	// modelling wraparound, which is irrelevant to the studied effects.
+	Seq     uint64 // first payload byte (or ISN for SYN)
+	Ack     uint64 // cumulative acknowledgement, valid if FlagACK
+	Flags   TCPFlags
+	Payload int // bytes of TCP payload
+
+	// IP header.
+	ECN ECN
+	TTL int
+
+	// Wire accounting: total size on the wire. Kept explicit so experiments
+	// can model 150-byte ACKs independent of header constants.
+	Wire units.ByteSize
+
+	// SACK blocks (RFC 2018), carried natively instead of encoding option
+	// bytes. At most 3 blocks per segment, as leaves room for timestamps
+	// in a real 40-byte option space.
+	SACK []SACKBlock
+
+	// TCP timestamp option (RFC 7323): TSVal is stamped by the sender,
+	// TSEcr echoes the peer's TSVal and is what the sender's RTT estimator
+	// consumes. Carried natively instead of encoding option bytes.
+	TSVal, TSEcr units.Time
+
+	// Metrics stamps, written by the transport/fabric.
+	SentAt     units.Time // when the sender handed it to its NIC
+	EnqueuedAt units.Time // last qdisc enqueue time
+	Hops       int        // switch traversals so far
+
+	// Echo of congestion: set by the receiving transport when this packet's
+	// delivery observed CE (used only for assertions in tests).
+	SawCE bool
+}
+
+// Size returns the byte size of the packet on the wire.
+func (p *Packet) Size() units.ByteSize {
+	if p.Wire > 0 {
+		return p.Wire
+	}
+	return units.ByteSize(HeaderSize + p.Payload)
+}
+
+// IsPureACK reports whether the packet is a payload-less ACK (not SYN/FIN).
+func (p *Packet) IsPureACK() bool {
+	return p.Flags.Has(FlagACK) && !p.Flags.HasAny(FlagSYN|FlagFIN|FlagRST) && p.Payload == 0
+}
+
+// IsSYN reports whether the packet has SYN set (SYN or SYN-ACK).
+func (p *Packet) IsSYN() bool { return p.Flags.Has(FlagSYN) }
+
+// HasECE reports whether the TCP header carries the ECN-Echo flag.
+func (p *Packet) HasECE() bool { return p.Flags.Has(FlagECE) }
+
+// Kind classifies the packet.
+func (p *Packet) Kind() Kind {
+	switch {
+	case p.Flags.Has(FlagSYN | FlagACK):
+		return KindSYNACK
+	case p.Flags.Has(FlagSYN):
+		return KindSYN
+	case p.Flags.Has(FlagFIN):
+		return KindFIN
+	case p.Payload > 0:
+		return KindData
+	case p.Flags.Has(FlagACK):
+		return KindPureACK
+	}
+	return KindOther
+}
+
+// Mark sets the CE codepoint. It panics if the packet is not ECT-capable:
+// marking a non-ECT packet is a protocol violation the qdiscs must not
+// commit.
+func (p *Packet) Mark() {
+	if !p.ECN.ECTCapable() {
+		panic("packet: marking non-ECT packet")
+	}
+	p.ECN = CE
+}
+
+// String formats a compact description for traces.
+func (p *Packet) String() string {
+	return fmt.Sprintf("#%d %s %v->%v seq=%d ack=%d len=%d ecn=%v",
+		p.ID, p.Kind(), p.Src, p.Dst, p.Seq, p.Ack, p.Payload, p.ECN)
+}

@@ -1,0 +1,205 @@
+package packet
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestTableII_IPHeaderCodepoints pins the paper's Table II: the four ECN
+// codepoints of the IP header and their ECT-capability.
+func TestTableII_IPHeaderCodepoints(t *testing.T) {
+	tests := []struct {
+		bits    uint8
+		e       ECN
+		name    string
+		capable bool
+	}{
+		{0b00, NotECT, "Non-ECT", false},
+		{0b10, ECT0, "ECT(0)", true},
+		{0b01, ECT1, "ECT(1)", true},
+		{0b11, CE, "CE", true},
+	}
+	for _, tt := range tests {
+		if uint8(tt.e) != tt.bits {
+			t.Errorf("%s encodes %02b, want %02b", tt.name, uint8(tt.e), tt.bits)
+		}
+		if tt.e.String() != tt.name {
+			t.Errorf("String() = %q, want %q", tt.e.String(), tt.name)
+		}
+		if tt.e.ECTCapable() != tt.capable {
+			t.Errorf("%s.ECTCapable() = %v, want %v", tt.name, tt.e.ECTCapable(), tt.capable)
+		}
+	}
+}
+
+// TestTableI_TCPHeaderCodepoints pins the paper's Table I: ECE and CWR on
+// the TCP header.
+func TestTableI_TCPHeaderCodepoints(t *testing.T) {
+	if FlagECE == 0 || FlagCWR == 0 || FlagECE == FlagCWR {
+		t.Fatal("ECE and CWR must be distinct non-zero flags")
+	}
+	var f TCPFlags
+	f |= FlagECE
+	if !f.Has(FlagECE) || f.Has(FlagCWR) {
+		t.Error("flag set/test broken for ECE")
+	}
+	if got := (FlagECE | FlagCWR).String(); got != "ECE|CWR" {
+		t.Errorf("String = %q, want ECE|CWR", got)
+	}
+}
+
+func TestFlagsHasAny(t *testing.T) {
+	f := FlagSYN | FlagACK
+	if !f.HasAny(FlagSYN | FlagFIN) {
+		t.Error("HasAny(SYN|FIN) should be true for SYN|ACK")
+	}
+	if f.Has(FlagSYN | FlagFIN) {
+		t.Error("Has(SYN|FIN) should be false for SYN|ACK")
+	}
+	if TCPFlags(0).String() != "none" {
+		t.Errorf("zero flags String = %q", TCPFlags(0).String())
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Packet
+		want Kind
+	}{
+		{"data", Packet{Flags: FlagACK, Payload: 1460}, KindData},
+		{"pure ack", Packet{Flags: FlagACK}, KindPureACK},
+		{"syn", Packet{Flags: FlagSYN}, KindSYN},
+		{"syn-ack", Packet{Flags: FlagSYN | FlagACK}, KindSYNACK},
+		{"fin", Packet{Flags: FlagFIN | FlagACK}, KindFIN},
+		{"ece ack is still ack", Packet{Flags: FlagACK | FlagECE}, KindPureACK},
+		{"bare segment", Packet{}, KindOther},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Kind(); got != tt.want {
+			t.Errorf("%s: Kind = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestIsPureACK(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Packet
+		want bool
+	}{
+		{"plain ack", Packet{Flags: FlagACK}, true},
+		{"ack with ece", Packet{Flags: FlagACK | FlagECE}, true},
+		{"ack with payload", Packet{Flags: FlagACK, Payload: 100}, false},
+		{"syn-ack", Packet{Flags: FlagSYN | FlagACK}, false},
+		{"fin-ack", Packet{Flags: FlagFIN | FlagACK}, false},
+		{"rst", Packet{Flags: FlagRST | FlagACK}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.p.IsPureACK(); got != tt.want {
+			t.Errorf("%s: IsPureACK = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	p := Packet{Payload: 1460}
+	if got := p.Size(); got != HeaderSize+1460 {
+		t.Errorf("Size = %d, want %d", got, HeaderSize+1460)
+	}
+	// Explicit wire size wins (the paper's 150-byte ACKs).
+	p2 := Packet{Flags: FlagACK, Wire: 150}
+	if got := p2.Size(); got != 150 {
+		t.Errorf("Size = %d, want 150", got)
+	}
+	var ack Packet
+	ack.Flags = FlagACK
+	if got := ack.Size(); got != units.ByteSize(HeaderSize) {
+		t.Errorf("pure ACK default size = %d, want %d", got, HeaderSize)
+	}
+}
+
+func TestMarkSetsCE(t *testing.T) {
+	p := Packet{ECN: ECT0, Payload: 100}
+	p.Mark()
+	if p.ECN != CE {
+		t.Errorf("after Mark, ECN = %v, want CE", p.ECN)
+	}
+	// Marking an already-CE packet is fine (CE is ECT-capable).
+	p.Mark()
+	if p.ECN != CE {
+		t.Error("re-mark changed codepoint")
+	}
+}
+
+func TestMarkPanicsOnNonECT(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("marking a non-ECT packet must panic")
+		}
+	}()
+	p := Packet{ECN: NotECT}
+	p.Mark()
+}
+
+func TestHasECE(t *testing.T) {
+	p := Packet{Flags: FlagACK | FlagECE}
+	if !p.HasECE() {
+		t.Error("HasECE = false for ECE ACK")
+	}
+	p2 := Packet{Flags: FlagACK}
+	if p2.HasECE() {
+		t.Error("HasECE = true without ECE")
+	}
+}
+
+func TestIsSYN(t *testing.T) {
+	if !(&Packet{Flags: FlagSYN}).IsSYN() {
+		t.Error("SYN not recognized")
+	}
+	if !(&Packet{Flags: FlagSYN | FlagACK}).IsSYN() {
+		t.Error("SYN-ACK not recognized as SYN")
+	}
+	if (&Packet{Flags: FlagACK}).IsSYN() {
+		t.Error("plain ACK recognized as SYN")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{Node: 3, Port: 8080}
+	if got := a.String(); got != "n3:8080" {
+		t.Errorf("Addr.String = %q", got)
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := Packet{ID: 9, Flags: FlagACK, Payload: 1460, Src: Addr{1, 100}, Dst: Addr{2, 200}, ECN: ECT0}
+	s := p.String()
+	for _, want := range []string{"#9", "DATA", "n1:100", "n2:200", "ECT(0)"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindData: "DATA", KindPureACK: "ACK", KindSYN: "SYN",
+		KindSYNACK: "SYN-ACK", KindFIN: "FIN", KindOther: "OTHER",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

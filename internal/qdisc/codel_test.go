@@ -1,0 +1,175 @@
+package qdisc
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+func testCoDel(protect ProtectMode) *CoDel {
+	cfg := DefaultCoDelConfig(1000, 100*units.Microsecond)
+	cfg.Protect = protect
+	return NewCoDel(cfg)
+}
+
+// drainAt dequeues every packet with the given per-packet service time,
+// returning survivors.
+func drainAt(q Qdisc, start units.Time, perPkt units.Duration) []*packet.Packet {
+	var out []*packet.Packet
+	now := start
+	for {
+		p := q.Dequeue(now)
+		if p == nil && q.Len() == 0 {
+			return out
+		}
+		if p != nil {
+			out = append(out, p)
+		}
+		now = now.Add(perPkt)
+	}
+}
+
+func TestCoDelNoActionBelowTarget(t *testing.T) {
+	q := testCoDel(ProtectNone)
+	for i := 0; i < 20; i++ {
+		q.Enqueue(units.Time(i), mkData(uint64(i)))
+	}
+	// Dequeue immediately: sojourn ~0, no marks or drops.
+	got := drainAt(q, units.Time(25), 1*units.Microsecond)
+	if len(got) != 20 {
+		t.Fatalf("delivered %d/20", len(got))
+	}
+	marks, early, _ := q.Counters()
+	if marks != 0 || early != 0 {
+		t.Errorf("acted below target: marks=%d drops=%d", marks, early)
+	}
+}
+
+func TestCoDelMarksECTUnderStandingQueue(t *testing.T) {
+	q := testCoDel(ProtectNone)
+	// Enqueue at t=0, dequeue starting 50ms later: sojourn huge, and the
+	// slow drain keeps it above target past the interval.
+	for i := 0; i < 200; i++ {
+		q.Enqueue(0, mkData(uint64(i)))
+	}
+	start := units.Time(50 * units.Millisecond)
+	_ = drainAt(q, start, 100*units.Microsecond)
+	marks, early, _ := q.Counters()
+	if marks == 0 {
+		t.Error("CoDel never marked under a standing queue")
+	}
+	if early != 0 {
+		t.Errorf("CoDel dropped %d ECT packets with ECN on", early)
+	}
+}
+
+func TestCoDelDropsNonECTUnderStandingQueue(t *testing.T) {
+	q := testCoDel(ProtectNone)
+	for i := 0; i < 200; i++ {
+		q.Enqueue(0, mkAck(uint64(i)))
+	}
+	start := units.Time(50 * units.Millisecond)
+	survivors := drainAt(q, start, 100*units.Microsecond)
+	_, early, _ := q.Counters()
+	if early == 0 {
+		t.Error("CoDel never dropped non-ECT packets under a standing queue")
+	}
+	if len(survivors)+int(early) != 200 {
+		t.Errorf("conservation broken: %d out + %d dropped != 200", len(survivors), early)
+	}
+}
+
+func TestCoDelProtectionShieldsClasses(t *testing.T) {
+	tests := []struct {
+		name    string
+		protect ProtectMode
+		mk      func(uint64) *packet.Packet
+		saved   bool
+	}{
+		{"ece mode saves ece-acks", ProtectECE, mkEceAck, true},
+		{"ece mode saves syns", ProtectECE, mkSyn, true},
+		{"ece mode abandons plain acks", ProtectECE, mkAck, false},
+		{"ack+syn saves plain acks", ProtectACKSYN, mkAck, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := testCoDel(tt.protect)
+			for i := 0; i < 200; i++ {
+				q.Enqueue(0, tt.mk(uint64(i)))
+			}
+			drainAt(q, units.Time(50*units.Millisecond), 100*units.Microsecond)
+			_, early, _ := q.Counters()
+			if tt.saved && early != 0 {
+				t.Errorf("%d protected packets dropped", early)
+			}
+			if !tt.saved && early == 0 {
+				t.Error("unprotected packets were never dropped")
+			}
+		})
+	}
+}
+
+func TestCoDelOverflowStillTailDrops(t *testing.T) {
+	cfg := DefaultCoDelConfig(10, 100*units.Microsecond)
+	q := NewCoDel(cfg)
+	for i := 0; i < 10; i++ {
+		if v := q.Enqueue(0, mkData(uint64(i))); v.Dropped() {
+			t.Fatal("dropped before full")
+		}
+	}
+	if v := q.Enqueue(0, mkData(99)); v != DroppedOverflow {
+		t.Errorf("verdict = %v, want overflow", v)
+	}
+}
+
+func TestCoDelRecoversAfterQueueEmpties(t *testing.T) {
+	q := testCoDel(ProtectNone)
+	for i := 0; i < 100; i++ {
+		q.Enqueue(0, mkData(uint64(i)))
+	}
+	drainAt(q, units.Time(50*units.Millisecond), 100*units.Microsecond)
+	marksBefore, _, _ := q.Counters()
+	// New, uncongested traffic must pass unmarked.
+	now := units.Time(200 * units.Millisecond)
+	q.Enqueue(now, mkData(1000))
+	p := q.Dequeue(now.Add(1 * units.Microsecond))
+	if p == nil {
+		t.Fatal("packet lost")
+	}
+	if p.ECN == packet.CE {
+		t.Error("packet marked after congestion cleared")
+	}
+	marksAfter, _, _ := q.Counters()
+	if marksAfter != marksBefore {
+		t.Error("mark counter moved for uncongested traffic")
+	}
+}
+
+func TestCoDelValidation(t *testing.T) {
+	bad := []CoDelConfig{
+		{},
+		{CapacityPackets: 10, Target: 0, Interval: 1},
+		{CapacityPackets: 10, Target: 1, Interval: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d validated", i)
+		}
+	}
+	good := DefaultCoDelConfig(100, time100us())
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func time100us() units.Duration { return 100 * units.Microsecond }
+
+func TestCoDelName(t *testing.T) {
+	if testCoDel(ProtectNone).Name() != "codel" {
+		t.Error("name drifted")
+	}
+	if testCoDel(ProtectACKSYN).Name() != "codel+ack+syn" {
+		t.Error("protected name drifted")
+	}
+}

@@ -1,0 +1,94 @@
+package qdisc
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+func TestDropTailAcceptsUntilFull(t *testing.T) {
+	q := NewDropTail(3)
+	now := units.Time(0)
+	for i := 0; i < 3; i++ {
+		if v := q.Enqueue(now, mkData(uint64(i))); v != Enqueued {
+			t.Fatalf("enqueue %d: verdict %v", i, v)
+		}
+	}
+	if v := q.Enqueue(now, mkData(4)); v != DroppedOverflow {
+		t.Errorf("overflow verdict = %v, want DroppedOverflow", v)
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len = %d, want 3", q.Len())
+	}
+}
+
+func TestDropTailNeverMarks(t *testing.T) {
+	q := NewDropTail(100)
+	now := units.Time(0)
+	for i := 0; i < 100; i++ {
+		p := mkData(uint64(i))
+		if v := q.Enqueue(now, p); v == EnqueuedMarked {
+			t.Fatal("DropTail marked a packet")
+		}
+		if p.ECN != packet.ECT0 {
+			t.Fatal("DropTail modified the ECN field")
+		}
+	}
+}
+
+func TestDropTailFreesSpaceOnDequeue(t *testing.T) {
+	q := NewDropTail(2)
+	now := units.Time(0)
+	q.Enqueue(now, mkData(1))
+	q.Enqueue(now, mkData(2))
+	if v := q.Enqueue(now, mkData(3)); v != DroppedOverflow {
+		t.Fatal("expected overflow")
+	}
+	q.Dequeue(now)
+	if v := q.Enqueue(now, mkData(4)); v != Enqueued {
+		t.Errorf("after dequeue, verdict = %v, want Enqueued", v)
+	}
+}
+
+func TestDropTailPeek(t *testing.T) {
+	q := NewDropTail(10)
+	if q.Peek() != nil {
+		t.Error("Peek on empty != nil")
+	}
+	q.Enqueue(0, mkData(7))
+	if q.Peek() == nil || q.Peek().ID != 7 {
+		t.Error("Peek did not return head")
+	}
+	if q.Len() != 1 {
+		t.Error("Peek consumed the packet")
+	}
+}
+
+func TestDropTailStampsEnqueuedAt(t *testing.T) {
+	q := NewDropTail(10)
+	p := mkData(1)
+	q.Enqueue(12345, p)
+	if p.EnqueuedAt != 12345 {
+		t.Errorf("EnqueuedAt = %v, want 12345", p.EnqueuedAt)
+	}
+}
+
+func TestDropTailInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDropTail(0)
+}
+
+func TestDropTailMetadata(t *testing.T) {
+	q := NewDropTail(42)
+	if q.Name() != "droptail" {
+		t.Errorf("Name = %q", q.Name())
+	}
+	if q.CapacityPackets() != 42 {
+		t.Errorf("CapacityPackets = %d", q.CapacityPackets())
+	}
+}

@@ -1,0 +1,170 @@
+package qdisc
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+func testPIE(protect ProtectMode) *PIE {
+	cfg := DefaultPIEConfig(1000, 10*units.Gbps, 100*units.Microsecond)
+	cfg.Protect = protect
+	cfg.Seed = 7
+	return NewPIE(cfg)
+}
+
+// pressurePIE drives sustained over-target load through the queue and
+// returns it mid-congestion.
+func pressurePIE(q *PIE, mk func(uint64) *packet.Packet) (enq, dropped int) {
+	now := units.Time(0)
+	id := uint64(0)
+	// Arrivals at 2x the drain rate for a while: delay stays over target.
+	for step := 0; step < 40000; step++ {
+		now = now.Add(600 * units.Nanosecond) // ~2x 10G packet time
+		id++
+		v := q.Enqueue(now, mk(id))
+		if v.Dropped() {
+			dropped++
+		} else {
+			enq++
+		}
+		if step%2 == 0 {
+			q.Dequeue(now)
+		}
+	}
+	return enq, dropped
+}
+
+func TestPIEIdleQueuePassesEverything(t *testing.T) {
+	q := testPIE(ProtectNone)
+	now := units.Time(0)
+	for i := 0; i < 1000; i++ {
+		now = now.Add(10 * units.Microsecond)
+		if v := q.Enqueue(now, mkData(uint64(i))); v != Enqueued {
+			t.Fatalf("uncongested enqueue verdict %v", v)
+		}
+		q.Dequeue(now)
+	}
+	if q.Prob() > 0.001 {
+		t.Errorf("drop probability %g grew without congestion", q.Prob())
+	}
+}
+
+func TestPIEControllerRaisesProbabilityUnderLoad(t *testing.T) {
+	q := testPIE(ProtectNone)
+	pressurePIE(q, mkData)
+	if q.Prob() <= 0 {
+		t.Error("probability never rose under sustained overload")
+	}
+	marks, _, _ := q.Counters()
+	if marks == 0 {
+		t.Error("no ECT marks under sustained overload")
+	}
+}
+
+func TestPIEDropsNonECTUnderLoad(t *testing.T) {
+	q := testPIE(ProtectNone)
+	_, dropped := pressurePIE(q, mkAck)
+	if dropped == 0 {
+		t.Error("no non-ECT drops under sustained overload")
+	}
+}
+
+func TestPIEProtectsACKSYN(t *testing.T) {
+	q := testPIE(ProtectACKSYN)
+	_, _ = pressurePIE(q, mkAck)
+	_, early, _ := q.Counters()
+	if early != 0 {
+		t.Errorf("protected ACKs early-dropped %d times", early)
+	}
+}
+
+func TestPIEProbabilityDecaysAfterCongestion(t *testing.T) {
+	q := testPIE(ProtectNone)
+	pressurePIE(q, mkData)
+	peak := q.Prob()
+	if peak <= 0 {
+		t.Skip("controller never engaged")
+	}
+	// Drain fully, then trickle packets: the controller must relax.
+	now := units.Time(1 * units.Second)
+	for q.Dequeue(now) != nil {
+	}
+	for i := 0; i < 2000; i++ {
+		now = now.Add(1 * units.Millisecond)
+		q.Enqueue(now, mkData(uint64(1e6+float64(i))))
+		q.Dequeue(now)
+	}
+	if q.Prob() >= peak {
+		t.Errorf("probability %g did not decay from peak %g", q.Prob(), peak)
+	}
+}
+
+func TestPIEConservation(t *testing.T) {
+	q := testPIE(ProtectNone)
+	enq, dropped := pressurePIE(q, mkData)
+	drainedTail := 0
+	for q.Dequeue(units.Time(2*units.Second)) != nil {
+		drainedTail++
+	}
+	// All enqueued packets either came out during pressure or at the end.
+	total := enq + dropped
+	if total != 40000 {
+		t.Fatalf("accounting lost packets: %d", total)
+	}
+	if q.Len() != 0 {
+		t.Error("queue not empty after drain")
+	}
+}
+
+func TestPIEValidation(t *testing.T) {
+	bad := []PIEConfig{
+		{},
+		{CapacityPackets: 10, Target: 1, TUpdate: 1, Alpha: 0, Beta: 1, DrainRate: 1},
+		{CapacityPackets: 10, Target: 1, TUpdate: 1, Alpha: 1, Beta: 1, DrainRate: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d validated", i)
+		}
+	}
+	if err := func() (err error) {
+		cfg := DefaultPIEConfig(100, 10*units.Gbps, 100*units.Microsecond)
+		return cfg.Validate()
+	}(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPIEOverflow(t *testing.T) {
+	cfg := DefaultPIEConfig(5, 10*units.Gbps, 100*units.Microsecond)
+	q := NewPIE(cfg)
+	for i := 0; i < 5; i++ {
+		q.Enqueue(0, mkData(uint64(i)))
+	}
+	if v := q.Enqueue(0, mkData(9)); v != DroppedOverflow {
+		t.Errorf("verdict = %v", v)
+	}
+}
+
+func TestPIEName(t *testing.T) {
+	if testPIE(ProtectNone).Name() != "pie" {
+		t.Error("name drifted")
+	}
+	if testPIE(ProtectECE).Name() != "pie+ece-bit" {
+		t.Error("protected name drifted")
+	}
+}
+
+func TestPIEDeterministicGivenSeed(t *testing.T) {
+	run := func() (int, int) {
+		q := testPIE(ProtectNone)
+		return pressurePIE(q, mkAck)
+	}
+	e1, d1 := run()
+	e2, d2 := run()
+	if e1 != e2 || d1 != d2 {
+		t.Error("identical PIE runs diverged")
+	}
+}

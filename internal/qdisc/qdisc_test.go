@@ -1,0 +1,252 @@
+package qdisc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// mkData returns an ECT-capable data packet (as an ECN sender emits).
+func mkData(id uint64) *packet.Packet {
+	return &packet.Packet{ID: id, Flags: packet.FlagACK, Payload: 1460, ECN: packet.ECT0}
+}
+
+// mkPlainData returns a non-ECT data packet (plain TCP).
+func mkPlainData(id uint64) *packet.Packet {
+	return &packet.Packet{ID: id, Flags: packet.FlagACK, Payload: 1460}
+}
+
+// mkAck returns a pure ACK (never ECT).
+func mkAck(id uint64) *packet.Packet {
+	return &packet.Packet{ID: id, Flags: packet.FlagACK, Wire: 40}
+}
+
+// mkEceAck returns a pure ACK carrying the ECN-Echo flag.
+func mkEceAck(id uint64) *packet.Packet {
+	return &packet.Packet{ID: id, Flags: packet.FlagACK | packet.FlagECE, Wire: 40}
+}
+
+// mkSyn returns an ECN-setup SYN (ECE|CWR on the TCP header, Non-ECT IP).
+func mkSyn(id uint64) *packet.Packet {
+	return &packet.Packet{ID: id, Flags: packet.FlagSYN | packet.FlagECE | packet.FlagCWR, Wire: 40}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	f := newFIFO(4)
+	for i := 0; i < 100; i++ {
+		f.push(mkData(uint64(i)))
+	}
+	for i := 0; i < 100; i++ {
+		p := f.pop()
+		if p == nil || p.ID != uint64(i) {
+			t.Fatalf("pop %d: got %v", i, p)
+		}
+	}
+	if f.pop() != nil {
+		t.Error("pop on empty returned a packet")
+	}
+}
+
+func TestFIFOInterleavedGrowth(t *testing.T) {
+	f := newFIFO(2)
+	next, expect := uint64(0), uint64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			f.push(mkData(next))
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			p := f.pop()
+			if p.ID != expect {
+				t.Fatalf("expected %d, got %d", expect, p.ID)
+			}
+			expect++
+		}
+	}
+	if f.bytes != units.ByteSize(f.count)*1500 {
+		t.Errorf("byte accounting drifted: %d bytes for %d packets", f.bytes, f.count)
+	}
+}
+
+func TestFIFOSnapshot(t *testing.T) {
+	f := newFIFO(2)
+	for i := 0; i < 5; i++ {
+		f.push(mkData(uint64(i)))
+	}
+	f.pop()
+	snap := f.snapshot(nil)
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	for i, p := range snap {
+		if p.ID != uint64(i+1) {
+			t.Errorf("snapshot[%d].ID = %d, want %d", i, p.ID, i+1)
+		}
+	}
+}
+
+func TestVerdictPredicates(t *testing.T) {
+	if Enqueued.Dropped() || EnqueuedMarked.Dropped() {
+		t.Error("accept verdicts report Dropped")
+	}
+	if !DroppedEarly.Dropped() || !DroppedOverflow.Dropped() {
+		t.Error("drop verdicts do not report Dropped")
+	}
+	names := map[Verdict]string{
+		Enqueued: "enqueued", EnqueuedMarked: "enqueued+marked",
+		DroppedEarly: "dropped-early", DroppedOverflow: "dropped-overflow",
+	}
+	for v, want := range names {
+		if v.String() != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+// Conservation property: every packet offered to a queue is either dropped
+// at enqueue or eventually dequeued, exactly once.
+func TestConservationProperty(t *testing.T) {
+	disciplines := map[string]func() Qdisc{
+		"droptail": func() Qdisc { return NewDropTail(16) },
+		"red": func() Qdisc {
+			cfg := DefaultREDConfig(16, 10*units.Gbps)
+			cfg.Seed = 42
+			return NewRED(cfg)
+		},
+		"simplemark": func() Qdisc { return NewSimpleMark(16, 4) },
+	}
+	for name, mk := range disciplines {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []bool, seed uint64) bool {
+				q := mk()
+				var id, enq, drop, deq uint64
+				now := units.Time(0)
+				for _, isEnq := range ops {
+					now = now.Add(100 * units.Nanosecond)
+					if isEnq {
+						id++
+						v := q.Enqueue(now, mkData(id))
+						if v.Dropped() {
+							drop++
+						} else {
+							enq++
+						}
+					} else if q.Dequeue(now) != nil {
+						deq++
+					}
+				}
+				for q.Dequeue(now) != nil {
+					deq++
+				}
+				return enq == deq && q.Len() == 0
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestQueueByteAccounting(t *testing.T) {
+	for _, q := range []Qdisc{
+		NewDropTail(100),
+		NewRED(func() REDConfig { c := DefaultREDConfig(100, 10*units.Gbps); return c }()),
+		NewSimpleMark(100, 50),
+	} {
+		t.Run(q.Name(), func(t *testing.T) {
+			now := units.Time(1000)
+			q.Enqueue(now, mkData(1))
+			q.Enqueue(now, mkAck(2))
+			wantBytes := units.ByteSize(1500 + 40)
+			if q.BytesQueued() != wantBytes {
+				t.Errorf("BytesQueued = %d, want %d", q.BytesQueued(), wantBytes)
+			}
+			if q.Len() != 2 {
+				t.Errorf("Len = %d, want 2", q.Len())
+			}
+			q.Dequeue(now)
+			if q.BytesQueued() != 40 {
+				t.Errorf("BytesQueued after dequeue = %d, want 40", q.BytesQueued())
+			}
+		})
+	}
+}
+
+// TestConservationWithHeadDrops extends the conservation property to
+// disciplines that drop at dequeue time (CoDel): enqueued = dequeued +
+// head-dropped.
+func TestConservationWithHeadDrops(t *testing.T) {
+	mk := func() (Qdisc, *int) {
+		cfg := DefaultCoDelConfig(64, 50*units.Microsecond)
+		q := NewCoDel(cfg)
+		headDrops := 0
+		q.SetHeadDropCallback(func(p *packet.Packet) { headDrops++ })
+		return q, &headDrops
+	}
+	f := func(ops []bool) bool {
+		q, headDrops := mk()
+		var enq, tail, deq int
+		now := units.Time(0)
+		id := uint64(0)
+		for _, isEnq := range ops {
+			now = now.Add(200 * units.Microsecond)
+			if isEnq {
+				id++
+				// Alternate ECT data and ACKs so head drops can happen.
+				var p *packet.Packet
+				if id%2 == 0 {
+					p = mkData(id)
+				} else {
+					p = mkAck(id)
+				}
+				if q.Enqueue(now, p).Dropped() {
+					tail++
+				} else {
+					enq++
+				}
+			} else if q.Dequeue(now) != nil {
+				deq++
+			}
+		}
+		for q.Dequeue(now) != nil {
+			deq++
+		}
+		return enq == deq+*headDrops && q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPIEConservationProperty is the same property for PIE (enqueue drops
+// only).
+func TestPIEConservationProperty(t *testing.T) {
+	f := func(ops []bool, seed uint64) bool {
+		cfg := DefaultPIEConfig(64, 10*units.Gbps, 50*units.Microsecond)
+		cfg.Seed = seed
+		q := NewPIE(cfg)
+		var enq, deq int
+		now := units.Time(0)
+		id := uint64(0)
+		for _, isEnq := range ops {
+			now = now.Add(100 * units.Microsecond)
+			if isEnq {
+				id++
+				if !q.Enqueue(now, mkData(id)).Dropped() {
+					enq++
+				}
+			} else if q.Dequeue(now) != nil {
+				deq++
+			}
+		}
+		for q.Dequeue(now) != nil {
+			deq++
+		}
+		return enq == deq && q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

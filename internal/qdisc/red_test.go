@@ -1,0 +1,360 @@
+package qdisc
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// testREDConfig returns an instantaneous-mode RED so tests control the
+// averaged queue directly through the actual occupancy.
+func testREDConfig(capacity int, min, max float64) REDConfig {
+	return REDConfig{
+		CapacityPackets: capacity,
+		MinTh:           min,
+		MaxTh:           max,
+		MaxP:            0.1,
+		Wq:              0.002,
+		Instantaneous:   true,
+		Gentle:          true,
+		ECN:             true,
+		DrainRate:       10 * units.Gbps,
+		Seed:            1,
+	}
+}
+
+// fillTo raises the instantaneous queue to n packets with ECT data.
+func fillTo(t *testing.T, q *RED, n int) {
+	t.Helper()
+	id := uint64(1 << 20)
+	for q.Len() < n {
+		id++
+		p := mkData(id)
+		if v := q.Enqueue(0, p); v.Dropped() {
+			t.Fatalf("could not prefill queue to %d (at %d): %v", n, q.Len(), v)
+		}
+	}
+}
+
+func TestREDBelowMinNeverActs(t *testing.T) {
+	q := NewRED(testREDConfig(100, 10, 30))
+	for i := 0; i < 9; i++ {
+		if v := q.Enqueue(0, mkData(uint64(i))); v != Enqueued {
+			t.Fatalf("verdict below min = %v", v)
+		}
+	}
+	for i := 0; i < 9; i++ {
+		if v := q.Enqueue(0, mkAck(uint64(100+i))); v != Enqueued {
+			t.Fatalf("ACK verdict below min = %v", v)
+		}
+	}
+	marks, early, _ := q.Counters()
+	if marks != 0 || early != 0 {
+		t.Errorf("marks=%d early=%d below min threshold", marks, early)
+	}
+}
+
+func TestREDForcedRegionMarksECT(t *testing.T) {
+	// Gentle region ends at 2*max: beyond it every ECT packet is marked.
+	q := NewRED(testREDConfig(200, 10, 30))
+	fillToForced(t, q, 61) // > 2*30
+	p := mkData(9999)
+	if v := q.Enqueue(0, p); v != EnqueuedMarked {
+		t.Fatalf("forced-region ECT verdict = %v, want EnqueuedMarked", v)
+	}
+	if p.ECN != packet.CE {
+		t.Error("marked packet does not carry CE")
+	}
+}
+
+// fillToForced fills the queue ignoring marks (ECT data is never dropped).
+func fillToForced(t *testing.T, q *RED, n int) {
+	t.Helper()
+	id := uint64(1 << 21)
+	for q.Len() < n {
+		id++
+		if v := q.Enqueue(0, mkData(id)); v.Dropped() {
+			t.Fatalf("ECT data dropped while filling: %v", v)
+		}
+	}
+}
+
+func TestREDForcedRegionDropsNonECT_DefaultMode(t *testing.T) {
+	// This is the paper's problem: in the forced region the default AQM
+	// drops every non-ECT packet — ACKs, ECE-ACKs, SYNs alike.
+	q := NewRED(testREDConfig(200, 10, 30))
+	fillToForced(t, q, 61)
+	if v := q.Enqueue(0, mkAck(1)); v != DroppedEarly {
+		t.Errorf("plain ACK verdict = %v, want DroppedEarly", v)
+	}
+	if v := q.Enqueue(0, mkEceAck(2)); v != DroppedEarly {
+		t.Errorf("ECE ACK verdict = %v, want DroppedEarly (default mode)", v)
+	}
+	if v := q.Enqueue(0, mkSyn(3)); v != DroppedEarly {
+		t.Errorf("SYN verdict = %v, want DroppedEarly (default mode)", v)
+	}
+}
+
+func TestREDProtectECEMode(t *testing.T) {
+	// The paper's first proposal: packets whose TCP header carries ECE —
+	// congestion echoes, SYNs, SYN-ACKs — survive the early drop.
+	cfg := testREDConfig(200, 10, 30)
+	cfg.Protect = ProtectECE
+	q := NewRED(cfg)
+	fillToForced(t, q, 61)
+	if v := q.Enqueue(0, mkEceAck(1)); v != Enqueued {
+		t.Errorf("ECE ACK verdict = %v, want Enqueued (protected)", v)
+	}
+	if v := q.Enqueue(0, mkSyn(2)); v != Enqueued {
+		t.Errorf("SYN verdict = %v, want Enqueued (protected)", v)
+	}
+	// Plain ACKs are still dropped in this mode.
+	if v := q.Enqueue(0, mkAck(3)); v != DroppedEarly {
+		t.Errorf("plain ACK verdict = %v, want DroppedEarly (unprotected)", v)
+	}
+}
+
+func TestREDProtectACKSYNMode(t *testing.T) {
+	// The paper's second mode: every pure ACK and SYN survives.
+	cfg := testREDConfig(200, 10, 30)
+	cfg.Protect = ProtectACKSYN
+	q := NewRED(cfg)
+	fillToForced(t, q, 61)
+	for i, p := range []*packet.Packet{mkAck(1), mkEceAck(2), mkSyn(3)} {
+		if v := q.Enqueue(0, p); v != Enqueued {
+			t.Errorf("packet %d verdict = %v, want Enqueued", i, v)
+		}
+	}
+	// Non-ECT data (plain TCP through an ECN queue) is NOT protected.
+	if v := q.Enqueue(0, mkPlainData(4)); v != DroppedEarly {
+		t.Errorf("non-ECT data verdict = %v, want DroppedEarly", v)
+	}
+}
+
+func TestREDProtectedPacketsStillTailDrop(t *testing.T) {
+	// Protection never overrides the physical buffer: a full queue drops
+	// everything.
+	cfg := testREDConfig(50, 10, 30)
+	cfg.Protect = ProtectACKSYN
+	q := NewRED(cfg)
+	fillToForced(t, q, 50)
+	if v := q.Enqueue(0, mkAck(1)); v != DroppedOverflow {
+		t.Errorf("verdict at full buffer = %v, want DroppedOverflow", v)
+	}
+}
+
+func TestREDWithoutECNDropsECTToo(t *testing.T) {
+	cfg := testREDConfig(200, 10, 30)
+	cfg.ECN = false
+	q := NewRED(cfg)
+	// Fill to the forced region; without ECN the fill itself sheds packets,
+	// so count verdicts instead.
+	dropped := false
+	for i := 0; i < 100; i++ {
+		if q.Enqueue(0, mkData(uint64(i))).Dropped() {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Error("RED without ECN never dropped ECT data under pressure")
+	}
+	marks, _, _ := q.Counters()
+	if marks != 0 {
+		t.Errorf("RED without ECN marked %d packets", marks)
+	}
+}
+
+func TestREDProbabilisticRegionMarksSomeNotAll(t *testing.T) {
+	// Hold the queue between min and max: ECT packets should be marked at
+	// a rate strictly between 0 and 100%.
+	q := NewRED(testREDConfig(400, 10, 300))
+	fillTo(t, q, 100)
+	marked, total := 0, 2000
+	for i := 0; i < total; i++ {
+		p := mkData(uint64(1e6 + float64(i)))
+		v := q.Enqueue(0, p)
+		if v == EnqueuedMarked {
+			marked++
+		}
+		q.Dequeue(0) // hold occupancy constant
+	}
+	if marked == 0 {
+		t.Error("no marks in probabilistic region")
+	}
+	if marked == total {
+		t.Error("every packet marked in probabilistic region")
+	}
+}
+
+func TestREDMarkingRateGrowsWithOccupancy(t *testing.T) {
+	rate := func(depth int) float64 {
+		q := NewRED(testREDConfig(1000, 10, 600))
+		fillTo(t, q, depth)
+		marked := 0
+		const total = 3000
+		for i := 0; i < total; i++ {
+			if q.Enqueue(0, mkData(uint64(1e6+float64(i)))) == EnqueuedMarked {
+				marked++
+			}
+			q.Dequeue(0)
+		}
+		return float64(marked) / total
+	}
+	low, high := rate(50), rate(400)
+	if low >= high {
+		t.Errorf("marking rate not increasing: %.3f at depth 50 vs %.3f at depth 400", low, high)
+	}
+}
+
+func TestREDEWMASmoothsBursts(t *testing.T) {
+	// In averaged mode a short burst must not immediately trigger marking,
+	// even though the instantaneous queue crosses min.
+	cfg := testREDConfig(500, 10, 50)
+	cfg.Instantaneous = false
+	cfg.Wq = 0.002
+	q := NewRED(cfg)
+	for i := 0; i < 40; i++ {
+		if v := q.Enqueue(0, mkData(uint64(i))); v != Enqueued {
+			t.Fatalf("burst packet %d got %v; EWMA should lag the burst", i, v)
+		}
+	}
+	if q.AvgQueue() >= 10 {
+		t.Errorf("avg = %.2f after 40-packet burst, want < min threshold 10", q.AvgQueue())
+	}
+}
+
+func TestREDIdleDecay(t *testing.T) {
+	cfg := testREDConfig(500, 10, 50)
+	cfg.Instantaneous = false
+	cfg.Wq = 0.5 // fast EWMA so the test converges quickly
+	q := NewRED(cfg)
+	for i := 0; i < 100; i++ {
+		q.Enqueue(0, mkData(uint64(i)))
+	}
+	avgBefore := q.AvgQueue()
+	// Drain completely, then wait a long idle period.
+	for q.Dequeue(1000) != nil {
+	}
+	q.Enqueue(units.Time(10*units.Millisecond), mkData(1000))
+	if q.AvgQueue() >= avgBefore/2 {
+		t.Errorf("avg did not decay across idle: before=%.1f after=%.1f", avgBefore, q.AvgQueue())
+	}
+}
+
+func TestREDForTargetDelayDerivesThresholds(t *testing.T) {
+	cfg := REDForTargetDelay(699, 10*units.Gbps, 500*units.Microsecond)
+	// 500µs/2 at 10 Gbps is ~206 full packets.
+	if cfg.MinTh < 190 || cfg.MinTh > 220 {
+		t.Errorf("MinTh = %.1f, want ~206", cfg.MinTh)
+	}
+	if cfg.MaxTh != 3*cfg.MinTh && cfg.MaxTh != float64(699) {
+		t.Errorf("MaxTh = %.1f, want 3*min capped at capacity", cfg.MaxTh)
+	}
+	// A huge target delay saturates at the buffer size.
+	cfg2 := REDForTargetDelay(699, 10*units.Gbps, 100*units.Millisecond)
+	if cfg2.MaxTh > 699 {
+		t.Errorf("MaxTh = %.1f exceeds capacity", cfg2.MaxTh)
+	}
+	if cfg2.MinTh > cfg2.MaxTh {
+		t.Errorf("MinTh %.1f > MaxTh %.1f", cfg2.MinTh, cfg2.MaxTh)
+	}
+}
+
+func TestREDByteMode(t *testing.T) {
+	// Per-byte thresholds: forty 1500-byte packets trip a 30KB threshold,
+	// but hundreds of 40-byte ACKs do not. This is the ablation for the
+	// paper's per-packet-threshold observation.
+	cfg := testREDConfig(10000, 30000, 90000)
+	cfg.ByteMode = true
+	q := NewRED(cfg)
+	for i := 0; i < 700; i++ {
+		if v := q.Enqueue(0, mkAck(uint64(i))); v != Enqueued {
+			t.Fatalf("ACK %d dropped at %d queued bytes in byte mode", i, q.BytesQueued())
+		}
+	}
+	// 700 ACKs = 28KB < 30KB: no action. Now data fills bytes fast.
+	sawMark := false
+	for i := 0; i < 100; i++ {
+		if q.Enqueue(0, mkData(uint64(1000+i))) == EnqueuedMarked {
+			sawMark = true
+		}
+	}
+	if !sawMark {
+		t.Error("byte-mode RED never marked despite byte pressure")
+	}
+}
+
+func TestREDValidation(t *testing.T) {
+	bad := []REDConfig{
+		{},
+		{CapacityPackets: 10, MinTh: 0, MaxTh: 5, MaxP: 0.1, Wq: 0.002, DrainRate: 1},
+		{CapacityPackets: 10, MinTh: 6, MaxTh: 5, MaxP: 0.1, Wq: 0.002, DrainRate: 1},
+		{CapacityPackets: 10, MinTh: 1, MaxTh: 5, MaxP: 0, Wq: 0.002, DrainRate: 1},
+		{CapacityPackets: 10, MinTh: 1, MaxTh: 5, MaxP: 0.1, Wq: 0, DrainRate: 1},
+		{CapacityPackets: 10, MinTh: 1, MaxTh: 5, MaxP: 0.1, Wq: 0.002, DrainRate: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated but is invalid", i)
+		}
+	}
+	good := DefaultREDConfig(100, 10*units.Gbps)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestREDName(t *testing.T) {
+	tests := []struct {
+		mode ProtectMode
+		want string
+	}{
+		{ProtectNone, "red"},
+		{ProtectECE, "red+ece-bit"},
+		{ProtectACKSYN, "red+ack+syn"},
+	}
+	for _, tt := range tests {
+		cfg := testREDConfig(100, 10, 30)
+		cfg.Protect = tt.mode
+		if got := NewRED(cfg).Name(); got != tt.want {
+			t.Errorf("Name with %v = %q, want %q", tt.mode, got, tt.want)
+		}
+	}
+}
+
+func TestProtectModeString(t *testing.T) {
+	if ProtectNone.String() != "default" || ProtectECE.String() != "ece-bit" || ProtectACKSYN.String() != "ack+syn" {
+		t.Error("ProtectMode names drifted from the paper's labels")
+	}
+}
+
+func TestREDDeterministicGivenSeed(t *testing.T) {
+	run := func() []Verdict {
+		q := NewRED(testREDConfig(100, 5, 20))
+		var out []Verdict
+		for i := 0; i < 500; i++ {
+			out = append(out, q.Enqueue(0, mkAck(uint64(i))))
+			if i%3 == 0 {
+				q.Dequeue(0)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestREDSnapshotExposesQueue(t *testing.T) {
+	q := NewRED(testREDConfig(100, 50, 90))
+	q.Enqueue(0, mkData(1))
+	q.Enqueue(0, mkAck(2))
+	snap := q.Snapshot()
+	if len(snap) != 2 || snap[0].ID != 1 || snap[1].ID != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}

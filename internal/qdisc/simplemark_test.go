@@ -1,0 +1,178 @@
+package qdisc
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+func TestSimpleMarkBelowThresholdNoMarks(t *testing.T) {
+	q := NewSimpleMark(100, 10)
+	for i := 0; i < 10; i++ {
+		if v := q.Enqueue(0, mkData(uint64(i))); v != Enqueued {
+			t.Fatalf("verdict %v below threshold", v)
+		}
+	}
+	marks, _ := q.Counters()
+	if marks != 0 {
+		t.Errorf("marks = %d below threshold", marks)
+	}
+}
+
+func TestSimpleMarkAtThresholdMarksECT(t *testing.T) {
+	q := NewSimpleMark(100, 10)
+	for i := 0; i < 10; i++ {
+		q.Enqueue(0, mkData(uint64(i)))
+	}
+	p := mkData(100)
+	if v := q.Enqueue(0, p); v != EnqueuedMarked {
+		t.Fatalf("verdict at threshold = %v, want EnqueuedMarked", v)
+	}
+	if p.ECN != packet.CE {
+		t.Error("packet not CE after marking")
+	}
+}
+
+// TestSimpleMarkNeverEarlyDrops pins the defining property of the paper's
+// "true simple marking scheme": nothing is dropped before the buffer is
+// physically full — not ACKs, not SYNs, not non-ECT data.
+func TestSimpleMarkNeverEarlyDrops(t *testing.T) {
+	q := NewSimpleMark(200, 5)
+	mk := []func(uint64) *packet.Packet{mkData, mkPlainData, mkAck, mkEceAck, mkSyn}
+	for i := 0; i < 200; i++ {
+		p := mk[i%len(mk)](uint64(i))
+		v := q.Enqueue(0, p)
+		if v.Dropped() {
+			t.Fatalf("packet %d (%v) dropped with %d/%d queued", i, p.Kind(), q.Len(), 200)
+		}
+	}
+	// Now the buffer is full: overflow is the only legal drop.
+	if v := q.Enqueue(0, mkAck(999)); v != DroppedOverflow {
+		t.Errorf("verdict at full buffer = %v, want DroppedOverflow", v)
+	}
+	_, overflow := q.Counters()
+	if overflow != 1 {
+		t.Errorf("overflow counter = %d, want 1", overflow)
+	}
+}
+
+func TestSimpleMarkNonECTAboveThresholdEnqueuedUnmarked(t *testing.T) {
+	q := NewSimpleMark(100, 5)
+	for i := 0; i < 20; i++ {
+		q.Enqueue(0, mkData(uint64(i)))
+	}
+	p := mkAck(100)
+	if v := q.Enqueue(0, p); v != Enqueued {
+		t.Fatalf("ACK verdict above threshold = %v, want Enqueued", v)
+	}
+	if p.ECN != packet.NotECT {
+		t.Error("non-ECT packet's ECN field was modified")
+	}
+}
+
+func TestSimpleMarkInstantaneous(t *testing.T) {
+	// Marking must track the instantaneous queue: drain below K and marks
+	// must stop immediately (no EWMA memory).
+	q := NewSimpleMark(100, 10)
+	for i := 0; i < 50; i++ {
+		q.Enqueue(0, mkData(uint64(i)))
+	}
+	for q.Len() > 5 {
+		q.Dequeue(0)
+	}
+	if v := q.Enqueue(0, mkData(999)); v != Enqueued {
+		t.Errorf("verdict after drain = %v, want Enqueued (no memory)", v)
+	}
+}
+
+func TestSimpleMarkForTargetDelay(t *testing.T) {
+	q := SimpleMarkForTargetDelay(699, 10*units.Gbps, 100*units.Microsecond)
+	// 100µs at 10Gbps = ~83 full packets.
+	if k := q.Threshold(); k < 75 || k > 90 {
+		t.Errorf("K = %d, want ~83", k)
+	}
+	// Tiny delays clamp to at least 1; huge delays clamp to capacity.
+	if k := SimpleMarkForTargetDelay(699, 10*units.Gbps, 1*units.Nanosecond).Threshold(); k != 1 {
+		t.Errorf("tiny delay K = %d, want 1", k)
+	}
+	if k := SimpleMarkForTargetDelay(699, 10*units.Gbps, 10*units.Second).Threshold(); k != 699 {
+		t.Errorf("huge delay K = %d, want capacity", k)
+	}
+}
+
+func TestSimpleMarkByteMode(t *testing.T) {
+	q := NewSimpleMarkBytes(1000, 10*1500)
+	// 400 ACKs (16KB) stay under the 15KB... just over: 400*40=16000 > 15000.
+	// Use 300 ACKs = 12KB, under threshold.
+	for i := 0; i < 300; i++ {
+		if v := q.Enqueue(0, mkAck(uint64(i))); v != Enqueued {
+			t.Fatalf("ACK dropped in byte mode: %v", v)
+		}
+	}
+	// Data pushes bytes over the threshold; ECT data gets marked.
+	sawMark := false
+	for i := 0; i < 20; i++ {
+		if q.Enqueue(0, mkData(uint64(1000+i))) == EnqueuedMarked {
+			sawMark = true
+		}
+	}
+	if !sawMark {
+		t.Error("byte-mode SimpleMark never marked")
+	}
+}
+
+func TestSimpleMarkValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSimpleMark(0, 1) },
+		func() { NewSimpleMark(10, 0) },
+		func() { NewSimpleMark(10, 11) },
+		func() { NewSimpleMarkBytes(0, 100) },
+		func() { NewSimpleMarkBytes(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid construction")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSimpleMarkMetadata(t *testing.T) {
+	q := NewSimpleMark(50, 10)
+	if q.Name() != "simplemark" {
+		t.Errorf("Name = %q", q.Name())
+	}
+	if q.CapacityPackets() != 50 {
+		t.Errorf("CapacityPackets = %d", q.CapacityPackets())
+	}
+	if q.Peek() != nil {
+		t.Error("Peek on empty")
+	}
+	q.Enqueue(0, mkData(3))
+	if q.Peek().ID != 3 {
+		t.Error("Peek head mismatch")
+	}
+	snap := q.Snapshot()
+	if len(snap) != 1 || snap[0].ID != 3 {
+		t.Error("Snapshot mismatch")
+	}
+}
+
+func TestSimpleMarkCEPassthrough(t *testing.T) {
+	// A packet already marked CE upstream stays CE and still counts as a
+	// mark opportunity without panicking.
+	q := NewSimpleMark(100, 1)
+	q.Enqueue(0, mkData(1))
+	p := mkData(2)
+	p.ECN = packet.CE
+	if v := q.Enqueue(0, p); v != EnqueuedMarked {
+		t.Errorf("verdict for pre-marked packet = %v", v)
+	}
+	if p.ECN != packet.CE {
+		t.Error("CE lost")
+	}
+}

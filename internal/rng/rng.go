@@ -1,0 +1,117 @@
+// Package rng provides a small, fast, deterministic random number generator
+// for the simulator. Every component that needs randomness derives a child
+// stream from a single run seed, so identical configurations always replay
+// the same packet-level schedule regardless of map iteration order or the
+// number of components created.
+//
+// The core generator is xoshiro256**, seeded via splitmix64, following the
+// reference implementations by Blackman and Vigna (public domain).
+package rng
+
+import "math"
+
+// Source is a deterministic random stream.
+type Source struct {
+	s [4]uint64
+}
+
+// New creates a Source from a 64-bit seed.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+// Child derives an independent stream labelled by id. Deriving the same id
+// twice yields identical streams; distinct ids yield (statistically)
+// independent streams.
+func (r *Source) Child(id uint64) *Source {
+	// Mix the parent's seed state with the label through splitmix64 steps.
+	base := r.s[0] ^ rotl(r.s[1], 17) ^ (id * 0x9e3779b97f4a7c15)
+	return New(base)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float in [0,1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0,n). It panics if n <= 0.
+func (r *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes a slice of length n using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float with mean 1.
+func (r *Source) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *Source) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		u2 := r.Float64()
+		if u1 <= 0 {
+			continue
+		}
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim implements the discrete-event simulation engine that drives
+// every other component in this repository. It plays the role NS-2's
+// scheduler played in the paper's methodology: components schedule callbacks
+// at absolute simulated times and the engine executes them in time order.
+//
+// The engine is single-threaded and fully deterministic: events scheduled for
+// the same instant execute in scheduling order (FIFO), which makes runs
+// reproducible bit-for-bit given the same seed and configuration.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Time is re-exported from units for convenience.
+type Time = units.Time
+
+// Duration is re-exported from units for convenience.
+type Duration = units.Duration
+
+// Event is a scheduled callback. A non-nil Event may be cancelled before it
+// fires; cancellation after firing is a harmless no-op.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 once removed
+}
+
+// At returns the simulated time the event fires (or fired) at.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether the event was cancelled or already executed.
+func (e *Event) Cancelled() bool { return e.fn == nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler.
+type Engine struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	executed uint64
+	stopped  bool
+	maxTime  Time // 0 means unbounded
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: it is
+// always a logic error in a discrete-event model.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After runs fn d after the current time.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling nil or an already-fired event
+// is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fn == nil {
+		return
+	}
+	ev.fn = nil
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+	}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// SetDeadline makes Run refuse to execute events past t (0 disables).
+func (e *Engine) SetDeadline(t Time) { e.maxTime = t }
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		if e.maxTime != 0 && ev.at > e.maxTime {
+			// Out of time budget; push back and refuse.
+			heap.Push(&e.events, ev)
+			return false
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain, Stop is called, or the deadline is
+// reached. It returns the final simulated time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= t and then advances the clock
+// to exactly t (if it is in the future). It returns the final time, t.
+func (e *Engine) RunUntil(t Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return e.now
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		if e.events[0].fn == nil {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0]
+	}
+	return nil
+}
+
+// Timer is a restartable one-shot timer bound to an engine, in the style of
+// time.Timer but in simulated time. It is the building block for TCP's RTO
+// and delayed-ACK timers.
+type Timer struct {
+	eng *Engine
+	ev  *Event
+	fn  func()
+}
+
+// NewTimer returns a stopped timer that will run fn when it fires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil callback")
+	}
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, cancelling any pending firing.
+func (t *Timer) Reset(d Duration) {
+	t.Stop()
+	t.ev = t.eng.After(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop disarms the timer if it is pending.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer is pending.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Deadline returns the pending firing time; valid only if Armed.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.At()
+}

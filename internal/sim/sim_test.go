@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(300, func() { order = append(order, 3) })
+	e.Schedule(100, func() { order = append(order, 1) })
+	e.Schedule(200, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 300 {
+		t.Errorf("final time = %v, want 300", e.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(50, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Errorf("hits = %v, want [10 15]", hits)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.Schedule(50, func() {})
+	})
+	e.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	// Double cancel and nil cancel are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, e.Schedule(Time(10+i), func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[2])
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("executed %d events after Stop, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Errorf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20", fired)
+	}
+	if e.Now() != 25 {
+		t.Errorf("now = %v, want 25 (clock advanced to target)", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Errorf("fired %v after second RunUntil", fired)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	e := New()
+	ran := 0
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(1000, func() { ran++ })
+	e.SetDeadline(100)
+	e.Run()
+	if ran != 1 {
+		t.Errorf("ran %d events, want 1 (deadline blocks the second)", ran)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := New()
+	for i := 1; i <= 5; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Executed() != 5 {
+		t.Errorf("Executed = %d, want 5", e.Executed())
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(10, func() {
+		e.After(-5*units.Nanosecond, func() { fired = true })
+	})
+	e.Run()
+	if !fired {
+		t.Error("After with negative delay never fired")
+	}
+}
+
+func TestTimerFiresOnce(t *testing.T) {
+	e := New()
+	count := 0
+	tm := NewTimer(e, func() { count++ })
+	tm.Reset(10)
+	e.Run()
+	if count != 1 {
+		t.Errorf("timer fired %d times, want 1", count)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerReset(t *testing.T) {
+	e := New()
+	var at Time
+	tm := NewTimer(e, func() { at = e.Now() })
+	tm.Reset(10)
+	e.Schedule(5, func() { tm.Reset(20) }) // re-arm to fire at 25
+	e.Run()
+	if at != 25 {
+		t.Errorf("timer fired at %v, want 25 (reset postpones)", at)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New()
+	fired := false
+	tm := NewTimer(e, func() { fired = true })
+	tm.Reset(10)
+	tm.Stop()
+	e.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	tm.Stop() // double stop is a no-op
+}
+
+func TestTimerDeadline(t *testing.T) {
+	e := New()
+	tm := NewTimer(e, func() {})
+	tm.Reset(42)
+	if !tm.Armed() {
+		t.Fatal("timer not armed")
+	}
+	if tm.Deadline() != 42 {
+		t.Errorf("deadline = %v, want 42", tm.Deadline())
+	}
+	tm.Stop()
+	if tm.Deadline() != 0 {
+		t.Errorf("deadline after stop = %v, want 0", tm.Deadline())
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	e := New()
+	const n = 100000
+	count := 0
+	// Insert in a scattered order via a simple LCG.
+	seed := uint64(12345)
+	for i := 0; i < n; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		at := Time(seed % 1000000)
+		e.Schedule(at, func() { count++ })
+	}
+	var last Time
+	e.Schedule(1000001, func() { last = e.Now() })
+	e.Run()
+	if count != n {
+		t.Errorf("executed %d, want %d", count, n)
+	}
+	if last != 1000001 {
+		t.Errorf("last event at %v", last)
+	}
+}

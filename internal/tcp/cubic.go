@@ -1,0 +1,91 @@
+package tcp
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// CUBIC window growth (RFC 8312, simplified to the parts that matter at
+// datacenter RTTs): after a reduction at window Wmax, the window follows
+// W(t) = C*(t-K)^3 + Wmax (in segments), with K = cbrt(Wmax*(1-beta)/C),
+// beta = 0.7, C = 0.4. A TCP-friendly floor (Reno-rate estimate) keeps
+// growth at least as fast as NewReno at short RTTs — which is the regime
+// every datacenter flow lives in, so the floor frequently governs.
+const (
+	cubicBeta = 0.7
+	cubicC    = 0.4
+)
+
+// cubicState is embedded in Conn; zero value = fresh epoch on next ACK.
+type cubicState struct {
+	wMax       float64    // segments at last reduction
+	epochStart units.Time // 0 = epoch not started
+	k          float64    // seconds to return to wMax
+	originW    float64    // segments at epoch start
+	wEst       float64    // TCP-friendly (Reno) estimate, segments
+	ackCount   float64    // bytes acked this epoch (for wEst)
+}
+
+// cubicOnReduction records a multiplicative decrease and returns the new
+// cwnd in bytes.
+func (c *Conn) cubicOnReduction() float64 {
+	mss := float64(c.cfg.MSS)
+	seg := c.cwnd / mss
+	// Fast convergence: if we reduce below the previous wMax, release
+	// bandwidth faster for newcomers.
+	if seg < c.cubic.wMax {
+		c.cubic.wMax = seg * (2 - cubicBeta) / 2
+	} else {
+		c.cubic.wMax = seg
+	}
+	c.cubic.epochStart = 0
+	nw := c.cwnd * cubicBeta
+	if nw < 2*mss {
+		nw = 2 * mss
+	}
+	return nw
+}
+
+// cubicGrowth advances cwnd on a new ACK in congestion avoidance.
+func (c *Conn) cubicGrowth(newlyAcked uint64) {
+	mss := float64(c.cfg.MSS)
+	now := c.stack.eng.Now()
+	cs := &c.cubic
+	if cs.epochStart == 0 {
+		cs.epochStart = now
+		if seg := c.cwnd / mss; seg < cs.wMax {
+			cs.k = math.Cbrt(cs.wMax * (1 - cubicBeta) / cubicC)
+			cs.originW = cs.wMax
+		} else {
+			cs.k = 0
+			cs.originW = seg
+		}
+		cs.wEst = c.cwnd / mss
+		cs.ackCount = 0
+	}
+	t := now.Sub(cs.epochStart).Seconds()
+	rtt := c.srtt
+	// Target window one RTT ahead, in segments.
+	dt := t + rtt - cs.k
+	target := cubicC*dt*dt*dt + cs.originW
+
+	// TCP-friendly estimate: Reno would add ~1 segment per RTT; emulate by
+	// per-ack accounting 3*(1-beta)/(1+beta) * acked/cwnd.
+	cs.ackCount += float64(newlyAcked)
+	cs.wEst += 3 * (1 - cubicBeta) / (1 + cubicBeta) * float64(newlyAcked) / (c.cwnd / mss) / mss
+
+	cur := c.cwnd / mss
+	switch {
+	case target > cur:
+		// Concave/convex region: close a fraction of the gap per ACK.
+		c.cwnd += mss * (target - cur) / cur
+	default:
+		// Near the plateau: minimal growth.
+		c.cwnd += mss * 0.01 / cur
+	}
+	// Never grow slower than the friendly floor.
+	if floor := cs.wEst * mss; c.cwnd < floor {
+		c.cwnd = floor
+	}
+}

@@ -1,0 +1,122 @@
+package tcp_test
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/qdisc"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+func TestCubicBulkTransferCompletes(t *testing.T) {
+	const size = 8 << 20
+	tn := buildNet(t, 2, tcp.Cubic, droptailFactory(1000))
+	tn.stacks[1].Listen(80, func(c *tcp.Conn) {})
+	c := tn.stacks[0].Dial(addrOf(tn, 1, 80))
+	var done units.Time
+	c.OnClosed = func() { done = tn.eng.Now() }
+	c.Send(size)
+	c.Close()
+	tn.eng.Run()
+
+	if done == 0 {
+		t.Fatal("cubic transfer incomplete")
+	}
+	gbps := float64(size*8) / done.Seconds() / 1e9
+	if gbps < 0.85 {
+		t.Errorf("cubic goodput %.3f Gbps, want >= 0.85 on an idle 1 Gbps link", gbps)
+	}
+}
+
+func TestCubicECNNegotiatesAndReacts(t *testing.T) {
+	tn := buildNet(t, 3, tcp.CubicECN, func(label string, rate units.Bandwidth) qdisc.Qdisc {
+		return qdisc.NewSimpleMark(1000, 20)
+	})
+	tn.stacks[2].Listen(80, func(c *tcp.Conn) {})
+	done := 0
+	for i := 0; i < 2; i++ {
+		c := tn.stacks[i].Dial(addrOf(tn, 2, 80))
+		c.OnClosed = func() { done++ }
+		c.Send(4 << 20)
+		c.Close()
+	}
+	tn.eng.Run()
+
+	if done != 2 {
+		t.Fatalf("%d of 2 cubic-ecn transfers completed", done)
+	}
+	if tn.stats.CwndCuts == 0 {
+		t.Error("cubic-ecn never reacted to marks")
+	}
+	if tn.stats.Retransmits() != 0 {
+		t.Errorf("retransmits = %d under pure marking", tn.stats.Retransmits())
+	}
+}
+
+func TestCubicPlainDoesNotNegotiateECN(t *testing.T) {
+	if tcp.Cubic.ECNEnabled() {
+		t.Error("plain Cubic must not negotiate ECN")
+	}
+	if !tcp.CubicECN.ECNEnabled() {
+		t.Error("CubicECN must negotiate ECN")
+	}
+	if !tcp.Cubic.IsCubic() || !tcp.CubicECN.IsCubic() || tcp.Reno.IsCubic() {
+		t.Error("IsCubic misclassifies")
+	}
+}
+
+func TestCubicRecoversFromLossBurst(t *testing.T) {
+	var killed int
+	tn, _ := buildLossy(t, tcp.Cubic, func(p *packet.Packet) bool {
+		if p.Payload > 0 && p.Seq > 200000 && killed < 10 {
+			killed++
+			return true
+		}
+		return false
+	})
+	tn.stacks[1].Listen(80, func(c *tcp.Conn) {})
+	c := tn.stacks[0].Dial(addrOf(tn, 1, 80))
+	var done bool
+	c.OnClosed = func() { done = true }
+	c.Send(4 << 20)
+	c.Close()
+	tn.eng.Run()
+	if !done {
+		t.Fatal("cubic transfer with losses incomplete")
+	}
+	if tn.stats.RTOEvents != 0 {
+		t.Errorf("cubic burst loss caused %d RTOs; SACK should recover", tn.stats.RTOEvents)
+	}
+}
+
+func TestCubicFasterRampThanRenoAfterReduction(t *testing.T) {
+	// After a loss episode on a long transfer, CUBIC's convex growth must
+	// not be slower than Reno overall (the friendly floor guarantees it).
+	run := func(v tcp.Variant) units.Time {
+		var killed int
+		tn, _ := buildLossy(t, v, func(p *packet.Packet) bool {
+			if p.Payload > 0 && p.Seq > 500000 && killed < 5 {
+				killed++
+				return true
+			}
+			return false
+		})
+		tn.stacks[1].Listen(80, func(c *tcp.Conn) {})
+		c := tn.stacks[0].Dial(addrOf(tn, 1, 80))
+		var done units.Time
+		c.OnClosed = func() { done = tn.eng.Now() }
+		c.Send(16 << 20)
+		c.Close()
+		tn.eng.Run()
+		if done == 0 {
+			t.Fatalf("%v transfer incomplete", v)
+		}
+		return done
+	}
+	reno := run(tcp.Reno)
+	cubic := run(tcp.Cubic)
+	if float64(cubic) > float64(reno)*1.10 {
+		t.Errorf("cubic (%v) more than 10%% slower than reno (%v)", cubic, reno)
+	}
+}

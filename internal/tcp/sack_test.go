@@ -1,0 +1,164 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ivs(pairs ...uint64) []interval {
+	if len(pairs)%2 != 0 {
+		panic("ivs needs pairs")
+	}
+	var out []interval
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, interval{pairs[i], pairs[i+1]})
+	}
+	return out
+}
+
+func equalIvs(a, b []interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMergeRangeDisjoint(t *testing.T) {
+	l := mergeRange(nil, interval{10, 20})
+	l = mergeRange(l, interval{30, 40})
+	l = mergeRange(l, interval{0, 5})
+	if !equalIvs(l, ivs(0, 5, 10, 20, 30, 40)) {
+		t.Errorf("got %v", l)
+	}
+}
+
+func TestMergeRangeOverlap(t *testing.T) {
+	tests := []struct {
+		name string
+		init []interval
+		add  interval
+		want []interval
+	}{
+		{"extend right", ivs(10, 20), interval{15, 25}, ivs(10, 25)},
+		{"extend left", ivs(10, 20), interval{5, 15}, ivs(5, 20)},
+		{"bridge two", ivs(10, 20, 30, 40), interval{15, 35}, ivs(10, 40)},
+		{"swallow", ivs(10, 20), interval{5, 25}, ivs(5, 25)},
+		{"inside", ivs(10, 20), interval{12, 15}, ivs(10, 20)},
+		{"touching", ivs(10, 20), interval{20, 30}, ivs(10, 30)},
+		{"empty ignored", ivs(10, 20), interval{5, 5}, ivs(10, 20)},
+	}
+	for _, tt := range tests {
+		got := mergeRange(append([]interval(nil), tt.init...), tt.add)
+		if !equalIvs(got, tt.want) {
+			t.Errorf("%s: got %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestMergeRangeMatchesReferenceSet(t *testing.T) {
+	// Property: merging random small intervals yields exactly the set
+	// union, checked byte by byte against a boolean reference.
+	f := func(raw []uint8) bool {
+		var list []interval
+		var ref [300]bool
+		for i := 0; i+1 < len(raw); i += 2 {
+			start := uint64(raw[i])
+			end := start + uint64(raw[i+1]%16)
+			list = mergeRange(list, interval{start, end})
+			for b := start; b < end && b < 300; b++ {
+				ref[b] = true
+			}
+		}
+		// Check membership agreement.
+		for b := uint64(0); b < 300; b++ {
+			in := false
+			for _, iv := range list {
+				if iv.start <= b && b < iv.end {
+					in = true
+					break
+				}
+			}
+			if in != ref[b] {
+				return false
+			}
+		}
+		// Check sorted disjoint non-touching invariant.
+		for i := 1; i < len(list); i++ {
+			if list[i-1].end >= list[i].start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrimBelow(t *testing.T) {
+	l := ivs(10, 20, 30, 40)
+	if got := trimBelow(append([]interval(nil), l...), 15); !equalIvs(got, ivs(15, 20, 30, 40)) {
+		t.Errorf("mid trim: %v", got)
+	}
+	if got := trimBelow(append([]interval(nil), l...), 25); !equalIvs(got, ivs(30, 40)) {
+		t.Errorf("gap trim: %v", got)
+	}
+	if got := trimBelow(append([]interval(nil), l...), 100); len(got) != 0 {
+		t.Errorf("full trim: %v", got)
+	}
+	if got := trimBelow(append([]interval(nil), l...), 0); !equalIvs(got, l) {
+		t.Errorf("no-op trim: %v", got)
+	}
+}
+
+func TestRangeBytes(t *testing.T) {
+	l := ivs(10, 20, 30, 40)
+	tests := []struct {
+		lo, hi, want uint64
+	}{
+		{0, 100, 20},
+		{15, 35, 10},
+		{20, 30, 0},
+		{0, 10, 0},
+		{12, 18, 6},
+	}
+	for _, tt := range tests {
+		if got := rangeBytes(l, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("rangeBytes(%d,%d) = %d, want %d", tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestContaining(t *testing.T) {
+	l := ivs(10, 20, 30, 40)
+	if end, ok := containing(l, 15); !ok || end != 20 {
+		t.Errorf("containing(15) = %d,%v", end, ok)
+	}
+	if _, ok := containing(l, 25); ok {
+		t.Error("containing(25) should miss")
+	}
+	if _, ok := containing(l, 20); ok {
+		t.Error("containing(20) should miss (half-open)")
+	}
+	if end, ok := containing(l, 10); !ok || end != 20 {
+		t.Error("containing(10) should hit")
+	}
+}
+
+func TestNextRangeStart(t *testing.T) {
+	l := ivs(10, 20, 30, 40)
+	if got := nextRangeStart(l, 5); got != 10 {
+		t.Errorf("next(5) = %d", got)
+	}
+	if got := nextRangeStart(l, 10); got != 30 {
+		t.Errorf("next(10) = %d", got)
+	}
+	if got := nextRangeStart(l, 35); got != ^uint64(0) {
+		t.Errorf("next(35) = %d", got)
+	}
+}

@@ -1,0 +1,134 @@
+package tcp_test
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/qdisc"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+func TestRTOBackoffDoubles(t *testing.T) {
+	// Black out everything after the handshake: successive RTOs must be
+	// spaced with exponential backoff (retransmission times roughly double).
+	blackout := false
+	tn, _ := buildLossy(t, tcp.Reno, func(p *packet.Packet) bool {
+		return blackout
+	})
+	tn.stacks[1].Listen(80, func(c *tcp.Conn) {})
+	c := tn.stacks[0].Dial(addrOf(tn, 1, 80))
+	c.Send(8 << 20) // ~67 ms at 1 Gbps: still in flight when the blackout hits
+	tn.eng.Schedule(units.Time(2*units.Millisecond), func() { blackout = true })
+	tn.eng.RunUntil(units.Time(5 * units.Second))
+
+	// Instead of recorded wall times (the filter fires at enqueue), use the
+	// RTO event counter: in ~5 s with 200 ms min RTO and doubling, expect
+	// roughly log2(5s/200ms) ≈ 4-5 events, NOT ~25 (no backoff).
+	if tn.stats.RTOEvents == 0 {
+		t.Fatal("no RTOs during blackout")
+	}
+	if tn.stats.RTOEvents > 8 {
+		t.Errorf("%d RTO events in 5s suggests missing exponential backoff", tn.stats.RTOEvents)
+	}
+}
+
+func TestServerSynAckLossRecovered(t *testing.T) {
+	// Drop the first SYN-ACK: the server must retransmit it after its
+	// handshake timer and the connection must still establish.
+	first := true
+	tn, _ := buildLossy(t, tcp.Reno, func(p *packet.Packet) bool {
+		if p.Flags.Has(packet.FlagSYN|packet.FlagACK) && first {
+			first = false
+			return true
+		}
+		return false
+	})
+	tn.stacks[1].Listen(80, func(c *tcp.Conn) {})
+	var connected units.Time
+	c := tn.stacks[0].Dial(addrOf(tn, 1, 80))
+	c.OnConnected = func() { connected = tn.eng.Now() }
+	tn.eng.Run()
+	if connected == 0 {
+		t.Fatal("never connected after SYN-ACK loss")
+	}
+	if connected < units.Time(1*units.Second) {
+		t.Errorf("connected at %v, want >= 1s (server handshake RTO)", connected)
+	}
+}
+
+func TestTSQDisabledAllowsDeepHostQueue(t *testing.T) {
+	cfg := tcp.DefaultConfig(tcp.Reno)
+	cfg.TSQLimit = 0 // disabled
+	tn := buildNetWithConfig(t, 2, cfg, droptailFactory(1<<16))
+	tn.stacks[1].Listen(80, func(c *tcp.Conn) {})
+	c := tn.stacks[0].Dial(addrOf(tn, 1, 80))
+	c.Send(8 << 20)
+	c.Close()
+	hostQ := tn.cluster.Hosts[0].Uplink().Queue()
+	maxSeen := units.ByteSize(0)
+	for tn.eng.Step() {
+		if b := hostQ.BytesQueued(); b > maxSeen {
+			maxSeen = b
+		}
+	}
+	// Without TSQ, slow start dumps multiples of the 256 KiB limit.
+	if maxSeen <= 512*units.KiB {
+		t.Errorf("host queue peaked at %v; expected slow-start flooding with TSQ off", maxSeen)
+	}
+}
+
+func TestZeroPayloadSendIgnored(t *testing.T) {
+	tn := buildNet(t, 2, tcp.Reno, droptailFactory(1000))
+	tn.stacks[1].Listen(80, func(c *tcp.Conn) {})
+	c := tn.stacks[0].Dial(addrOf(tn, 1, 80))
+	c.Send(0)
+	c.Send(-5)
+	c.Send(1024)
+	c.Close()
+	tn.eng.Run()
+	if c.BytesQueued() != 1024 {
+		t.Errorf("BytesQueued = %d, want 1024 (zero/negative ignored)", c.BytesQueued())
+	}
+	if c.State() != tcp.StateDone {
+		t.Errorf("state %v", c.State())
+	}
+}
+
+func TestDoubleCloseIdempotent(t *testing.T) {
+	tn := buildNet(t, 2, tcp.Reno, droptailFactory(1000))
+	tn.stacks[1].Listen(80, func(c *tcp.Conn) {})
+	c := tn.stacks[0].Dial(addrOf(tn, 1, 80))
+	closed := 0
+	c.OnClosed = func() { closed++ }
+	c.Send(1024)
+	c.Close()
+	c.Close()
+	tn.eng.Run()
+	if closed != 1 {
+		t.Errorf("OnClosed fired %d times", closed)
+	}
+}
+
+func TestRenoWithoutECNIgnoresMarkingQueues(t *testing.T) {
+	// Plain TCP through a marking queue: data is Non-ECT so SimpleMark can
+	// never mark it; the flow behaves exactly as through DropTail.
+	run := func(mk func(string, units.Bandwidth) qdisc.Qdisc) units.Time {
+		tn := buildNet(t, 2, tcp.Reno, mk)
+		tn.stacks[1].Listen(80, func(c *tcp.Conn) {})
+		c := tn.stacks[0].Dial(addrOf(tn, 1, 80))
+		c.Send(4 << 20)
+		c.Close()
+		tn.eng.Run()
+		return tn.eng.Now()
+	}
+	viaMark := run(func(label string, rate units.Bandwidth) qdisc.Qdisc {
+		return qdisc.NewSimpleMark(1000, 10)
+	})
+	viaTail := run(func(label string, rate units.Bandwidth) qdisc.Qdisc {
+		return qdisc.NewDropTail(1000)
+	})
+	if viaMark != viaTail {
+		t.Errorf("plain TCP behaves differently through marking (%v) vs droptail (%v)", viaMark, viaTail)
+	}
+}

@@ -1,0 +1,183 @@
+// Package topo builds the simulated cluster topologies used in the
+// experiments: a single-switch star (every node one hop from every other,
+// the classic MRPerf topology) and a two-tier tree (racks of nodes under
+// top-of-rack switches joined by an aggregation switch).
+//
+// Every egress port — host uplinks and switch ports alike — gets its own
+// queue discipline instance from a factory, so an experiment can install
+// DropTail, RED in any protection mode, or SimpleMark uniformly.
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// QdiscFactory builds a fresh queue discipline for one egress port. The
+// label identifies the port (useful for seeding and debugging).
+type QdiscFactory func(label string, rate units.Bandwidth) qdisc.Qdisc
+
+// Config describes a cluster fabric.
+type Config struct {
+	// Nodes is the number of worker hosts.
+	Nodes int
+	// Racks partitions nodes across top-of-rack switches. Racks <= 1 builds
+	// a single-switch star.
+	Racks int
+	// LinkRate applies to every edge link (host<->ToR).
+	LinkRate units.Bandwidth
+	// CoreRate applies to ToR<->aggregation links; defaults to LinkRate
+	// times the rack size divided by the oversubscription factor.
+	CoreRate units.Bandwidth
+	// LinkDelay is the one-way propagation delay per link.
+	LinkDelay units.Duration
+	// HostQueue, if non-nil, builds host-uplink qdiscs; otherwise hosts get
+	// a large DropTail (the studied queues are in the switches).
+	HostQueue QdiscFactory
+	// SwitchQueue builds each switch egress qdisc.
+	SwitchQueue QdiscFactory
+}
+
+// Validate reports a configuration error, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Nodes < 2:
+		return fmt.Errorf("topo: need at least 2 nodes, got %d", c.Nodes)
+	case c.LinkRate <= 0:
+		return fmt.Errorf("topo: link rate must be positive")
+	case c.LinkDelay < 0:
+		return fmt.Errorf("topo: link delay must be non-negative")
+	case c.SwitchQueue == nil:
+		return fmt.Errorf("topo: switch queue factory required")
+	case c.Racks > 1 && c.Nodes%c.Racks != 0:
+		return fmt.Errorf("topo: %d nodes not divisible into %d racks", c.Nodes, c.Racks)
+	}
+	return nil
+}
+
+// Cluster is a built fabric.
+type Cluster struct {
+	Net      *netsim.Network
+	Hosts    []*netsim.Host
+	Switches []*netsim.Switch
+	// EdgePorts are the switch->host egress ports: the bottleneck queues
+	// where data packets and ACKs collide during the shuffle.
+	EdgePorts []*netsim.Port
+	// CorePorts are inter-switch ports (two-tier only).
+	CorePorts []*netsim.Port
+}
+
+// Build constructs the cluster on the engine.
+func Build(eng *sim.Engine, cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Racks <= 1 {
+		return buildStar(eng, cfg)
+	}
+	return buildTwoTier(eng, cfg)
+}
+
+func hostQueue(cfg Config, label string) qdisc.Qdisc {
+	if cfg.HostQueue != nil {
+		return cfg.HostQueue(label, cfg.LinkRate)
+	}
+	// Hosts get a Linux-like txqueuelen-1000 DropTail: the paper studies
+	// the switch queues, so hosts keep the stock NIC queue.
+	return qdisc.NewDropTail(1000)
+}
+
+func buildStar(eng *sim.Engine, cfg Config) *Cluster {
+	net := netsim.New(eng)
+	sw := net.NewSwitch("sw0")
+	cl := &Cluster{Net: net, Switches: []*netsim.Switch{sw}}
+	link := netsim.LinkParams{Rate: cfg.LinkRate, Delay: cfg.LinkDelay}
+	for i := 0; i < cfg.Nodes; i++ {
+		h := net.NewHost(fmt.Sprintf("node%02d", i))
+		up := net.NewPort(h, sw, link, hostQueue(cfg, h.Name+"->sw0"))
+		up.Label = h.Name + "->sw0"
+		h.AttachUplink(up)
+		down := net.NewPort(sw, h, link, cfg.SwitchQueue("sw0->"+h.Name, cfg.LinkRate))
+		down.Label = "sw0->" + h.Name
+		sw.AddPort(down)
+		sw.SetRoute(h.ID(), down)
+		cl.Hosts = append(cl.Hosts, h)
+		cl.EdgePorts = append(cl.EdgePorts, down)
+	}
+	return cl
+}
+
+func buildTwoTier(eng *sim.Engine, cfg Config) *Cluster {
+	net := netsim.New(eng)
+	cl := &Cluster{Net: net}
+	perRack := cfg.Nodes / cfg.Racks
+	coreRate := cfg.CoreRate
+	if coreRate <= 0 {
+		// Default: mildly oversubscribed 2:1 core.
+		coreRate = cfg.LinkRate * units.Bandwidth(perRack) / 2
+	}
+	agg := net.NewSwitch("agg0")
+	cl.Switches = append(cl.Switches, agg)
+	edge := netsim.LinkParams{Rate: cfg.LinkRate, Delay: cfg.LinkDelay}
+	core := netsim.LinkParams{Rate: coreRate, Delay: cfg.LinkDelay}
+
+	for r := 0; r < cfg.Racks; r++ {
+		tor := net.NewSwitch(fmt.Sprintf("tor%d", r))
+		cl.Switches = append(cl.Switches, tor)
+		// ToR <-> agg.
+		upLabel := fmt.Sprintf("%s->agg0", tor.Name)
+		up := net.NewPort(tor, agg, core, cfg.SwitchQueue(upLabel, coreRate))
+		up.Label = upLabel
+		tor.AddPort(up)
+		downLabel := fmt.Sprintf("agg0->%s", tor.Name)
+		down := net.NewPort(agg, tor, core, cfg.SwitchQueue(downLabel, coreRate))
+		down.Label = downLabel
+		agg.AddPort(down)
+		cl.CorePorts = append(cl.CorePorts, up, down)
+
+		rackHosts := make([]*netsim.Host, 0, perRack)
+		for i := 0; i < perRack; i++ {
+			h := net.NewHost(fmt.Sprintf("node%02d", r*perRack+i))
+			hup := net.NewPort(h, tor, edge, hostQueue(cfg, h.Name+"->"+tor.Name))
+			hup.Label = h.Name + "->" + tor.Name
+			h.AttachUplink(hup)
+			hdown := net.NewPort(tor, h, edge, cfg.SwitchQueue(tor.Name+"->"+h.Name, cfg.LinkRate))
+			hdown.Label = tor.Name + "->" + h.Name
+			tor.AddPort(hdown)
+			tor.SetRoute(h.ID(), hdown)
+			agg.SetRoute(h.ID(), down)
+			cl.Hosts = append(cl.Hosts, h)
+			cl.EdgePorts = append(cl.EdgePorts, hdown)
+			rackHosts = append(rackHosts, h)
+		}
+		// Hosts in other racks route via agg: the ToR default route.
+		for _, h := range cl.Hosts {
+			if tor.RouteFor(h.ID()) == nil {
+				tor.SetRoute(h.ID(), up)
+			}
+		}
+		_ = rackHosts
+	}
+	// Earlier racks need routes to hosts created later.
+	for _, swt := range cl.Switches[1:] {
+		torUp := swt.Ports()[0] // first port is the uplink
+		for _, h := range cl.Hosts {
+			if swt.RouteFor(h.ID()) == nil {
+				swt.SetRoute(h.ID(), torUp)
+			}
+		}
+	}
+	return cl
+}
+
+// RackOf returns the rack index of host i under the given config.
+func RackOf(cfg Config, i int) int {
+	if cfg.Racks <= 1 {
+		return 0
+	}
+	return i / (cfg.Nodes / cfg.Racks)
+}

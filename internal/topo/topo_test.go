@@ -1,0 +1,225 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func dtFactory(label string, rate units.Bandwidth) qdisc.Qdisc {
+	return qdisc.NewDropTail(100)
+}
+
+func starConfig(n int) Config {
+	return Config{
+		Nodes:       n,
+		LinkRate:    10 * units.Gbps,
+		LinkDelay:   5 * units.Microsecond,
+		SwitchQueue: dtFactory,
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	cl := Build(sim.New(), starConfig(8))
+	if len(cl.Hosts) != 8 {
+		t.Errorf("hosts = %d", len(cl.Hosts))
+	}
+	if len(cl.Switches) != 1 {
+		t.Errorf("switches = %d", len(cl.Switches))
+	}
+	if len(cl.EdgePorts) != 8 {
+		t.Errorf("edge ports = %d", len(cl.EdgePorts))
+	}
+	if len(cl.CorePorts) != 0 {
+		t.Errorf("core ports = %d in a star", len(cl.CorePorts))
+	}
+	for i, h := range cl.Hosts {
+		if h.Uplink() == nil {
+			t.Fatalf("host %d missing uplink", i)
+		}
+		if cl.Switches[0].RouteFor(h.ID()) == nil {
+			t.Fatalf("switch missing route to host %d", i)
+		}
+	}
+}
+
+func TestStarAllPairsConnectivity(t *testing.T) {
+	eng := sim.New()
+	cl := Build(eng, starConfig(4))
+	// Deliver one packet for every ordered pair.
+	type rec struct{ got int }
+	recs := make([]*rec, 4)
+	for i, h := range cl.Hosts {
+		r := &rec{}
+		recs[i] = r
+		h.AttachProtocol(protoFunc(func(p *packet.Packet) { r.got++ }))
+	}
+	id := uint64(0)
+	for i, src := range cl.Hosts {
+		for j, dst := range cl.Hosts {
+			if i == j {
+				continue
+			}
+			id++
+			src.Send(&packet.Packet{
+				ID:  id,
+				Src: packet.Addr{Node: src.ID(), Port: 1},
+				Dst: packet.Addr{Node: dst.ID(), Port: 1},
+			})
+		}
+	}
+	eng.Run()
+	for i, r := range recs {
+		if r.got != 3 {
+			t.Errorf("host %d received %d, want 3", i, r.got)
+		}
+	}
+}
+
+type protoFunc func(*packet.Packet)
+
+func (f protoFunc) Deliver(p *packet.Packet) { f(p) }
+
+func TestTwoTierShape(t *testing.T) {
+	cfg := starConfig(8)
+	cfg.Racks = 2
+	cl := Build(sim.New(), cfg)
+	if len(cl.Switches) != 3 { // agg + 2 ToR
+		t.Errorf("switches = %d, want 3", len(cl.Switches))
+	}
+	if len(cl.EdgePorts) != 8 {
+		t.Errorf("edge ports = %d", len(cl.EdgePorts))
+	}
+	if len(cl.CorePorts) != 4 { // 2 racks x up+down
+		t.Errorf("core ports = %d, want 4", len(cl.CorePorts))
+	}
+}
+
+func TestTwoTierAllPairsConnectivity(t *testing.T) {
+	eng := sim.New()
+	cfg := starConfig(6)
+	cfg.Racks = 3
+	cl := Build(eng, cfg)
+	got := make(map[packet.NodeID]int)
+	for _, h := range cl.Hosts {
+		h := h
+		h.AttachProtocol(protoFunc(func(p *packet.Packet) { got[h.ID()]++ }))
+	}
+	id := uint64(0)
+	for i, src := range cl.Hosts {
+		for j, dst := range cl.Hosts {
+			if i == j {
+				continue
+			}
+			id++
+			src.Send(&packet.Packet{
+				ID:  id,
+				Src: packet.Addr{Node: src.ID(), Port: 1},
+				Dst: packet.Addr{Node: dst.ID(), Port: 1},
+			})
+		}
+	}
+	eng.Run()
+	for _, h := range cl.Hosts {
+		if got[h.ID()] != 5 {
+			t.Errorf("host %v received %d, want 5", h.ID(), got[h.ID()])
+		}
+	}
+}
+
+func TestTwoTierCrossRackTraversesAgg(t *testing.T) {
+	eng := sim.New()
+	cfg := starConfig(4)
+	cfg.Racks = 2
+	cl := Build(eng, cfg)
+	var hops int
+	dst := cl.Hosts[3] // other rack than host 0
+	dst.AttachProtocol(protoFunc(func(p *packet.Packet) { hops = p.Hops }))
+	cl.Hosts[0].Send(&packet.Packet{
+		ID:  1,
+		Src: packet.Addr{Node: cl.Hosts[0].ID(), Port: 1},
+		Dst: packet.Addr{Node: dst.ID(), Port: 1},
+	})
+	eng.Run()
+	if hops != 4 { // host->tor0->agg->tor1->host
+		t.Errorf("cross-rack hops = %d, want 4", hops)
+	}
+
+	var sameRackHops int
+	cl.Hosts[1].AttachProtocol(protoFunc(func(p *packet.Packet) { sameRackHops = p.Hops }))
+	cl.Hosts[0].Send(&packet.Packet{
+		ID:  2,
+		Src: packet.Addr{Node: cl.Hosts[0].ID(), Port: 1},
+		Dst: packet.Addr{Node: cl.Hosts[1].ID(), Port: 1},
+	})
+	eng.Run()
+	if sameRackHops != 2 { // host->tor0->host
+		t.Errorf("same-rack hops = %d, want 2", sameRackHops)
+	}
+}
+
+func TestHostQueueFactoryUsed(t *testing.T) {
+	used := 0
+	cfg := starConfig(3)
+	cfg.HostQueue = func(label string, rate units.Bandwidth) qdisc.Qdisc {
+		used++
+		return qdisc.NewDropTail(7)
+	}
+	cl := Build(sim.New(), cfg)
+	if used != 3 {
+		t.Errorf("host factory used %d times, want 3", used)
+	}
+	if cl.Hosts[0].Uplink().Queue().CapacityPackets() != 7 {
+		t.Error("host uplink does not use the host factory's qdisc")
+	}
+}
+
+func TestQdiscPerPortDistinct(t *testing.T) {
+	cl := Build(sim.New(), starConfig(4))
+	seen := make(map[qdisc.Qdisc]bool)
+	for _, p := range cl.EdgePorts {
+		if seen[p.Queue()] {
+			t.Fatal("two ports share one qdisc instance")
+		}
+		seen[p.Queue()] = true
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Nodes: 1, LinkRate: 1, SwitchQueue: dtFactory},
+		{Nodes: 4, LinkRate: 0, SwitchQueue: dtFactory},
+		{Nodes: 4, LinkRate: 1, LinkDelay: -1, SwitchQueue: dtFactory},
+		{Nodes: 4, LinkRate: 1},
+		{Nodes: 5, Racks: 2, LinkRate: 1, SwitchQueue: dtFactory},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should not validate", i)
+		}
+	}
+}
+
+func TestRackOf(t *testing.T) {
+	cfg := starConfig(8)
+	cfg.Racks = 2
+	if RackOf(cfg, 0) != 0 || RackOf(cfg, 3) != 0 || RackOf(cfg, 4) != 1 || RackOf(cfg, 7) != 1 {
+		t.Error("RackOf misassigns")
+	}
+	if RackOf(starConfig(8), 5) != 0 {
+		t.Error("star RackOf != 0")
+	}
+}
+
+func TestEdgePortLabels(t *testing.T) {
+	cl := Build(sim.New(), starConfig(2))
+	if cl.EdgePorts[0].Label != "sw0->node00" {
+		t.Errorf("label = %q", cl.EdgePorts[0].Label)
+	}
+	var _ *netsim.Port = cl.EdgePorts[0]
+}

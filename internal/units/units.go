@@ -1,0 +1,190 @@
+// Package units provides the physical units used throughout the simulator:
+// simulated time, data sizes and link bandwidths, together with parsing and
+// formatting helpers.
+//
+// Simulated time is an int64 count of nanoseconds since the start of the
+// simulation. It is deliberately a distinct type from time.Duration so that
+// wall-clock time and simulated time cannot be confused, although conversions
+// are provided.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = time.Duration
+
+// Common durations re-exported for convenience.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the time as a floating point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string { return Duration(t).String() }
+
+// ByteSize is a size in bytes.
+type ByteSize int64
+
+// Size units.
+const (
+	Byte     ByteSize = 1
+	Kilobyte          = 1000 * Byte
+	Megabyte          = 1000 * Kilobyte
+	Gigabyte          = 1000 * Megabyte
+	KiB               = 1024 * Byte
+	MiB               = 1024 * KiB
+	GiB               = 1024 * MiB
+)
+
+// Bytes returns the size as an int64 byte count.
+func (s ByteSize) Bytes() int64 { return int64(s) }
+
+// String formats a byte size using binary units.
+func (s ByteSize) String() string {
+	v := float64(s)
+	switch {
+	case s >= GiB:
+		return trimFloat(v/float64(GiB)) + "GiB"
+	case s >= MiB:
+		return trimFloat(v/float64(MiB)) + "MiB"
+	case s >= KiB:
+		return trimFloat(v/float64(KiB)) + "KiB"
+	default:
+		return strconv.FormatInt(int64(s), 10) + "B"
+	}
+}
+
+// Bandwidth is a link or application rate in bits per second.
+type Bandwidth int64
+
+// Bandwidth units.
+const (
+	BitPerSecond Bandwidth = 1
+	Kbps                   = 1000 * BitPerSecond
+	Mbps                   = 1000 * Kbps
+	Gbps                   = 1000 * Mbps
+)
+
+// BitsPerSecond returns the bandwidth as an int64 bit rate.
+func (b Bandwidth) BitsPerSecond() int64 { return int64(b) }
+
+// String formats the bandwidth with an adaptive unit.
+func (b Bandwidth) String() string {
+	v := float64(b)
+	switch {
+	case b >= Gbps:
+		return trimFloat(v/float64(Gbps)) + "Gbps"
+	case b >= Mbps:
+		return trimFloat(v/float64(Mbps)) + "Mbps"
+	case b >= Kbps:
+		return trimFloat(v/float64(Kbps)) + "Kbps"
+	default:
+		return strconv.FormatInt(int64(b), 10) + "bps"
+	}
+}
+
+// TransmitTime returns the serialization delay of size bytes at bandwidth b.
+// It panics if b is not positive.
+func (b Bandwidth) TransmitTime(size ByteSize) Duration {
+	if b <= 0 {
+		panic("units: TransmitTime on non-positive bandwidth")
+	}
+	bits := float64(size) * 8
+	sec := bits / float64(b)
+	return Duration(math.Round(sec * float64(Second)))
+}
+
+// BytesIn returns how many whole bytes bandwidth b carries in duration d.
+func (b Bandwidth) BytesIn(d Duration) ByteSize {
+	bits := float64(b) * d.Seconds()
+	return ByteSize(bits / 8)
+}
+
+// BDP returns the bandwidth-delay product for round-trip time rtt.
+func (b Bandwidth) BDP(rtt Duration) ByteSize { return b.BytesIn(rtt) }
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}
+
+// ParseBandwidth parses strings like "10Gbps", "100Mbps", "1500bps".
+func ParseBandwidth(s string) (Bandwidth, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	lower := strings.ToLower(s)
+	var mult Bandwidth
+	var numPart string
+	switch {
+	case strings.HasSuffix(lower, "gbps"):
+		mult, numPart = Gbps, s[:len(s)-4]
+	case strings.HasSuffix(lower, "mbps"):
+		mult, numPart = Mbps, s[:len(s)-4]
+	case strings.HasSuffix(lower, "kbps"):
+		mult, numPart = Kbps, s[:len(s)-4]
+	case strings.HasSuffix(lower, "bps"):
+		mult, numPart = BitPerSecond, s[:len(s)-3]
+	default:
+		return 0, fmt.Errorf("units: unknown bandwidth %q", orig)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(numPart), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("units: bad bandwidth %q", orig)
+	}
+	return Bandwidth(v * float64(mult)), nil
+}
+
+// ParseByteSize parses strings like "64MB", "1GiB", "1500B".
+func ParseByteSize(s string) (ByteSize, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	lower := strings.ToLower(s)
+	type unit struct {
+		suffix string
+		mult   ByteSize
+	}
+	units := []unit{
+		{"gib", GiB}, {"mib", MiB}, {"kib", KiB},
+		{"gb", Gigabyte}, {"mb", Megabyte}, {"kb", Kilobyte},
+		{"b", Byte},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(lower, u.suffix) {
+			numPart := strings.TrimSpace(s[:len(s)-len(u.suffix)])
+			v, err := strconv.ParseFloat(numPart, 64)
+			if err != nil || v < 0 {
+				return 0, fmt.Errorf("units: bad size %q", orig)
+			}
+			return ByteSize(v * float64(u.mult)), nil
+		}
+	}
+	return 0, fmt.Errorf("units: unknown size %q", orig)
+}

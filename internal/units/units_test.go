@@ -1,0 +1,188 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(1000)
+	if got := t0.Add(500 * Nanosecond); got != 1500 {
+		t.Errorf("Add = %d, want 1500", got)
+	}
+	if got := Time(2500).Sub(t0); got != 1500*Nanosecond {
+		t.Errorf("Sub = %v, want 1.5µs", got)
+	}
+	if !t0.Before(1001) || t0.Before(999) {
+		t.Error("Before misordered")
+	}
+	if !Time(1001).After(t0) || t0.After(1001) {
+		t.Error("After misordered")
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := Time(1500 * time.Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds = %g, want 1.5", got)
+	}
+	if got := Time(0).Seconds(); got != 0 {
+		t.Errorf("Seconds(0) = %g", got)
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	tests := []struct {
+		in   ByteSize
+		want string
+	}{
+		{512, "512B"},
+		{KiB, "1KiB"},
+		{1536, "1.5KiB"},
+		{MiB, "1MiB"},
+		{10 * MiB, "10MiB"},
+		{GiB, "1GiB"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	tests := []struct {
+		in   Bandwidth
+		want string
+	}{
+		{500, "500bps"},
+		{Kbps, "1Kbps"},
+		{10 * Gbps, "10Gbps"},
+		{2500 * Mbps, "2.5Gbps"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("Bandwidth(%d).String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	// 1500 bytes at 10 Gbps = 1.2 µs.
+	got := (10 * Gbps).TransmitTime(1500)
+	if got != 1200*Nanosecond {
+		t.Errorf("TransmitTime = %v, want 1.2µs", got)
+	}
+	// 1 byte at 8 bps = 1 s.
+	if got := Bandwidth(8).TransmitTime(1); got != Second {
+		t.Errorf("TransmitTime = %v, want 1s", got)
+	}
+}
+
+func TestTransmitTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Bandwidth(0).TransmitTime(1500)
+}
+
+func TestBytesInAndBDP(t *testing.T) {
+	// 10 Gbps for 1 ms = 1.25 MB.
+	if got := (10 * Gbps).BytesIn(time.Millisecond); got != 1250000 {
+		t.Errorf("BytesIn = %d, want 1250000", got)
+	}
+	if got := (1 * Gbps).BDP(100 * Microsecond); got != 12500 {
+		t.Errorf("BDP = %d, want 12500", got)
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Bandwidth
+		wantErr bool
+	}{
+		{"10Gbps", 10 * Gbps, false},
+		{"1.5gbps", Bandwidth(1.5 * float64(Gbps)), false},
+		{" 100Mbps ", 100 * Mbps, false},
+		{"9600bps", 9600, false},
+		{"64Kbps", 64 * Kbps, false},
+		{"fast", 0, true},
+		{"-1Gbps", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseBandwidth(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseBandwidth(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("ParseBandwidth(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    ByteSize
+		wantErr bool
+	}{
+		{"64MiB", 64 * MiB, false},
+		{"1GiB", GiB, false},
+		{"1500B", 1500, false},
+		{"1kb", Kilobyte, false},
+		{"2.5KiB", 2560, false},
+		{"64MB", 64 * Megabyte, false},
+		{"", 0, true},
+		{"xMiB", 0, true},
+		{"-5B", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseByteSize(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseByteSize(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTransmitTimeMonotonicInSize(t *testing.T) {
+	// Property: more bytes never transmit faster.
+	f := func(a, b uint16) bool {
+		lo, hi := ByteSize(a), ByteSize(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := 1 * Gbps
+		return r.TransmitTime(lo) <= r.TransmitTime(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesInInvertsTransmitTime(t *testing.T) {
+	// Property: transmitting s bytes takes d; the link carries >= s bytes
+	// in d (up to rounding).
+	f := func(s uint16) bool {
+		size := ByteSize(s) + 1
+		r := 10 * Gbps
+		d := r.TransmitTime(size)
+		got := r.BytesIn(d)
+		diff := got - size
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
