@@ -8,15 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/experiment"
-	"repro/internal/figures"
-	"repro/internal/units"
+	"repro/ecnsim"
 )
 
 func main() {
@@ -29,82 +27,104 @@ func main() {
 	)
 	flag.Parse()
 
-	var scale experiment.Scale
-	var loaded *experiment.Sweep
+	scaleOpt := ecnsim.TestScale()
+	switch *scaleName {
+	case "test":
+	case "paper":
+		scaleOpt = ecnsim.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	var s *ecnsim.Sweep
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(2)
+			fatal(err)
 		}
-		loaded, err = experiment.ReadJSON(f)
+		s, err = ecnsim.ReadSweepJSON(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(2)
-		}
-		scale = loaded.Scale
-	} else {
-		switch *scaleName {
-		case "test":
-			scale = experiment.TestScale()
-		case "paper":
-			scale = experiment.PaperScale()
-		default:
-			fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scaleName)
-			os.Exit(2)
+			fatal(err)
 		}
 	}
 
-	fmt.Print(figures.TableI())
+	// Companion runs (Figure 1, aqmcompare) match the grid's scale: the
+	// archive's when loading, the -scale flag's otherwise.
+	opts := []ecnsim.Option{scaleOpt, ecnsim.Seed(*seed)}
+	if s != nil {
+		opts = s.ScaleOptions()
+	}
+	opts = append(opts, ecnsim.TargetDelay(100*time.Microsecond))
+
+	fmt.Print(ecnsim.TableI())
 	fmt.Println()
-	fmt.Print(figures.TableII())
+	fmt.Print(ecnsim.TableII())
 	fmt.Println()
 
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, "figures: sampling Figure 1 queue snapshot...")
 	}
-	snap := figures.Figure1(scale, 100*units.Microsecond, 200*units.Microsecond, *seed)
+	snap, err := ecnsim.Figure1(200*time.Microsecond, opts...)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Print(snap.Render())
 	fmt.Println()
 
-	s := loaded
 	if s == nil {
-		s = experiment.NewSweep(scale, *seed)
-		s.Repeats = *repeats
+		var err error
+		s, err = ecnsim.NewSweep(ecnsim.Seed(*seed), scaleOpt)
+		if err != nil {
+			fatal(err)
+		}
+		s.SetRepeats(*repeats)
 		if !*quiet {
 			start := time.Now()
-			s.Progress = func(done, total int, cfg experiment.Config) {
+			s.OnProgress(func(done, total int, label string) {
 				fmt.Fprintf(os.Stderr, "figures: [%3d/%3d] %-40s (%.0fs elapsed)\n",
-					done+1, total, cfg.String(), time.Since(start).Seconds())
-			}
+					done+1, total, label, time.Since(start).Seconds())
+			})
 		}
-		s.Execute()
+		if err := s.Execute(context.Background()); err != nil {
+			fatal(err)
+		}
 	}
 
-	fmt.Print(figures.RenderFigure(s, figures.MetricRuntime, cluster.Shallow, "2a"))
-	fmt.Println()
-	fmt.Print(figures.RenderFigure(s, figures.MetricRuntime, cluster.Deep, "2b"))
-	fmt.Println()
-	fmt.Print(figures.RenderFigure(s, figures.MetricThroughput, cluster.Shallow, "3a"))
-	fmt.Println()
-	fmt.Print(figures.RenderFigure(s, figures.MetricThroughput, cluster.Deep, "3b"))
-	fmt.Println()
-	fmt.Print(figures.RenderFigure(s, figures.MetricLatency, cluster.Shallow, "4a"))
-	fmt.Println()
-	fmt.Print(figures.RenderFigure(s, figures.MetricLatency, cluster.Deep, "4b"))
-	fmt.Println()
+	for _, fig := range []struct {
+		m   ecnsim.FigureMetric
+		buf ecnsim.BufferDepth
+		no  string
+	}{
+		{ecnsim.RuntimeMetric, ecnsim.Shallow, "2a"},
+		{ecnsim.RuntimeMetric, ecnsim.Deep, "2b"},
+		{ecnsim.ThroughputMetric, ecnsim.Shallow, "3a"},
+		{ecnsim.ThroughputMetric, ecnsim.Deep, "3b"},
+		{ecnsim.LatencyMetric, ecnsim.Shallow, "4a"},
+		{ecnsim.LatencyMetric, ecnsim.Deep, "4b"},
+	} {
+		fmt.Print(s.RenderFigure(fig.m, fig.buf, fig.no))
+		fmt.Println()
+	}
 
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, "figures: running AQM generalization comparison...")
 	}
-	cmp := experiment.CompareAQMs(scale, 100*units.Microsecond, *seed)
-	fmt.Print(figures.RenderAQMComparison(cmp))
+	cmpSet, err := ecnsim.RunScenario(context.Background(), "aqmcompare", opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(ecnsim.RenderAQMTable(cmpSet.Results))
 	fmt.Println()
 
-	h := figures.Headline(s, 0) // most aggressive marking threshold
+	h := s.Headline(0) // most aggressive marking threshold
 	fmt.Println("Headline (true simple marking scheme, aggressive threshold):")
 	fmt.Printf("  throughput vs droptail/shallow:      %.2fx (paper: ~1.10x boost)\n", h.ThroughputGain)
 	fmt.Printf("  latency reduction vs droptail/deep:  %.0f%% (paper: ~85%%)\n", 100*h.LatencyReduction)
 	fmt.Printf("  shallow marking vs droptail/deep:    %.2fx effective speed (paper: shallow reaches deep; 1.0 = parity)\n", h.ShallowReachesDeep)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(2)
 }

@@ -10,118 +10,50 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/experiment"
-	"repro/internal/qdisc"
-	"repro/internal/tcp"
-	"repro/internal/units"
+	"repro/ecnsim"
 )
 
 func main() {
-	var (
-		queue     = flag.String("queue", "droptail", "queue discipline: droptail | red | simplemark")
-		mode      = flag.String("mode", "default", "RED protection mode: default | ece-bit | ack+syn")
-		transport = flag.String("transport", "", "tcp | tcp-ecn | dctcp (default: tcp for droptail, tcp-ecn otherwise)")
-		buffer    = flag.String("buffer", "shallow", "switch buffer depth: shallow (1MB/port) | deep (10MB/port)")
-		target    = flag.Duration("target", 500*units.Microsecond, "AQM target delay")
-		nodes     = flag.Int("nodes", 16, "cluster size")
-		input     = flag.String("input", "1GiB", "Terasort input size")
-		block     = flag.String("block", "64MiB", "HDFS block size")
-		reducers  = flag.Int("reducers", 32, "reduce tasks")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-	)
+	fl := ecnsim.DefaultFlags()
+	fl.Bind(flag.CommandLine)
 	flag.Parse()
 
-	inputSz, err := units.ParseByteSize(*input)
+	opts, err := fl.Options()
 	if err != nil {
 		fatal(err)
 	}
-	blockSz, err := units.ParseByteSize(*block)
+	c, err := ecnsim.NewCluster(opts...)
 	if err != nil {
 		fatal(err)
 	}
 
-	setup, err := parseSetup(*queue, *mode, *transport)
+	fmt.Printf("running %s\n", c)
+	rs, err := ecnsim.RunScenario(context.Background(), "terasort", opts...)
 	if err != nil {
 		fatal(err)
 	}
-	buf := cluster.Shallow
-	if strings.EqualFold(*buffer, "deep") {
-		buf = cluster.Deep
-	}
+	r := rs.Results[0]
 
-	cfg := experiment.Config{
-		Setup:       setup,
-		Buffer:      buf,
-		TargetDelay: *target,
-		Scale: experiment.Scale{
-			Nodes: *nodes, InputSize: inputSz, BlockSize: blockSz, Reducers: *reducers,
-		},
-		Seed: *seed,
-	}
-	fmt.Printf("running %s (nodes=%d input=%v reducers=%d)\n", cfg.String(), *nodes, inputSz, *reducers)
-	r := experiment.Run(cfg)
-
-	fmt.Printf("\nJob runtime:            %v\n", r.Runtime)
-	fmt.Printf("Throughput per node:    %v (shuffle window)\n", r.ThroughputPerNode)
-	fmt.Printf("Mean packet latency:    %v\n", r.MeanLatency)
-	fmt.Printf("P99 packet latency:     %v\n", r.P99Latency)
-	fmt.Printf("Shuffled bytes:         %v\n", r.ShuffledBytes)
-	fmt.Printf("Early drops:            %d\n", r.EarlyDrops)
-	fmt.Printf("Overflow drops:         %d\n", r.OverflowDrops)
-	fmt.Printf("ACK share of drops:     %.1f%%\n", 100*r.AckDropShare)
-	fmt.Printf("CE marks:               %d\n", r.Marks)
-	fmt.Printf("Retransmits:            %d (RTO events: %d)\n", r.Retransmits, r.RTOEvents)
-	fmt.Printf("SYN retries:            %d (fetch retries: %d)\n", r.SynRetries, r.FetchRetries)
-}
-
-func parseSetup(queue, mode, transport string) (experiment.QueueSetup, error) {
-	var v tcp.Variant
-	switch strings.ToLower(transport) {
-	case "tcp":
-		v = tcp.Reno
-	case "tcp-ecn":
-		v = tcp.RenoECN
-	case "dctcp":
-		v = tcp.DCTCP
-	case "":
-		if strings.EqualFold(queue, "droptail") {
-			v = tcp.Reno
-		} else {
-			v = tcp.RenoECN
-		}
-	default:
-		return experiment.QueueSetup{}, fmt.Errorf("unknown transport %q", transport)
-	}
-	var pm qdisc.ProtectMode
-	switch strings.ToLower(mode) {
-	case "default":
-		pm = qdisc.ProtectNone
-	case "ece-bit", "ece":
-		pm = qdisc.ProtectECE
-	case "ack+syn", "acksyn":
-		pm = qdisc.ProtectACKSYN
-	default:
-		return experiment.QueueSetup{}, fmt.Errorf("unknown protection mode %q", mode)
-	}
-	var qk cluster.QueueKind
-	switch strings.ToLower(queue) {
-	case "droptail":
-		qk = cluster.QueueDropTail
-	case "red":
-		qk = cluster.QueueRED
-	case "simplemark":
-		qk = cluster.QueueSimpleMark
-	default:
-		return experiment.QueueSetup{}, fmt.Errorf("unknown queue %q", queue)
-	}
-	label := fmt.Sprintf("%s/%s/%s", queue, v, mode)
-	return experiment.QueueSetup{Label: label, Queue: qk, Protect: pm, Transport: v}, nil
+	us := func(key string) time.Duration { return r.Duration(key).Round(time.Microsecond) }
+	fmt.Printf("\nJob runtime:            %v\n", us(ecnsim.KeyRuntime))
+	fmt.Printf("Throughput per node:    %.1f Mbps (shuffle window)\n", r.Value(ecnsim.KeyThroughput)/1e6)
+	fmt.Printf("Mean packet latency:    %v\n", us(ecnsim.KeyMeanLatency))
+	fmt.Printf("P99 packet latency:     %v\n", us(ecnsim.KeyP99Latency))
+	fmt.Printf("Shuffled bytes:         %s\n", ecnsim.FormatSize(int64(r.Value(ecnsim.KeyShuffledBytes))))
+	fmt.Printf("Early drops:            %.0f\n", r.Value(ecnsim.KeyEarlyDrops))
+	fmt.Printf("Overflow drops:         %.0f\n", r.Value(ecnsim.KeyOverflowDrops))
+	fmt.Printf("ACK share of drops:     %.1f%%\n", 100*r.Value(ecnsim.KeyAckDropShare))
+	fmt.Printf("CE marks:               %.0f\n", r.Value(ecnsim.KeyMarks))
+	fmt.Printf("Retransmits:            %.0f (RTO events: %.0f)\n",
+		r.Value(ecnsim.KeyRetransmits), r.Value(ecnsim.KeyRTOEvents))
+	fmt.Printf("SYN retries:            %.0f (fetch retries: %.0f)\n",
+		r.Value(ecnsim.KeySynRetries), r.Value(ecnsim.KeyFetchRetries))
 }
 
 func fatal(err error) {

@@ -12,70 +12,46 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/experiment"
-	"repro/internal/figures"
-	"repro/internal/mapred"
-	"repro/internal/metrics"
-	"repro/internal/qdisc"
-	"repro/internal/tcp"
-	"repro/internal/trace"
-	"repro/internal/units"
+	"repro/ecnsim"
 )
 
 func main() {
+	// Only the workload flags: the queue configuration is fixed — Figure 1
+	// is a portrait of RED's default (unprotected) mode.
+	fl := ecnsim.DefaultFlags()
+	fl.Nodes = 8
+	fl.Input = "256MiB"
+	fl.Block = "" // auto: input/nodes
+	fl.Reducers = 16
+	fl.Target = 100 * time.Microsecond
+	fl.BindWorkload(flag.CommandLine)
 	var (
-		nodes    = flag.Int("nodes", 8, "cluster size")
-		input    = flag.String("input", "256MiB", "Terasort input size")
-		reducers = flag.Int("reducers", 16, "reduce tasks")
-		target   = flag.Duration("target", 100*units.Microsecond, "RED target delay")
-		interval = flag.Duration("interval", 200*units.Microsecond, "queue sampling interval")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
+		interval = flag.Duration("interval", 200*time.Microsecond, "queue sampling interval")
 		traceN   = flag.Int("trace", 0, "also print the last N drop events")
 	)
 	flag.Parse()
 
-	inputSz, err := units.ParseByteSize(*input)
+	opts, err := fl.Options()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "queueviz:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	scale := experiment.Scale{
-		Nodes:     *nodes,
-		InputSize: inputSz,
-		BlockSize: inputSz / units.ByteSize(*nodes),
-		Reducers:  *reducers,
+	snap, err := ecnsim.Figure1(*interval, opts...)
+	if err != nil {
+		fatal(err)
 	}
-	snap := figures.Figure1(scale, *target, *interval, *seed)
 	fmt.Print(snap.Render())
 
 	if *traceN > 0 {
 		fmt.Printf("\nlast %d drop events (RED default mode):\n", *traceN)
-		dumpDropTrace(scale, *target, *seed, *traceN)
+		if err := ecnsim.WriteDropTrace(os.Stdout, *traceN, opts...); err != nil {
+			fatal(err)
+		}
 	}
 }
 
-// dumpDropTrace reruns the Figure 1 configuration with a drop-filtered
-// tracer chained in front of the metrics collector.
-func dumpDropTrace(scale experiment.Scale, target units.Duration, seed uint64, n int) {
-	spec := cluster.DefaultSpec()
-	spec.Nodes = scale.Nodes
-	spec.Queue = cluster.QueueRED
-	spec.TargetDelay = target
-	spec.Protect = qdisc.ProtectNone
-	spec.Transport = tcp.RenoECN
-	spec.Seed = seed
-	c := cluster.New(spec)
-
-	tr := trace.New(n, metrics.New(1<<14, seed))
-	tr.Filter = trace.DropsOnly()
-	c.Topo.Net.SetObserver(tr)
-
-	jobCfg := mapred.TerasortConfig(scale.InputSize, scale.Reducers)
-	jobCfg.BlockSize = scale.BlockSize
-	c.RunJob(jobCfg)
-	if err := tr.Dump(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "queueviz:", err)
-	}
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "queueviz:", err)
+	os.Exit(2)
 }

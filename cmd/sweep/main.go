@@ -1,20 +1,16 @@
-// Command sweep executes the full experiment grid and emits one
-// tab-separated row per run on stdout, for plotting or archival. Columns:
-//
-//	buffer  setup  target_delay_us  runtime_ms  throughput_mbps
-//	latency_us  p99_us  early_drops  overflow_drops  ack_drop_share
-//	marks  retransmits  rto_events  syn_retries
+// Command sweep executes the full experiment grid and emits one row per run
+// on stdout (tab-separated by default, CSV with -csv), for plotting or
+// archival. Use -json to archive the grid for cmd/figures -load.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/experiment"
-	"repro/internal/units"
+	"repro/ecnsim"
 )
 
 func main() {
@@ -22,64 +18,74 @@ func main() {
 		scaleName = flag.String("scale", "test", "experiment scale: test | paper")
 		seed      = flag.Uint64("seed", 1, "base seed")
 		repeats   = flag.Int("repeats", 1, "seeds averaged per grid point")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		jsonPath  = flag.String("json", "", "also archive the sweep as JSON to this file")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of the TSV summary")
 	)
 	flag.Parse()
 
-	var scale experiment.Scale
+	opts := []ecnsim.Option{ecnsim.Seed(*seed)}
 	switch *scaleName {
 	case "test":
-		scale = experiment.TestScale()
+		opts = append(opts, ecnsim.TestScale())
 	case "paper":
-		scale = experiment.PaperScale()
+		opts = append(opts, ecnsim.PaperScale())
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown scale %q\n", *scaleName)
 		os.Exit(2)
 	}
-
-	s := experiment.NewSweep(scale, *seed)
-	s.Repeats = *repeats
-	start := time.Now()
-	s.Progress = func(done, total int, cfg experiment.Config) {
-		fmt.Fprintf(os.Stderr, "sweep: [%3d/%3d] %-40s (%.0fs)\n",
-			done+1, total, cfg.String(), time.Since(start).Seconds())
+	s, err := ecnsim.NewSweep(opts...)
+	if err != nil {
+		fatal(err)
 	}
-	s.Execute()
+	s.SetRepeats(*repeats)
+	s.SetWorkers(*workers)
+	start := time.Now()
+	s.OnProgress(func(done, total int, label string) {
+		fmt.Fprintf(os.Stderr, "sweep: [%3d/%3d] %-40s (%.0fs)\n",
+			done+1, total, label, time.Since(start).Seconds())
+	})
+	if err := s.Execute(context.Background()); err != nil {
+		fatal(err)
+	}
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := s.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 
-	fmt.Println("buffer\tsetup\ttarget_us\truntime_ms\tthroughput_mbps\tlatency_us\tp99_us\tearly\toverflow\tack_share\tmarks\trtx\trto\tsyn")
-	emit := func(buf cluster.BufferDepth, label string, r experiment.Result) {
-		fmt.Printf("%s\t%s\t%.0f\t%.3f\t%.1f\t%.1f\t%.1f\t%d\t%d\t%.3f\t%d\t%d\t%d\t%d\n",
-			buf, label,
-			float64(r.Config.TargetDelay)/float64(units.Microsecond),
-			float64(r.Runtime)/float64(units.Millisecond),
-			float64(r.ThroughputPerNode)/float64(units.Mbps),
-			float64(r.MeanLatency)/float64(units.Microsecond),
-			float64(r.P99Latency)/float64(units.Microsecond),
-			r.EarlyDrops, r.OverflowDrops, r.AckDropShare,
-			r.Marks, r.Retransmits, r.RTOEvents, r.SynRetries)
-	}
-	for _, buf := range []cluster.BufferDepth{cluster.Shallow, cluster.Deep} {
-		emit(buf, "droptail", s.DropTail[buf])
-		for label, series := range s.Series[buf] {
-			for _, r := range series {
-				emit(buf, label, r)
-			}
+	rs := s.Results()
+	if *asCSV {
+		if err := rs.WriteCSV(os.Stdout); err != nil {
+			fatal(err)
 		}
+		return
 	}
+	fmt.Println("label\ttarget_us\truntime_ms\tthroughput_mbps\tlatency_us\tp99_us\tearly\toverflow\tack_share\tmarks\trtx\trto\tsyn")
+	for _, r := range rs.Results {
+		fmt.Printf("%s\t%.0f\t%.3f\t%.1f\t%.1f\t%.1f\t%.0f\t%.0f\t%.3f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			r.Label,
+			r.Value(ecnsim.KeyTargetDelay)*1e6,
+			r.Value(ecnsim.KeyRuntime)*1e3,
+			r.Value(ecnsim.KeyThroughput)/1e6,
+			r.Value(ecnsim.KeyMeanLatency)*1e6,
+			r.Value(ecnsim.KeyP99Latency)*1e6,
+			r.Value(ecnsim.KeyEarlyDrops), r.Value(ecnsim.KeyOverflowDrops),
+			r.Value(ecnsim.KeyAckDropShare),
+			r.Value(ecnsim.KeyMarks), r.Value(ecnsim.KeyRetransmits),
+			r.Value(ecnsim.KeyRTOEvents), r.Value(ecnsim.KeySynRetries))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
 }

@@ -15,8 +15,10 @@
 // fabric (internal/netsim), the queue disciplines under study
 // (internal/qdisc), TCP NewReno/ECN/DCTCP with SACK (internal/tcp), an
 // MRPerf-style MapReduce simulator (internal/mapred), and the experiment and
-// figure harnesses (internal/experiment, internal/figures). See DESIGN.md
-// for the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+// figure harnesses (internal/experiment, internal/figures). The public API —
+// the functional-options builder, the scenario registry and the parallel
+// Runner — is the ecnsim package. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
 //
 // The benchmarks in bench_test.go regenerate each figure:
 //

@@ -1,0 +1,35 @@
+// Package ecnsim is the public API of the ECN/Hadoop simulation suite: the
+// one way to define and run the experiments behind "High Throughput and Low
+// Latency on Hadoop Clusters using Explicit Congestion Notification: The
+// Untold Truth" (IEEE CLUSTER 2017), and any workload built from the same
+// parts.
+//
+// Unlike the internal/ packages it wraps, ecnsim is importable from outside
+// this module. It has three layers:
+//
+//   - A functional-options builder. NewCluster validates a declarative
+//     configuration and applies the paper's defaults:
+//
+//     c, err := ecnsim.NewCluster(
+//     ecnsim.Nodes(16),
+//     ecnsim.Queue(ecnsim.RED),
+//     ecnsim.Protect(ecnsim.ACKSYN),
+//     ecnsim.Transport(ecnsim.DCTCP),
+//     ecnsim.TargetDelay(100*time.Microsecond),
+//     )
+//
+//   - A Scenario registry. Workloads implement Scenario and register under a
+//     name; terasort, incast, mixed and aqmcompare ship registered. Scenarios()
+//     lists them, Lookup retrieves one, and every scenario produces uniform
+//     Result rows (JSON- and CSV-marshalable) whatever it simulates.
+//
+//   - A Runner. Runner.Run accepts a context, fans jobs and their seed
+//     replications across a bounded worker pool, reports progress through a
+//     callback, and returns a ResultSet that is bit-identical for a given
+//     (options, seed) whatever the worker count.
+//
+// The figure pipeline of the paper is exposed through Sweep (the Figures 2-4
+// grid with rendering and JSON archival), Figure1, TableI/TableII and
+// RenderAQMTable. The cmd/ binaries and examples/ programs are thin shells
+// over this package — see DESIGN.md for the system inventory.
+package ecnsim

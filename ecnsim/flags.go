@@ -1,0 +1,121 @@
+package ecnsim
+
+import (
+	"flag"
+	"time"
+)
+
+// FlagSet is the shared CLI surface: every command binds the same flag names
+// with the same parsing, so -queue, -input, -target and friends behave
+// identically across binaries. Set fields before Bind to change a command's
+// defaults; call Options after flag parsing to resolve the values.
+type FlagSet struct {
+	Queue     string        // -queue: droptail | red | simplemark | codel | pie
+	Mode      string        // -mode: default | ece-bit | ack+syn
+	Transport string        // -transport: tcp | tcp-ecn | dctcp ("" = auto by queue)
+	BufferStr string        // -buffer: shallow | deep
+	Target    time.Duration // -target
+	Nodes     int           // -nodes
+	Racks     int           // -racks
+	Input     string        // -input, e.g. "1GiB"
+	Block     string        // -block, e.g. "64MiB" ("" = input/nodes)
+	Reducers  int           // -reducers
+	SeedVal   uint64        // -seed
+}
+
+// DefaultFlags returns the paper-testbed defaults (16 nodes, 1 GiB Terasort,
+// DropTail, shallow buffers, 500 µs target).
+func DefaultFlags() *FlagSet {
+	return &FlagSet{
+		Queue:     "droptail",
+		Mode:      "default",
+		Transport: "",
+		BufferStr: "shallow",
+		Target:    500 * time.Microsecond,
+		Nodes:     16,
+		Racks:     1,
+		Input:     "1GiB",
+		Block:     "64MiB",
+		Reducers:  32,
+		SeedVal:   1,
+	}
+}
+
+// Bind registers the shared flags on fs with the FlagSet's current values as
+// defaults.
+func (f *FlagSet) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&f.Queue, "queue", f.Queue, "queue discipline: droptail | red | simplemark | codel | pie")
+	fs.StringVar(&f.Mode, "mode", f.Mode, "AQM protection mode: default | ece-bit | ack+syn")
+	fs.StringVar(&f.Transport, "transport", f.Transport, "tcp | tcp-ecn | dctcp (default: tcp for droptail, tcp-ecn otherwise)")
+	f.BindBuffer(fs)
+	f.BindWorkload(fs)
+}
+
+// BindBuffer registers only the -buffer flag, for commands that honor the
+// buffer depth but fix the queue discipline (like aqmcompare, which
+// enumerates the disciplines itself).
+func (f *FlagSet) BindBuffer(fs *flag.FlagSet) {
+	fs.StringVar(&f.BufferStr, "buffer", f.BufferStr, "switch buffer depth: shallow (1MB/port) | deep (10MB/port)")
+}
+
+// BindWorkload registers only the workload/scale flags — for commands (like
+// queueviz) whose queue configuration is fixed by what they visualize, so no
+// flag is accepted and then silently ignored.
+func (f *FlagSet) BindWorkload(fs *flag.FlagSet) {
+	fs.DurationVar(&f.Target, "target", f.Target, "AQM target delay")
+	fs.IntVar(&f.Nodes, "nodes", f.Nodes, "cluster size")
+	fs.IntVar(&f.Racks, "racks", f.Racks, "racks (0/1 = single-switch star)")
+	fs.StringVar(&f.Input, "input", f.Input, "Terasort input size (e.g. 1GiB)")
+	fs.StringVar(&f.Block, "block", f.Block, "HDFS block size (empty = input/nodes)")
+	fs.IntVar(&f.Reducers, "reducers", f.Reducers, "reduce tasks")
+	fs.Uint64Var(&f.SeedVal, "seed", f.SeedVal, "simulation seed")
+}
+
+// Options resolves the parsed flag values into builder options, reporting
+// the first malformed value.
+func (f *FlagSet) Options() ([]Option, error) {
+	queue, err := ParseQueue(f.Queue)
+	if err != nil {
+		return nil, err
+	}
+	protect, err := ParseProtect(f.Mode)
+	if err != nil {
+		return nil, err
+	}
+	buffer, err := ParseBuffer(f.BufferStr)
+	if err != nil {
+		return nil, err
+	}
+	input, err := ParseSize(f.Input)
+	if err != nil {
+		return nil, err
+	}
+	var block int64
+	if f.Block != "" {
+		if block, err = ParseSize(f.Block); err != nil {
+			return nil, err
+		}
+	}
+	opts := []Option{
+		Queue(queue),
+		Buffer(buffer),
+		TargetDelay(f.Target),
+		Nodes(f.Nodes),
+		Racks(f.Racks),
+		InputSize(input),
+		BlockSize(block),
+		Reducers(f.Reducers),
+		Seed(f.SeedVal),
+	}
+	if protect != NoProtection {
+		opts = append(opts, Protect(protect))
+	}
+	if f.Transport != "" {
+		transport, err := ParseTransport(f.Transport)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, Transport(transport))
+	}
+	return opts, nil
+}

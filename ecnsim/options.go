@@ -1,0 +1,689 @@
+package ecnsim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/qdisc"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// QueueKind selects the switch egress discipline.
+type QueueKind uint8
+
+// Queue disciplines under study. RED, SimpleMark and DropTail carry the
+// paper's evaluation; CoDel and PIE extend the protection-mode analysis.
+const (
+	DropTail QueueKind = iota
+	RED
+	SimpleMark
+	CoDel
+	PIE
+)
+
+// String names the discipline as the CLIs spell it.
+func (k QueueKind) String() string {
+	switch k {
+	case DropTail:
+		return "droptail"
+	case RED:
+		return "red"
+	case SimpleMark:
+		return "simplemark"
+	case CoDel:
+		return "codel"
+	case PIE:
+		return "pie"
+	}
+	return fmt.Sprintf("queue(%d)", uint8(k))
+}
+
+// ParseQueue parses a CLI queue name: droptail | red | simplemark | codel | pie.
+func ParseQueue(s string) (QueueKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "droptail":
+		return DropTail, nil
+	case "red":
+		return RED, nil
+	case "simplemark":
+		return SimpleMark, nil
+	case "codel":
+		return CoDel, nil
+	case "pie":
+		return PIE, nil
+	}
+	return 0, fmt.Errorf("ecnsim: unknown queue %q (want droptail|red|simplemark|codel|pie)", s)
+}
+
+// ProtectMode selects which non-ECT packets an AQM shields from early drops
+// — the paper's proposed fix.
+type ProtectMode uint8
+
+// Protection modes.
+const (
+	// NoProtection is the default behaviour of current AQM implementations:
+	// unmarkable packets (pure ACKs, SYNs) are dropped early.
+	NoProtection ProtectMode = iota
+	// ECE shields packets whose TCP header carries the ECN-Echo flag.
+	ECE
+	// ACKSYN shields pure ACKs and SYN/SYN-ACKs — the paper's main proposal.
+	ACKSYN
+)
+
+// String names the mode as the CLIs spell it.
+func (m ProtectMode) String() string {
+	switch m {
+	case NoProtection:
+		return "default"
+	case ECE:
+		return "ece-bit"
+	case ACKSYN:
+		return "ack+syn"
+	}
+	return fmt.Sprintf("protect(%d)", uint8(m))
+}
+
+// ParseProtect parses a CLI protection mode: default | ece-bit | ack+syn.
+func ParseProtect(s string) (ProtectMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "default", "none", "":
+		return NoProtection, nil
+	case "ece-bit", "ece":
+		return ECE, nil
+	case "ack+syn", "acksyn":
+		return ACKSYN, nil
+	}
+	return 0, fmt.Errorf("ecnsim: unknown protection mode %q (want default|ece-bit|ack+syn)", s)
+}
+
+func (m ProtectMode) internal() qdisc.ProtectMode {
+	switch m {
+	case ECE:
+		return qdisc.ProtectECE
+	case ACKSYN:
+		return qdisc.ProtectACKSYN
+	}
+	return qdisc.ProtectNone
+}
+
+// TransportKind selects the TCP variant every node runs.
+type TransportKind uint8
+
+// Transports.
+const (
+	// TCP is NewReno without ECN.
+	TCP TransportKind = iota
+	// TCPECN is NewReno with classic RFC 3168 ECN.
+	TCPECN
+	// DCTCP is Data Center TCP (RFC 8257).
+	DCTCP
+)
+
+// String names the transport as the CLIs spell it.
+func (t TransportKind) String() string {
+	switch t {
+	case TCP:
+		return "tcp"
+	case TCPECN:
+		return "tcp-ecn"
+	case DCTCP:
+		return "dctcp"
+	}
+	return fmt.Sprintf("transport(%d)", uint8(t))
+}
+
+// ParseTransport parses a CLI transport name: tcp | tcp-ecn | dctcp.
+func ParseTransport(s string) (TransportKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "tcp", "reno":
+		return TCP, nil
+	case "tcp-ecn", "ecn":
+		return TCPECN, nil
+	case "dctcp":
+		return DCTCP, nil
+	}
+	return 0, fmt.Errorf("ecnsim: unknown transport %q (want tcp|tcp-ecn|dctcp)", s)
+}
+
+func (k QueueKind) internal() cluster.QueueKind {
+	switch k {
+	case RED:
+		return cluster.QueueRED
+	case SimpleMark:
+		return cluster.QueueSimpleMark
+	case CoDel:
+		return cluster.QueueCoDel
+	case PIE:
+		return cluster.QueuePIE
+	}
+	return cluster.QueueDropTail
+}
+
+func (t TransportKind) internal() tcp.Variant {
+	switch t {
+	case TCPECN:
+		return tcp.RenoECN
+	case DCTCP:
+		return tcp.DCTCP
+	}
+	return tcp.Reno
+}
+
+// labelPrefix is the series-name prefix the figures key on.
+func (t TransportKind) labelPrefix() string {
+	switch t {
+	case TCPECN:
+		return "ecn"
+	case DCTCP:
+		return "dctcp"
+	}
+	return "tcp"
+}
+
+// BufferDepth selects the per-port switch buffer density the paper contrasts.
+type BufferDepth uint8
+
+// Buffer depths.
+const (
+	// Shallow is a commodity switch: 1 MB per port.
+	Shallow BufferDepth = iota
+	// Deep is a big-buffer switch: 10 MB per port.
+	Deep
+)
+
+// String names the depth.
+func (b BufferDepth) String() string {
+	if b == Deep {
+		return "deep"
+	}
+	return "shallow"
+}
+
+// ParseBuffer parses a CLI buffer depth: shallow | deep.
+func ParseBuffer(s string) (BufferDepth, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "shallow", "":
+		return Shallow, nil
+	case "deep":
+		return Deep, nil
+	}
+	return 0, fmt.Errorf("ecnsim: unknown buffer depth %q (want shallow|deep)", s)
+}
+
+func (b BufferDepth) internal() cluster.BufferDepth {
+	if b == Deep {
+		return cluster.Deep
+	}
+	return cluster.Shallow
+}
+
+// ParseSize parses a byte size like "64MiB", "1GiB", "1500B" (also decimal
+// "64MB"). All commands parse sizes through this one function.
+func ParseSize(s string) (int64, error) {
+	v, err := units.ParseByteSize(s)
+	return int64(v), err
+}
+
+// FormatSize renders a byte count in binary units, as the CLIs print it.
+func FormatSize(n int64) string { return units.ByteSize(n).String() }
+
+// Cluster is a validated, immutable experiment configuration: the simulated
+// Hadoop cluster (fabric, queues, transport) plus the workload scale every
+// scenario interprets. Build one with NewCluster; the zero value is not
+// usable.
+type Cluster struct {
+	nodes, racks int
+	linkRate     int64 // bits per second
+	linkDelay    time.Duration
+
+	queue        QueueKind
+	protect      ProtectMode
+	transport    TransportKind
+	transportSet bool
+	buffer       BufferDepth
+	targetDelay  time.Duration
+
+	seed uint64
+
+	inputSize int64
+	blockSize int64 // 0 = auto: inputSize/nodes
+	reducers  int
+
+	// Ablations.
+	ackWireSize   int64
+	byteMode      bool
+	instantaneous bool
+	minRTO        time.Duration
+	disableSACK   bool
+	disableDelAck bool
+
+	// Scenario knobs.
+	senders     int // incast; 0 = nodes-1
+	flowSize    int64
+	rpcInterval time.Duration
+}
+
+// Option configures a Cluster under construction. Options report invalid
+// values as errors from NewCluster.
+type Option func(*Cluster) error
+
+// NewCluster resolves options over the paper's default testbed — 16 nodes on
+// one 10 Gbps switch, shallow buffers, DropTail, a 1 GiB Terasort — and
+// validates the result.
+func NewCluster(opts ...Option) (*Cluster, error) {
+	c := &Cluster{
+		nodes:       16,
+		racks:       1,
+		linkRate:    int64(10 * units.Gbps),
+		linkDelay:   5 * time.Microsecond,
+		queue:       DropTail,
+		targetDelay: 500 * time.Microsecond,
+		seed:        1,
+		inputSize:   int64(1 * units.GiB),
+		blockSize:   int64(64 * units.MiB),
+		reducers:    32,
+		flowSize:    int64(4 * units.MiB),
+		rpcInterval: 2 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("ecnsim: nil option")
+		}
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	if !c.transportSet {
+		// The paper's convention: plain TCP on DropTail, classic ECN on
+		// every marking-capable queue.
+		if c.queue == DropTail {
+			c.transport = TCP
+		} else {
+			c.transport = TCPECN
+		}
+	}
+	if c.blockSize == 0 {
+		c.blockSize = c.inputSize / int64(c.nodes)
+		if c.blockSize <= 0 {
+			c.blockSize = c.inputSize
+		}
+	}
+	if c.senders == 0 {
+		c.senders = c.nodes - 1
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) validate() error {
+	switch {
+	case c.queue != DropTail && c.targetDelay <= 0:
+		return fmt.Errorf("ecnsim: %s needs a positive target delay", c.queue)
+	case c.protect != NoProtection && (c.queue == DropTail || c.queue == SimpleMark):
+		return fmt.Errorf("ecnsim: protection mode %s requires an AQM queue (red|codel|pie), not %s", c.protect, c.queue)
+	case c.blockSize > c.inputSize:
+		return fmt.Errorf("ecnsim: block size %s exceeds input size %s",
+			FormatSize(c.blockSize), FormatSize(c.inputSize))
+	case c.senders >= c.nodes:
+		return fmt.Errorf("ecnsim: %d incast senders need at least %d nodes", c.senders, c.senders+1)
+	}
+	// Final authority on fabric validity is the internal spec itself.
+	spec := c.spec()
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("ecnsim: %w", err)
+	}
+	return nil
+}
+
+// Nodes configures the cluster size (>= 2).
+func Nodes(n int) Option {
+	return func(c *Cluster) error {
+		if n < 2 {
+			return fmt.Errorf("ecnsim: Nodes(%d): need at least 2 nodes", n)
+		}
+		c.nodes = n
+		return nil
+	}
+}
+
+// Racks arranges nodes under top-of-rack switches joined by a 2:1
+// oversubscribed aggregation switch (0 or 1 = single-switch star).
+func Racks(n int) Option {
+	return func(c *Cluster) error {
+		if n < 0 {
+			return fmt.Errorf("ecnsim: Racks(%d): must be non-negative", n)
+		}
+		c.racks = n
+		return nil
+	}
+}
+
+// Queue selects the switch egress discipline.
+func Queue(k QueueKind) Option {
+	return func(c *Cluster) error {
+		if k > PIE {
+			return fmt.Errorf("ecnsim: Queue(%d): unknown queue kind", k)
+		}
+		c.queue = k
+		return nil
+	}
+}
+
+// Protect selects the AQM's non-ECT protection mode (RED, CoDel, PIE only).
+func Protect(m ProtectMode) Option {
+	return func(c *Cluster) error {
+		if m > ACKSYN {
+			return fmt.Errorf("ecnsim: Protect(%d): unknown protection mode", m)
+		}
+		c.protect = m
+		return nil
+	}
+}
+
+// Transport selects the TCP variant all nodes run. Unset, it defaults to TCP
+// on DropTail and TCPECN on every other queue.
+func Transport(t TransportKind) Option {
+	return func(c *Cluster) error {
+		if t > DCTCP {
+			return fmt.Errorf("ecnsim: Transport(%d): unknown transport", t)
+		}
+		c.transport = t
+		c.transportSet = true
+		return nil
+	}
+}
+
+// Buffer selects the switch buffer depth.
+func Buffer(b BufferDepth) Option {
+	return func(c *Cluster) error {
+		if b > Deep {
+			return fmt.Errorf("ecnsim: Buffer(%d): unknown buffer depth", b)
+		}
+		c.buffer = b
+		return nil
+	}
+}
+
+// TargetDelay sets the AQM knob the paper sweeps: RED/CoDel/PIE thresholds
+// and the SimpleMark threshold derive from it. Ignored by DropTail.
+func TargetDelay(d time.Duration) Option {
+	return func(c *Cluster) error {
+		if d <= 0 {
+			return fmt.Errorf("ecnsim: TargetDelay(%v): must be positive", d)
+		}
+		c.targetDelay = d
+		return nil
+	}
+}
+
+// LinkRate sets every edge link's bandwidth in bits per second.
+func LinkRate(bps int64) Option {
+	return func(c *Cluster) error {
+		if bps <= 0 {
+			return fmt.Errorf("ecnsim: LinkRate(%d): must be positive", bps)
+		}
+		c.linkRate = bps
+		return nil
+	}
+}
+
+// LinkDelay sets every edge link's propagation delay.
+func LinkDelay(d time.Duration) Option {
+	return func(c *Cluster) error {
+		if d < 0 {
+			return fmt.Errorf("ecnsim: LinkDelay(%v): must be non-negative", d)
+		}
+		c.linkDelay = d
+		return nil
+	}
+}
+
+// Seed sets the base seed driving every random stream. Results are
+// deterministic in (options, seed).
+func Seed(s uint64) Option {
+	return func(c *Cluster) error {
+		c.seed = s
+		return nil
+	}
+}
+
+// InputSize sets the Terasort input in bytes.
+func InputSize(n int64) Option {
+	return func(c *Cluster) error {
+		if n <= 0 {
+			return fmt.Errorf("ecnsim: InputSize(%d): must be positive", n)
+		}
+		c.inputSize = n
+		return nil
+	}
+}
+
+// BlockSize sets the HDFS block size in bytes. 0 means auto (input/nodes).
+func BlockSize(n int64) Option {
+	return func(c *Cluster) error {
+		if n < 0 {
+			return fmt.Errorf("ecnsim: BlockSize(%d): must be non-negative", n)
+		}
+		c.blockSize = n
+		return nil
+	}
+}
+
+// Reducers sets the number of reduce tasks.
+func Reducers(n int) Option {
+	return func(c *Cluster) error {
+		if n < 1 {
+			return fmt.Errorf("ecnsim: Reducers(%d): need at least 1", n)
+		}
+		c.reducers = n
+		return nil
+	}
+}
+
+// TestScale shrinks the workload to unit-test size: 8 nodes, 128 MiB input,
+// 16 MiB blocks, 8 reducers (seconds of wall time per run).
+func TestScale() Option {
+	return func(c *Cluster) error {
+		c.nodes, c.inputSize, c.blockSize, c.reducers = 8, int64(128*units.MiB), int64(16*units.MiB), 8
+		return nil
+	}
+}
+
+// PaperScale approximates the paper's testbed pressure: 16 nodes, 1 GiB
+// through the shuffle, 64 MiB blocks, 32 reducers.
+func PaperScale() Option {
+	return func(c *Cluster) error {
+		c.nodes, c.inputSize, c.blockSize, c.reducers = 16, int64(1*units.GiB), int64(64*units.MiB), 32
+		return nil
+	}
+}
+
+// AckWireSize overrides the pure-ACK wire size in bytes (ablation).
+func AckWireSize(n int64) Option {
+	return func(c *Cluster) error {
+		if n < 0 {
+			return fmt.Errorf("ecnsim: AckWireSize(%d): must be non-negative", n)
+		}
+		c.ackWireSize = n
+		return nil
+	}
+}
+
+// ByteMode switches the AQM to per-byte thresholds (ablation; real switches
+// are per-packet, per the paper).
+func ByteMode(on bool) Option {
+	return func(c *Cluster) error { c.byteMode = on; return nil }
+}
+
+// Instantaneous switches RED to instantaneous queue measurement (ablation).
+func Instantaneous(on bool) Option {
+	return func(c *Cluster) error { c.instantaneous = on; return nil }
+}
+
+// MinRTO overrides TCP's minimum retransmission timeout (0 = default 200 ms).
+func MinRTO(d time.Duration) Option {
+	return func(c *Cluster) error {
+		if d < 0 {
+			return fmt.Errorf("ecnsim: MinRTO(%v): must be non-negative", d)
+		}
+		c.minRTO = d
+		return nil
+	}
+}
+
+// DisableSACK turns selective acknowledgements off (ablation).
+func DisableSACK(off bool) Option {
+	return func(c *Cluster) error { c.disableSACK = off; return nil }
+}
+
+// DisableDelAck turns delayed ACKs off (ablation: doubles the ACK rate).
+func DisableDelAck(off bool) Option {
+	return func(c *Cluster) error { c.disableDelAck = off; return nil }
+}
+
+// Senders sets the incast scenario's sender count (0 = nodes-1).
+func Senders(n int) Option {
+	return func(c *Cluster) error {
+		if n < 0 {
+			return fmt.Errorf("ecnsim: Senders(%d): must be non-negative", n)
+		}
+		c.senders = n
+		return nil
+	}
+}
+
+// FlowSize sets the incast scenario's per-sender transfer in bytes.
+func FlowSize(n int64) Option {
+	return func(c *Cluster) error {
+		if n <= 0 {
+			return fmt.Errorf("ecnsim: FlowSize(%d): must be positive", n)
+		}
+		c.flowSize = n
+		return nil
+	}
+}
+
+// RPCInterval sets the mixed scenario's probe period.
+func RPCInterval(d time.Duration) Option {
+	return func(c *Cluster) error {
+		if d <= 0 {
+			return fmt.Errorf("ecnsim: RPCInterval(%v): must be positive", d)
+		}
+		c.rpcInterval = d
+		return nil
+	}
+}
+
+// Accessors.
+
+// Nodes returns the configured cluster size.
+func (c *Cluster) Nodes() int { return c.nodes }
+
+// Seed returns the configured base seed.
+func (c *Cluster) Seed() uint64 { return c.seed }
+
+// TargetDelay returns the configured AQM target delay.
+func (c *Cluster) TargetDelay() time.Duration { return c.targetDelay }
+
+// InputSize returns the configured Terasort input in bytes.
+func (c *Cluster) InputSize() int64 { return c.inputSize }
+
+// QueueKind returns the configured queue discipline.
+func (c *Cluster) QueueKind() QueueKind { return c.queue }
+
+// Buffer returns the configured switch buffer depth.
+func (c *Cluster) Buffer() BufferDepth { return c.buffer }
+
+// Label identifies the queue/transport/protection combination the way the
+// paper's figure series are named ("droptail", "ecn-ack+syn",
+// "dctcp-simplemark", "codel-default", ...).
+func (c *Cluster) Label() string {
+	switch c.queue {
+	case DropTail:
+		return "droptail"
+	case SimpleMark:
+		return c.transport.labelPrefix() + "-simplemark"
+	case RED:
+		return c.transport.labelPrefix() + "-" + c.protect.String()
+	default:
+		// CoDel/PIE series are canonically named for classic ECN
+		// ("codel-default", matching the internal AQM setups); any other
+		// transport is spelled out so rows stay distinguishable.
+		label := c.queue.String()
+		if c.transport != TCPECN {
+			label += "-" + c.transport.labelPrefix()
+		}
+		return label + "-" + c.protect.String()
+	}
+}
+
+// String summarizes the configuration compactly.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("%s/%s/d=%v n=%d in=%s seed=%d",
+		c.Label(), c.buffer, c.targetDelay, c.nodes, FormatSize(c.inputSize), c.seed)
+}
+
+// withSeed returns a copy of c with the seed replaced (for replications).
+func (c *Cluster) withSeed(s uint64) *Cluster {
+	d := *c
+	d.seed = s
+	return &d
+}
+
+// spec lowers the configuration onto the internal cluster spec.
+func (c *Cluster) spec() cluster.Spec {
+	spec := cluster.DefaultSpec()
+	spec.Nodes = c.nodes
+	spec.Racks = c.racks
+	spec.LinkRate = units.Bandwidth(c.linkRate)
+	spec.LinkDelay = c.linkDelay
+	spec.Queue = c.queue.internal()
+	spec.Buffer = c.buffer.internal()
+	spec.TargetDelay = c.targetDelay
+	spec.Protect = c.protect.internal()
+	spec.Transport = c.transport.internal()
+	spec.Seed = c.seed
+	spec.ByteMode = c.byteMode
+	spec.Instantaneous = c.instantaneous
+	return spec
+}
+
+// scale lowers the workload dimensions onto the internal experiment scale.
+func (c *Cluster) scale() experiment.Scale {
+	return experiment.Scale{
+		Nodes:     c.nodes,
+		Racks:     c.racks,
+		InputSize: units.ByteSize(c.inputSize),
+		BlockSize: units.ByteSize(c.blockSize),
+		Reducers:  c.reducers,
+	}
+}
+
+// experimentConfig lowers the full configuration (including ablations) onto
+// the internal experiment config.
+func (c *Cluster) experimentConfig() experiment.Config {
+	return experiment.Config{
+		Setup: experiment.QueueSetup{
+			Label:     c.Label(),
+			Queue:     c.queue.internal(),
+			Protect:   c.protect.internal(),
+			Transport: c.transport.internal(),
+		},
+		Buffer:        c.buffer.internal(),
+		TargetDelay:   c.targetDelay,
+		Scale:         c.scale(),
+		Seed:          c.seed,
+		AckWireSize:   units.ByteSize(c.ackWireSize),
+		ByteMode:      c.byteMode,
+		Instantaneous: c.instantaneous,
+		MinRTO:        c.minRTO,
+		DisableSACK:   c.disableSACK,
+		DisableDelAck: c.disableDelAck,
+	}
+}

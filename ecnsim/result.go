@@ -1,0 +1,117 @@
+package ecnsim
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Canonical Result value keys. Every metric is a float64 in SI base units
+// (seconds, bytes, bits per second, plain counts), so rows from different
+// scenarios marshal uniformly.
+const (
+	KeyTargetDelay   = "target_delay_s"
+	KeyRuntime       = "runtime_s"
+	KeyThroughput    = "throughput_bps"
+	KeyMeanLatency   = "mean_latency_s"
+	KeyP99Latency    = "p99_latency_s"
+	KeyShuffledBytes = "shuffled_bytes"
+	KeyEarlyDrops    = "early_drops"
+	KeyOverflowDrops = "overflow_drops"
+	KeyAckDropShare  = "ack_drop_share"
+	KeyMarks         = "marks"
+	KeyRetransmits   = "retransmits"
+	KeyRTOEvents     = "rto_events"
+	KeySynRetries    = "syn_retries"
+	KeyFetchRetries  = "fetch_retries"
+)
+
+// Result is one uniform output row: a scenario name, the series label of the
+// configuration that produced it, the base seed, and named metric values.
+type Result struct {
+	Scenario string             `json:"scenario"`
+	Label    string             `json:"label"`
+	Seed     uint64             `json:"seed"`
+	Values   map[string]float64 `json:"values"`
+}
+
+// Value returns the named metric, or 0 if absent.
+func (r Result) Value(key string) float64 { return r.Values[key] }
+
+// Duration interprets the named metric (stored in seconds) as a duration.
+func (r Result) Duration(key string) time.Duration {
+	return time.Duration(r.Values[key] * float64(time.Second))
+}
+
+// Keys returns the row's metric names in sorted order.
+func (r Result) Keys() []string {
+	keys := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ResultSet is an ordered collection of Result rows, as returned by a Runner.
+type ResultSet struct {
+	Results []Result `json:"results"`
+}
+
+// WriteJSON serializes the set as indented JSON. Map keys marshal sorted, so
+// equal sets produce byte-identical output.
+func (rs *ResultSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// ReadResultsJSON deserializes a set written by WriteJSON.
+func ReadResultsJSON(r io.Reader) (*ResultSet, error) {
+	var rs ResultSet
+	if err := json.NewDecoder(r).Decode(&rs); err != nil {
+		return nil, fmt.Errorf("ecnsim: decoding results: %w", err)
+	}
+	return &rs, nil
+}
+
+// WriteCSV writes the set as CSV: scenario, label, seed, then the sorted
+// union of every row's metric keys (absent values are empty cells).
+func (rs *ResultSet) WriteCSV(w io.Writer) error {
+	union := make(map[string]bool)
+	for _, r := range rs.Results {
+		for k := range r.Values {
+			union[k] = true
+		}
+	}
+	keys := make([]string, 0, len(union))
+	for k := range union {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"scenario", "label", "seed"}, keys...)); err != nil {
+		return err
+	}
+	for _, r := range rs.Results {
+		row := []string{r.Scenario, r.Label, strconv.FormatUint(r.Seed, 10)}
+		for _, k := range keys {
+			v, ok := r.Values[k]
+			if !ok {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,149 @@
+package ecnsim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/pool"
+)
+
+// Job pairs a scenario with the cluster configuration to run it over.
+type Job struct {
+	Scenario Scenario
+	Cluster  *Cluster
+}
+
+// Runner executes jobs over a bounded worker pool. Each job expands into
+// Replications single-seed runs (consecutive seeds starting at the cluster's
+// base seed), every run is an independent single-threaded simulation, and the
+// replications of a job are averaged metric-by-metric into its final rows.
+//
+// Results are deterministic in (jobs, Replications): aggregation happens in
+// job-then-seed order after the pool drains, so the worker count never
+// changes a single output bit.
+type Runner struct {
+	// Workers bounds concurrent simulations. 0 means GOMAXPROCS; 1 forces
+	// serial execution.
+	Workers int
+	// Replications averages each job over this many consecutive seeds
+	// (0 or 1 = single run).
+	Replications int
+	// Progress, if non-nil, is called before each single-seed run with the
+	// number of runs already completed, the total, and the run's identity.
+	// It is invoked under the runner's dispatch lock and must not block.
+	Progress func(done, total int, label string)
+}
+
+// Run executes every job and returns their rows concatenated in job order.
+// If ctx is cancelled, in-flight simulations finish, no further runs start,
+// and ctx.Err() is returned. The first scenario error (in run order) is
+// returned otherwise.
+func (r *Runner) Run(ctx context.Context, jobs ...Job) (*ResultSet, error) {
+	for i, j := range jobs {
+		if j.Scenario == nil {
+			return nil, fmt.Errorf("ecnsim: job %d has no scenario", i)
+		}
+		if j.Cluster == nil {
+			return nil, fmt.Errorf("ecnsim: job %d (%s) has no cluster", i, j.Scenario.Name())
+		}
+	}
+	reps := r.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	total := len(jobs) * reps
+	rows := make([][]Result, total)
+	errs := make([]error, total)
+
+	p := &pool.Pool{Workers: r.Workers}
+	if r.Progress != nil {
+		p.OnStart = func(i, done int) {
+			job := jobs[i/reps]
+			cl := job.Cluster.withSeed(job.Cluster.seed + uint64(i%reps))
+			r.Progress(done, total, job.Scenario.Name()+" "+cl.String())
+		}
+	}
+	poolErr := p.Run(ctx, total, func(i int) {
+		job := jobs[i/reps]
+		cl := job.Cluster.withSeed(job.Cluster.seed + uint64(i%reps))
+		rows[i], errs[i] = job.Scenario.Run(ctx, cl)
+	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &ResultSet{}
+	for j := range jobs {
+		merged, err := mergeReplications(rows[j*reps : (j+1)*reps])
+		if err != nil {
+			return nil, fmt.Errorf("ecnsim: job %d (%s): %w", j, jobs[j].Scenario.Name(), err)
+		}
+		out.Results = append(out.Results, merged...)
+	}
+	return out, nil
+}
+
+// mergeReplications averages the rows of one job's replications. Replication
+// k must produce the same row shape (count, labels, keys) as replication 0;
+// the merged rows keep replication 0's identity (scenario, label, base seed).
+// Identity-valued metrics (see identityKeys) are not averaged — they keep
+// replication 0's value.
+func mergeReplications(reps [][]Result) ([]Result, error) {
+	base := reps[0]
+	if len(reps) == 1 {
+		return base, nil
+	}
+	out := make([]Result, len(base))
+	for i, row := range base {
+		avg := Result{Scenario: row.Scenario, Label: row.Label, Seed: row.Seed,
+			Values: make(map[string]float64, len(row.Values))}
+		for k, v := range row.Values {
+			avg.Values[k] = v
+		}
+		for _, rep := range reps[1:] {
+			if len(rep) != len(base) {
+				return nil, fmt.Errorf("replication produced %d rows, want %d", len(rep), len(base))
+			}
+			other := rep[i]
+			if other.Label != row.Label || len(other.Values) != len(row.Values) {
+				return nil, fmt.Errorf("replication row %d mismatch: %q vs %q", i, other.Label, row.Label)
+			}
+			for k, v := range other.Values {
+				if _, ok := avg.Values[k]; !ok {
+					return nil, fmt.Errorf("replication row %d has unexpected key %q", i, k)
+				}
+				avg.Values[k] += v
+			}
+		}
+		n := float64(len(reps))
+		for k := range avg.Values {
+			if identityKeys[k] {
+				avg.Values[k] = row.Values[k]
+				continue
+			}
+			avg.Values[k] /= n
+		}
+		out[i] = avg
+	}
+	return out, nil
+}
+
+// RunScenario is the one-call form: build a cluster from options, look up a
+// registered scenario, and run it once on a default Runner.
+func RunScenario(ctx context.Context, scenario string, opts ...Option) (*ResultSet, error) {
+	s, err := MustScenario(scenario)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCluster(opts...)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{}
+	return r.Run(ctx, Job{Scenario: s, Cluster: c})
+}

@@ -1,0 +1,240 @@
+package ecnsim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// tinyOpts keeps one simulation around a tenth of a second.
+func tinyOpts(extra ...Option) []Option {
+	return append([]Option{
+		Nodes(4),
+		InputSize(32 << 20),
+		BlockSize(8 << 20),
+		Reducers(4),
+		Queue(RED),
+		Protect(ACKSYN),
+		TargetDelay(100 * time.Microsecond),
+		Seed(1),
+	}, extra...)
+}
+
+func tinyCluster(t *testing.T, extra ...Option) *Cluster {
+	t.Helper()
+	c, err := NewCluster(tinyOpts(extra...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustLookup(t *testing.T, name string) Scenario {
+	t.Helper()
+	s, err := MustScenario(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRunnerDeterminismGolden is the determinism golden test: the same
+// (options, seed) through two separate Runner invocations — one serial, one
+// parallel, with replications — must produce bit-identical ResultSets, down
+// to the marshalled JSON bytes.
+func TestRunnerDeterminismGolden(t *testing.T) {
+	run := func(workers int) *ResultSet {
+		r := &Runner{Workers: workers, Replications: 2}
+		rs, err := r.Run(context.Background(),
+			Job{Scenario: mustLookup(t, "terasort"), Cluster: tinyCluster(t)},
+			Job{Scenario: mustLookup(t, "terasort"), Cluster: tinyCluster(t, Queue(DropTail), Protect(NoProtection))},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	serial := run(1)
+	parallel := run(8)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial and parallel runs diverged:\n%+v\n%+v", serial, parallel)
+	}
+	var a, b bytes.Buffer
+	if err := serial.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("marshalled JSON differs between runner invocations")
+	}
+	if len(serial.Results) != 2 {
+		t.Fatalf("rows = %d, want 2", len(serial.Results))
+	}
+	if serial.Results[0].Label != "ecn-ack+syn" || serial.Results[1].Label != "droptail" {
+		t.Errorf("row order not job order: %q, %q",
+			serial.Results[0].Label, serial.Results[1].Label)
+	}
+}
+
+// TestRunnerReplicationAveraging checks the Runner's seed fan-out against
+// manual single-seed runs.
+func TestRunnerReplicationAveraging(t *testing.T) {
+	sc := mustLookup(t, "terasort")
+	one := func(seed uint64) Result {
+		r := &Runner{}
+		rs, err := r.Run(context.Background(),
+			Job{Scenario: sc, Cluster: tinyCluster(t, Seed(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs.Results[0]
+	}
+	r1, r2 := one(1), one(2)
+
+	r := &Runner{Workers: 4, Replications: 2}
+	rs, err := r.Run(context.Background(), Job{Scenario: sc, Cluster: tinyCluster(t, Seed(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := rs.Results[0]
+	if avg.Seed != 1 {
+		t.Errorf("averaged row keeps seed %d, want base seed 1", avg.Seed)
+	}
+	for key := range r1.Values {
+		want := (r1.Values[key] + r2.Values[key]) / 2
+		if identityKeys[key] {
+			// Identity metrics (reducer IDs) keep the base replication's
+			// value rather than a meaningless fractional average.
+			want = r1.Values[key]
+		}
+		if got := avg.Values[key]; got != want {
+			t.Errorf("%s = %g, want %g (from %g and %g)",
+				key, got, want, r1.Values[key], r2.Values[key])
+		}
+	}
+}
+
+func TestRunnerProgressAndCancellation(t *testing.T) {
+	sc := mustLookup(t, "terasort")
+
+	var calls int
+	r := &Runner{Workers: 1, Replications: 2,
+		Progress: func(done, total int, label string) {
+			calls++
+			if total != 2 {
+				t.Errorf("total = %d, want 2", total)
+			}
+			if label == "" {
+				t.Error("empty progress label")
+			}
+		}}
+	if _, err := r.Run(context.Background(), Job{Scenario: sc, Cluster: tinyCluster(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("progress calls = %d, want 2", calls)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (&Runner{}).Run(ctx, Job{Scenario: sc, Cluster: tinyCluster(t)}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunnerRejectsBadJobs(t *testing.T) {
+	sc := mustLookup(t, "terasort")
+	if _, err := (&Runner{}).Run(context.Background(), Job{Cluster: tinyCluster(t)}); err == nil {
+		t.Error("nil scenario accepted")
+	}
+	if _, err := (&Runner{}).Run(context.Background(), Job{Scenario: sc}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+}
+
+func TestRunnerScenarioError(t *testing.T) {
+	boom := errors.New("boom")
+	sc := NewScenario("test-error", "always fails",
+		func(ctx context.Context, c *Cluster) ([]Result, error) { return nil, boom })
+	if _, err := (&Runner{Workers: 2}).Run(context.Background(),
+		Job{Scenario: sc, Cluster: tinyCluster(t)}); !errors.Is(err, boom) {
+		t.Errorf("scenario error lost: %v", err)
+	}
+}
+
+func TestRunScenarioOneCall(t *testing.T) {
+	rs, err := RunScenario(context.Background(), "incast",
+		Nodes(5), Senders(4), FlowSize(1<<20), Queue(SimpleMark),
+		Transport(DCTCP), TargetDelay(100*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs.Results[0]
+	if r.Scenario != "incast" || r.Value(KeyCompleted) != 4 {
+		t.Errorf("incast row: %+v", r)
+	}
+	if r.Value(KeyGoodput) <= 0 {
+		t.Error("incast goodput not positive")
+	}
+
+	if _, err := RunScenario(context.Background(), "nope"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := RunScenario(context.Background(), "terasort", Nodes(0)); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+// TestSweepFacade runs a minimal grid through the public wrapper and checks
+// rendering, flattening and the JSON round-trip.
+func TestSweepFacade(t *testing.T) {
+	s, err := NewSweep(Nodes(4), InputSize(32<<20), BlockSize(8<<20), Reducers(4), Seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTargetDelays([]time.Duration{100 * time.Microsecond})
+	s.SetWorkers(4)
+	var progressed int
+	s.OnProgress(func(done, total int, label string) { progressed++ })
+	if err := s.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if progressed != s.TotalRuns() {
+		t.Errorf("progress calls = %d, want %d", progressed, s.TotalRuns())
+	}
+
+	fig := s.RenderFigure(RuntimeMetric, Shallow, "2a")
+	if !bytes.Contains([]byte(fig), []byte("ecn-simplemark")) {
+		t.Errorf("figure missing series:\n%s", fig)
+	}
+
+	rows := s.Results()
+	// 2 buffers x (1 droptail + 8 series x 1 delay).
+	if want := 2 * (1 + 8); len(rows.Results) != want {
+		t.Errorf("flattened rows = %d, want %d", len(rows.Results), want)
+	}
+	if rows.Results[0].Label != "shallow/droptail" {
+		t.Errorf("first row label = %q", rows.Results[0].Label)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSweepJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.RenderFigure(RuntimeMetric, Shallow, "2a"); got != fig {
+		t.Error("figure from JSON round-trip differs")
+	}
+	if h := s.Headline(0); h.ThroughputGain <= 0 {
+		t.Errorf("headline throughput gain = %g", h.ThroughputGain)
+	}
+}

@@ -1,0 +1,100 @@
+package ecnsim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Scenario is a parameterized workload over a configured Cluster. A scenario
+// interprets the cluster's workload knobs (input size, senders, RPC interval,
+// ...) and returns one or more uniform Result rows. Implementations must be
+// deterministic in the cluster configuration (including its seed) and should
+// honor ctx cancellation between expensive simulation runs.
+type Scenario interface {
+	// Name is the registry key ("terasort", "incast", ...).
+	Name() string
+	// Description is a one-line summary for listings.
+	Description() string
+	// Run executes the workload and returns its result rows.
+	Run(ctx context.Context, c *Cluster) ([]Result, error)
+}
+
+// scenarioFunc adapts a function to the Scenario interface.
+type scenarioFunc struct {
+	name, desc string
+	run        func(ctx context.Context, c *Cluster) ([]Result, error)
+}
+
+func (s scenarioFunc) Name() string        { return s.name }
+func (s scenarioFunc) Description() string { return s.desc }
+func (s scenarioFunc) Run(ctx context.Context, c *Cluster) ([]Result, error) {
+	return s.run(ctx, c)
+}
+
+// NewScenario builds a Scenario from a function, for registration.
+func NewScenario(name, description string, run func(ctx context.Context, c *Cluster) ([]Result, error)) Scenario {
+	return scenarioFunc{name: name, desc: description, run: run}
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Scenario)
+)
+
+// Register adds a scenario to the registry. It panics on an empty name, a
+// nil scenario, or a duplicate registration — scenario names are a flat,
+// stable namespace that CLIs and archives key on.
+func Register(s Scenario) {
+	if s == nil {
+		panic("ecnsim: Register(nil)")
+	}
+	name := s.Name()
+	if name == "" {
+		panic("ecnsim: Register with empty scenario name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("ecnsim: scenario %q registered twice", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the named scenario, if registered.
+func Lookup(name string) (Scenario, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// MustScenario returns the named scenario or an error naming the registered
+// alternatives — the form CLIs want.
+func MustScenario(name string) (Scenario, error) {
+	if s, ok := Lookup(name); ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("ecnsim: unknown scenario %q (registered: %v)", name, Scenarios())
+}
+
+// Scenarios returns the registered scenario names, sorted.
+func Scenarios() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the registered description for a scenario name, or "".
+func Describe(name string) string {
+	if s, ok := Lookup(name); ok {
+		return s.Description()
+	}
+	return ""
+}

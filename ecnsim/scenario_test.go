@@ -1,0 +1,167 @@
+package ecnsim
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinScenariosRegistered(t *testing.T) {
+	names := Scenarios()
+	for _, want := range []string{"aqmcompare", "incast", "mixed", "terasort"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("built-in scenario %q not registered (have %v)", want, names)
+		}
+		if Describe(want) == "" {
+			t.Errorf("scenario %q has no description", want)
+		}
+	}
+	if !sortedStrings(names) {
+		t.Errorf("Scenarios() not sorted: %v", names)
+	}
+}
+
+func sortedStrings(ss []string) bool {
+	for i := 1; i < len(ss); i++ {
+		if ss[i-1] > ss[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	s := NewScenario("test-roundtrip", "a registry round-trip fixture",
+		func(ctx context.Context, c *Cluster) ([]Result, error) {
+			return []Result{{Scenario: "test-roundtrip", Label: c.Label(), Seed: c.Seed(),
+				Values: map[string]float64{"nodes": float64(c.Nodes())}}}, nil
+		})
+	Register(s)
+
+	got, ok := Lookup("test-roundtrip")
+	if !ok {
+		t.Fatal("registered scenario not found")
+	}
+	if got.Name() != "test-roundtrip" || got.Description() != "a registry round-trip fixture" {
+		t.Errorf("round-trip lost identity: %q / %q", got.Name(), got.Description())
+	}
+	found := false
+	for _, name := range Scenarios() {
+		if name == "test-roundtrip" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered scenario missing from Scenarios()")
+	}
+
+	c, err := NewCluster(Nodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := got.Run(context.Background(), c)
+	if err != nil || len(rows) != 1 || rows[0].Value("nodes") != 4 {
+		t.Errorf("round-tripped scenario run: rows=%v err=%v", rows, err)
+	}
+
+	if _, err := MustScenario("no-such-scenario"); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("MustScenario on unknown name: %v", err)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("nil scenario", func() { Register(nil) })
+	expectPanic("empty name", func() {
+		Register(NewScenario("", "x", nil))
+	})
+	expectPanic("duplicate", func() {
+		s := NewScenario("test-dup", "x", nil)
+		Register(s)
+		Register(s)
+	})
+}
+
+func TestResultSetJSONRoundTrip(t *testing.T) {
+	rs := &ResultSet{Results: []Result{
+		{Scenario: "terasort", Label: "droptail", Seed: 1,
+			Values: map[string]float64{KeyRuntime: 1.25, KeyMarks: 42}},
+		{Scenario: "incast", Label: "ecn-ack+syn", Seed: 7,
+			Values: map[string]float64{KeyGoodput: 9.5e9}},
+	}}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, back) {
+		t.Errorf("JSON round-trip mutated the set:\n%v\n%v", rs, back)
+	}
+}
+
+func TestResultSetCSV(t *testing.T) {
+	rs := &ResultSet{Results: []Result{
+		{Scenario: "a", Label: "x", Seed: 1, Values: map[string]float64{"m1": 1, "m2": 2}},
+		{Scenario: "b", Label: "y", Seed: 2, Values: map[string]float64{"m2": 3}},
+	}}
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "scenario,label,seed,m1,m2" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "a,x,1,1,2" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "b,y,2,,3" {
+		t.Errorf("row 2 = %q (missing key must be empty cell)", lines[2])
+	}
+}
+
+func TestRenderAQMTableEmpty(t *testing.T) {
+	if out := RenderAQMTable(nil); !strings.Contains(out, "no rows") {
+		t.Errorf("RenderAQMTable(nil) = %q", out)
+	}
+}
+
+// TestAQMCompareScenario runs the generalization grid end to end and pins
+// the table's series labels (the contract the figures pipeline keys on).
+func TestAQMCompareScenario(t *testing.T) {
+	rs, err := RunScenario(context.Background(), "aqmcompare",
+		Nodes(4), InputSize(32<<20), BlockSize(8<<20), Reducers(4),
+		Queue(RED), TargetDelay(100e3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderAQMTable(rs.Results)
+	for _, want := range []string{
+		"droptail", "ecn-default", "ecn-ack+syn",
+		"codel-default", "codel-ack+syn", "pie-default", "pie-ack+syn",
+		"ecn-simplemark", "runtime", "earlydrop",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("AQM table missing %q:\n%s", want, out)
+		}
+	}
+	if rs.Results[0].Label != "droptail" {
+		t.Errorf("first row = %q, want the droptail baseline", rs.Results[0].Label)
+	}
+}

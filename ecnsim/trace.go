@@ -1,0 +1,40 @@
+package ecnsim
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/mapred"
+	"repro/internal/metrics"
+	"repro/internal/qdisc"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// WriteDropTrace reruns the Figure 1 configuration (RED default mode over the
+// options' scale, target delay and seed) with a drop-filtered packet tracer
+// chained in front of the metrics collector, and writes the last n drop
+// events to w as an NS-2-style trace — answering "who died, and where".
+func WriteDropTrace(w io.Writer, n int, opts ...Option) error {
+	c, err := NewCluster(opts...)
+	if err != nil {
+		return err
+	}
+	spec := c.spec()
+	// Force the misbehaving configuration whatever the caller's options say,
+	// mirroring Figure1.
+	spec.Queue = cluster.QueueRED
+	spec.Protect = qdisc.ProtectNone
+	spec.Transport = tcp.RenoECN
+	cl := cluster.New(spec)
+
+	tr := trace.New(n, metrics.New(1<<14, c.seed))
+	tr.Filter = trace.DropsOnly()
+	cl.Topo.Net.SetObserver(tr)
+
+	jobCfg := mapred.TerasortConfig(units.ByteSize(c.inputSize), c.reducers)
+	jobCfg.BlockSize = units.ByteSize(c.blockSize)
+	cl.RunJob(jobCfg)
+	return tr.Dump(w)
+}

@@ -8,39 +8,44 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
+	"log"
+	"time"
 
-	"repro/internal/experiment"
-	"repro/internal/figures"
-	"repro/internal/units"
+	"repro/ecnsim"
 )
 
 func main() {
-	var (
-		nodes    = flag.Int("nodes", 8, "cluster size")
-		input    = flag.String("input", "256MiB", "Terasort input size")
-		reducers = flag.Int("reducers", 16, "reduce tasks")
-		target   = flag.Duration("target", 100*units.Microsecond, "AQM target delay")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-	)
+	// Workload + buffer flags only: the scenario enumerates the queue
+	// disciplines itself, so -queue/-mode/-transport would be dead knobs.
+	fl := ecnsim.DefaultFlags()
+	fl.Nodes = 8
+	fl.Input = "256MiB"
+	fl.Block = "" // auto: input/nodes
+	fl.Reducers = 16
+	fl.Target = 100 * time.Microsecond
+	fl.BindBuffer(flag.CommandLine)
+	fl.BindWorkload(flag.CommandLine)
 	flag.Parse()
 
-	inputSz, err := units.ParseByteSize(*input)
+	opts, err := fl.Options()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aqmcompare:", err)
-		os.Exit(2)
+		log.Fatalf("aqmcompare: %v", err)
 	}
-	scale := experiment.Scale{
-		Nodes:     *nodes,
-		InputSize: inputSz,
-		BlockSize: inputSz / units.ByteSize(*nodes),
-		Reducers:  *reducers,
+	c, err := ecnsim.NewCluster(opts...)
+	if err != nil {
+		log.Fatalf("aqmcompare: %v", err)
 	}
-	fmt.Printf("Terasort %v on %d nodes, shallow buffers — one row per AQM setup\n\n", inputSz, *nodes)
-	cmp := experiment.CompareAQMs(scale, *target, *seed)
-	fmt.Print(figures.RenderAQMComparison(cmp))
+
+	fmt.Printf("Terasort %s on %d nodes, %s buffers — one row per AQM setup\n\n",
+		ecnsim.FormatSize(c.InputSize()), c.Nodes(), c.Buffer())
+	rs, err := ecnsim.RunScenario(context.Background(), "aqmcompare", opts...)
+	if err != nil {
+		log.Fatalf("aqmcompare: %v", err)
+	}
+	fmt.Print(ecnsim.RenderAQMTable(rs.Results))
 	fmt.Println("\nEvery early drop any of these ECN-enabled AQMs performs lands on a")
 	fmt.Println("non-ECT packet (an ACK or SYN); the ack+syn rows show the same queue")
 	fmt.Println("with the paper's protection — zero early drops, by construction.")

@@ -1,115 +1,84 @@
 // Incast: the many-to-one microbenchmark behind the shuffle's worst case.
 // N senders start simultaneous bulk transfers to one receiver through a
 // single switch; the example compares flow completion times and losses for
-// each queue discipline, including the paper's protection modes.
+// each queue discipline, including the paper's protection modes — all runs
+// fanned in parallel over the ecnsim Runner.
 //
 //	go run ./examples/incast
 //	go run ./examples/incast -senders 15 -size 8MiB
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
+	"log"
+	"time"
 
-	"repro/internal/flow"
-	"repro/internal/metrics"
-	"repro/internal/packet"
-	"repro/internal/qdisc"
-	"repro/internal/sim"
-	"repro/internal/tcp"
-	"repro/internal/topo"
-	"repro/internal/units"
+	"repro/ecnsim"
 )
 
 func main() {
 	var (
 		senders = flag.Int("senders", 8, "number of concurrent senders")
 		sizeStr = flag.String("size", "4MiB", "bytes per sender")
-		target  = flag.Duration("target", 100*units.Microsecond, "AQM target delay")
+		target  = flag.Duration("target", 100*time.Microsecond, "AQM target delay")
 	)
 	flag.Parse()
-	size, err := units.ParseByteSize(*sizeStr)
+	size, err := ecnsim.ParseSize(*sizeStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "incast:", err)
-		os.Exit(2)
+		log.Fatalf("incast: %v", err)
 	}
 
 	type setup struct {
-		name    string
-		variant tcp.Variant
-		factory topo.QdiscFactory
+		name string
+		opts []ecnsim.Option
 	}
-	capacity := int(1 * units.MiB / 1500)
 	setups := []setup{
-		{"droptail + tcp", tcp.Reno, func(label string, rate units.Bandwidth) qdisc.Qdisc {
-			return qdisc.NewDropTail(capacity)
-		}},
-		{"red default + tcp-ecn", tcp.RenoECN, redFactory(capacity, *target, qdisc.ProtectNone)},
-		{"red ece-bit + tcp-ecn", tcp.RenoECN, redFactory(capacity, *target, qdisc.ProtectECE)},
-		{"red ack+syn + tcp-ecn", tcp.RenoECN, redFactory(capacity, *target, qdisc.ProtectACKSYN)},
-		{"red ack+syn + dctcp", tcp.DCTCP, redFactory(capacity, *target, qdisc.ProtectACKSYN)},
-		{"simplemark + dctcp", tcp.DCTCP, func(label string, rate units.Bandwidth) qdisc.Qdisc {
-			return qdisc.SimpleMarkForTargetDelay(capacity, rate, *target)
-		}},
+		{"droptail + tcp", []ecnsim.Option{ecnsim.Queue(ecnsim.DropTail)}},
+		{"red default + tcp-ecn", []ecnsim.Option{ecnsim.Queue(ecnsim.RED)}},
+		{"red ece-bit + tcp-ecn", []ecnsim.Option{ecnsim.Queue(ecnsim.RED), ecnsim.Protect(ecnsim.ECE)}},
+		{"red ack+syn + tcp-ecn", []ecnsim.Option{ecnsim.Queue(ecnsim.RED), ecnsim.Protect(ecnsim.ACKSYN)}},
+		{"red ack+syn + dctcp", []ecnsim.Option{ecnsim.Queue(ecnsim.RED), ecnsim.Protect(ecnsim.ACKSYN), ecnsim.Transport(ecnsim.DCTCP)}},
+		{"simplemark + dctcp", []ecnsim.Option{ecnsim.Queue(ecnsim.SimpleMark), ecnsim.Transport(ecnsim.DCTCP)}},
 	}
 
-	fmt.Printf("incast: %d senders x %v -> 1 receiver, 10 Gbps star, %d-packet ports\n\n",
-		*senders, size, capacity)
+	scenario, err := ecnsim.MustScenario("incast")
+	if err != nil {
+		log.Fatalf("incast: %v", err)
+	}
+	jobs := make([]ecnsim.Job, 0, len(setups))
 	for _, s := range setups {
-		runIncast(s.name, s.variant, s.factory, *senders, size)
+		opts := append([]ecnsim.Option{
+			ecnsim.Nodes(*senders + 1),
+			ecnsim.Senders(*senders),
+			ecnsim.FlowSize(size),
+			ecnsim.TargetDelay(*target),
+			ecnsim.Seed(7),
+		}, s.opts...)
+		c, err := ecnsim.NewCluster(opts...)
+		if err != nil {
+			log.Fatalf("incast: %s: %v", s.name, err)
+		}
+		jobs = append(jobs, ecnsim.Job{Scenario: scenario, Cluster: c})
 	}
-}
 
-func redFactory(capacity int, target units.Duration, mode qdisc.ProtectMode) topo.QdiscFactory {
-	return func(label string, rate units.Bandwidth) qdisc.Qdisc {
-		cfg := qdisc.REDForTargetDelay(capacity, rate, target)
-		cfg.ECN = true
-		cfg.Protect = mode
-		return qdisc.NewRED(cfg)
+	runner := &ecnsim.Runner{}
+	rs, err := runner.Run(context.Background(), jobs...)
+	if err != nil {
+		log.Fatalf("incast: %v", err)
 	}
-}
 
-func runIncast(name string, variant tcp.Variant, factory topo.QdiscFactory, senders int, size units.ByteSize) {
-	eng := sim.New()
-	cl := topo.Build(eng, topo.Config{
-		Nodes:       senders + 1,
-		LinkRate:    10 * units.Gbps,
-		LinkDelay:   5 * units.Microsecond,
-		HostQueue:   factory,
-		SwitchQueue: factory,
-	})
-	col := metrics.New(1<<14, 7)
-	cl.Net.SetObserver(col)
-
-	stats := &tcp.Stats{}
-	cfg := tcp.DefaultConfig(variant)
-	stacks := make([]*tcp.Stack, len(cl.Hosts))
-	for i, h := range cl.Hosts {
-		stacks[i] = tcp.NewStack(h, cfg, stats)
+	fmt.Printf("incast: %d senders x %s -> 1 receiver, 10 Gbps star, shallow ports\n\n",
+		*senders, ecnsim.FormatSize(size))
+	for i, r := range rs.Results {
+		fmt.Printf("%-24s done=%.0f/%d in %-14v agg=%-12s lat(mean)=%-12v drops=%.0f rtx=%.0f rto=%.0f\n",
+			setups[i].name,
+			r.Value(ecnsim.KeyCompleted), *senders,
+			r.Duration(ecnsim.KeyCompletion).Round(time.Microsecond),
+			fmt.Sprintf("%.2fGbps", r.Value(ecnsim.KeyGoodput)/1e9),
+			r.Duration(ecnsim.KeyMeanLatency).Round(time.Microsecond),
+			r.Value(ecnsim.KeyEarlyDrops)+r.Value(ecnsim.KeyOverflowDrops),
+			r.Value(ecnsim.KeyRetransmits), r.Value(ecnsim.KeyRTOEvents))
 	}
-	flow.RegisterBulkSink(stacks[senders], 9000, nil)
-
-	var done int
-	var last units.Time
-	dst := packet.Addr{Node: cl.Hosts[senders].ID(), Port: 9000}
-	for i := 0; i < senders; i++ {
-		flow.StartBulk(stacks[i], dst, size, func(r *flow.BulkResult) {
-			done++
-			if r.Done > last {
-				last = r.Done
-			}
-		})
-	}
-	eng.SetDeadline(units.Time(120 * units.Second))
-	eng.Run()
-
-	agg := units.Bandwidth(0)
-	if last > 0 {
-		agg = units.Bandwidth(float64(units.ByteSize(senders)*size*8) / last.Seconds())
-	}
-	early, ovf := col.Drops()
-	fmt.Printf("%-24s done=%d/%d in %-14v agg=%-12v lat(mean)=%-12v drops=%d rtx=%d rto=%d\n",
-		name, done, senders, units.Duration(last).Round(units.Microsecond), agg,
-		col.MeanLatency().Round(units.Microsecond), early+ovf, stats.Retransmits(), stats.RTOEvents)
 }

@@ -8,65 +8,64 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/flow"
-	"repro/internal/mapred"
-	"repro/internal/packet"
-	"repro/internal/qdisc"
-	"repro/internal/stats"
-	"repro/internal/tcp"
-	"repro/internal/units"
+	"repro/ecnsim"
 )
 
 func main() {
 	type setup struct {
-		name      string
-		queue     cluster.QueueKind
-		buffer    cluster.BufferDepth
-		protect   qdisc.ProtectMode
-		transport tcp.Variant
+		name string
+		opts []ecnsim.Option
 	}
 	setups := []setup{
-		{"droptail deep + tcp", cluster.QueueDropTail, cluster.Deep, qdisc.ProtectNone, tcp.Reno},
-		{"droptail shallow + tcp", cluster.QueueDropTail, cluster.Shallow, qdisc.ProtectNone, tcp.Reno},
-		{"red ack+syn + dctcp", cluster.QueueRED, cluster.Shallow, qdisc.ProtectACKSYN, tcp.DCTCP},
-		{"simplemark + dctcp", cluster.QueueSimpleMark, cluster.Shallow, qdisc.ProtectNone, tcp.DCTCP},
+		{"droptail deep + tcp", []ecnsim.Option{ecnsim.Queue(ecnsim.DropTail), ecnsim.Buffer(ecnsim.Deep)}},
+		{"droptail shallow + tcp", []ecnsim.Option{ecnsim.Queue(ecnsim.DropTail)}},
+		{"red ack+syn + dctcp", []ecnsim.Option{ecnsim.Queue(ecnsim.RED), ecnsim.Protect(ecnsim.ACKSYN), ecnsim.Transport(ecnsim.DCTCP)}},
+		{"simplemark + dctcp", []ecnsim.Option{ecnsim.Queue(ecnsim.SimpleMark), ecnsim.Transport(ecnsim.DCTCP)}},
+	}
+
+	scenario, err := ecnsim.MustScenario("mixed")
+	if err != nil {
+		log.Fatalf("mixedcluster: %v", err)
+	}
+	jobs := make([]ecnsim.Job, 0, len(setups))
+	for _, s := range setups {
+		opts := append([]ecnsim.Option{
+			ecnsim.Nodes(8),
+			ecnsim.InputSize(256 << 20), // 256 MiB
+			ecnsim.Reducers(16),
+			ecnsim.TargetDelay(100 * time.Microsecond),
+			ecnsim.RPCInterval(2 * time.Millisecond),
+		}, s.opts...)
+		c, err := ecnsim.NewCluster(opts...)
+		if err != nil {
+			log.Fatalf("mixedcluster: %s: %v", s.name, err)
+		}
+		jobs = append(jobs, ecnsim.Job{Scenario: scenario, Cluster: c})
+	}
+
+	runner := &ecnsim.Runner{}
+	rs, err := runner.Run(context.Background(), jobs...)
+	if err != nil {
+		log.Fatalf("mixedcluster: %v", err)
 	}
 
 	fmt.Println("RPC probe (128B request / 4KiB response every 2ms) during a Terasort shuffle")
 	fmt.Println()
-	for _, s := range setups {
-		spec := cluster.DefaultSpec()
-		spec.Nodes = 8
-		spec.Queue = s.queue
-		spec.Buffer = s.buffer
-		spec.Protect = s.protect
-		spec.Transport = s.transport
-		spec.TargetDelay = 100 * units.Microsecond
-
-		c := cluster.New(spec)
-
-		// RPC service on node 1, probe from node 0, alongside the job.
-		flow.RegisterRPCServer(c.Stacks[1], 7000, 128, 4096)
-		probe := flow.StartRPCClient(c.Stacks[0], packet.Addr{Node: c.Topo.Hosts[1].ID(), Port: 7000},
-			flow.RPCConfig{ReqSize: 128, RespSize: 4096, Interval: 2 * units.Millisecond})
-
-		job := c.RunJob(mapred.TerasortConfig(256*units.MiB, 16))
-		probe.Stop()
-
-		sample := stats.NewSample()
-		for _, l := range probe.Latencies() {
-			sample.Add(l.Seconds())
-		}
-		toDur := func(sec float64) units.Duration {
-			return units.Duration(sec * float64(units.Second)).Round(units.Microsecond)
-		}
-		fmt.Printf("%-26s job=%-12v rpc n=%-5d mean=%-10v p50=%-10v p99=%-10v max=%v\n",
-			s.name, job.Runtime().Round(units.Millisecond), sample.N(),
-			toDur(sample.Mean()), toDur(sample.Quantile(0.5)),
-			toDur(sample.Quantile(0.99)), toDur(sample.Max()))
+	us := func(r ecnsim.Result, key string) time.Duration {
+		return r.Duration(key).Round(time.Microsecond)
+	}
+	for i, r := range rs.Results {
+		fmt.Printf("%-26s job=%-12v rpc n=%-5.0f mean=%-10v p50=%-10v p99=%-10v max=%v\n",
+			setups[i].name,
+			r.Duration(ecnsim.KeyJobRuntime).Round(time.Millisecond),
+			r.Value(ecnsim.KeyRPCCount),
+			us(r, ecnsim.KeyRPCMean), us(r, ecnsim.KeyRPCP50),
+			us(r, ecnsim.KeyRPCP99), us(r, ecnsim.KeyRPCMax))
 	}
 	fmt.Println("\nDeep DropTail buffers push RPC tail latency into the bufferbloat regime;")
 	fmt.Println("marking keeps the shuffle fast AND the service responsive — the paper's goal.")

@@ -1,42 +1,45 @@
-// Quickstart: build a small simulated Hadoop cluster, run the same Terasort
-// twice — once over DropTail switches, once over switches with the paper's
-// true simple marking scheme — and compare runtime, throughput and latency.
+// Quickstart: define a small simulated Hadoop cluster with the ecnsim
+// builder, run the same Terasort twice — once over DropTail switches, once
+// over switches with the paper's true simple marking scheme — and compare
+// runtime, throughput and latency.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/mapred"
-	"repro/internal/tcp"
-	"repro/internal/units"
+	"repro/ecnsim"
 )
 
 func main() {
-	run := func(name string, queue cluster.QueueKind, transport tcp.Variant) {
-		spec := cluster.DefaultSpec()
-		spec.Nodes = 8
-		spec.Queue = queue
-		spec.Transport = transport
-		spec.TargetDelay = 100 * units.Microsecond
-
-		c := cluster.New(spec)
-		job := c.RunJob(mapred.TerasortConfig(256*units.MiB, 16))
-
-		lo, hi := job.ShuffleWindow()
-		fmt.Printf("%-22s runtime=%-14v throughput/node=%-12v mean latency=%-12v drops=%d\n",
+	run := func(name string, queue ecnsim.QueueKind, transport ecnsim.TransportKind) {
+		rs, err := ecnsim.RunScenario(context.Background(), "terasort",
+			ecnsim.Nodes(8),
+			ecnsim.Queue(queue),
+			ecnsim.Transport(transport),
+			ecnsim.TargetDelay(100*time.Microsecond),
+			ecnsim.InputSize(256<<20), // 256 MiB
+			ecnsim.Reducers(16),
+		)
+		if err != nil {
+			log.Fatalf("quickstart: %v", err)
+		}
+		r := rs.Results[0]
+		fmt.Printf("%-22s runtime=%-14v throughput/node=%-12s mean latency=%-12v drops=%.0f\n",
 			name,
-			job.Runtime().Round(units.Millisecond),
-			c.Metrics.MeanThroughputPerNode(spec.Nodes, lo, hi),
-			c.Metrics.MeanLatency().Round(units.Microsecond),
-			c.Metrics.EarlyDropped.Total()+c.Metrics.OverflowDropped.Total())
+			r.Duration(ecnsim.KeyRuntime).Round(time.Millisecond),
+			fmt.Sprintf("%.0fMbps", r.Value(ecnsim.KeyThroughput)/1e6),
+			r.Duration(ecnsim.KeyMeanLatency).Round(time.Microsecond),
+			r.Value(ecnsim.KeyEarlyDrops)+r.Value(ecnsim.KeyOverflowDrops))
 	}
 
 	fmt.Println("Terasort, 8 nodes, 10 Gbps, shallow (1MB/port) switch buffers:")
-	run("droptail + tcp", cluster.QueueDropTail, tcp.Reno)
-	run("simplemark + tcp-ecn", cluster.QueueSimpleMark, tcp.RenoECN)
+	run("droptail + tcp", ecnsim.DropTail, ecnsim.TCP)
+	run("simplemark + tcp-ecn", ecnsim.SimpleMark, ecnsim.TCPECN)
 	fmt.Println("\nThe marking scheme keeps full throughput with a fraction of the")
 	fmt.Println("latency and (near) zero loss — the paper's headline result.")
 }

@@ -1,97 +1,65 @@
 // Terasort: run the paper's full workload on a 16-node cluster under a
 // configurable queue setup and print a per-phase breakdown — map wave
-// timings, per-reducer shuffle windows, and the job-level metrics.
+// timings, the shuffle window, and the job-level metrics.
 //
 //	go run ./examples/terasort
 //	go run ./examples/terasort -queue red -mode ack+syn -transport dctcp
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"strings"
+	"log"
+	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/mapred"
-	"repro/internal/qdisc"
-	"repro/internal/tcp"
-	"repro/internal/units"
+	"repro/ecnsim"
 )
 
 func main() {
-	var (
-		queue     = flag.String("queue", "droptail", "droptail | red | simplemark")
-		mode      = flag.String("mode", "default", "default | ece-bit | ack+syn")
-		transport = flag.String("transport", "tcp", "tcp | tcp-ecn | dctcp")
-		deep      = flag.Bool("deep", false, "use deep (10MB/port) buffers")
-		target    = flag.Duration("target", 500*units.Microsecond, "AQM target delay")
-	)
+	fl := ecnsim.DefaultFlags()
+	fl.Bind(flag.CommandLine)
 	flag.Parse()
 
-	spec := cluster.DefaultSpec()
-	spec.TargetDelay = *target
-	switch strings.ToLower(*queue) {
-	case "red":
-		spec.Queue = cluster.QueueRED
-	case "simplemark":
-		spec.Queue = cluster.QueueSimpleMark
+	opts, err := fl.Options()
+	if err != nil {
+		log.Fatalf("terasort: %v", err)
 	}
-	switch strings.ToLower(*mode) {
-	case "ece-bit":
-		spec.Protect = qdisc.ProtectECE
-	case "ack+syn":
-		spec.Protect = qdisc.ProtectACKSYN
-	}
-	switch strings.ToLower(*transport) {
-	case "tcp-ecn":
-		spec.Transport = tcp.RenoECN
-	case "dctcp":
-		spec.Transport = tcp.DCTCP
-	}
-	if *deep {
-		spec.Buffer = cluster.Deep
+	c, err := ecnsim.NewCluster(opts...)
+	if err != nil {
+		log.Fatalf("terasort: %v", err)
 	}
 
-	c := cluster.New(spec)
-	job := c.RunJob(mapred.TerasortConfig(1*units.GiB, 32))
-
-	fmt.Printf("Terasort on %d nodes (%v links, %s buffers, %s", spec.Nodes,
-		spec.LinkRate, spec.Buffer, spec.Queue)
-	if spec.Queue == cluster.QueueRED {
-		fmt.Printf(" %s", spec.Protect)
+	rs, err := ecnsim.RunScenario(context.Background(), "terasort", opts...)
+	if err != nil {
+		log.Fatalf("terasort: %v", err)
 	}
-	fmt.Printf(", %s)\n\n", spec.Transport)
+	r := rs.Results[0]
+
+	fmt.Printf("Terasort on %d nodes (%s, %s input)\n\n", c.Nodes(), r.Label,
+		ecnsim.FormatSize(c.InputSize()))
 
 	// Map waves.
-	var mapEnd units.Time
-	for _, m := range job.Maps {
-		if m.End > mapEnd {
-			mapEnd = m.End
-		}
-	}
-	fmt.Printf("map tasks:   %d (last finished at %v)\n", len(job.Maps), mapEnd)
+	fmt.Printf("map tasks:   %.0f (last finished at %v)\n",
+		r.Value(ecnsim.KeyMaps), r.Duration(ecnsim.KeyMapFinish).Round(time.Millisecond))
 
 	// Shuffle.
-	lo, hi := job.ShuffleWindow()
-	fmt.Printf("shuffle:     %v moved in [%v .. %v]\n", job.ShuffledBytes(), lo, hi)
-	var worst units.Duration
-	var worstID int
-	for _, r := range job.Reduces {
-		d := r.ShuffleEnd.Sub(r.ShuffleStart)
-		if d > worst {
-			worst, worstID = d, r.ID
-		}
-	}
-	fmt.Printf("             slowest reducer shuffle: #%d (%v)\n", worstID, worst.Round(units.Millisecond))
+	fmt.Printf("shuffle:     %s moved in [%v .. %v]\n",
+		ecnsim.FormatSize(int64(r.Value(ecnsim.KeyShuffledBytes))),
+		r.Duration(ecnsim.KeyShuffleStart).Round(time.Millisecond),
+		r.Duration(ecnsim.KeyShuffleEnd).Round(time.Millisecond))
+	fmt.Printf("             slowest reducer shuffle: #%.0f (%v)\n",
+		r.Value(ecnsim.KeySlowestReducer),
+		r.Duration(ecnsim.KeySlowestShuffle).Round(time.Millisecond))
 
 	// Job.
-	fmt.Printf("\nruntime:              %v\n", job.Runtime().Round(units.Millisecond))
-	fmt.Printf("throughput per node:  %v\n", c.Metrics.MeanThroughputPerNode(spec.Nodes, lo, hi))
-	fmt.Printf("mean packet latency:  %v\n", c.Metrics.MeanLatency().Round(units.Microsecond))
-	fmt.Printf("p99 packet latency:   %v\n", c.Metrics.P99Latency().Round(units.Microsecond))
-	early, ovf := c.Metrics.Drops()
-	fmt.Printf("drops:                early=%d overflow=%d (ACK share %.0f%%)\n",
-		early, ovf, 100*c.Metrics.AckDropShare())
-	fmt.Printf("retransmits:          %d (RTO events %d, SYN retries %d)\n",
-		c.TCP.Retransmits(), c.TCP.RTOEvents, c.TCP.SynRetries)
+	fmt.Printf("\nruntime:              %v\n", r.Duration(ecnsim.KeyRuntime).Round(time.Millisecond))
+	fmt.Printf("throughput per node:  %.0f Mbps\n", r.Value(ecnsim.KeyThroughput)/1e6)
+	fmt.Printf("mean packet latency:  %v\n", r.Duration(ecnsim.KeyMeanLatency).Round(time.Microsecond))
+	fmt.Printf("p99 packet latency:   %v\n", r.Duration(ecnsim.KeyP99Latency).Round(time.Microsecond))
+	fmt.Printf("drops:                early=%.0f overflow=%.0f (ACK share %.0f%%)\n",
+		r.Value(ecnsim.KeyEarlyDrops), r.Value(ecnsim.KeyOverflowDrops),
+		100*r.Value(ecnsim.KeyAckDropShare))
+	fmt.Printf("retransmits:          %.0f (RTO events %.0f, SYN retries %.0f)\n",
+		r.Value(ecnsim.KeyRetransmits), r.Value(ecnsim.KeyRTOEvents), r.Value(ecnsim.KeySynRetries))
 }

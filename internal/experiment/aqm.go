@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/qdisc"
 	"repro/internal/tcp"
@@ -40,22 +42,39 @@ type AQMComparison struct {
 // CompareAQMs runs the cross-AQM grid at one target delay on shallow
 // buffers. It answers the generalization question quantitatively.
 func CompareAQMs(scale Scale, target units.Duration, seed uint64) AQMComparison {
-	cmp := AQMComparison{TargetDelay: target}
-	cmp.Baseline = Run(Config{
-		Setup:       SetupDropTail,
+	cmp, _ := CompareAQMsConfig(context.Background(), Config{
 		Buffer:      cluster.Shallow,
 		TargetDelay: target,
 		Scale:       scale,
 		Seed:        seed,
 	})
-	for _, setup := range AQMSetups() {
-		cmp.Rows = append(cmp.Rows, Run(Config{
-			Setup:       setup,
-			Buffer:      cluster.Shallow,
-			TargetDelay: target,
-			Scale:       scale,
-			Seed:        seed,
-		}))
-	}
 	return cmp
+}
+
+// CompareAQMsConfig runs the cross-AQM grid over the given base config
+// (its Setup is replaced row by row; buffer depth, target delay, scale,
+// seed and ablations apply to every row). Cancelling ctx between runs
+// aborts the grid with ctx.Err().
+func CompareAQMsConfig(ctx context.Context, base Config) (AQMComparison, error) {
+	cmp := AQMComparison{TargetDelay: base.TargetDelay}
+	run := func(setup QueueSetup) (Result, error) {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		cfg := base
+		cfg.Setup = setup
+		return Run(cfg), nil
+	}
+	var err error
+	if cmp.Baseline, err = run(SetupDropTail); err != nil {
+		return cmp, err
+	}
+	for _, setup := range AQMSetups() {
+		r, err := run(setup)
+		if err != nil {
+			return cmp, err
+		}
+		cmp.Rows = append(cmp.Rows, r)
+	}
+	return cmp, nil
 }

@@ -132,6 +132,14 @@ type Result struct {
 // Run executes one Terasort under the configuration and returns its result.
 // Runs are deterministic in (Config, Seed).
 func Run(cfg Config) Result {
+	r, _ := RunJob(cfg)
+	return r
+}
+
+// RunJob is Run exposing the finished MapReduce job as well, for callers
+// that report per-phase breakdowns (map waves, shuffle windows) beyond the
+// figure metrics.
+func RunJob(cfg Config) (Result, *mapred.Job) {
 	spec := cluster.DefaultSpec()
 	spec.Nodes = cfg.Scale.Nodes
 	spec.Racks = cfg.Scale.Racks
@@ -181,5 +189,5 @@ func Run(cfg Config) Result {
 	}
 	res.EarlyDrops, res.OverflowDrops = c.Metrics.Drops()
 	_ = packet.HeaderSize
-	return res
+	return res, job
 }

@@ -31,6 +31,11 @@ type MixedResult struct {
 // response every 2 ms) between the first two nodes, returning both the job
 // and service views.
 func RunMixed(cfg Config) MixedResult {
+	return RunMixedInterval(cfg, 2*units.Millisecond)
+}
+
+// RunMixedInterval is RunMixed with a configurable probe period.
+func RunMixedInterval(cfg Config, interval units.Duration) MixedResult {
 	spec := cluster.DefaultSpec()
 	spec.Nodes = cfg.Scale.Nodes
 	spec.Queue = cfg.Setup.Queue
@@ -44,7 +49,7 @@ func RunMixed(cfg Config) MixedResult {
 	flow.RegisterRPCServer(c.Stacks[1], 7000, 128, 4096)
 	probe := flow.StartRPCClient(c.Stacks[0],
 		packet.Addr{Node: c.Topo.Hosts[1].ID(), Port: 7000},
-		flow.RPCConfig{ReqSize: 128, RespSize: 4096, Interval: 2 * units.Millisecond})
+		flow.RPCConfig{ReqSize: 128, RespSize: 4096, Interval: interval})
 
 	jobCfg := mapred.TerasortConfig(cfg.Scale.InputSize, cfg.Scale.Reducers)
 	jobCfg.BlockSize = cfg.Scale.BlockSize

@@ -1,0 +1,104 @@
+package experiment_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+// TestRepeatAveragesEveryField is the audit regression for Repeat: two runs
+// with known seeds, and every accumulated field — including the ratio
+// AckDropShare and the percentile P99Latency — must equal the field-wise
+// mean of the individual runs (integer fields rounding down, as documented).
+func TestRepeatAveragesEveryField(t *testing.T) {
+	cfg := experiment.Config{
+		// An early-dropping setup so ratio fields (AckDropShare) and drop
+		// counters are non-zero and an averaging bug cannot hide behind 0.
+		Setup:       experiment.SetupECNDefault,
+		Buffer:      cluster.Shallow,
+		TargetDelay: 100 * units.Microsecond,
+		Scale: experiment.Scale{
+			Nodes: 4, InputSize: 64 * units.MiB, BlockSize: 16 * units.MiB, Reducers: 8,
+		},
+	}
+	seeds := []uint64{3, 4}
+	avg := experiment.Repeat(cfg, seeds)
+
+	cfg.Seed = seeds[0]
+	r1 := experiment.Run(cfg)
+	cfg.Seed = seeds[1]
+	r2 := experiment.Run(cfg)
+
+	if r1.EarlyDrops == 0 || r2.EarlyDrops == 0 {
+		t.Fatal("runs produced no early drops; pick a tighter target delay")
+	}
+	if r1.Runtime == r2.Runtime {
+		t.Log("warning: both seeds produced identical runtimes; averaging check is weak")
+	}
+
+	if want := (r1.Runtime + r2.Runtime) / 2; avg.Runtime != want {
+		t.Errorf("Runtime = %v, want %v", avg.Runtime, want)
+	}
+	if want := (r1.ThroughputPerNode + r2.ThroughputPerNode) / 2; avg.ThroughputPerNode != want {
+		t.Errorf("ThroughputPerNode = %v, want %v", avg.ThroughputPerNode, want)
+	}
+	if want := (r1.MeanLatency + r2.MeanLatency) / 2; avg.MeanLatency != want {
+		t.Errorf("MeanLatency = %v, want %v", avg.MeanLatency, want)
+	}
+	if want := (r1.P99Latency + r2.P99Latency) / 2; avg.P99Latency != want {
+		t.Errorf("P99Latency = %v, want %v", avg.P99Latency, want)
+	}
+	if want := (r1.ShuffledBytes + r2.ShuffledBytes) / 2; avg.ShuffledBytes != want {
+		t.Errorf("ShuffledBytes = %v, want %v", avg.ShuffledBytes, want)
+	}
+	if want := (r1.EarlyDrops + r2.EarlyDrops) / 2; avg.EarlyDrops != want {
+		t.Errorf("EarlyDrops = %d, want %d", avg.EarlyDrops, want)
+	}
+	if want := (r1.OverflowDrops + r2.OverflowDrops) / 2; avg.OverflowDrops != want {
+		t.Errorf("OverflowDrops = %d, want %d", avg.OverflowDrops, want)
+	}
+	if want := (r1.AckDropShare + r2.AckDropShare) / 2; avg.AckDropShare != want {
+		t.Errorf("AckDropShare = %g, want %g", avg.AckDropShare, want)
+	}
+	if want := (r1.Marks + r2.Marks) / 2; avg.Marks != want {
+		t.Errorf("Marks = %d, want %d", avg.Marks, want)
+	}
+	if want := (r1.Retransmits + r2.Retransmits) / 2; avg.Retransmits != want {
+		t.Errorf("Retransmits = %d, want %d", avg.Retransmits, want)
+	}
+	if want := (r1.RTOEvents + r2.RTOEvents) / 2; avg.RTOEvents != want {
+		t.Errorf("RTOEvents = %d, want %d", avg.RTOEvents, want)
+	}
+	if want := (r1.SynRetries + r2.SynRetries) / 2; avg.SynRetries != want {
+		t.Errorf("SynRetries = %d, want %d", avg.SynRetries, want)
+	}
+	if want := (r1.FetchRetries + r2.FetchRetries) / 2; avg.FetchRetries != want {
+		t.Errorf("FetchRetries = %d, want %d", avg.FetchRetries, want)
+	}
+	if avg.Config.Seed != seeds[0] {
+		t.Errorf("averaged result keeps seed %d, want base seed %d", avg.Config.Seed, seeds[0])
+	}
+}
+
+// TestRepeatSingleSeedIsRun pins the degenerate cases: an empty seed list
+// falls back to the config's own seed, and one seed means no averaging.
+func TestRepeatSingleSeedIsRun(t *testing.T) {
+	cfg := experiment.Config{
+		Setup:       experiment.SetupDropTail,
+		Buffer:      cluster.Shallow,
+		TargetDelay: 500 * units.Microsecond,
+		Scale: experiment.Scale{
+			Nodes: 4, InputSize: 32 * units.MiB, BlockSize: 8 * units.MiB, Reducers: 4,
+		},
+		Seed: 9,
+	}
+	direct := experiment.Run(cfg)
+	if got := experiment.Repeat(cfg, nil); got != direct {
+		t.Error("Repeat(cfg, nil) differs from Run(cfg)")
+	}
+	if got := experiment.Repeat(cfg, []uint64{9}); got != direct {
+		t.Error("Repeat(cfg, [9]) differs from Run(cfg)")
+	}
+}

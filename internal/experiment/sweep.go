@@ -1,10 +1,11 @@
 package experiment
 
 import (
-	"runtime"
+	"context"
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/pool"
 	"repro/internal/units"
 )
 
@@ -122,6 +123,13 @@ type gridJob struct {
 // Workers goroutines. Results are deterministic in (Scale, Seed, Repeats)
 // and independent of Workers.
 func (s *Sweep) Execute() {
+	_ = s.ExecuteContext(context.Background())
+}
+
+// ExecuteContext is Execute with cancellation: if ctx is cancelled the grid
+// stops dispatching new runs (leaving unvisited slots zero) and ctx.Err() is
+// returned.
+func (s *Sweep) ExecuteContext(ctx context.Context) error {
 	seeds := []uint64{s.Seed}
 	for i := 1; i < s.Repeats; i++ {
 		seeds = append(seeds, s.Seed+uint64(i))
@@ -162,53 +170,22 @@ func (s *Sweep) Execute() {
 		}
 	}
 
-	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	p := &pool.Pool{Workers: s.Workers}
+	if s.Progress != nil {
+		p.OnStart = func(i, done int) { s.Progress(done, len(jobs), jobs[i].cfg) }
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	var (
-		mu   sync.Mutex
-		done int
-		next int
-		wg   sync.WaitGroup
-	)
-	total := len(jobs)
-	worker := func() {
-		defer wg.Done()
-		for {
-			mu.Lock()
-			if next >= len(jobs) {
-				mu.Unlock()
-				return
-			}
-			j := jobs[next]
-			next++
-			if s.Progress != nil {
-				s.Progress(done, total, j.cfg)
-			}
-			mu.Unlock()
-
-			res := Repeat(j.cfg, seeds)
-
-			mu.Lock()
-			done++
-			if j.baseline {
-				s.DropTail[j.cfg.Buffer] = res
-			} else {
-				s.Series[j.cfg.Buffer][j.label][j.index] = res
-			}
-			mu.Unlock()
+	var mu sync.Mutex
+	return p.Run(ctx, len(jobs), func(i int) {
+		j := jobs[i]
+		res := Repeat(j.cfg, seeds)
+		mu.Lock()
+		defer mu.Unlock()
+		if j.baseline {
+			s.DropTail[j.cfg.Buffer] = res
+		} else {
+			s.Series[j.cfg.Buffer][j.label][j.index] = res
 		}
-	}
-	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go worker()
-	}
-	wg.Wait()
+	})
 }
 
 // NormalizedRuntime returns runtime relative to DropTail-shallow (the

@@ -269,30 +269,6 @@ func (q QueueSnapshot) Render() string {
 	return b.String()
 }
 
-// RenderAQMComparison formats the cross-AQM generalization table: RED,
-// CoDel and PIE each with and without the paper's ACK+SYN protection, plus
-// the marking reference, against the DropTail baseline. This extends the
-// paper's analysis to the AQMs its related work considers.
-func RenderAQMComparison(cmp experiment.AQMComparison) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "AQM generalization — shallow buffers, target delay %v (normalized to DropTail)\n", cmp.TargetDelay)
-	fmt.Fprintf(&b, "%-18s %9s %11s %9s %9s %7s\n",
-		"setup", "runtime", "throughput", "latency", "earlydrop", "rto")
-	norm := func(r experiment.Result) (float64, float64, float64) {
-		return float64(r.Runtime) / float64(cmp.Baseline.Runtime),
-			float64(r.ThroughputPerNode) / float64(cmp.Baseline.ThroughputPerNode),
-			float64(r.MeanLatency) / float64(cmp.Baseline.MeanLatency)
-	}
-	fmt.Fprintf(&b, "%-18s %9.3f %11.3f %9.3f %9d %7d\n",
-		"droptail", 1.0, 1.0, 1.0, cmp.Baseline.EarlyDrops, cmp.Baseline.RTOEvents)
-	for _, r := range cmp.Rows {
-		rt, th, lat := norm(r)
-		fmt.Fprintf(&b, "%-18s %9.3f %11.3f %9.3f %9d %7d\n",
-			r.Config.Setup.Label, rt, th, lat, r.EarlyDrops, r.RTOEvents)
-	}
-	return b.String()
-}
-
 // SortedLabels returns the series labels present in a sweep, in render
 // order, for callers that need to iterate.
 func SortedLabels(s *experiment.Sweep, buf cluster.BufferDepth) []string {

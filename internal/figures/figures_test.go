@@ -140,18 +140,3 @@ func TestNormalizationDirections(t *testing.T) {
 	}
 }
 
-func TestRenderAQMComparison(t *testing.T) {
-	cmp := experiment.CompareAQMs(experiment.Scale{
-		Nodes: 4, InputSize: 64 * units.MiB, BlockSize: 16 * units.MiB, Reducers: 8,
-	}, 100*units.Microsecond, 1)
-	out := figures.RenderAQMComparison(cmp)
-	for _, want := range []string{
-		"droptail", "ecn-default", "ecn-ack+syn",
-		"codel-default", "codel-ack+syn", "pie-default", "pie-ack+syn",
-		"ecn-simplemark", "runtime", "earlydrop",
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("AQM table missing %q:\n%s", want, out)
-		}
-	}
-}

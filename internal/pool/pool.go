@@ -1,0 +1,86 @@
+// Package pool provides the bounded worker pool that every parallel grid in
+// the simulator runs on: independent, CPU-bound simulation jobs fanned over a
+// fixed number of goroutines, with context cancellation and an in-order
+// dispatch hook for progress reporting.
+//
+// Jobs are dispatched in index order. Because each simulation is
+// deterministic and results are written to caller-owned, index-addressed
+// slots, outputs are identical for any worker count.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool runs indexed jobs over a bounded set of goroutines.
+type Pool struct {
+	// Workers bounds concurrency. 0 or negative means GOMAXPROCS; 1 forces
+	// serial execution.
+	Workers int
+	// OnStart, if non-nil, is called under the pool's dispatch lock just
+	// before job i runs, with the number of jobs already completed. Callers
+	// use it for progress reporting; it must not block.
+	OnStart func(i, done int)
+}
+
+// Run executes fn(0..n-1), at most p.Workers jobs at a time, and blocks until
+// every dispatched job has returned. If ctx is cancelled while jobs remain
+// undispatched, those jobs are skipped (in-flight jobs run to completion) and
+// ctx.Err() is returned. A cancellation that arrives after every job has been
+// dispatched skips nothing, so Run returns nil and the caller keeps the
+// complete result set.
+func (p *Pool) Run(ctx context.Context, n int, fn func(i int)) error {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		mu      sync.Mutex
+		next    int
+		done    int
+		skipped bool
+		wg      sync.WaitGroup
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			if next >= n {
+				mu.Unlock()
+				return
+			}
+			if ctx.Err() != nil {
+				skipped = true
+				mu.Unlock()
+				return
+			}
+			i := next
+			next++
+			if p.OnStart != nil {
+				p.OnStart(i, done)
+			}
+			mu.Unlock()
+
+			fn(i)
+
+			mu.Lock()
+			done++
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	wg.Wait()
+	if skipped {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package pool_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pool"
+)
+
+func TestRunAllJobs(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		var ran atomic.Int64
+		out := make([]int, 64)
+		p := &pool.Pool{Workers: workers}
+		if err := p.Run(context.Background(), len(out), func(i int) {
+			out[i] = i + 1
+			ran.Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != 64 {
+			t.Fatalf("workers=%d: ran %d jobs, want 64", workers, ran.Load())
+		}
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestOnStartSeesEveryJobOnce(t *testing.T) {
+	seen := make([]int, 32)
+	p := &pool.Pool{
+		Workers: 4,
+		OnStart: func(i, done int) {
+			seen[i]++ // under the pool lock
+			if done < 0 || done >= 32 {
+				t.Errorf("done = %d out of range", done)
+			}
+		},
+	}
+	if err := p.Run(context.Background(), len(seen), func(i int) {}); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %d dispatched %d times", i, n)
+		}
+	}
+}
+
+func TestCancelledContextStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	p := &pool.Pool{Workers: 2}
+	err := p.Run(ctx, 100, func(i int) { ran.Add(1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled context still ran %d jobs", ran.Load())
+	}
+}
+
+func TestCancelAfterFullDispatchKeepsResults(t *testing.T) {
+	// A cancellation that can no longer skip anything must not discard the
+	// completed work: Run returns nil.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	p := &pool.Pool{Workers: 2}
+	err := p.Run(ctx, 8, func(i int) {
+		if ran.Add(1) == 8 {
+			cancel() // every job dispatched; cancel during the last one
+		}
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want nil (no job was skipped)", err)
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d jobs, want 8", ran.Load())
+	}
+}
+
+func TestZeroJobs(t *testing.T) {
+	p := &pool.Pool{}
+	if err := p.Run(context.Background(), 0, func(i int) { t.Fatal("ran") }); err != nil {
+		t.Fatal(err)
+	}
+}
