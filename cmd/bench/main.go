@@ -1,0 +1,113 @@
+// Command bench runs the fixed benchmark suite over the ecnsim scenario API
+// and reports the substrate's performance: events/sec, ns per simulated
+// second and allocs/event per scenario. It writes a BENCH_<rev>.json report
+// (schema ecnsim-bench/v1) and, given a baseline report, acts as the CI
+// regression gate: exit status 1 when events/sec drops beyond tolerance or
+// allocs/event grows.
+//
+// Usage:
+//
+//	bench [-suite full|reduced] [-rev id] [-out file] [-baseline file]
+//	      [-max-drop 0.15] [-max-alloc-growth 0.05]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/benchkit"
+)
+
+func main() {
+	var (
+		suite     = flag.String("suite", benchkit.SuiteFull, "benchmark suite: full|reduced")
+		rev       = flag.String("rev", defaultRevision(), "revision id recorded in the report and output filename")
+		out       = flag.String("out", "", "output path (default BENCH_<rev>.json; - for stdout only)")
+		baseline  = flag.String("baseline", "", "baseline report to gate against (empty = no gate)")
+		maxDrop   = flag.Float64("max-drop", benchkit.DefaultTolerances().MaxThroughputDrop, "max fractional events/sec drop vs baseline")
+		maxGrowth = flag.Float64("max-alloc-growth", benchkit.DefaultTolerances().MaxAllocGrowth, "max absolute allocs/event growth vs baseline")
+		reps      = flag.Int("reps", 3, "repetitions per scenario (best wall time and lowest allocs kept)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	specs, err := benchkit.Suite(*suite)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("suite=%s rev=%s (%d scenarios)\n", *suite, *rev, len(specs))
+	rep, err := benchkit.Run(ctx, *suite, specs, *rev, *reps, func(m benchkit.Measurement) {
+		fmt.Printf("%-16s %12.0f events/s %14.0f ns/sim-s %8.3f allocs/event  (events=%d wall=%dms)\n",
+			m.Name, m.EventsPerSec, m.NSPerSimSec, m.AllocsPerEvent, m.Events, m.WallNS/1e6)
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *rev)
+	}
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	} else if err := rep.WriteJSON(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := benchkit.ReadReport(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := benchkit.Compare(base, rep, benchkit.Tolerances{
+		MaxThroughputDrop: *maxDrop,
+		MaxAllocGrowth:    *maxGrowth,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: %d regression(s) vs %s:\n", len(findings), *baseline)
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, "  - "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no regressions vs %s (max drop %.0f%%, max alloc growth %.3f)\n",
+		*baseline, 100**maxDrop, *maxGrowth)
+}
+
+// defaultRevision picks the revision id CI exports, falling back to "dev".
+func defaultRevision() string {
+	if sha := os.Getenv("GITHUB_SHA"); len(sha) >= 8 {
+		return sha[:8]
+	}
+	return "dev"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -28,6 +28,12 @@ const (
 	KeyRTOEvents     = "rto_events"
 	KeySynRetries    = "syn_retries"
 	KeyFetchRetries  = "fetch_retries"
+
+	// Substrate accounting: discrete events the engine executed and the
+	// simulated clock at the end of the run. cmd/bench divides wall time by
+	// these to report events/sec and ns per simulated second.
+	KeySimEvents = "sim_events"
+	KeySimTime   = "sim_time_s"
 )
 
 // Result is one uniform output row: a scenario name, the series label of the

@@ -76,6 +76,8 @@ func experimentValues(r experiment.Result) map[string]float64 {
 		KeyRTOEvents:     float64(r.RTOEvents),
 		KeySynRetries:    float64(r.SynRetries),
 		KeyFetchRetries:  float64(r.FetchRetries),
+		KeySimEvents:     float64(r.Events),
+		KeySimTime:       r.SimTime.Seconds(),
 	}
 }
 
@@ -127,6 +129,8 @@ func runIncast(ctx context.Context, c *Cluster) ([]Result, error) {
 		KeyRetransmits:   float64(r.Retransmits),
 		KeyRTOEvents:     float64(r.RTOEvents),
 		KeyMeanLatency:   r.MeanLatency.Seconds(),
+		KeySimEvents:     float64(r.Events),
+		KeySimTime:       r.SimTime.Seconds(),
 	}
 	return []Result{{Scenario: "incast", Label: c.Label(), Seed: c.seed, Values: values}}, nil
 }
@@ -145,6 +149,8 @@ func runMixed(ctx context.Context, c *Cluster) ([]Result, error) {
 		KeyRPCP99:      r.RPCP99.Seconds(),
 		KeyRPCMax:      r.RPCMax.Seconds(),
 		KeyRPCFailed:   float64(r.RPCFailed),
+		KeySimEvents:   float64(r.Events),
+		KeySimTime:     r.SimTime.Seconds(),
 	}
 	return []Result{{Scenario: "mixed", Label: c.Label() + "/" + c.buffer.String(), Seed: c.seed, Values: values}}, nil
 }

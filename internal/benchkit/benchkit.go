@@ -1,0 +1,395 @@
+// Package benchkit is the performance-measurement harness behind cmd/bench
+// and the CI perf gate. It runs a fixed suite of ecnsim scenarios serially,
+// measures wall time and allocation counts around each run, and combines them
+// with the engine's own event accounting (sim_events / sim_time_s result
+// keys) into three headline metrics per scenario:
+//
+//   - events/sec     — discrete events executed per wall-clock second
+//   - ns/sim-sec     — wall nanoseconds spent per simulated second
+//   - allocs/event   — heap allocations per discrete event
+//
+// Reports marshal to a stable JSON schema (SchemaV1) written as
+// BENCH_<rev>.json, so the perf trajectory stays machine-diffable across
+// PRs, and Compare implements the regression gate CI enforces.
+package benchkit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/ecnsim"
+)
+
+// SchemaV1 identifies the report layout. Bump only on incompatible changes;
+// Compare refuses to diff reports with different schemas.
+const SchemaV1 = "ecnsim-bench/v1"
+
+// Spec names one benchmark scenario: a registered ecnsim scenario plus the
+// cluster options it runs over. Specs are fixed so numbers are comparable
+// across revisions.
+type Spec struct {
+	Name     string
+	Scenario string
+	Opts     []ecnsim.Option
+}
+
+// Suite names.
+const (
+	SuiteFull    = "full"
+	SuiteReduced = "reduced"
+)
+
+// fullSpecs is the complete suite: the three paper workloads at a scale that
+// keeps one pass under a minute on commodity hardware.
+func fullSpecs() []Spec {
+	return []Spec{
+		{
+			Name:     "terasort-red",
+			Scenario: "terasort",
+			Opts: []ecnsim.Option{
+				ecnsim.TestScale(),
+				ecnsim.Queue(ecnsim.RED),
+				ecnsim.Protect(ecnsim.ACKSYN),
+				ecnsim.TargetDelay(500 * time.Microsecond),
+				ecnsim.Seed(1),
+			},
+		},
+		{
+			Name:     "incast-12",
+			Scenario: "incast",
+			Opts: []ecnsim.Option{
+				ecnsim.Nodes(13),
+				ecnsim.Senders(12),
+				ecnsim.FlowSize(2 << 20),
+				ecnsim.Queue(ecnsim.SimpleMark),
+				ecnsim.Transport(ecnsim.DCTCP),
+				ecnsim.TargetDelay(100 * time.Microsecond),
+				ecnsim.Seed(1),
+			},
+		},
+		{
+			Name:     "mixed-cluster",
+			Scenario: "mixed",
+			Opts: []ecnsim.Option{
+				ecnsim.TestScale(),
+				ecnsim.Queue(ecnsim.DropTail),
+				ecnsim.Buffer(ecnsim.Deep),
+				ecnsim.RPCInterval(2 * time.Millisecond),
+				ecnsim.Seed(1),
+			},
+		},
+	}
+}
+
+// reducedSpecs is the CI suite: same workloads, smaller inputs, so the gate
+// stays fast on shared runners.
+func reducedSpecs() []Spec {
+	return []Spec{
+		{
+			Name:     "terasort-red",
+			Scenario: "terasort",
+			Opts: []ecnsim.Option{
+				ecnsim.Nodes(4),
+				ecnsim.InputSize(32 << 20),
+				ecnsim.BlockSize(8 << 20),
+				ecnsim.Reducers(4),
+				ecnsim.Queue(ecnsim.RED),
+				ecnsim.Protect(ecnsim.ACKSYN),
+				ecnsim.TargetDelay(500 * time.Microsecond),
+				ecnsim.Seed(1),
+			},
+		},
+		{
+			Name:     "incast-12",
+			Scenario: "incast",
+			Opts: []ecnsim.Option{
+				ecnsim.Nodes(13),
+				ecnsim.Senders(12),
+				ecnsim.FlowSize(1 << 20),
+				ecnsim.Queue(ecnsim.SimpleMark),
+				ecnsim.Transport(ecnsim.DCTCP),
+				ecnsim.TargetDelay(100 * time.Microsecond),
+				ecnsim.Seed(1),
+			},
+		},
+		{
+			Name:     "mixed-cluster",
+			Scenario: "mixed",
+			Opts: []ecnsim.Option{
+				ecnsim.Nodes(4),
+				ecnsim.InputSize(32 << 20),
+				ecnsim.BlockSize(8 << 20),
+				ecnsim.Reducers(4),
+				ecnsim.Queue(ecnsim.DropTail),
+				ecnsim.Buffer(ecnsim.Deep),
+				ecnsim.RPCInterval(2 * time.Millisecond),
+				ecnsim.Seed(1),
+			},
+		},
+	}
+}
+
+// Suite returns the named spec list: "full" or "reduced".
+func Suite(name string) ([]Spec, error) {
+	switch name {
+	case SuiteFull, "":
+		return fullSpecs(), nil
+	case SuiteReduced:
+		return reducedSpecs(), nil
+	}
+	return nil, fmt.Errorf("benchkit: unknown suite %q (want full|reduced)", name)
+}
+
+// Measurement is one scenario's numbers. Events and SimSeconds are
+// deterministic in the code revision; the wall-clock-derived fields vary with
+// the machine.
+type Measurement struct {
+	Name       string  `json:"name"`
+	Scenario   string  `json:"scenario"`
+	SimSeconds float64 `json:"sim_seconds"`
+	Events     uint64  `json:"events"`
+	WallNS     int64   `json:"wall_ns"`
+	Allocs     uint64  `json:"allocs"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NSPerSimSec    float64 `json:"ns_per_sim_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// Report is the BENCH_<rev>.json payload.
+type Report struct {
+	Schema    string        `json:"schema"`
+	Revision  string        `json:"revision"`
+	GoVersion string        `json:"go"`
+	Suite     string        `json:"suite"`
+	CalibOps  float64       `json:"calib_ops_per_sec"`
+	Scenarios []Measurement `json:"scenarios"`
+}
+
+// calibSink defeats dead-code elimination of the calibration loop.
+var calibSink uint64
+
+// calibrate scores the machine with a fixed code-independent integer loop
+// (ops/sec). Compare scales baseline events/sec by the ratio of calibration
+// scores, so a baseline committed from one machine still gates meaningfully
+// on a faster or slower CI runner: a real substrate regression shifts
+// events/sec relative to the calibration score, machine speed shifts both
+// together.
+func calibrate() float64 {
+	const iters = 1 << 26
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		x := uint64(0x9e3779b97f4a7c15)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		sec := time.Since(start).Seconds()
+		calibSink += x
+		if sec > 0 {
+			if ops := float64(iters) / sec; ops > best {
+				best = ops
+			}
+		}
+	}
+	return best
+}
+
+// Run executes every spec serially (one simulation at a time, so allocation
+// deltas are attributable) and returns the report. Each spec runs reps times
+// (min 1) and keeps the best wall time and lowest allocation count — the
+// standard best-of-N defense against scheduler noise on shared CI runners;
+// the event count is identical across repetitions by determinism. progress
+// may be nil.
+func Run(ctx context.Context, suite string, specs []Spec, revision string, reps int, progress func(m Measurement)) (*Report, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	rep := &Report{
+		Schema:    SchemaV1,
+		Revision:  revision,
+		GoVersion: runtime.Version(),
+		Suite:     suite,
+		CalibOps:  calibrate(),
+	}
+	for _, spec := range specs {
+		var best Measurement
+		for i := 0; i < reps; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			m, err := measure(ctx, spec)
+			if err != nil {
+				return nil, fmt.Errorf("benchkit: %s: %w", spec.Name, err)
+			}
+			if i == 0 {
+				best = m
+				continue
+			}
+			if m.Events != best.Events {
+				return nil, fmt.Errorf("benchkit: %s: event count varied across repetitions (%d vs %d): simulation is not deterministic",
+					spec.Name, m.Events, best.Events)
+			}
+			if m.WallNS < best.WallNS {
+				best.WallNS, best.EventsPerSec, best.NSPerSimSec = m.WallNS, m.EventsPerSec, m.NSPerSimSec
+			}
+			if m.Allocs < best.Allocs {
+				best.Allocs, best.AllocBytes, best.AllocsPerEvent = m.Allocs, m.AllocBytes, m.AllocsPerEvent
+			}
+		}
+		rep.Scenarios = append(rep.Scenarios, best)
+		if progress != nil {
+			progress(best)
+		}
+	}
+	return rep, nil
+}
+
+// measure runs one spec once with allocation and wall-time bookkeeping.
+func measure(ctx context.Context, spec Spec) (Measurement, error) {
+	s, err := ecnsim.MustScenario(spec.Scenario)
+	if err != nil {
+		return Measurement{}, err
+	}
+	c, err := ecnsim.NewCluster(spec.Opts...)
+	if err != nil {
+		return Measurement{}, err
+	}
+	r := &ecnsim.Runner{Workers: 1}
+
+	// Settle the heap so the allocation delta is the run's own.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	rs, err := r.Run(ctx, ecnsim.Job{Scenario: s, Cluster: c})
+
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if len(rs.Results) == 0 {
+		return Measurement{}, fmt.Errorf("scenario produced no rows")
+	}
+	row := rs.Results[0]
+	m := Measurement{
+		Name:       spec.Name,
+		Scenario:   spec.Scenario,
+		SimSeconds: row.Value(ecnsim.KeySimTime),
+		Events:     uint64(row.Value(ecnsim.KeySimEvents)),
+		WallNS:     wall.Nanoseconds(),
+		Allocs:     after.Mallocs - before.Mallocs,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+	}
+	if m.Events == 0 {
+		return Measurement{}, fmt.Errorf("scenario reported no engine events (missing %s key?)", ecnsim.KeySimEvents)
+	}
+	sec := wall.Seconds()
+	if sec > 0 {
+		m.EventsPerSec = float64(m.Events) / sec
+	}
+	if m.SimSeconds > 0 {
+		m.NSPerSimSec = float64(m.WallNS) / m.SimSeconds
+	}
+	m.AllocsPerEvent = float64(m.Allocs) / float64(m.Events)
+	return m, nil
+}
+
+// WriteJSON marshals the report, indented, with a trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchkit: decoding report: %w", err)
+	}
+	if r.Schema != SchemaV1 {
+		return nil, fmt.Errorf("benchkit: unsupported schema %q (want %s)", r.Schema, SchemaV1)
+	}
+	return &r, nil
+}
+
+// Tolerances parameterize the regression gate.
+type Tolerances struct {
+	// MaxThroughputDrop fails when events/sec falls more than this fraction
+	// below the baseline (CI default 0.15).
+	MaxThroughputDrop float64
+	// MaxAllocGrowth is the absolute allocs/event slack above the baseline;
+	// anything beyond it fails. A small non-zero slack absorbs runtime
+	// (GC/timer) noise without letting a real per-event allocation through:
+	// one new allocation on a hot path shifts the ratio by >= ~0.5.
+	MaxAllocGrowth float64
+}
+
+// DefaultTolerances is the CI gate configuration.
+func DefaultTolerances() Tolerances {
+	return Tolerances{MaxThroughputDrop: 0.15, MaxAllocGrowth: 0.05}
+}
+
+// Compare diffs current against baseline scenario-by-scenario and returns
+// one human-readable finding per regression (empty = gate passes). Scenarios
+// present on only one side are reported as findings too: a silently dropped
+// benchmark must not pass the gate.
+//
+// When both reports carry a calibration score, the baseline's events/sec is
+// rescaled by the machine-speed ratio before the tolerance applies, so a
+// baseline committed from a developer machine gates correctly on a CI runner
+// of different speed. Without scores (older reports), raw values compare.
+func Compare(baseline, current *Report, tol Tolerances) ([]string, error) {
+	if baseline.Schema != current.Schema {
+		return nil, fmt.Errorf("benchkit: schema mismatch: baseline %q vs current %q", baseline.Schema, current.Schema)
+	}
+	speedRatio := 1.0
+	if baseline.CalibOps > 0 && current.CalibOps > 0 {
+		speedRatio = current.CalibOps / baseline.CalibOps
+	}
+	base := make(map[string]Measurement, len(baseline.Scenarios))
+	for _, m := range baseline.Scenarios {
+		base[m.Name] = m
+	}
+	var findings []string
+	seen := make(map[string]bool, len(current.Scenarios))
+	for _, cur := range current.Scenarios {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok {
+			findings = append(findings, fmt.Sprintf("%s: not in baseline (refresh the committed BENCH file)", cur.Name))
+			continue
+		}
+		if b.EventsPerSec > 0 {
+			expected := b.EventsPerSec * speedRatio
+			floor := expected * (1 - tol.MaxThroughputDrop)
+			if cur.EventsPerSec < floor {
+				findings = append(findings, fmt.Sprintf(
+					"%s: events/sec regressed %.0f -> %.0f (%.1f%% below the machine-normalized baseline %.0f, tolerance %.0f%%)",
+					cur.Name, b.EventsPerSec, cur.EventsPerSec,
+					100*(1-cur.EventsPerSec/expected), expected, 100*tol.MaxThroughputDrop))
+			}
+		}
+		if cur.AllocsPerEvent > b.AllocsPerEvent+tol.MaxAllocGrowth {
+			findings = append(findings, fmt.Sprintf(
+				"%s: allocs/event grew %.3f -> %.3f (max growth %.3f)",
+				cur.Name, b.AllocsPerEvent, cur.AllocsPerEvent, tol.MaxAllocGrowth))
+		}
+	}
+	for _, b := range baseline.Scenarios {
+		if !seen[b.Name] {
+			findings = append(findings, fmt.Sprintf("%s: in baseline but not measured", b.Name))
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,155 @@
+package benchkit
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func report(eps, ape float64) *Report {
+	return &Report{
+		Schema: SchemaV1,
+		Scenarios: []Measurement{
+			{Name: "mixed-cluster", EventsPerSec: eps, AllocsPerEvent: ape},
+		},
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	tol := Tolerances{MaxThroughputDrop: 0.15, MaxAllocGrowth: 0.05}
+	base := report(1e6, 0.02)
+
+	cases := []struct {
+		name    string
+		current *Report
+		want    int
+	}{
+		{"identical", report(1e6, 0.02), 0},
+		{"faster", report(2e6, 0.0), 0},
+		{"within tolerance", report(0.9e6, 0.06), 0},
+		{"throughput regression", report(0.5e6, 0.02), 1},
+		{"alloc regression", report(1e6, 1.5), 1},
+		{"both regressed", report(0.5e6, 1.5), 2},
+	}
+	for _, tc := range cases {
+		findings, err := Compare(base, tc.current, tol)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(findings) != tc.want {
+			t.Errorf("%s: %d findings, want %d: %v", tc.name, len(findings), tc.want, findings)
+		}
+	}
+}
+
+// TestCompareCalibrationScaling checks the machine-speed normalization: a
+// slower machine producing proportionally fewer events/sec passes, while a
+// real regression fails even when the machine is faster.
+func TestCompareCalibrationScaling(t *testing.T) {
+	tol := Tolerances{MaxThroughputDrop: 0.15, MaxAllocGrowth: 0.05}
+	base := report(1e6, 0.02)
+	base.CalibOps = 2e9
+
+	// Half-speed machine, half the events/sec: no finding.
+	slow := report(0.5e6, 0.02)
+	slow.CalibOps = 1e9
+	if f, err := Compare(base, slow, tol); err != nil || len(f) != 0 {
+		t.Errorf("proportionally slower machine flagged: %v %v", f, err)
+	}
+
+	// Double-speed machine but unchanged events/sec: a real 50% regression.
+	fast := report(1e6, 0.02)
+	fast.CalibOps = 4e9
+	if f, err := Compare(base, fast, tol); err != nil || len(f) != 1 {
+		t.Errorf("regression hidden by a faster machine: %v %v", f, err)
+	}
+
+	// Missing calibration on either side falls back to raw comparison.
+	legacy := report(0.9e6, 0.02)
+	if f, err := Compare(base, legacy, tol); err != nil || len(f) != 0 {
+		t.Errorf("legacy report without calibration flagged: %v %v", f, err)
+	}
+}
+
+func TestCompareScenarioSetMismatch(t *testing.T) {
+	base := report(1e6, 0.02)
+	cur := &Report{Schema: SchemaV1, Scenarios: []Measurement{
+		{Name: "new-scenario", EventsPerSec: 1e6},
+	}}
+	findings, err := Compare(base, cur, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One finding for the unknown scenario, one for the missing baseline one.
+	if len(findings) != 2 {
+		t.Errorf("findings = %v, want 2 entries", findings)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := &Report{
+		Schema: SchemaV1, Revision: "abc", GoVersion: "go1.x", Suite: SuiteReduced,
+		Scenarios: []Measurement{{
+			Name: "terasort-red", Scenario: "terasort", SimSeconds: 1.5,
+			Events: 1000, WallNS: 2000, Allocs: 10,
+			EventsPerSec: 5e5, NSPerSimSec: 1333, AllocsPerEvent: 0.01,
+		}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenarios[0] != rep.Scenarios[0] || back.Revision != rep.Revision {
+		t.Errorf("round trip mutated the report: %+v", back)
+	}
+
+	if _, err := ReadReport(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}
+
+func TestSuiteLookup(t *testing.T) {
+	for _, name := range []string{SuiteFull, SuiteReduced} {
+		specs, err := Suite(name)
+		if err != nil || len(specs) == 0 {
+			t.Fatalf("suite %q: %v (%d specs)", name, err, len(specs))
+		}
+		for _, s := range specs {
+			if s.Name == "" || s.Scenario == "" {
+				t.Errorf("suite %q has unnamed spec %+v", name, s)
+			}
+		}
+	}
+	if _, err := Suite("nope"); err == nil {
+		t.Error("unknown suite accepted")
+	}
+}
+
+// TestRunReducedSuiteSmoke executes the CI suite end to end once — the same
+// path the bench job runs — and sanity-checks the measurements.
+func TestRunReducedSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	specs, err := Suite(SuiteReduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), SuiteReduced, specs, "test", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != len(specs) {
+		t.Fatalf("measured %d scenarios, want %d", len(rep.Scenarios), len(specs))
+	}
+	for _, m := range rep.Scenarios {
+		if m.Events == 0 || m.EventsPerSec <= 0 || m.SimSeconds <= 0 {
+			t.Errorf("%s: implausible measurement %+v", m.Name, m)
+		}
+	}
+}

@@ -127,6 +127,12 @@ type Result struct {
 	RTOEvents     uint64
 	SynRetries    uint64
 	FetchRetries  int
+
+	// Substrate accounting: how many discrete events the engine executed and
+	// how far the simulated clock ran. The benchmark harness divides wall
+	// time by these to report events/sec and ns per simulated second.
+	Events  uint64
+	SimTime units.Duration
 }
 
 // Run executes one Terasort under the configuration and returns its result.
@@ -186,6 +192,8 @@ func RunJob(cfg Config) (Result, *mapred.Job) {
 		RTOEvents:         c.TCP.RTOEvents,
 		SynRetries:        c.TCP.SynRetries,
 		FetchRetries:      job.FetchRetries,
+		Events:            c.Engine.Executed(),
+		SimTime:           units.Duration(c.Engine.Now()),
 	}
 	res.EarlyDrops, res.OverflowDrops = c.Metrics.Drops()
 	_ = packet.HeaderSize

@@ -24,6 +24,10 @@ type IncastResult struct {
 	Retransmits   uint64
 	RTOEvents     uint64
 	MeanLatency   units.Duration
+
+	// Substrate accounting (see Result.Events / Result.SimTime).
+	Events  uint64
+	SimTime units.Duration
 }
 
 // RunIncast executes senders->1 bulk transfers of flowSize each through the
@@ -67,5 +71,7 @@ func RunIncast(cfg Config, senders int, flowSize units.ByteSize) IncastResult {
 	res.Retransmits = c.TCP.Retransmits()
 	res.RTOEvents = c.TCP.RTOEvents
 	res.MeanLatency = c.Metrics.MeanLatency()
+	res.Events = c.Engine.Executed()
+	res.SimTime = units.Duration(c.Engine.Now())
 	return res
 }

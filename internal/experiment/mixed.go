@@ -25,6 +25,10 @@ type MixedResult struct {
 	RPCP99    units.Duration
 	RPCMax    units.Duration
 	RPCFailed int
+
+	// Substrate accounting (see Result.Events / Result.SimTime).
+	Events  uint64
+	SimTime units.Duration
 }
 
 // RunMixed executes a Terasort with an RPC probe (128 B request / 4 KiB
@@ -77,5 +81,7 @@ func RunMixedInterval(cfg Config, interval units.Duration) MixedResult {
 		RPCP99:     toDur(sample.Quantile(0.99)),
 		RPCMax:     toDur(sample.Max()),
 		RPCFailed:  failed,
+		Events:     c.Engine.Executed(),
+		SimTime:    units.Duration(c.Engine.Now()),
 	}
 }

@@ -77,6 +77,12 @@ func TestRepeatAveragesEveryField(t *testing.T) {
 	if want := (r1.FetchRetries + r2.FetchRetries) / 2; avg.FetchRetries != want {
 		t.Errorf("FetchRetries = %d, want %d", avg.FetchRetries, want)
 	}
+	if want := (r1.Events + r2.Events) / 2; avg.Events != want {
+		t.Errorf("Events = %d, want %d", avg.Events, want)
+	}
+	if want := (r1.SimTime + r2.SimTime) / 2; avg.SimTime != want {
+		t.Errorf("SimTime = %v, want %v", avg.SimTime, want)
+	}
 	if avg.Config.Seed != seeds[0] {
 		t.Errorf("averaged result keeps seed %d, want base seed %d", avg.Config.Seed, seeds[0])
 	}

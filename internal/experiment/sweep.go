@@ -50,6 +50,8 @@ func Repeat(cfg Config, seeds []uint64) Result {
 		acc.RTOEvents += r.RTOEvents
 		acc.SynRetries += r.SynRetries
 		acc.FetchRetries += r.FetchRetries
+		acc.Events += r.Events
+		acc.SimTime += r.SimTime
 	}
 	n := len(seeds)
 	acc.Runtime /= units.Duration(n)
@@ -65,6 +67,8 @@ func Repeat(cfg Config, seeds []uint64) Result {
 	acc.RTOEvents /= uint64(n)
 	acc.SynRetries /= uint64(n)
 	acc.FetchRetries /= n
+	acc.Events /= uint64(n)
+	acc.SimTime /= units.Duration(n)
 	acc.Config.Seed = seeds[0]
 	return acc
 }

@@ -139,4 +139,3 @@ func TestNormalizationDirections(t *testing.T) {
 		t.Errorf("simplemark normalized latency = %.3f, want < 1", got)
 	}
 }
-

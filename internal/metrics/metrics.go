@@ -47,16 +47,19 @@ type Collector struct {
 	EarlyDropped    KindCounts
 	OverflowDropped KindCounts
 
-	// DeliveredPayload accumulates payload bytes delivered per destination
-	// node (wire view; includes retransmitted duplicates).
-	DeliveredPayload map[packet.NodeID]units.ByteSize
 	// DeliveredPackets counts final deliveries.
 	DeliveredPackets uint64
 
-	// QueueOccupancy tracks the time-weighted occupancy of each watched
-	// port's queue, keyed by port label.
-	QueueOccupancy map[string]*stats.TimeWeighted
+	// deliveredPayload accumulates payload bytes delivered per destination
+	// node (wire view; includes retransmitted duplicates). Node IDs are
+	// dense (the fabric hands them out sequentially), so a grow-on-demand
+	// slice replaces the map a hash per delivered packet used to cost.
+	deliveredPayload []units.ByteSize
 
+	// occupancy tracks the time-weighted queue length of each watched port.
+	// Keyed by port pointer: the per-enqueue lookup hashes a word instead
+	// of a label string; QueueOccupancy exposes the label view.
+	occupancy   map[*netsim.Port]*stats.TimeWeighted
 	watchQueues bool
 }
 
@@ -70,10 +73,9 @@ func New(reservoir int, seed uint64) *Collector {
 		return stats.NewSample()
 	}
 	return &Collector{
-		Latency:          newSample(0xa11),
-		DataLatency:      newSample(0xda7a),
-		DeliveredPayload: make(map[packet.NodeID]units.ByteSize),
-		QueueOccupancy:   make(map[string]*stats.TimeWeighted),
+		Latency:     newSample(0xa11),
+		DataLatency: newSample(0xda7a),
+		occupancy:   make(map[*netsim.Port]*stats.TimeWeighted),
 	}
 }
 
@@ -95,10 +97,10 @@ func (c *Collector) PacketEnqueued(now units.Time, port *netsim.Port, p *packet.
 		c.OverflowDropped.Add(k)
 	}
 	if c.watchQueues {
-		w := c.QueueOccupancy[port.Label]
+		w := c.occupancy[port]
 		if w == nil {
 			w = &stats.TimeWeighted{}
-			c.QueueOccupancy[port.Label] = w
+			c.occupancy[port] = w
 		}
 		w.Observe(now.Seconds(), float64(port.Queue().Len()))
 	}
@@ -111,8 +113,41 @@ func (c *Collector) PacketDelivered(now units.Time, p *packet.Packet) {
 	c.Latency.Add(lat)
 	if p.Payload > 0 {
 		c.DataLatency.Add(lat)
-		c.DeliveredPayload[p.Dst.Node] += units.ByteSize(p.Payload)
+		node := int(p.Dst.Node)
+		if node >= len(c.deliveredPayload) {
+			grown := make([]units.ByteSize, node+1)
+			copy(grown, c.deliveredPayload)
+			c.deliveredPayload = grown
+		}
+		c.deliveredPayload[node] += units.ByteSize(p.Payload)
 	}
+}
+
+// DeliveredPayload returns payload bytes delivered to one node.
+func (c *Collector) DeliveredPayload(node packet.NodeID) units.ByteSize {
+	if int(node) >= len(c.deliveredPayload) || node < 0 {
+		return 0
+	}
+	return c.deliveredPayload[node]
+}
+
+// TotalDeliveredPayload sums delivered payload across all nodes.
+func (c *Collector) TotalDeliveredPayload() units.ByteSize {
+	var total units.ByteSize
+	for _, b := range c.deliveredPayload {
+		total += b
+	}
+	return total
+}
+
+// QueueOccupancy returns the watched ports' time-weighted occupancy
+// trackers keyed by port label (empty unless WatchQueues was enabled).
+func (c *Collector) QueueOccupancy() map[string]*stats.TimeWeighted {
+	out := make(map[string]*stats.TimeWeighted, len(c.occupancy))
+	for port, w := range c.occupancy {
+		out[port.Label] = w
+	}
+	return out
 }
 
 // MeanLatency returns the average end-to-end per-packet latency.
@@ -147,10 +182,7 @@ func (c *Collector) MeanThroughputPerNode(nodes int, start, end units.Time) unit
 	if nodes <= 0 || end <= start {
 		return 0
 	}
-	var total units.ByteSize
-	for _, b := range c.DeliveredPayload {
-		total += b
-	}
+	total := c.TotalDeliveredPayload()
 	sec := end.Sub(start).Seconds()
 	return units.Bandwidth(float64(total*8) / sec / float64(nodes))
 }

@@ -105,11 +105,17 @@ func TestDeliveredPayloadPerNode(t *testing.T) {
 	c.PacketDelivered(0, data(1, 500))
 	c.PacketDelivered(0, data(2, 100))
 	c.PacketDelivered(0, ack()) // no payload
-	if c.DeliveredPayload[1] != 1500 {
-		t.Errorf("node 1 payload = %d", c.DeliveredPayload[1])
+	if got := c.DeliveredPayload(1); got != 1500 {
+		t.Errorf("node 1 payload = %d", got)
 	}
-	if c.DeliveredPayload[2] != 100 {
-		t.Errorf("node 2 payload = %d", c.DeliveredPayload[2])
+	if got := c.DeliveredPayload(2); got != 100 {
+		t.Errorf("node 2 payload = %d", got)
+	}
+	if got := c.DeliveredPayload(99); got != 0 {
+		t.Errorf("untouched node payload = %d, want 0", got)
+	}
+	if got := c.TotalDeliveredPayload(); got != 1600 {
+		t.Errorf("total payload = %d, want 1600", got)
 	}
 }
 
@@ -148,10 +154,11 @@ func TestQueueOccupancyWatch(t *testing.T) {
 	c.WatchQueues()
 	p := port(t)
 	c.PacketEnqueued(0, p, data(1, 100), qdisc.Enqueued)
-	if len(c.QueueOccupancy) != 1 {
-		t.Fatalf("occupancy map size = %d", len(c.QueueOccupancy))
+	occ := c.QueueOccupancy()
+	if len(occ) != 1 {
+		t.Fatalf("occupancy map size = %d", len(occ))
 	}
-	if _, ok := c.QueueOccupancy[p.Label]; !ok {
+	if _, ok := occ[p.Label]; !ok {
 		t.Error("occupancy not keyed by port label")
 	}
 }

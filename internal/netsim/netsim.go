@@ -41,13 +41,18 @@ type Node interface {
 }
 
 // Network owns the set of nodes, allocates packet IDs and fans out observer
-// events.
+// events. It also owns the run's packet free list: every packet the
+// transports send comes from AllocPacket and returns to the pool at its
+// drop or delivery site, so the steady-state fabric allocates nothing.
 type Network struct {
 	Engine   *sim.Engine
 	nodes    map[packet.NodeID]Node
 	nextID   packet.NodeID
 	nextPkt  uint64
 	observer Observer
+
+	pool     packet.Pool
+	propFree []*propCell
 }
 
 // New creates an empty network on the given engine.
@@ -75,6 +80,24 @@ func (n *Network) NewPacketID() uint64 {
 	n.nextPkt++
 	return n.nextPkt
 }
+
+// AllocPacket returns a zeroed packet with a fresh ID, recycled from the
+// network's pool when possible. Packets obtained here are released back
+// automatically when the fabric drops or delivers them; the sender must not
+// retain them past the hand-off to Host.Send.
+func (n *Network) AllocPacket() *packet.Packet {
+	p := n.pool.Get()
+	n.nextPkt++
+	p.ID = n.nextPkt
+	return p
+}
+
+// ReleasePacket returns a packet to the pool. Packets not created by
+// AllocPacket (e.g. hand-built in tests) are ignored.
+func (n *Network) ReleasePacket(p *packet.Packet) { n.pool.Put(p) }
+
+// PoolStats reports (fresh allocations, free-list reuses) of the packet pool.
+func (n *Network) PoolStats() (news, reuses uint64) { return n.pool.Stats() }
 
 // Node returns the node with the given ID, or nil.
 func (n *Network) Node(id packet.NodeID) Node { return n.nodes[id] }
@@ -113,6 +136,7 @@ type Port struct {
 	link  LinkParams
 	queue qdisc.Qdisc
 	busy  bool
+	txPkt *packet.Packet // packet currently serializing (busy only)
 
 	// Label identifies the port in reports, e.g. "sw0->host3".
 	Label string
@@ -150,6 +174,7 @@ func (n *Network) NewPort(owner, peer Node, link LinkParams, q qdisc.Qdisc) *Por
 	if hd, ok := q.(qdisc.HeadDropper); ok {
 		hd.SetHeadDropCallback(func(pkt *packet.Packet) {
 			n.observer.PacketEnqueued(n.Engine.Now(), p, pkt, qdisc.DroppedEarly)
+			n.ReleasePacket(pkt)
 		})
 	}
 	return p
@@ -171,17 +196,66 @@ func (p *Port) Owner() Node { return p.owner }
 func (p *Port) Sent() (uint64, units.ByteSize) { return p.sentPackets, p.sentBytes }
 
 // Send offers a packet to the egress queue and starts the transmitter if it
-// is idle. Dropped packets are reported to the observer and discarded.
+// is idle. Dropped packets are reported to the observer and released back to
+// the packet pool.
 func (p *Port) Send(pkt *packet.Packet) {
 	now := p.net.Engine.Now()
 	v := p.queue.Enqueue(now, pkt)
 	p.net.observer.PacketEnqueued(now, p, pkt, v)
 	if v.Dropped() {
+		p.net.ReleasePacket(pkt)
 		return
 	}
 	if !p.busy {
 		p.transmitNext()
 	}
+}
+
+// propCell carries one in-flight propagation (peer, packet) across the
+// link-delay event. Cells are pooled on the Network so the per-hop events
+// allocate nothing; the pair of predeclared trampolines below replaces the
+// two closures a transmission used to capture.
+type propCell struct {
+	net  *Network
+	peer Node
+	pkt  *packet.Packet
+}
+
+// newPropCell takes a cell from the free list or mints one.
+func (n *Network) newPropCell(peer Node, pkt *packet.Packet) *propCell {
+	if k := len(n.propFree); k > 0 {
+		c := n.propFree[k-1]
+		n.propFree[k-1] = nil
+		n.propFree = n.propFree[:k-1]
+		c.peer, c.pkt = peer, pkt
+		return c
+	}
+	return &propCell{net: n, peer: peer, pkt: pkt}
+}
+
+// propArrive fires when a packet finishes propagating: recycle the cell,
+// then hand the packet to the far end.
+func propArrive(arg any) {
+	c := arg.(*propCell)
+	net, peer, pkt := c.net, c.peer, c.pkt
+	c.peer, c.pkt = nil, nil
+	net.propFree = append(net.propFree, c)
+	pkt.Hops++
+	peer.Receive(pkt)
+}
+
+// portTxDone fires as the last bit of the current packet leaves the port.
+func portTxDone(arg any) {
+	p := arg.(*Port)
+	pkt := p.txPkt
+	p.txPkt = nil
+	p.sentPackets++
+	p.sentBytes += pkt.Size()
+	if p.OnSent != nil {
+		p.OnSent(pkt)
+	}
+	// Transmitter becomes free as the last bit leaves.
+	p.transmitNext()
 }
 
 // transmitNext pulls the head packet and schedules its serialization and
@@ -194,20 +268,11 @@ func (p *Port) transmitNext() {
 		return
 	}
 	p.busy = true
+	p.txPkt = pkt
 	tx := p.link.Rate.TransmitTime(pkt.Size())
-	p.net.Engine.After(tx, func() {
-		p.sentPackets++
-		p.sentBytes += pkt.Size()
-		if p.OnSent != nil {
-			p.OnSent(pkt)
-		}
-		// Transmitter becomes free as the last bit leaves.
-		p.transmitNext()
-	})
-	p.net.Engine.After(tx+p.link.Delay, func() {
-		pkt.Hops++
-		p.peer.Receive(pkt)
-	})
+	eng := p.net.Engine
+	eng.AfterArg(tx, portTxDone, p)
+	eng.AfterArg(tx+p.link.Delay, propArrive, p.net.newPropCell(p.peer, pkt))
 }
 
 // Protocol is the stack a Host delivers packets to (implemented by
@@ -260,7 +325,9 @@ func (h *Host) Send(pkt *packet.Packet) {
 	h.uplink.Send(pkt)
 }
 
-// Receive implements Node: a packet has arrived addressed to this host.
+// Receive implements Node: a packet has arrived addressed to this host. The
+// packet is released back to the pool once the protocol stack returns —
+// stacks consume packets synchronously and must not retain them.
 func (h *Host) Receive(pkt *packet.Packet) {
 	if pkt.Dst.Node != h.id {
 		panic(fmt.Sprintf("netsim: host n%d received packet for n%d (misrouted)", h.id, pkt.Dst.Node))
@@ -269,6 +336,7 @@ func (h *Host) Receive(pkt *packet.Packet) {
 	if h.proto != nil {
 		h.proto.Deliver(pkt)
 	}
+	h.net.ReleasePacket(pkt)
 }
 
 // Switch forwards packets to the egress port registered for the packet's

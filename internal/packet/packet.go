@@ -188,6 +188,12 @@ type Packet struct {
 	// Echo of congestion: set by the receiving transport when this packet's
 	// delivery observed CE (used only for assertions in tests).
 	SawCE bool
+
+	// Pool bookkeeping. pooled marks packets allocated from a Pool (only
+	// those may be recycled — packets built by hand in tests are left
+	// alone); inPool guards against double release.
+	pooled bool
+	inPool bool
 }
 
 // Size returns the byte size of the packet on the wire.

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refHeap is the pre-slab engine's data structure: per-event
+// pointer allocations ordered by container/heap. It serves as the reference
+// model the slab-backed 4-ary heap must match operation for operation.
+type refEvent struct {
+	at    Time
+	seq   uint64
+	id    int
+	dead  bool
+	index int
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refHeap) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// refEngine is the minimal reference scheduler.
+type refEngine struct {
+	now    Time
+	seq    uint64
+	events refHeap
+	order  []int
+}
+
+func (r *refEngine) schedule(at Time, id int) *refEvent {
+	e := &refEvent{at: at, seq: r.seq, id: id}
+	r.seq++
+	heap.Push(&r.events, e)
+	return e
+}
+
+func (r *refEngine) cancel(e *refEvent) {
+	if e.dead || e.index < 0 {
+		return
+	}
+	e.dead = true
+	heap.Remove(&r.events, e.index)
+}
+
+func (r *refEngine) step() bool {
+	if len(r.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&r.events).(*refEvent)
+	r.now = e.at
+	r.order = append(r.order, e.id)
+	return true
+}
+
+// TestHeapMatchesReferenceOrder drives the slab engine and the reference
+// scheduler through an identical random stream of schedule / cancel /
+// reschedule / step operations and requires every event to fire in the same
+// order on both. This pins the 4-ary index heap to container/heap semantics,
+// including FIFO tie-breaking and cancellation of arbitrary heap positions.
+func TestHeapMatchesReferenceOrder(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+
+		eng := New()
+		ref := &refEngine{}
+		var engOrder []int
+
+		type livePair struct {
+			ev  Event
+			ref *refEvent
+		}
+		var live []livePair
+		nextID := 0
+
+		schedule := func() {
+			at := eng.Now() + Time(rng.Intn(50)) // frequent ties on purpose
+			id := nextID
+			nextID++
+			ev := eng.Schedule(at, func() { engOrder = append(engOrder, id) })
+			live = append(live, livePair{ev: ev, ref: ref.schedule(at, id)})
+		}
+
+		cancelRandom := func() {
+			if len(live) == 0 {
+				return
+			}
+			i := rng.Intn(len(live))
+			eng.Cancel(live[i].ev)
+			ref.cancel(live[i].ref)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+
+		for op := 0; op < 6000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5:
+				schedule()
+			case r < 7:
+				cancelRandom()
+			case r < 8:
+				// Reschedule: cancel one pending event and schedule a
+				// replacement at a fresh time.
+				cancelRandom()
+				schedule()
+			default:
+				// Execute a few events on both sides.
+				for i := rng.Intn(3); i >= 0; i-- {
+					if eng.Step() != ref.step() {
+						t.Fatalf("seed %d: engines disagree on whether events remain", seed)
+					}
+				}
+			}
+			if eng.Pending() != ref.events.Len() {
+				t.Fatalf("seed %d op %d: pending %d vs reference %d",
+					seed, op, eng.Pending(), ref.events.Len())
+			}
+		}
+		// Drain both.
+		for eng.Step() {
+		}
+		for ref.step() {
+		}
+
+		if len(engOrder) != len(ref.order) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(engOrder), len(ref.order))
+		}
+		for i := range engOrder {
+			if engOrder[i] != ref.order[i] {
+				t.Fatalf("seed %d: divergence at position %d: got event %d, reference %d",
+					seed, i, engOrder[i], ref.order[i])
+			}
+		}
+		if eng.Now() != ref.now {
+			t.Errorf("seed %d: final time %v vs reference %v", seed, eng.Now(), ref.now)
+		}
+	}
+}
+
+// TestHeapSlabRecycling checks that the slab actually recycles slots instead
+// of growing without bound through a schedule/fire churn.
+func TestHeapSlabRecycling(t *testing.T) {
+	e := New()
+	for i := 0; i < 10000; i++ {
+		e.Schedule(e.Now()+1, func() {})
+		e.Run()
+	}
+	if got := len(e.slots); got > 8 {
+		t.Errorf("slab grew to %d slots under churn with <=1 pending event", got)
+	}
+}

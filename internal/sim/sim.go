@@ -6,10 +6,16 @@
 // The engine is single-threaded and fully deterministic: events scheduled for
 // the same instant execute in scheduling order (FIFO), which makes runs
 // reproducible bit-for-bit given the same seed and configuration.
+//
+// The hot path is allocation-free in steady state. Pending events live in a
+// slab of reusable slots ordered by an index-based 4-ary heap (better cache
+// behavior than a binary heap: ~half the levels, and the four children of a
+// node share a cache line). Schedule hands out generation-counted Event
+// handles — plain values, never heap-allocated — so Cancel on a stale handle
+// is detected instead of corrupting a recycled slot.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/units"
@@ -21,55 +27,87 @@ type Time = units.Time
 // Duration is re-exported from units for convenience.
 type Duration = units.Duration
 
-// Event is a scheduled callback. A non-nil Event may be cancelled before it
-// fires; cancellation after firing is a harmless no-op.
-type Event struct {
+// slotState tracks what became of a slot's current scheduling.
+type slotState uint8
+
+const (
+	slotFree      slotState = iota // never scheduled (fresh slab slot)
+	slotPending                    // in the heap, waiting to fire
+	slotFired                      // callback executed
+	slotCancelled                  // removed by Cancel before firing
+)
+
+// slot is one slab entry. A slot is recycled (through the free list) only
+// after its event fired or was cancelled; gen increments on every reuse so
+// stale handles can tell.
+type slot struct {
 	at    Time
 	seq   uint64
 	fn    func()
-	index int // heap index, -1 once removed
+	argFn func(any)
+	arg   any
+	gen   uint32
+	state slotState
+	pos   int32 // heap position; -1 when not queued
 }
 
-// At returns the simulated time the event fires (or fired) at.
-func (e *Event) At() Time { return e.at }
+// Event is a generation-counted handle to a scheduled callback. It is a
+// plain value (copy freely; the zero value is an inert non-event). State
+// queries are exact until the engine recycles the underlying slot for a new
+// event, which can only happen after this event has fired or been cancelled;
+// a handle whose slot was recycled reports false for Pending, Fired and
+// Cancelled alike.
+type Event struct {
+	eng  *Engine
+	slot int32 // slot index + 1; 0 marks the zero handle
+	gen  uint32
+	at   Time
+}
 
-// Cancelled reports whether the event was cancelled or already executed.
-func (e *Event) Cancelled() bool { return e.fn == nil }
+// At returns the simulated time the event fires (or fired) at. It is stored
+// in the handle, so it remains valid forever.
+func (e Event) At() Time { return e.at }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// state resolves the handle against its slot; ok is false for the zero
+// handle and for handles whose slot has been recycled.
+func (e Event) state() (slotState, bool) {
+	if e.slot == 0 {
+		return slotFree, false
 	}
-	return h[i].seq < h[j].seq
+	s := &e.eng.slots[e.slot-1]
+	if s.gen != e.gen {
+		return slotFree, false
+	}
+	return s.state, true
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Pending reports whether the event is still scheduled to fire.
+func (e Event) Pending() bool {
+	st, ok := e.state()
+	return ok && st == slotPending
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// Fired reports whether the event's callback executed. It is false for a
+// cancelled event — firing and cancellation are distinct outcomes.
+func (e Event) Fired() bool {
+	st, ok := e.state()
+	return ok && st == slotFired
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// Cancelled reports whether the event was cancelled before firing. An event
+// that already executed is NOT cancelled — use Fired for that.
+func (e Event) Cancelled() bool {
+	st, ok := e.state()
+	return ok && st == slotCancelled
 }
 
 // Engine is a discrete-event scheduler.
 type Engine struct {
 	now      Time
 	seq      uint64
-	events   eventHeap
+	slots    []slot
+	heap     []int32 // slot indices ordered as a 4-ary min-heap on (at, seq)
+	free     []int32 // recycled slot indices
 	executed uint64
 	stopped  bool
 	maxTime  Time // 0 means unbounded
@@ -87,41 +125,96 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
-// Schedule runs fn at absolute time at. Scheduling in the past panics: it is
-// always a logic error in a discrete-event model.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+// alloc claims a slot for an event at the given time and returns its index.
+func (e *Engine) alloc(at Time) int32 {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, slot{})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.gen++
+	s.at = at
+	s.seq = e.seq
+	s.state = slotPending
+	e.seq++
+	e.heapPush(idx)
+	return idx
+}
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: it is
+// always a logic error in a discrete-event model.
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	idx := e.alloc(at)
+	e.slots[idx].fn = fn
+	return Event{eng: e, slot: idx + 1, gen: e.slots[idx].gen, at: at}
+}
+
+// ScheduleArg runs fn(arg) at absolute time at. Unlike Schedule with a
+// closure over arg, this allocates nothing when fn is a predeclared function
+// value and arg is a pointer — the hot-path form used by the packet fabric.
+func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	idx := e.alloc(at)
+	s := &e.slots[idx]
+	s.argFn = fn
+	s.arg = arg
+	return Event{eng: e, slot: idx + 1, gen: s.gen, at: at}
 }
 
 // After runs fn d after the current time.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return e.Schedule(e.now.Add(d), fn)
 }
 
-// Cancel removes a scheduled event. Cancelling nil or an already-fired event
-// is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.fn == nil {
+// AfterArg runs fn(arg) d after the current time (see ScheduleArg).
+func (e *Engine) AfterArg(d Duration, fn func(any), arg any) Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleArg(e.now.Add(d), fn, arg)
+}
+
+// Cancel removes a scheduled event. Cancelling the zero Event, an event that
+// already fired or was already cancelled, or a stale handle whose slot was
+// recycled is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	if ev.slot == 0 || ev.eng != e {
 		return
 	}
-	ev.fn = nil
-	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
+	idx := ev.slot - 1
+	s := &e.slots[idx]
+	if s.gen != ev.gen || s.state != slotPending {
+		return
 	}
+	e.heapRemove(s.pos)
+	e.release(idx, slotCancelled)
+}
+
+// release clears a slot's callback and returns it to the free list.
+func (e *Engine) release(idx int32, outcome slotState) {
+	s := &e.slots[idx]
+	s.state = outcome
+	s.fn = nil
+	s.argFn = nil
+	s.arg = nil
+	e.free = append(e.free, idx)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -133,24 +226,30 @@ func (e *Engine) SetDeadline(t Time) { e.maxTime = t }
 // Step executes the single earliest pending event. It reports whether an
 // event was executed.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.fn == nil {
-			continue // cancelled
-		}
-		if e.maxTime != 0 && ev.at > e.maxTime {
-			// Out of time budget; push back and refuse.
-			heap.Push(&e.events, ev)
-			return false
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		e.executed++
-		fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	idx := e.heap[0]
+	s := &e.slots[idx]
+	if e.maxTime != 0 && s.at > e.maxTime {
+		return false // out of time budget; leave it queued
+	}
+	e.heapPopRoot()
+	e.now = s.at
+	fn, argFn, arg := s.fn, s.argFn, s.arg
+	e.executed++
+	// Mark fired before invoking: a callback cancelling its own handle must
+	// be a no-op (Cancel's guard sees non-pending), not a heap corruption.
+	// The slot is recycled only after the callback returns, so the firing
+	// event's own handle stays accurate inside its callback.
+	s.state = slotFired
+	if fn != nil {
+		fn()
+	} else {
+		argFn(arg)
+	}
+	e.release(idx, slotFired)
+	return true
 }
 
 // Run executes events until none remain, Stop is called, or the deadline is
@@ -167,17 +266,12 @@ func (e *Engine) Run() Time {
 func (e *Engine) RunUntil(t Time) Time {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 {
+		if len(e.heap) == 0 || e.slots[e.heap[0]].at > t {
 			break
 		}
-		next := e.peek()
-		if next == nil {
+		if !e.Step() {
 			break
 		}
-		if next.at > t {
-			break
-		}
-		e.Step()
 	}
 	if e.now < t {
 		e.now = t
@@ -185,24 +279,113 @@ func (e *Engine) RunUntil(t Time) Time {
 	return e.now
 }
 
-func (e *Engine) peek() *Event {
-	for len(e.events) > 0 {
-		if e.events[0].fn == nil {
-			heap.Pop(&e.events)
-			continue
-		}
-		return e.events[0]
+// ----------------------------------------------------------------------
+// 4-ary index heap over the slot slab, ordered by (at, seq).
+
+// heapLess orders slots by firing time, FIFO within the same instant.
+func (e *Engine) heapLess(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
 	}
-	return nil
+	return sa.seq < sb.seq
 }
+
+// heapSet writes a slot index at a heap position, maintaining the back-link.
+func (e *Engine) heapSet(pos int, idx int32) {
+	e.heap[pos] = idx
+	e.slots[idx].pos = int32(pos)
+}
+
+// heapPush appends a slot and restores the heap property.
+func (e *Engine) heapPush(idx int32) {
+	e.heap = append(e.heap, idx)
+	e.slots[idx].pos = int32(len(e.heap) - 1)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapPopRoot removes the minimum element.
+func (e *Engine) heapPopRoot() {
+	last := len(e.heap) - 1
+	root := e.heap[0]
+	e.slots[root].pos = -1
+	if last == 0 {
+		e.heap = e.heap[:0]
+		return
+	}
+	e.heapSet(0, e.heap[last])
+	e.heap = e.heap[:last]
+	e.siftDown(0)
+}
+
+// heapRemove deletes the element at an arbitrary heap position.
+func (e *Engine) heapRemove(pos int32) {
+	p := int(pos)
+	last := len(e.heap) - 1
+	e.slots[e.heap[p]].pos = -1
+	if p == last {
+		e.heap = e.heap[:last]
+		return
+	}
+	moved := e.heap[last]
+	e.heap = e.heap[:last]
+	e.heapSet(p, moved)
+	e.siftUp(p)
+	e.siftDown(p)
+}
+
+func (e *Engine) siftUp(i int) {
+	idx := e.heap[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.heapLess(idx, e.heap[parent]) {
+			break
+		}
+		e.heapSet(i, e.heap[parent])
+		i = parent
+	}
+	e.heapSet(i, idx)
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	idx := e.heap[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.heapLess(e.heap[c], e.heap[best]) {
+				best = c
+			}
+		}
+		if !e.heapLess(e.heap[best], idx) {
+			break
+		}
+		e.heapSet(i, e.heap[best])
+		i = best
+	}
+	e.heapSet(i, idx)
+}
+
+// ----------------------------------------------------------------------
+// Timer
 
 // Timer is a restartable one-shot timer bound to an engine, in the style of
 // time.Timer but in simulated time. It is the building block for TCP's RTO
-// and delayed-ACK timers.
+// and delayed-ACK timers. The wrapper callback is created once, so Reset
+// allocates nothing.
 type Timer struct {
-	eng *Engine
-	ev  *Event
-	fn  func()
+	eng  *Engine
+	ev   Event
+	fn   func()
+	wrap func()
 }
 
 // NewTimer returns a stopped timer that will run fn when it fires.
@@ -210,32 +393,34 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil callback")
 	}
-	return &Timer{eng: eng, fn: fn}
+	t := &Timer{eng: eng, fn: fn}
+	t.wrap = func() {
+		t.ev = Event{} // disarm before the callback so it may Reset
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire d from now, cancelling any pending firing.
 func (t *Timer) Reset(d Duration) {
 	t.Stop()
-	t.ev = t.eng.After(d, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.eng.After(d, t.wrap)
 }
 
 // Stop disarms the timer if it is pending.
 func (t *Timer) Stop() {
-	if t.ev != nil {
+	if t.ev.slot != 0 {
 		t.eng.Cancel(t.ev)
-		t.ev = nil
+		t.ev = Event{}
 	}
 }
 
 // Armed reports whether the timer is pending.
-func (t *Timer) Armed() bool { return t.ev != nil }
+func (t *Timer) Armed() bool { return t.ev.slot != 0 }
 
 // Deadline returns the pending firing time; valid only if Armed.
 func (t *Timer) Deadline() Time {
-	if t.ev == nil {
+	if t.ev.slot == 0 {
 		return 0
 	}
 	return t.ev.At()

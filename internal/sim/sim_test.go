@@ -83,15 +83,18 @@ func TestCancel(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Error("event not marked cancelled")
 	}
-	// Double cancel and nil cancel are no-ops.
+	if ev.Fired() {
+		t.Error("cancelled event reports Fired")
+	}
+	// Double cancel and zero-handle cancel are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	e := New()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 5; i++ {
 		i := i
 		evs = append(evs, e.Schedule(Time(10+i), func() { got = append(got, i) }))
@@ -239,6 +242,105 @@ func TestTimerDeadline(t *testing.T) {
 	tm.Stop()
 	if tm.Deadline() != 0 {
 		t.Errorf("deadline after stop = %v, want 0", tm.Deadline())
+	}
+}
+
+// TestFiredIsNotCancelled is the regression for the old API, where a single
+// state ("callback cleared") conflated "cancelled before firing" with
+// "already executed". The two must be distinguishable.
+func TestFiredIsNotCancelled(t *testing.T) {
+	e := New()
+	fired := e.Schedule(10, func() {})
+	cancelled := e.Schedule(20, func() {})
+	pending := e.Schedule(99999, func() {})
+	e.Cancel(cancelled)
+	e.RunUntil(100)
+
+	if !fired.Fired() {
+		t.Error("executed event: Fired() = false")
+	}
+	if fired.Cancelled() {
+		t.Error("executed event reports Cancelled — the states are conflated again")
+	}
+	if fired.Pending() {
+		t.Error("executed event still Pending")
+	}
+
+	if !cancelled.Cancelled() || cancelled.Fired() || cancelled.Pending() {
+		t.Errorf("cancelled event states: Cancelled=%v Fired=%v Pending=%v, want true/false/false",
+			cancelled.Cancelled(), cancelled.Fired(), cancelled.Pending())
+	}
+
+	if !pending.Pending() || pending.Fired() || pending.Cancelled() {
+		t.Error("pending event must be exactly Pending")
+	}
+
+	// The zero handle is inert in every state query.
+	var zero Event
+	if zero.Pending() || zero.Fired() || zero.Cancelled() {
+		t.Error("zero Event reports a state")
+	}
+}
+
+// TestCancelSelfDuringCallback pins cancel-after-pop safety: a callback
+// cancelling its own (currently firing) handle is a documented no-op, not a
+// heap corruption.
+func TestCancelSelfDuringCallback(t *testing.T) {
+	e := New()
+	var ev Event
+	ran := false
+	ev = e.Schedule(5, func() {
+		ran = true
+		e.Cancel(ev) // already off the heap; must be ignored
+	})
+	e.Schedule(10, func() {})
+	e.Run()
+	if !ran {
+		t.Fatal("callback never ran")
+	}
+	if !ev.Fired() || ev.Cancelled() {
+		t.Errorf("self-cancelled firing event: Fired=%v Cancelled=%v, want true/false",
+			ev.Fired(), ev.Cancelled())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after drain", e.Pending())
+	}
+}
+
+// TestRescheduleAfterFire pins the reschedule-after-fire behavior: firing an
+// event must not poison later schedulings, whether through the engine
+// directly or through a Timer re-armed from its own callback.
+func TestRescheduleAfterFire(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(10, func() { count++ })
+	e.Run()
+
+	again := e.Schedule(20, func() { count++ })
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (second scheduling after fire must run)", count)
+	}
+	if !again.Fired() {
+		t.Error("second event not marked fired")
+	}
+
+	// A timer re-armed from inside its own callback keeps firing.
+	fires := 0
+	var tm *Timer
+	tm = NewTimer(e, func() {
+		fires++
+		if fires < 3 {
+			tm.Reset(5)
+		}
+	})
+	tm.Reset(5)
+	e.Run()
+	if fires != 3 {
+		t.Errorf("self-rearming timer fired %d times, want 3", fires)
+	}
+	if tm.Armed() {
+		t.Error("timer armed after its final firing")
 	}
 }
 

@@ -125,7 +125,8 @@ func NewReservoir(capacity int, seed uint64) *Sample {
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
 	}
-	return &Sample{cap: capacity, rng: seed}
+	// Pre-size the reservoir: Add never reallocates, even during fill.
+	return &Sample{cap: capacity, rng: seed, values: make([]float64, 0, capacity)}
 }
 
 func (s *Sample) nextRand() uint64 {

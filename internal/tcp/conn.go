@@ -192,16 +192,16 @@ func (c *Conn) BytesAcked() units.ByteSize {
 // Packet construction
 
 func (c *Conn) newPacket(flags packet.TCPFlags, seq uint64, payload int) *packet.Packet {
-	p := &packet.Packet{
-		ID:      c.stack.host.Network().NewPacketID(),
-		Src:     c.local,
-		Dst:     c.remote,
-		Seq:     seq,
-		Flags:   flags,
-		Payload: payload,
-		TTL:     64,
-		TSVal:   c.stack.eng.Now(),
-	}
+	// Pool-allocated: the fabric releases the packet at its drop or final
+	// delivery site, so the connection must not hold on to it after Send.
+	p := c.stack.host.Network().AllocPacket()
+	p.Src = c.local
+	p.Dst = c.remote
+	p.Seq = seq
+	p.Flags = flags
+	p.Payload = payload
+	p.TTL = 64
+	p.TSVal = c.stack.eng.Now()
 	if flags.Has(packet.FlagACK) {
 		p.Ack = c.rcvNxt
 		p.TSEcr = c.lastTSVal
@@ -249,9 +249,10 @@ func (c *Conn) sendPureAck() {
 		if n > c.cfg.MaxSACKBlocks {
 			n = c.cfg.MaxSACKBlocks
 		}
-		blocks := make([]packet.SACKBlock, n)
+		// Reuse the pooled packet's SACK capacity from its previous life.
+		blocks := p.SACK[:0]
 		for i := 0; i < n; i++ {
-			blocks[i] = packet.SACKBlock{Start: c.ooo[i].start, End: c.ooo[i].end}
+			blocks = append(blocks, packet.SACKBlock{Start: c.ooo[i].start, End: c.ooo[i].end})
 		}
 		p.SACK = blocks
 	}

@@ -34,7 +34,10 @@ type Stack struct {
 
 	// TSQ backpressure: connections paused because the host egress queue
 	// holds too many bytes, woken in FIFO order as packets serialize.
+	// tsqSpare is the previous wake's batch buffer, recycled so the
+	// park/wake cycle allocates nothing in steady state.
 	tsqQueue  []*Conn
+	tsqSpare  []*Conn
 	tsqHooked bool
 
 	stats *Stats
@@ -166,17 +169,22 @@ func (s *Stack) tsqBlock(c *Conn) {
 }
 
 // tsqWake resumes every parked connection, in FIFO order. Connections that
-// are still over the limit re-park themselves.
+// are still over the limit re-park themselves (into the recycled spare
+// buffer, so neither side of the swap allocates).
 func (s *Stack) tsqWake() {
 	if len(s.tsqQueue) == 0 {
 		return
 	}
 	batch := s.tsqQueue
-	s.tsqQueue = nil
+	s.tsqQueue = s.tsqSpare[:0]
 	for _, c := range batch {
 		c.tsqWaiting = false
 		c.trySend()
 	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	s.tsqSpare = batch[:0]
 }
 
 // ConnCount returns the number of live connections (for tests).
