@@ -25,6 +25,8 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		loadPath  = flag.String("load", "", "render figures from a sweep archive (cmd/sweep -json) instead of re-simulating")
 	)
+	fabric := ecnsim.DefaultFlags()
+	fabric.BindFabric(flag.CommandLine)
 	flag.Parse()
 
 	scaleOpt := ecnsim.TestScale()
@@ -52,6 +54,7 @@ func main() {
 	// Companion runs (Figure 1, aqmcompare) match the grid's scale: the
 	// archive's when loading, the -scale flag's otherwise.
 	opts := []ecnsim.Option{scaleOpt, ecnsim.Seed(*seed)}
+	opts = append(opts, fabric.FabricOptions()...)
 	if s != nil {
 		opts = s.ScaleOptions()
 	}
@@ -74,7 +77,8 @@ func main() {
 
 	if s == nil {
 		var err error
-		s, err = ecnsim.NewSweep(ecnsim.Seed(*seed), scaleOpt)
+		sweepOpts := append([]ecnsim.Option{ecnsim.Seed(*seed), scaleOpt}, fabric.FabricOptions()...)
+		s, err = ecnsim.NewSweep(sweepOpts...)
 		if err != nil {
 			fatal(err)
 		}

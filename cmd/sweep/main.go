@@ -22,6 +22,8 @@ func main() {
 		jsonPath  = flag.String("json", "", "also archive the sweep as JSON to this file")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of the TSV summary")
 	)
+	fabric := ecnsim.DefaultFlags()
+	fabric.BindFabric(flag.CommandLine)
 	flag.Parse()
 
 	opts := []ecnsim.Option{ecnsim.Seed(*seed)}
@@ -34,6 +36,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: unknown scale %q\n", *scaleName)
 		os.Exit(2)
 	}
+	// After the scale, so -racks/-spines reshape the named scale's fabric.
+	opts = append(opts, fabric.FabricOptions()...)
 	s, err := ecnsim.NewSweep(opts...)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,142 @@
+package ecnsim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+// Extra value keys produced by the multipath fabric scenarios.
+const (
+	// Fabric shape actually used by the run (leafspine applies defaults
+	// when the cluster was configured as a star).
+	KeyRacks  = "racks"
+	KeySpines = "spines"
+
+	// Time-weighted queued packets per fabric tier: the sum of the tier's
+	// per-port mean queue lengths, each sampled at that port's enqueue
+	// instants — a congested port stays visible next to idle siblings.
+	KeyHostUpOcc   = "hostup_occ_pkts"
+	KeyEdgeOcc     = "edge_occ_pkts"
+	KeyCoreUpOcc   = "coreup_occ_pkts"
+	KeyCoreDownOcc = "coredown_occ_pkts"
+)
+
+func init() {
+	Register(NewScenario("leafspine",
+		"cross-rack Terasort shuffle over an ECMP leaf-spine fabric, with per-tier queue occupancy",
+		runLeafSpine))
+	Register(NewScenario("degradedfabric",
+		"leaf-spine Terasort with one derated spine uplink: protection modes under asymmetric link health",
+		runDegradedFabric))
+}
+
+// leafSpineDefaults returns a copy of c shaped as a leaf-spine fabric: the
+// cluster's own Racks/Spines if set, otherwise 4 racks (2 if the node count
+// doesn't divide by 4) and 2 spines.
+func leafSpineDefaults(c *Cluster) (*Cluster, error) {
+	d := *c
+	if d.racks <= 1 {
+		switch {
+		case d.nodes >= 8 && d.nodes%4 == 0:
+			d.racks = 4
+		case d.nodes >= 4 && d.nodes%2 == 0:
+			d.racks = 2
+		default:
+			return nil, fmt.Errorf("ecnsim: leafspine: %d nodes do not divide into default racks; configure Racks explicitly", d.nodes)
+		}
+	}
+	if d.spines == 0 {
+		d.spines = 2
+	}
+	// The reshape can invalidate degradations that were validated against
+	// the cluster's original fabric (e.g. two-tier "tor0"/"agg0" names):
+	// re-check them against the leaf-spine shape actually built, so a
+	// mismatch errors here instead of panicking inside the run.
+	if err := d.validateDegrade(); err != nil {
+		return nil, fmt.Errorf("ecnsim: leafspine: configured degradations do not fit the %d-rack/%d-spine fabric: %w", d.racks, d.spines, err)
+	}
+	return &d, nil
+}
+
+// tierValues copies the fabric shape and per-tier occupancy means onto a
+// scenario's value map.
+func tierValues(values map[string]float64, r experiment.Result, racks, spines int) {
+	values[KeyRacks] = float64(racks)
+	values[KeySpines] = float64(spines)
+	values[KeyHostUpOcc] = r.TierOccupancy[metrics.TierHostUp]
+	values[KeyEdgeOcc] = r.TierOccupancy[metrics.TierEdge]
+	values[KeyCoreUpOcc] = r.TierOccupancy[metrics.TierCoreUp]
+	values[KeyCoreDownOcc] = r.TierOccupancy[metrics.TierCoreDown]
+}
+
+// runLeafSpine executes the cluster's Terasort over a three-tier leaf-spine
+// fabric (the cluster's own queue/transport/protection configuration),
+// reporting the figure metrics plus where the queueing actually sits —
+// per-tier mean occupancy across edge and spine layers.
+func runLeafSpine(ctx context.Context, c *Cluster) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	d, err := leafSpineDefaults(c)
+	if err != nil {
+		return nil, err
+	}
+	cfg := d.experimentConfig()
+	cfg.WatchTiers = true
+	r := experiment.Run(cfg)
+	values := experimentValues(r)
+	tierValues(values, r, d.racks, d.spines)
+	return []Result{{Scenario: "leafspine", Label: d.Label(), Seed: d.seed, Values: values}}, nil
+}
+
+// runDegradedFabric answers the asymmetric-fabric question: does ACK/SYN
+// protection still hold when ECMP keeps hashing flows onto a sick spine
+// uplink? It runs the leafspine workload with one derated leaf->spine link
+// (leaf0<->spine0 at 25% of its built rate unless the cluster configured
+// its own degradations via DegradeLink) under three queue setups — the
+// DropTail baseline, the AQM's default mode, and ACK+SYN protection —
+// one row each. The AQM family follows the cluster's transport (ECN-RED,
+// or DCTCP-RED under Transport(DCTCP)).
+func runDegradedFabric(ctx context.Context, c *Cluster) ([]Result, error) {
+	d, err := leafSpineDefaults(c)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.degrade) == 0 {
+		dg := *d
+		if err := DegradeLink("leaf0", "spine0", 0.25)(&dg); err != nil {
+			return nil, err
+		}
+		d = &dg
+	}
+	setups := []experiment.QueueSetup{
+		experiment.SetupDropTail, experiment.SetupECNDefault, experiment.SetupECNAckSyn,
+	}
+	if d.transport == DCTCP {
+		setups = []experiment.QueueSetup{
+			experiment.SetupDropTail, experiment.SetupDCTCPDefault, experiment.SetupDCTCPAckSyn,
+		}
+	}
+	rows := make([]Result, 0, len(setups))
+	for _, setup := range setups {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cfg := d.experimentConfig()
+		cfg.Setup = setup
+		cfg.WatchTiers = true
+		r := experiment.Run(cfg)
+		values := experimentValues(r)
+		tierValues(values, r, d.racks, d.spines)
+		rows = append(rows, Result{
+			Scenario: "degradedfabric",
+			Label:    setup.Label,
+			Seed:     d.seed,
+			Values:   values,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,302 @@
+package ecnsim
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leafSpineOpts keeps one leaf-spine simulation around a tenth of a second:
+// 8 nodes in 4 racks under 2 spines, so every shuffle crosses the ECMP core.
+func leafSpineOpts(extra ...Option) []Option {
+	return append([]Option{
+		Nodes(8),
+		Racks(4),
+		Spines(2),
+		InputSize(32 << 20),
+		BlockSize(8 << 20),
+		Reducers(4),
+		Queue(RED),
+		Protect(ACKSYN),
+		TargetDelay(100 * time.Microsecond),
+		Seed(1),
+	}, extra...)
+}
+
+func TestFabricScenariosRegistered(t *testing.T) {
+	for _, want := range []string{"leafspine", "degradedfabric"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("scenario %q not registered (have %v)", want, Scenarios())
+		}
+		if Describe(want) == "" {
+			t.Errorf("scenario %q has no description", want)
+		}
+	}
+}
+
+// TestLeafSpineDeterministicAcrossWorkers is the ECMP determinism test: the
+// same leaf-spine jobs through Runner pools of 1, 4 and 8 workers (with seed
+// replications) must produce bit-identical ResultSets — the flow hash is
+// salted from the run seed, never from scheduling.
+func TestLeafSpineDeterministicAcrossWorkers(t *testing.T) {
+	jobs := func() []Job {
+		return []Job{
+			{Scenario: mustLookup(t, "leafspine"), Cluster: mustCluster(t, leafSpineOpts()...)},
+			{Scenario: mustLookup(t, "leafspine"), Cluster: mustCluster(t, leafSpineOpts(Queue(DropTail), Protect(NoProtection))...)},
+			{Scenario: mustLookup(t, "degradedfabric"), Cluster: mustCluster(t, leafSpineOpts()...)},
+		}
+	}
+	run := func(workers int) *ResultSet {
+		r := &Runner{Workers: workers, Replications: 2}
+		rs, err := r.Run(context.Background(), jobs()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	sets := map[int]*ResultSet{1: run(1), 4: run(4), 8: run(8)}
+	for _, workers := range []int{4, 8} {
+		if !reflect.DeepEqual(sets[1], sets[workers]) {
+			t.Fatalf("1-worker and %d-worker runs diverged:\n%+v\n%+v",
+				workers, sets[1], sets[workers])
+		}
+		var a, b bytes.Buffer
+		if err := sets[1].WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sets[workers].WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("marshalled JSON differs between 1 and %d workers", workers)
+		}
+	}
+	// Sanity: the rows really came from a leaf-spine run.
+	rows := sets[1].Results
+	if len(rows) != 5 { // leafspine x2 + degradedfabric's three setups
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	if rows[0].Value(KeyRacks) != 4 || rows[0].Value(KeySpines) != 2 {
+		t.Errorf("fabric shape keys = %g racks / %g spines, want 4/2",
+			rows[0].Value(KeyRacks), rows[0].Value(KeySpines))
+	}
+}
+
+func mustCluster(t *testing.T, opts ...Option) *Cluster {
+	t.Helper()
+	c, err := NewCluster(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestLeafSpineDefaults checks the scenario's fabric defaulting: a cluster
+// left as a star is reshaped to 4 (or 2) racks under 2 spines, and node
+// counts that fit neither are rejected instead of silently rounded.
+func TestLeafSpineDefaults(t *testing.T) {
+	run := func(nodes int) ([]Result, error) {
+		rs, err := RunScenario(context.Background(), "leafspine",
+			Nodes(nodes), InputSize(16<<20), BlockSize(8<<20), Reducers(2),
+			Queue(RED), Protect(ACKSYN), TargetDelay(100*time.Microsecond))
+		if err != nil {
+			return nil, err
+		}
+		return rs.Results, nil
+	}
+	rows, err := run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Value(KeyRacks) != 4 || rows[0].Value(KeySpines) != 2 {
+		t.Errorf("8-node default shape = %g/%g, want 4 racks / 2 spines",
+			rows[0].Value(KeyRacks), rows[0].Value(KeySpines))
+	}
+	rows, err = run(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Value(KeyRacks) != 2 {
+		t.Errorf("6-node default racks = %g, want 2", rows[0].Value(KeyRacks))
+	}
+	if _, err := run(5); err == nil || !strings.Contains(err.Error(), "Racks") {
+		t.Errorf("5 nodes should not default to a leaf-spine shape, got %v", err)
+	}
+}
+
+// TestLeafSpineTierOccupancy: a cross-rack shuffle must put measurable
+// queueing on the core tiers, and the occupancy keys must be present on
+// every row.
+func TestLeafSpineTierOccupancy(t *testing.T) {
+	rs, err := RunScenario(context.Background(), "leafspine", leafSpineOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs.Results[0]
+	for _, key := range []string{KeyHostUpOcc, KeyEdgeOcc, KeyCoreUpOcc, KeyCoreDownOcc} {
+		if _, ok := r.Values[key]; !ok {
+			t.Errorf("row missing tier key %q", key)
+		}
+	}
+	if r.Value(KeyCoreUpOcc) <= 0 {
+		t.Error("cross-rack shuffle left the leaf->spine tier idle")
+	}
+}
+
+// TestDegradedFabricRows: one row per protection setup, and the derated
+// uplink must actually hurt — the DropTail baseline on the sick fabric runs
+// no faster than the same workload on the healthy one.
+func TestDegradedFabricRows(t *testing.T) {
+	rs, err := RunScenario(context.Background(), "degradedfabric", leafSpineOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"droptail", "ecn-default", "ecn-ack+syn"}
+	if len(rs.Results) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rs.Results), len(want))
+	}
+	for i, r := range rs.Results {
+		if r.Label != want[i] {
+			t.Errorf("row %d label = %q, want %q", i, r.Label, want[i])
+		}
+		if r.Value(KeyRuntime) <= 0 {
+			t.Errorf("row %q has no runtime", r.Label)
+		}
+	}
+
+	healthy, err := RunScenario(context.Background(), "leafspine",
+		leafSpineOpts(Queue(DropTail), Protect(NoProtection))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Results[0].Value(KeyRuntime) < healthy.Results[0].Value(KeyRuntime) {
+		t.Errorf("derated spine uplink sped the job up: %gs degraded vs %gs healthy",
+			rs.Results[0].Value(KeyRuntime), healthy.Results[0].Value(KeyRuntime))
+	}
+}
+
+// TestDegradedFabricDCTCPSetups: under Transport(DCTCP) the comparison rows
+// switch to the DCTCP setup family.
+func TestDegradedFabricDCTCPSetups(t *testing.T) {
+	rs, err := RunScenario(context.Background(), "degradedfabric",
+		leafSpineOpts(Transport(DCTCP))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"droptail", "dctcp-default", "dctcp-ack+syn"}
+	for i, r := range rs.Results {
+		if r.Label != want[i] {
+			t.Errorf("row %d label = %q, want %q", i, r.Label, want[i])
+		}
+	}
+}
+
+// TestDegradeLinkValidation: misconfigured degradations must fail from
+// NewCluster with a named-link error, not panic mid-run.
+func TestDegradeLinkValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"star fabric", []Option{Nodes(4), DegradeLink("leaf0", "spine0", 0.5)}},
+		{"unknown switch", append(leafSpineOpts(), DegradeLink("leaf0", "spine9", 0.5))},
+		{"not an inter-switch link", append(leafSpineOpts(), DegradeLink("leaf0", "leaf1", 0.5))},
+		{"fail with one spine", []Option{
+			Nodes(8), Racks(4), Spines(1), DegradeLink("leaf0", "spine0", 0)}},
+		{"joint partition", append(leafSpineOpts(), // leaf0 and leaf1 share no surviving spine
+			DegradeLink("leaf0", "spine0", 0), DegradeLink("leaf1", "spine1", 0))},
+		{"leading-zero name", append(leafSpineOpts(), DegradeLink("leaf01", "spine0", 0.5))},
+		{"fail on two-tier", []Option{Nodes(8), Racks(4), DegradeLink("tor0", "agg0", 0)}},
+		{"factor out of range", append(leafSpineOpts(), DegradeLink("leaf0", "spine0", 1.5))},
+	}
+	for _, tc := range cases {
+		if _, err := NewCluster(tc.opts...); err == nil {
+			t.Errorf("%s: NewCluster accepted the degradation", tc.name)
+		}
+	}
+
+	// The valid shapes still construct: leaf-spine derate, leaf-spine fail
+	// with an alternate spine, two-tier derate.
+	valid := [][]Option{
+		append(leafSpineOpts(), DegradeLink("leaf0", "spine0", 0.25)),
+		append(leafSpineOpts(), DegradeLink("spine1", "leaf2", 0)),
+		append(leafSpineOpts(), // both failures on spine0: spine1 still serves every pair
+			DegradeLink("leaf0", "spine0", 0), DegradeLink("leaf1", "spine0", 0)),
+		{Nodes(8), Racks(4), DegradeLink("tor1", "agg0", 0.5)},
+	}
+	for i, opts := range valid {
+		if _, err := NewCluster(opts...); err != nil {
+			t.Errorf("valid degradation %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestSweepCarriesFabric pins findings that once slipped: NewSweep must
+// thread DegradeLink into every grid cell, ScaleOptions must reproduce the
+// full fabric shape (spines and degradations included), and the JSON archive
+// must round-trip it — otherwise cmd/figures -load silently re-runs
+// companions on a healthy two-tier fabric next to leaf-spine grid data.
+func TestSweepCarriesFabric(t *testing.T) {
+	s, err := NewSweep(Nodes(8), Racks(4), Spines(2), Seed(3),
+		DegradeLink("leaf0", "spine0", 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.inner.Degrade); got != 1 {
+		t.Fatalf("inner sweep carries %d degradations, want 1", got)
+	}
+
+	check := func(where string, sw *Sweep) {
+		t.Helper()
+		c, err := NewCluster(sw.ScaleOptions()...)
+		if err != nil {
+			t.Fatalf("%s: ScaleOptions do not rebuild: %v", where, err)
+		}
+		if c.Racks() != 4 || c.Spines() != 2 {
+			t.Errorf("%s: shape = %d racks / %d spines, want 4/2", where, c.Racks(), c.Spines())
+		}
+		if len(c.degrade) != 1 || c.degrade[0].From != "leaf0" || c.degrade[0].Factor != 0.25 {
+			t.Errorf("%s: degradations = %+v", where, c.degrade)
+		}
+	}
+	check("fresh", s)
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSweepJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("archived", back)
+	if got := len(back.inner.Degrade); got != 1 {
+		t.Errorf("archive round-trip lost the degradations (%d)", got)
+	}
+}
+
+// TestLeafSpineRejectsForeignDegradations: the scenario's fabric defaulting
+// upgrades a star/two-tier cluster to leaf-spine, which invalidates
+// degradations named for the original shape — that must error, not panic
+// mid-run.
+func TestLeafSpineRejectsForeignDegradations(t *testing.T) {
+	_, err := RunScenario(context.Background(), "leafspine",
+		Nodes(8), Racks(2), DegradeLink("tor0", "agg0", 0.5),
+		InputSize(16<<20), BlockSize(8<<20), Reducers(2),
+		Queue(RED), Protect(ACKSYN), TargetDelay(100*time.Microsecond))
+	if err == nil || !strings.Contains(err.Error(), "do not fit") {
+		t.Fatalf("two-tier degradation survived the leaf-spine reshape: %v", err)
+	}
+}
+
+func TestOversubOption(t *testing.T) {
+	if _, err := NewCluster(leafSpineOpts(Oversub(4))...); err != nil {
+		t.Errorf("Oversub(4) rejected: %v", err)
+	}
+	if _, err := NewCluster(leafSpineOpts(Oversub(-1))...); err == nil {
+		t.Error("Oversub(-1) accepted")
+	}
+}

@@ -17,6 +17,7 @@ type FlagSet struct {
 	Target    time.Duration // -target
 	Nodes     int           // -nodes
 	Racks     int           // -racks
+	Spines    int           // -spines
 	Input     string        // -input, e.g. "1GiB"
 	Block     string        // -block, e.g. "64MiB" ("" = input/nodes)
 	Reducers  int           // -reducers
@@ -34,6 +35,7 @@ func DefaultFlags() *FlagSet {
 		Target:    500 * time.Microsecond,
 		Nodes:     16,
 		Racks:     1,
+		Spines:    0,
 		Input:     "1GiB",
 		Block:     "64MiB",
 		Reducers:  32,
@@ -64,11 +66,25 @@ func (f *FlagSet) BindBuffer(fs *flag.FlagSet) {
 func (f *FlagSet) BindWorkload(fs *flag.FlagSet) {
 	fs.DurationVar(&f.Target, "target", f.Target, "AQM target delay")
 	fs.IntVar(&f.Nodes, "nodes", f.Nodes, "cluster size")
-	fs.IntVar(&f.Racks, "racks", f.Racks, "racks (0/1 = single-switch star)")
+	f.BindFabric(fs)
 	fs.StringVar(&f.Input, "input", f.Input, "Terasort input size (e.g. 1GiB)")
 	fs.StringVar(&f.Block, "block", f.Block, "HDFS block size (empty = input/nodes)")
 	fs.IntVar(&f.Reducers, "reducers", f.Reducers, "reduce tasks")
 	fs.Uint64Var(&f.SeedVal, "seed", f.SeedVal, "simulation seed")
+}
+
+// BindFabric registers only the fabric-shape flags (-racks, -spines) — for
+// commands like sweep and figures whose workload is fixed by a named scale
+// but whose fabric should still be selectable from the CLI. BindWorkload
+// includes these.
+func (f *FlagSet) BindFabric(fs *flag.FlagSet) {
+	fs.IntVar(&f.Racks, "racks", f.Racks, "racks (0/1 = single-switch star)")
+	fs.IntVar(&f.Spines, "spines", f.Spines, "spine switches above the racks (0 = no spine tier; needs -racks >= 2)")
+}
+
+// FabricOptions resolves only the fabric-shape flags into builder options.
+func (f *FlagSet) FabricOptions() []Option {
+	return []Option{Racks(f.Racks), Spines(f.Spines)}
 }
 
 // Options resolves the parsed flag values into builder options, reporting
@@ -102,6 +118,7 @@ func (f *FlagSet) Options() ([]Option, error) {
 		TargetDelay(f.Target),
 		Nodes(f.Nodes),
 		Racks(f.Racks),
+		Spines(f.Spines),
 		InputSize(input),
 		BlockSize(block),
 		Reducers(f.Reducers),

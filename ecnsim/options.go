@@ -9,6 +9,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/qdisc"
 	"repro/internal/tcp"
+	"repro/internal/topo"
 	"repro/internal/units"
 )
 
@@ -237,6 +238,9 @@ func FormatSize(n int64) string { return units.ByteSize(n).String() }
 // usable.
 type Cluster struct {
 	nodes, racks int
+	spines       int
+	oversub      float64
+	degrade      []cluster.LinkDegrade
 	linkRate     int64 // bits per second
 	linkDelay    time.Duration
 
@@ -333,10 +337,51 @@ func (c *Cluster) validate() error {
 	case c.senders >= c.nodes:
 		return fmt.Errorf("ecnsim: %d incast senders need at least %d nodes", c.senders, c.senders+1)
 	}
+	if err := c.validateDegrade(); err != nil {
+		return err
+	}
 	// Final authority on fabric validity is the internal spec itself.
 	spec := c.spec()
 	if err := spec.Validate(); err != nil {
 		return fmt.Errorf("ecnsim: %w", err)
+	}
+	return nil
+}
+
+// validateDegrade checks each DegradeLink against the configured fabric
+// shape, so a typo'd switch name or a partitioning failure surfaces from
+// NewCluster instead of panicking mid-run. Name resolution and the
+// spine-survivor condition come from internal/topo (topo.NamedLink,
+// topo.SpinePathsSurvive), the authority on what Build constructs.
+func (c *Cluster) validateDegrade() error {
+	if len(c.degrade) == 0 {
+		return nil
+	}
+	if c.racks <= 1 {
+		return fmt.Errorf("ecnsim: DegradeLink needs inter-switch links — configure Racks(>=2)")
+	}
+	failed := make(map[[2]int]bool) // {leaf, spine} links taken out by Factor == 0
+	for _, d := range c.degrade {
+		i, j, ok := topo.NamedLink(c.racks, c.spines, d.From, d.To)
+		if !ok {
+			return fmt.Errorf("ecnsim: DegradeLink(%q, %q): no such inter-switch link on a %d-rack/%d-spine fabric", d.From, d.To, c.racks, c.spines)
+		}
+		if d.Factor != 0 {
+			continue
+		}
+		if c.spines == 0 {
+			return fmt.Errorf("ecnsim: DegradeLink(%q, %q, 0): failing a two-tier uplink would partition the fabric — use a spine fabric (Spines) or a non-zero derate factor", d.From, d.To)
+		}
+		failed[[2]int{i, j}] = true
+	}
+	// The failures must jointly leave every leaf pair a spine whose links to
+	// both leaves survive — the same condition the route rebuild enforces —
+	// so a partitioning combination errors here instead of panicking inside
+	// the first run.
+	if len(failed) > 0 {
+		if a, b, ok := topo.SpinePathsSurvive(c.racks, c.spines, failed); !ok {
+			return fmt.Errorf("ecnsim: DegradeLink: the failed links leave no spine path between leaf%d and leaf%d", a, b)
+		}
 	}
 	return nil
 }
@@ -360,6 +405,53 @@ func Racks(n int) Option {
 			return fmt.Errorf("ecnsim: Racks(%d): must be non-negative", n)
 		}
 		c.racks = n
+		return nil
+	}
+}
+
+// Spines adds a spine tier above the racks: a three-tier leaf-spine fabric
+// where every leaf switch connects to every spine and cross-rack traffic is
+// ECMP-hashed across the spines by a per-run seeded 5-tuple flow hash.
+// Requires Racks >= 2. 0 keeps the two-tier (or star) fabric.
+func Spines(n int) Option {
+	return func(c *Cluster) error {
+		if n < 0 {
+			return fmt.Errorf("ecnsim: Spines(%d): must be non-negative", n)
+		}
+		c.spines = n
+		return nil
+	}
+}
+
+// Oversub sets the rack oversubscription factor shaping the default core
+// rate on multi-rack fabrics: a rack's total uplink capacity is its ingress
+// divided by this factor (split across the spines on leaf-spine fabrics).
+// 0 keeps the historical default of 2.
+func Oversub(f float64) Option {
+	return func(c *Cluster) error {
+		if f < 0 {
+			return fmt.Errorf("ecnsim: Oversub(%g): must be non-negative", f)
+		}
+		c.oversub = f
+		return nil
+	}
+}
+
+// DegradeLink fails or derates one inter-switch link right after the fabric
+// is built. factor == 0 fails the link (routes are rebuilt around it; the
+// fabric must have an alternate path, so this needs a spine tier), 0 <
+// factor < 1 derates the link to that fraction of its built rate (routes
+// unchanged — ECMP keeps hashing flows onto the slow path). Switch names
+// follow the builders: "leaf0".."leafR-1" / "spine0".."spineS-1" on
+// leaf-spine fabrics, "tor0".."torR-1" / "agg0" on two-tier. The option can
+// be repeated to degrade several links.
+func DegradeLink(from, to string, factor float64) Option {
+	return func(c *Cluster) error {
+		d := cluster.LinkDegrade{From: from, To: to, Factor: factor}
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("ecnsim: DegradeLink(%q, %q, %g): %w", from, to, factor, err)
+		}
+		c.degrade = append(c.degrade, d)
 		return nil
 	}
 }
@@ -585,6 +677,12 @@ func RPCInterval(d time.Duration) Option {
 // Nodes returns the configured cluster size.
 func (c *Cluster) Nodes() int { return c.nodes }
 
+// Racks returns the configured rack count (<=1 = single-switch star).
+func (c *Cluster) Racks() int { return c.racks }
+
+// Spines returns the configured spine count (0 = no spine tier).
+func (c *Cluster) Spines() int { return c.spines }
+
 // Seed returns the configured base seed.
 func (c *Cluster) Seed() uint64 { return c.seed }
 
@@ -641,6 +739,9 @@ func (c *Cluster) spec() cluster.Spec {
 	spec := cluster.DefaultSpec()
 	spec.Nodes = c.nodes
 	spec.Racks = c.racks
+	spec.Spines = c.spines
+	spec.Oversub = c.oversub
+	spec.Degrade = c.degrade
 	spec.LinkRate = units.Bandwidth(c.linkRate)
 	spec.LinkDelay = c.linkDelay
 	spec.Queue = c.queue.internal()
@@ -659,6 +760,8 @@ func (c *Cluster) scale() experiment.Scale {
 	return experiment.Scale{
 		Nodes:     c.nodes,
 		Racks:     c.racks,
+		Spines:    c.spines,
+		Oversub:   c.oversub,
 		InputSize: units.ByteSize(c.inputSize),
 		BlockSize: units.ByteSize(c.blockSize),
 		Reducers:  c.reducers,
@@ -685,5 +788,6 @@ func (c *Cluster) experimentConfig() experiment.Config {
 		MinRTO:        c.minRTO,
 		DisableSACK:   c.disableSACK,
 		DisableDelAck: c.disableDelAck,
+		Degrade:       c.degrade,
 	}
 }

@@ -38,7 +38,8 @@ type Sweep struct {
 	inner *experiment.Sweep
 }
 
-// NewSweep prepares a sweep at the scale and seed the options describe.
+// NewSweep prepares a sweep at the scale, fabric and seed the options
+// describe — Racks/Spines/DegradeLink apply to every grid cell.
 // Queue/protection/transport options are ignored — the grid enumerates every
 // setup itself.
 func NewSweep(opts ...Option) (*Sweep, error) {
@@ -46,7 +47,9 @@ func NewSweep(opts ...Option) (*Sweep, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sweep{inner: experiment.NewSweep(c.scale(), c.seed)}, nil
+	inner := experiment.NewSweep(c.scale(), c.seed)
+	inner.Degrade = c.degrade
+	return &Sweep{inner: inner}, nil
 }
 
 // SetTargetDelays overrides the default target-delay axis.
@@ -79,19 +82,25 @@ func (s *Sweep) OnProgress(fn func(done, total int, label string)) {
 // TotalRuns returns how many grid points Execute will simulate.
 func (s *Sweep) TotalRuns() int { return s.inner.TotalRuns() }
 
-// ScaleOptions reconstructs the builder options describing the sweep's scale
-// and seed, so companion runs (Figure1, aqmcompare) can match an archived
-// grid exactly.
+// ScaleOptions reconstructs the builder options describing the sweep's
+// scale, fabric shape (including link degradations) and seed, so companion
+// runs (Figure1, aqmcompare) can match an archived grid exactly.
 func (s *Sweep) ScaleOptions() []Option {
 	sc := s.inner.Scale
-	return []Option{
+	opts := []Option{
 		Nodes(sc.Nodes),
 		Racks(sc.Racks),
+		Spines(sc.Spines),
+		Oversub(sc.Oversub),
 		InputSize(int64(sc.InputSize)),
 		BlockSize(int64(sc.BlockSize)),
 		Reducers(sc.Reducers),
 		Seed(s.inner.Seed),
 	}
+	for _, d := range s.inner.Degrade {
+		opts = append(opts, DegradeLink(d.From, d.To, d.Factor))
+	}
+	return opts
 }
 
 // Execute runs the whole grid over the worker pool. Results are

@@ -1,0 +1,80 @@
+// Degradedfabric: the asymmetric-fabric stress test. On a leaf-spine
+// fabric, ECMP has no health signal — the 5-tuple flow hash keeps assigning
+// flows to a derated spine uplink for the whole job. This example first runs
+// the Terasort shuffle on the healthy ECMP fabric, then replays it with one
+// leaf->spine link derated, comparing DropTail against RED in default and
+// ACK+SYN protection mode, and shows where the queueing sits per fabric
+// tier.
+//
+//	go run ./examples/degradedfabric
+//	go run ./examples/degradedfabric -nodes 16 -racks 4 -spines 4 -derate 0.1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/ecnsim"
+)
+
+func main() {
+	fl := ecnsim.DefaultFlags()
+	fl.Nodes = 8
+	fl.Racks = 4
+	fl.Spines = 2
+	fl.Input = "256MiB"
+	fl.Block = "" // auto: input/nodes
+	fl.Reducers = 16
+	fl.Target = 100 * time.Microsecond
+	fl.BindBuffer(flag.CommandLine)
+	fl.BindWorkload(flag.CommandLine)
+	derate := flag.Float64("derate", 0.25, "sick uplink rate as a fraction of its built rate (0 fails the link)")
+	flag.Parse()
+
+	opts, err := fl.Options()
+	if err != nil {
+		log.Fatalf("degradedfabric: %v", err)
+	}
+	ctx := context.Background()
+
+	healthy, err := ecnsim.RunScenario(ctx, "leafspine", opts...)
+	if err != nil {
+		log.Fatalf("degradedfabric: %v", err)
+	}
+	h := healthy.Results[0]
+	fmt.Printf("Terasort %s on %d nodes: %.0f racks under %.0f spines (ECMP)\n\n",
+		fl.Input, fl.Nodes, h.Value(ecnsim.KeyRacks), h.Value(ecnsim.KeySpines))
+	fmt.Printf("healthy fabric (%s): runtime=%v  p99 latency=%v\n", h.Label,
+		h.Duration(ecnsim.KeyRuntime).Round(time.Millisecond),
+		h.Duration(ecnsim.KeyP99Latency).Round(time.Microsecond))
+	fmt.Printf("  mean queue by tier [pkts]: host-up=%.1f edge=%.1f leaf->spine=%.1f spine->leaf=%.1f\n\n",
+		h.Value(ecnsim.KeyHostUpOcc), h.Value(ecnsim.KeyEdgeOcc),
+		h.Value(ecnsim.KeyCoreUpOcc), h.Value(ecnsim.KeyCoreDownOcc))
+
+	degradedOpts := append(append([]ecnsim.Option{}, opts...),
+		ecnsim.DegradeLink("leaf0", "spine0", *derate))
+	rs, err := ecnsim.RunScenario(ctx, "degradedfabric", degradedOpts...)
+	if err != nil {
+		log.Fatalf("degradedfabric: %v", err)
+	}
+
+	fmt.Printf("leaf0->spine0 derated to %.0f%% of its built rate:\n\n", 100**derate)
+	fmt.Printf("%-14s %-12s %-12s %-10s %-8s %s\n",
+		"setup", "runtime", "p99 latency", "core occ", "drops", "vs healthy")
+	for _, r := range rs.Results {
+		drops := r.Value(ecnsim.KeyEarlyDrops) + r.Value(ecnsim.KeyOverflowDrops)
+		fmt.Printf("%-14s %-12v %-12v %-10.1f %-8.0f %+.0f%%\n",
+			r.Label,
+			r.Duration(ecnsim.KeyRuntime).Round(time.Millisecond),
+			r.Duration(ecnsim.KeyP99Latency).Round(time.Microsecond),
+			r.Value(ecnsim.KeyCoreUpOcc),
+			drops,
+			100*(r.Value(ecnsim.KeyRuntime)/h.Value(ecnsim.KeyRuntime)-1))
+	}
+	fmt.Println("\nECMP cannot steer around the sick uplink — every setup pays for it.")
+	fmt.Println("The question is how gracefully: watch p99 latency, where ack+syn")
+	fmt.Println("protection keeps the AQM's low-delay benefit even under asymmetry.")
+}

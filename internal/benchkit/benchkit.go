@@ -43,8 +43,9 @@ const (
 	SuiteReduced = "reduced"
 )
 
-// fullSpecs is the complete suite: the three paper workloads at a scale that
-// keeps one pass under a minute on commodity hardware.
+// fullSpecs is the complete suite: the three paper workloads plus the ECMP
+// leaf-spine shuffle (the multipath routing hot path), at a scale that keeps
+// one pass under a minute on commodity hardware.
 func fullSpecs() []Spec {
 	return []Spec{
 		{
@@ -79,6 +80,19 @@ func fullSpecs() []Spec {
 				ecnsim.Queue(ecnsim.DropTail),
 				ecnsim.Buffer(ecnsim.Deep),
 				ecnsim.RPCInterval(2 * time.Millisecond),
+				ecnsim.Seed(1),
+			},
+		},
+		{
+			Name:     "leafspine-ecmp",
+			Scenario: "leafspine",
+			Opts: []ecnsim.Option{
+				ecnsim.TestScale(),
+				ecnsim.Racks(4),
+				ecnsim.Spines(2),
+				ecnsim.Queue(ecnsim.RED),
+				ecnsim.Protect(ecnsim.ACKSYN),
+				ecnsim.TargetDelay(500 * time.Microsecond),
 				ecnsim.Seed(1),
 			},
 		},
@@ -127,6 +141,22 @@ func reducedSpecs() []Spec {
 				ecnsim.Queue(ecnsim.DropTail),
 				ecnsim.Buffer(ecnsim.Deep),
 				ecnsim.RPCInterval(2 * time.Millisecond),
+				ecnsim.Seed(1),
+			},
+		},
+		{
+			Name:     "leafspine-ecmp",
+			Scenario: "leafspine",
+			Opts: []ecnsim.Option{
+				ecnsim.Nodes(8),
+				ecnsim.Racks(4),
+				ecnsim.Spines(2),
+				ecnsim.InputSize(32 << 20),
+				ecnsim.BlockSize(8 << 20),
+				ecnsim.Reducers(4),
+				ecnsim.Queue(ecnsim.RED),
+				ecnsim.Protect(ecnsim.ACKSYN),
+				ecnsim.TargetDelay(500 * time.Microsecond),
 				ecnsim.Seed(1),
 			},
 		},

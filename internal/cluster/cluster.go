@@ -78,10 +78,41 @@ func (b BufferDepth) Packets() int {
 	return int(bytes / perPacket)
 }
 
+// LinkDegrade declares one inter-switch link degradation applied right
+// after the fabric is built: Factor == 0 fails the link outright (routes are
+// rebuilt around it), 0 < Factor < 1 derates it to that fraction of its
+// built rate. Switch names follow the builders: "leafR"/"spineS" on
+// leaf-spine fabrics, "torR"/"agg0" on two-tier.
+type LinkDegrade struct {
+	From, To string
+	Factor   float64
+}
+
+// Validate reports a parameter error, or nil (link existence is checked at
+// build time, when the switch names exist).
+func (d LinkDegrade) Validate() error {
+	switch {
+	case d.From == "" || d.To == "":
+		return fmt.Errorf("cluster: link degradation needs both switch names, got %q<->%q", d.From, d.To)
+	case d.Factor < 0 || d.Factor >= 1:
+		return fmt.Errorf("cluster: degrade factor %g out of range [0, 1) (0 fails the link)", d.Factor)
+	}
+	return nil
+}
+
 // Spec declares a cluster and its queueing configuration.
 type Spec struct {
 	// Nodes and Racks shape the fabric (Racks<=1: single-switch star).
 	Nodes, Racks int
+	// Spines adds a spine tier above the racks: a three-tier leaf-spine
+	// fabric with cross-rack traffic ECMP-hashed over the spines
+	// (requires Racks >= 2).
+	Spines int
+	// Oversub is the rack oversubscription factor shaping the default core
+	// rate on multi-rack fabrics (0 = the historical default of 2).
+	Oversub float64
+	// Degrade lists inter-switch link degradations applied after build.
+	Degrade []LinkDegrade
 	// LinkRate and LinkDelay parameterize every edge link.
 	LinkRate  units.Bandwidth
 	LinkDelay units.Duration
@@ -143,6 +174,19 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("cluster: link rate must be positive")
 	case s.Queue != QueueDropTail && s.TargetDelay <= 0:
 		return fmt.Errorf("cluster: AQM queues need a positive target delay")
+	case s.Spines > 0 && s.Racks < 2:
+		return fmt.Errorf("cluster: a spine tier needs Racks >= 2, got %d", s.Racks)
+	case s.Oversub < 0:
+		return fmt.Errorf("cluster: oversubscription factor must be non-negative, got %g", s.Oversub)
+	case s.Racks > 1 && s.Nodes%s.Racks != 0:
+		return fmt.Errorf("cluster: %d nodes not divisible into %d racks", s.Nodes, s.Racks)
+	case len(s.Degrade) > 0 && s.Racks <= 1:
+		return fmt.Errorf("cluster: link degradation needs inter-switch links (Racks >= 2)")
+	}
+	for _, d := range s.Degrade {
+		if err := d.Validate(); err != nil {
+			return err
+		}
 	}
 	return s.NodeSpec.Validate()
 }
@@ -218,13 +262,29 @@ func New(spec Spec) *Cluster {
 	// applies uniformly to every link queue — host uplinks included.
 	qf := spec.queueFactory()
 	tc := topo.Build(eng, topo.Config{
-		Nodes:       spec.Nodes,
-		Racks:       spec.Racks,
-		LinkRate:    spec.LinkRate,
-		LinkDelay:   spec.LinkDelay,
+		Nodes:     spec.Nodes,
+		Racks:     spec.Racks,
+		Spines:    spec.Spines,
+		Oversub:   spec.Oversub,
+		LinkRate:  spec.LinkRate,
+		LinkDelay: spec.LinkDelay,
+		// The ECMP flow hash is salted from the run seed, so multipath path
+		// assignment replays bit-identically for a given (spec, seed).
+		HashSeed:    spec.Seed ^ 0xec3c_9a1f_5bd1_e995,
 		HostQueue:   qf,
 		SwitchQueue: qf,
 	})
+	for _, d := range spec.Degrade {
+		var err error
+		if d.Factor == 0 {
+			err = tc.FailLink(d.From, d.To)
+		} else {
+			err = tc.DerateLink(d.From, d.To, d.Factor)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
 	col := metrics.New(spec.LatencyReservoir, spec.Seed)
 	tc.Net.SetObserver(col)
 
@@ -273,3 +333,26 @@ func (c *Cluster) RunJob(cfg mapred.JobConfig) *mapred.Job {
 
 // Ports returns the switch->host edge ports (the studied bottlenecks).
 func (c *Cluster) Ports() []*netsim.Port { return c.Topo.EdgePorts }
+
+// WatchTierOccupancy enables per-tier queue-occupancy aggregation on the
+// metrics collector, registering every built port under its fabric tier
+// (host uplinks, switch->host edge, core up, core down). Call before the
+// run; read back via Metrics.TierOccupancyAt.
+func (c *Cluster) WatchTierOccupancy() {
+	col := c.Metrics
+	for _, h := range c.Topo.Hosts {
+		if up := h.Uplink(); up != nil {
+			col.SetPortTier(up, metrics.TierHostUp)
+		}
+	}
+	for _, p := range c.Topo.EdgePorts {
+		col.SetPortTier(p, metrics.TierEdge)
+	}
+	for _, p := range c.Topo.UpPorts {
+		col.SetPortTier(p, metrics.TierCoreUp)
+	}
+	for _, p := range c.Topo.DownPorts {
+		col.SetPortTier(p, metrics.TierCoreDown)
+	}
+	col.WatchTiers()
+}

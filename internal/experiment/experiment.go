@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/qdisc"
 	"repro/internal/tcp"
@@ -64,7 +65,14 @@ type Scale struct {
 	Nodes int
 	// Racks > 1 arranges nodes under top-of-rack switches joined by a 2:1
 	// oversubscribed aggregation switch (0/1 = single-switch star).
-	Racks     int
+	Racks int
+	// Spines > 0 (with Racks >= 2) upgrades the fabric to three-tier
+	// leaf-spine: every leaf connects to every spine and cross-rack traffic
+	// is ECMP-hashed across them.
+	Spines int
+	// Oversub is the rack oversubscription factor shaping the default core
+	// rate on multi-rack fabrics (0 = the default of 2).
+	Oversub   float64
 	InputSize units.ByteSize
 	BlockSize units.ByteSize
 	Reducers  int
@@ -102,6 +110,12 @@ type Config struct {
 	// DisableDelAck turns delayed ACKs off (ablation: doubles the ACK rate
 	// and with it the exposure to per-packet AQM drops).
 	DisableDelAck bool
+	// Degrade lists inter-switch link degradations applied after the fabric
+	// is built (fail or derate; see cluster.LinkDegrade).
+	Degrade []cluster.LinkDegrade
+	// WatchTiers enables per-tier queue-occupancy aggregation; the means
+	// land in Result.TierOccupancy.
+	WatchTiers bool
 }
 
 // String identifies the run compactly.
@@ -133,6 +147,11 @@ type Result struct {
 	// time by these to report events/sec and ns per simulated second.
 	Events  uint64
 	SimTime units.Duration
+
+	// TierOccupancy is the time-weighted queued packets per fabric tier
+	// (the sum of the tier's per-port mean queue lengths), indexed by
+	// metrics.Tier. Populated only when Config.WatchTiers is set.
+	TierOccupancy [metrics.TierCount]float64
 }
 
 // Run executes one Terasort under the configuration and returns its result.
@@ -149,6 +168,9 @@ func RunJob(cfg Config) (Result, *mapred.Job) {
 	spec := cluster.DefaultSpec()
 	spec.Nodes = cfg.Scale.Nodes
 	spec.Racks = cfg.Scale.Racks
+	spec.Spines = cfg.Scale.Spines
+	spec.Oversub = cfg.Scale.Oversub
+	spec.Degrade = cfg.Degrade
 	spec.Queue = cfg.Setup.Queue
 	spec.Buffer = cfg.Buffer
 	spec.TargetDelay = cfg.TargetDelay
@@ -174,6 +196,9 @@ func RunJob(cfg Config) (Result, *mapred.Job) {
 	spec.TCPOverride = &tcpCfg
 
 	c := cluster.New(spec)
+	if cfg.WatchTiers {
+		c.WatchTierOccupancy()
+	}
 	jobCfg := mapred.TerasortConfig(cfg.Scale.InputSize, cfg.Scale.Reducers)
 	jobCfg.BlockSize = cfg.Scale.BlockSize
 	job := c.RunJob(jobCfg)
@@ -196,6 +221,12 @@ func RunJob(cfg Config) (Result, *mapred.Job) {
 		SimTime:           units.Duration(c.Engine.Now()),
 	}
 	res.EarlyDrops, res.OverflowDrops = c.Metrics.Drops()
+	if cfg.WatchTiers {
+		at := c.Engine.Now().Seconds()
+		for t := metrics.Tier(0); t < metrics.TierCount; t++ {
+			res.TierOccupancy[t] = c.Metrics.TierOccupancyAt(t, at)
+		}
+	}
 	_ = packet.HeaderSize
 	return res, job
 }

@@ -20,6 +20,7 @@ type sweepJSON struct {
 	TargetDelays  []int64                        `json:"target_delays_ns"`
 	Seed          uint64                         `json:"seed"`
 	Repeats       int                            `json:"repeats"`
+	Degrade       []cluster.LinkDegrade          `json:"degrade,omitempty"`
 	DropTail      map[string]Result              `json:"droptail"`
 	Series        map[string]map[string][]Result `json:"series"`
 }
@@ -45,6 +46,7 @@ func (s *Sweep) WriteJSON(w io.Writer) error {
 		Scale:         s.Scale,
 		Seed:          s.Seed,
 		Repeats:       s.Repeats,
+		Degrade:       s.Degrade,
 		DropTail:      make(map[string]Result),
 		Series:        make(map[string]map[string][]Result),
 	}
@@ -78,6 +80,7 @@ func ReadJSON(r io.Reader) (*Sweep, error) {
 	}
 	s := NewSweep(in.Scale, in.Seed)
 	s.Repeats = in.Repeats
+	s.Degrade = in.Degrade
 	s.TargetDelays = s.TargetDelays[:0]
 	for _, ns := range in.TargetDelays {
 		s.TargetDelays = append(s.TargetDelays, units.Duration(ns))

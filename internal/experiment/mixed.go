@@ -42,6 +42,10 @@ func RunMixed(cfg Config) MixedResult {
 func RunMixedInterval(cfg Config, interval units.Duration) MixedResult {
 	spec := cluster.DefaultSpec()
 	spec.Nodes = cfg.Scale.Nodes
+	spec.Racks = cfg.Scale.Racks
+	spec.Spines = cfg.Scale.Spines
+	spec.Oversub = cfg.Scale.Oversub
+	spec.Degrade = cfg.Degrade
 	spec.Queue = cfg.Setup.Queue
 	spec.Buffer = cfg.Buffer
 	spec.TargetDelay = cfg.TargetDelay

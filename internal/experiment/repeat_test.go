@@ -1,6 +1,7 @@
 package experiment_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/cluster"
@@ -101,10 +102,10 @@ func TestRepeatSingleSeedIsRun(t *testing.T) {
 		Seed: 9,
 	}
 	direct := experiment.Run(cfg)
-	if got := experiment.Repeat(cfg, nil); got != direct {
+	if got := experiment.Repeat(cfg, nil); !reflect.DeepEqual(got, direct) {
 		t.Error("Repeat(cfg, nil) differs from Run(cfg)")
 	}
-	if got := experiment.Repeat(cfg, []uint64{9}); got != direct {
+	if got := experiment.Repeat(cfg, []uint64{9}); !reflect.DeepEqual(got, direct) {
 		t.Error("Repeat(cfg, [9]) differs from Run(cfg)")
 	}
 }

@@ -52,6 +52,9 @@ func Repeat(cfg Config, seeds []uint64) Result {
 		acc.FetchRetries += r.FetchRetries
 		acc.Events += r.Events
 		acc.SimTime += r.SimTime
+		for t := range acc.TierOccupancy {
+			acc.TierOccupancy[t] += r.TierOccupancy[t]
+		}
 	}
 	n := len(seeds)
 	acc.Runtime /= units.Duration(n)
@@ -69,6 +72,9 @@ func Repeat(cfg Config, seeds []uint64) Result {
 	acc.FetchRetries /= n
 	acc.Events /= uint64(n)
 	acc.SimTime /= units.Duration(n)
+	for t := range acc.TierOccupancy {
+		acc.TierOccupancy[t] /= float64(n)
+	}
 	acc.Config.Seed = seeds[0]
 	return acc
 }
@@ -79,6 +85,9 @@ type Sweep struct {
 	Scale        Scale
 	TargetDelays []units.Duration
 	Seed         uint64
+	// Degrade lists inter-switch link degradations applied to every grid
+	// cell's fabric (see cluster.LinkDegrade).
+	Degrade []cluster.LinkDegrade
 	// Repeats averages each grid point over this many consecutive seeds
 	// starting at Seed (0 or 1 = single run).
 	Repeats int
@@ -150,6 +159,7 @@ func (s *Sweep) ExecuteContext(ctx context.Context) error {
 				TargetDelay: 500 * units.Microsecond, // ignored by DropTail
 				Scale:       s.Scale,
 				Seed:        s.Seed,
+				Degrade:     s.Degrade,
 			},
 			baseline: true,
 		})
@@ -166,6 +176,7 @@ func (s *Sweep) ExecuteContext(ctx context.Context) error {
 						TargetDelay: d,
 						Scale:       s.Scale,
 						Seed:        s.Seed,
+						Degrade:     s.Degrade,
 					},
 					label: setup.Label,
 					index: i,

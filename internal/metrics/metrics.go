@@ -31,6 +31,40 @@ func (kc *KindCounts) Total() uint64 {
 	return t
 }
 
+// Tier classifies a port by its place in the fabric, for per-tier occupancy
+// aggregation on multi-tier topologies.
+type Tier uint8
+
+// Port tiers, bottom-up.
+const (
+	// TierHostUp is a host NIC uplink (host -> switch).
+	TierHostUp Tier = iota
+	// TierEdge is a switch -> host downlink (the paper's bottleneck queues).
+	TierEdge
+	// TierCoreUp is leaf->spine (or ToR->aggregation) — where cross-rack
+	// shuffle traffic funnels into the oversubscribed core.
+	TierCoreUp
+	// TierCoreDown is spine->leaf (or aggregation->ToR).
+	TierCoreDown
+	// TierCount bounds the enum.
+	TierCount
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierHostUp:
+		return "hostup"
+	case TierEdge:
+		return "edge"
+	case TierCoreUp:
+		return "coreup"
+	case TierCoreDown:
+		return "coredown"
+	}
+	return "tier?"
+}
+
 // Collector implements netsim.Observer and aggregates everything the
 // experiments report. Construct with New, install via Network.SetObserver.
 type Collector struct {
@@ -61,6 +95,19 @@ type Collector struct {
 	// of a label string; QueueOccupancy exposes the label view.
 	occupancy   map[*netsim.Port]*stats.TimeWeighted
 	watchQueues bool
+
+	// Per-tier occupancy aggregation: every port registered with
+	// SetPortTier gets its own time-weighted tracker, observed at that
+	// port's enqueue instants; TierOccupancyAt sums the per-port means in
+	// registration order. Summing at read time (rather than funnelling a
+	// tier's ports through one shared tracker) keeps a congested port's
+	// standing queue visible next to frequently-enqueuing idle siblings,
+	// and the fixed order keeps the float sum deterministic. Off by
+	// default — the hot path pays only a bool test unless WatchTiers is
+	// enabled.
+	tierPortOcc map[*netsim.Port]*stats.TimeWeighted
+	tierPorts   [TierCount][]*stats.TimeWeighted
+	watchTiers  bool
 }
 
 // New creates an empty collector. If reservoir is > 0, per-packet latency
@@ -81,6 +128,42 @@ func New(reservoir int, seed uint64) *Collector {
 
 // WatchQueues enables per-port occupancy tracking (small overhead).
 func (c *Collector) WatchQueues() { c.watchQueues = true }
+
+// WatchTiers enables per-tier occupancy tracking over the ports registered
+// with SetPortTier (small overhead; off by default so the benchmark-gated
+// hot path pays only a bool test).
+func (c *Collector) WatchTiers() {
+	c.watchTiers = true
+	if c.tierPortOcc == nil {
+		c.tierPortOcc = make(map[*netsim.Port]*stats.TimeWeighted)
+	}
+}
+
+// SetPortTier registers a port's fabric tier for per-tier aggregation.
+// Re-registering a port is a no-op (a port has one place in the fabric).
+func (c *Collector) SetPortTier(p *netsim.Port, t Tier) {
+	if c.tierPortOcc == nil {
+		c.tierPortOcc = make(map[*netsim.Port]*stats.TimeWeighted)
+	}
+	if _, ok := c.tierPortOcc[p]; ok {
+		return
+	}
+	w := &stats.TimeWeighted{}
+	c.tierPortOcc[p] = w
+	c.tierPorts[t] = append(c.tierPorts[t], w)
+}
+
+// TierOccupancyAt returns the tier's time-weighted queued packets over
+// [start, atSeconds]: the sum of each registered port's time-weighted mean
+// queue length, each sampled at that port's own enqueue instants. Zero
+// unless WatchTiers was enabled and ports were registered for the tier.
+func (c *Collector) TierOccupancyAt(t Tier, atSeconds float64) float64 {
+	var sum float64
+	for _, w := range c.tierPorts[t] {
+		sum += w.MeanAt(atSeconds)
+	}
+	return sum
+}
 
 // PacketEnqueued implements netsim.Observer.
 func (c *Collector) PacketEnqueued(now units.Time, port *netsim.Port, p *packet.Packet, v qdisc.Verdict) {
@@ -103,6 +186,11 @@ func (c *Collector) PacketEnqueued(now units.Time, port *netsim.Port, p *packet.
 			c.occupancy[port] = w
 		}
 		w.Observe(now.Seconds(), float64(port.Queue().Len()))
+	}
+	if c.watchTiers {
+		if w, ok := c.tierPortOcc[port]; ok {
+			w.Observe(now.Seconds(), float64(port.Queue().Len()))
+		}
 	}
 }
 

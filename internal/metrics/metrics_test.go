@@ -187,3 +187,40 @@ func TestKindCountsTotal(t *testing.T) {
 		t.Errorf("Get(data) = %d", kc.Get(packet.KindData))
 	}
 }
+
+// TestTierOccupancySumsPorts pins the per-tier aggregation semantics: each
+// registered port gets its own time-weighted tracker and the tier value is
+// the sum of per-port means — a congested port's standing queue must not be
+// erased by an idle sibling that enqueues (and observes ~0) frequently.
+func TestTierOccupancySumsPorts(t *testing.T) {
+	c := New(0, 1)
+	sick, idle := port(t), port(t)
+	c.SetPortTier(sick, TierCoreUp)
+	c.SetPortTier(idle, TierCoreUp)
+	c.WatchTiers()
+
+	// The sick port holds 4 queued packets from t=0 on.
+	for i := 0; i < 4; i++ {
+		sick.Queue().Enqueue(0, data(1, 100))
+	}
+	c.PacketEnqueued(0, sick, data(1, 100), qdisc.Enqueued)
+
+	// The idle port enqueues often, each time with an empty queue behind it.
+	for i := 1; i <= 9; i++ {
+		c.PacketEnqueued(units.Time(i)*units.Time(units.Second), idle, data(1, 100), qdisc.Enqueued)
+	}
+
+	got := c.TierOccupancyAt(TierCoreUp, 10)
+	if got != 4 {
+		t.Errorf("TierOccupancyAt = %g, want 4 (sick port's standing queue + idle port's 0)", got)
+	}
+	if c.TierOccupancyAt(TierEdge, 10) != 0 {
+		t.Errorf("unregistered tier reported %g", c.TierOccupancyAt(TierEdge, 10))
+	}
+
+	// Re-registering a port must not double-count it.
+	c.SetPortTier(sick, TierCoreUp)
+	if got := c.TierOccupancyAt(TierCoreUp, 10); got != 4 {
+		t.Errorf("after re-registration TierOccupancyAt = %g, want 4", got)
+	}
+}

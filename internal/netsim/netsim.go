@@ -51,6 +51,12 @@ type Network struct {
 	nextPkt  uint64
 	observer Observer
 
+	// hashSeed salts the ECMP flow hash. It is derived from the run seed
+	// (never from global state), so multipath path selection is
+	// deterministic in (configuration, seed) regardless of how many runner
+	// workers execute simulations concurrently.
+	hashSeed uint64
+
 	pool     packet.Pool
 	propFree []*propCell
 }
@@ -74,6 +80,14 @@ func (n *Network) SetObserver(o Observer) {
 
 // Observer returns the current observer.
 func (n *Network) Observer() Observer { return n.observer }
+
+// SetFlowHashSeed salts the ECMP flow hash for this run. Call it once at
+// build time; changing the seed mid-run would migrate live flows between
+// paths.
+func (n *Network) SetFlowHashSeed(seed uint64) { n.hashSeed = seed }
+
+// FlowHashSeed returns the run's ECMP hash salt.
+func (n *Network) FlowHashSeed() uint64 { return n.hashSeed }
 
 // NewPacketID allocates a unique packet ID.
 func (n *Network) NewPacketID() uint64 {
@@ -185,6 +199,19 @@ func (p *Port) Queue() qdisc.Qdisc { return p.queue }
 
 // Link returns the link parameters.
 func (p *Port) Link() LinkParams { return p.link }
+
+// SetLinkRate re-parameterizes the link's serialization rate in place —
+// the fabric-level hook behind link derating. The new rate applies from the
+// next packet that starts serializing; a packet already on the wire finishes
+// at the old rate.
+func (p *Port) SetLinkRate(r units.Bandwidth) {
+	l := p.link
+	l.Rate = r
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	p.link = l
+}
 
 // Peer returns the node at the far end.
 func (p *Port) Peer() Node { return p.peer }
@@ -339,12 +366,40 @@ func (h *Host) Receive(pkt *packet.Packet) {
 	h.net.ReleasePacket(pkt)
 }
 
-// Switch forwards packets to the egress port registered for the packet's
-// destination node.
+// routeEntry is one destination's route group. The single-next-hop case —
+// every port of a star or two-tier fabric — keeps `one` set and forwards
+// without hashing, so the pre-multipath hot path is unchanged. With two or
+// more candidates `one` is nil and the egress is picked by flow hash over
+// `many`.
+type routeEntry struct {
+	one  *Port
+	many []*Port
+}
+
+// FlowHash maps a (seed, 5-tuple) to a 64-bit value used for ECMP egress
+// selection. The simulated protocol field is always TCP, so the tuple
+// reduces to the two addresses. The mix is a splitmix64 finalizer: cheap,
+// allocation-free, and deterministic in the seed — reseeding per run keeps
+// results bit-identical across Runner worker counts while still decorrelating
+// path assignment between seeds.
+func FlowHash(seed uint64, src, dst packet.Addr) uint64 {
+	x := seed
+	x ^= uint64(uint32(src.Node)) | uint64(uint32(dst.Node))<<32
+	x ^= (uint64(src.Port) | uint64(dst.Port)<<16) << 13
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Switch forwards packets to an egress port registered for the packet's
+// destination node. A destination may have a group of candidate egresses
+// (ECMP); members of a group are resolved per flow by FlowHash, so one TCP
+// connection always takes one path (no intra-flow reordering).
 type Switch struct {
 	id     packet.NodeID
 	net    *Network
-	routes map[packet.NodeID]*Port
+	routes map[packet.NodeID]routeEntry
 	ports  []*Port
 
 	// Name is a human label, e.g. "tor0".
@@ -353,7 +408,7 @@ type Switch struct {
 
 // NewSwitch registers a new switch.
 func (n *Network) NewSwitch(name string) *Switch {
-	s := &Switch{net: n, routes: make(map[packet.NodeID]*Port), Name: name}
+	s := &Switch{net: n, routes: make(map[packet.NodeID]routeEntry), Name: name}
 	s.id = n.register(s)
 	return s
 }
@@ -367,17 +422,73 @@ func (s *Switch) AddPort(p *Port) { s.ports = append(s.ports, p) }
 // Ports returns the switch's egress ports.
 func (s *Switch) Ports() []*Port { return s.ports }
 
-// SetRoute directs traffic for dst out of port p.
-func (s *Switch) SetRoute(dst packet.NodeID, p *Port) { s.routes[dst] = p }
+// SetRoute directs traffic for dst out of the single port p, replacing any
+// previous route or route group.
+func (s *Switch) SetRoute(dst packet.NodeID, p *Port) {
+	if p == nil {
+		panic(fmt.Sprintf("netsim: switch %s: nil route to n%d", s.Name, dst))
+	}
+	s.routes[dst] = routeEntry{one: p}
+}
 
-// RouteFor returns the egress port for dst, or nil.
-func (s *Switch) RouteFor(dst packet.NodeID) *Port { return s.routes[dst] }
+// SetRoutes installs a route group for dst: one or more candidate egress
+// ports resolved per flow by FlowHash. A 1-entry group is stored as a plain
+// single route (the fast path). Candidate order matters — it is part of the
+// deterministic hash-to-port mapping — so callers must present candidates in
+// a stable order.
+func (s *Switch) SetRoutes(dst packet.NodeID, ports ...*Port) {
+	switch len(ports) {
+	case 0:
+		panic(fmt.Sprintf("netsim: switch %s: empty route group to n%d", s.Name, dst))
+	case 1:
+		s.SetRoute(dst, ports[0])
+	default:
+		for _, p := range ports {
+			if p == nil {
+				panic(fmt.Sprintf("netsim: switch %s: nil candidate in route group to n%d", s.Name, dst))
+			}
+		}
+		s.routes[dst] = routeEntry{many: append([]*Port(nil), ports...)}
+	}
+}
 
-// Receive implements Node: forward toward the destination.
+// ClearRoute removes any route or route group for dst.
+func (s *Switch) ClearRoute(dst packet.NodeID) { delete(s.routes, dst) }
+
+// RouteFor returns the egress port for dst — the first candidate of a
+// multipath group — or nil.
+func (s *Switch) RouteFor(dst packet.NodeID) *Port {
+	e := s.routes[dst]
+	if e.one != nil {
+		return e.one
+	}
+	if len(e.many) > 0 {
+		return e.many[0]
+	}
+	return nil
+}
+
+// RoutesFor returns every candidate egress port for dst (nil if unrouted).
+// The returned slice is the switch's own; callers must not mutate it.
+func (s *Switch) RoutesFor(dst packet.NodeID) []*Port {
+	e := s.routes[dst]
+	if e.one != nil {
+		return []*Port{e.one}
+	}
+	return e.many
+}
+
+// Receive implements Node: forward toward the destination, hashing the flow
+// over the candidate group when the destination is multipath.
 func (s *Switch) Receive(pkt *packet.Packet) {
-	out, ok := s.routes[pkt.Dst.Node]
+	e, ok := s.routes[pkt.Dst.Node]
 	if !ok {
 		panic(fmt.Sprintf("netsim: switch %s has no route to n%d", s.Name, pkt.Dst.Node))
 	}
-	out.Send(pkt)
+	if e.one != nil {
+		e.one.Send(pkt)
+		return
+	}
+	h := FlowHash(s.net.hashSeed, pkt.Src, pkt.Dst)
+	e.many[h%uint64(len(e.many))].Send(pkt)
 }

@@ -311,3 +311,98 @@ func TestHeadDropperSurfacedToObserver(t *testing.T) {
 		t.Error("CoDel head drops never reached the observer")
 	}
 }
+
+// ecmpPair builds src -> switch with two parallel links to dst: the smallest
+// fabric with a genuine route group.
+func ecmpPair(eng *sim.Engine, seed uint64) (*Network, *Host, *Host, *Switch, []*Port) {
+	n := New(eng)
+	n.SetFlowHashSeed(seed)
+	src := n.NewHost("src")
+	dst := n.NewHost("dst")
+	sw := n.NewSwitch("sw")
+	link := LinkParams{Rate: 10 * units.Gbps, Delay: units.Microsecond}
+	src.AttachUplink(n.NewPort(src, sw, link, qdisc.NewDropTail(100)))
+	p0 := n.NewPort(sw, dst, link, qdisc.NewDropTail(100))
+	p1 := n.NewPort(sw, dst, link, qdisc.NewDropTail(100))
+	sw.AddPort(p0)
+	sw.AddPort(p1)
+	sw.SetRoutes(dst.ID(), p0, p1)
+	dst.AttachProtocol(&sinkProto{})
+	return n, src, dst, sw, []*Port{p0, p1}
+}
+
+func TestECMPFlowStickiness(t *testing.T) {
+	// Every packet of one flow must take the same candidate: ECMP must not
+	// reorder within a connection.
+	eng := sim.New()
+	n, src, dst, _, ports := ecmpPair(eng, 42)
+	for i := 0; i < 50; i++ {
+		p := mkPkt(n, src, dst, 1460)
+		p.Src.Port, p.Dst.Port = 1000, 2000
+		src.Send(p)
+	}
+	eng.Run()
+	s0, _ := ports[0].Sent()
+	s1, _ := ports[1].Sent()
+	if s0+s1 != 50 {
+		t.Fatalf("sent %d+%d packets, want 50", s0, s1)
+	}
+	if s0 != 0 && s1 != 0 {
+		t.Errorf("one flow split across candidates: %d vs %d", s0, s1)
+	}
+}
+
+func TestECMPSpreadsFlows(t *testing.T) {
+	// Many distinct flows must land on both candidates.
+	eng := sim.New()
+	n, src, dst, _, ports := ecmpPair(eng, 42)
+	for f := 0; f < 64; f++ {
+		p := mkPkt(n, src, dst, 100)
+		p.Src.Port = uint16(1000 + f)
+		src.Send(p)
+	}
+	eng.Run()
+	s0, _ := ports[0].Sent()
+	s1, _ := ports[1].Sent()
+	if s0 == 0 || s1 == 0 {
+		t.Errorf("64 flows all hashed onto one candidate: %d vs %d", s0, s1)
+	}
+}
+
+func TestFlowHashDeterministicAndSeedSensitive(t *testing.T) {
+	a := packet.Addr{Node: 3, Port: 1234}
+	b := packet.Addr{Node: 9, Port: 80}
+	if FlowHash(7, a, b) != FlowHash(7, a, b) {
+		t.Error("FlowHash not deterministic")
+	}
+	diff := 0
+	for s := uint64(0); s < 32; s++ {
+		if FlowHash(s, a, b)%2 != FlowHash(s+1, a, b)%2 {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("flow-to-path assignment never changes with the seed")
+	}
+}
+
+func TestSingleRouteFastPathAndAccessors(t *testing.T) {
+	eng := sim.New()
+	n := New(eng)
+	h := n.NewHost("h")
+	sw := n.NewSwitch("sw")
+	link := LinkParams{Rate: units.Gbps, Delay: 0}
+	p0 := n.NewPort(sw, h, link, qdisc.NewDropTail(10))
+	sw.AddPort(p0)
+	sw.SetRoutes(h.ID(), p0) // 1-entry group collapses to the single route
+	if sw.RouteFor(h.ID()) != p0 {
+		t.Error("RouteFor lost the single candidate")
+	}
+	if got := sw.RoutesFor(h.ID()); len(got) != 1 || got[0] != p0 {
+		t.Errorf("RoutesFor = %v", got)
+	}
+	sw.ClearRoute(h.ID())
+	if sw.RouteFor(h.ID()) != nil || sw.RoutesFor(h.ID()) != nil {
+		t.Error("ClearRoute left a route behind")
+	}
+}

@@ -1,15 +1,25 @@
 // Package topo builds the simulated cluster topologies used in the
 // experiments: a single-switch star (every node one hop from every other,
-// the classic MRPerf topology) and a two-tier tree (racks of nodes under
-// top-of-rack switches joined by an aggregation switch).
+// the classic MRPerf topology), a two-tier tree (racks of nodes under
+// top-of-rack switches joined by an aggregation switch), and a three-tier
+// leaf-spine fabric (racks under leaf switches, every leaf connected to
+// every spine, cross-rack traffic ECMP-hashed across the spines).
 //
 // Every egress port — host uplinks and switch ports alike — gets its own
 // queue discipline instance from a factory, so an experiment can install
 // DropTail, RED in any protection mode, or SimpleMark uniformly.
+//
+// Built fabrics can be degraded after construction: FailLink removes an
+// inter-switch link and rebuilds the route groups around it (leaf-spine
+// only — the other topologies have no alternate paths), DerateLink lowers a
+// link's rate to a fraction of its built value. Together they model the
+// asymmetric link health that stresses ECMP fabrics.
 package topo
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/netsim"
 	"repro/internal/qdisc"
@@ -28,13 +38,25 @@ type Config struct {
 	// Racks partitions nodes across top-of-rack switches. Racks <= 1 builds
 	// a single-switch star.
 	Racks int
+	// Spines adds a spine tier above the racks: every rack's leaf switch
+	// connects to every spine, and cross-rack traffic is ECMP-hashed across
+	// them. Spines > 0 requires Racks >= 2.
+	Spines int
 	// LinkRate applies to every edge link (host<->ToR).
 	LinkRate units.Bandwidth
-	// CoreRate applies to ToR<->aggregation links; defaults to LinkRate
-	// times the rack size divided by the oversubscription factor.
+	// CoreRate applies to each inter-switch link (ToR<->aggregation, or
+	// leaf<->spine); defaults from LinkRate, rack size, Oversub and (for
+	// leaf-spine) the spine count.
 	CoreRate units.Bandwidth
+	// Oversub is the rack oversubscription factor used when CoreRate is
+	// unset: a rack's total uplink capacity is rack-ingress/Oversub.
+	// 0 means the historical default of 2.
+	Oversub float64
 	// LinkDelay is the one-way propagation delay per link.
 	LinkDelay units.Duration
+	// HashSeed salts the ECMP flow hash (leaf-spine only). Derive it from
+	// the run seed so path selection is deterministic per run.
+	HashSeed uint64
 	// HostQueue, if non-nil, builds host-uplink qdiscs; otherwise hosts get
 	// a large DropTail (the studied queues are in the switches).
 	HostQueue QdiscFactory
@@ -55,8 +77,32 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("topo: switch queue factory required")
 	case c.Racks > 1 && c.Nodes%c.Racks != 0:
 		return fmt.Errorf("topo: %d nodes not divisible into %d racks", c.Nodes, c.Racks)
+	case c.Spines < 0:
+		return fmt.Errorf("topo: spine count must be non-negative, got %d", c.Spines)
+	case c.Spines > 0 && c.Racks < 2:
+		return fmt.Errorf("topo: a spine tier needs at least 2 racks, got %d", c.Racks)
+	case c.Oversub < 0:
+		return fmt.Errorf("topo: oversubscription factor must be non-negative, got %g", c.Oversub)
 	}
 	return nil
+}
+
+// oversub returns the effective rack oversubscription factor.
+func (c *Config) oversub() float64 {
+	if c.Oversub > 0 {
+		return c.Oversub
+	}
+	return 2
+}
+
+// fabricLink is one built inter-switch cable: two unidirectional ports and
+// their built rates (derate factors are relative to the built rate, so
+// repeated derates don't compound).
+type fabricLink struct {
+	a, b           *netsim.Switch
+	ab, ba         *netsim.Port
+	abRate, baRate units.Bandwidth
+	failed         bool
 }
 
 // Cluster is a built fabric.
@@ -64,11 +110,22 @@ type Cluster struct {
 	Net      *netsim.Network
 	Hosts    []*netsim.Host
 	Switches []*netsim.Switch
+	// Leaves and Spines name the two switch tiers of a leaf-spine fabric
+	// (nil otherwise). Switches always holds every switch.
+	Leaves []*netsim.Switch
+	Spines []*netsim.Switch
 	// EdgePorts are the switch->host egress ports: the bottleneck queues
 	// where data packets and ACKs collide during the shuffle.
 	EdgePorts []*netsim.Port
-	// CorePorts are inter-switch ports (two-tier only).
+	// CorePorts are all inter-switch ports (two-tier and leaf-spine).
 	CorePorts []*netsim.Port
+	// UpPorts (leaf->spine / ToR->agg) and DownPorts (spine->leaf /
+	// agg->ToR) split CorePorts by direction.
+	UpPorts   []*netsim.Port
+	DownPorts []*netsim.Port
+
+	links   []*fabricLink
+	rebuild func() error // topology-specific route-group rebuild (nil = single-path fabric)
 }
 
 // Build constructs the cluster on the engine.
@@ -76,10 +133,151 @@ func Build(eng *sim.Engine, cfg Config) *Cluster {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	if cfg.Racks <= 1 {
+	switch {
+	case cfg.Racks <= 1:
 		return buildStar(eng, cfg)
+	case cfg.Spines > 0:
+		return buildLeafSpine(eng, cfg)
+	default:
+		return buildTwoTier(eng, cfg)
 	}
-	return buildTwoTier(eng, cfg)
+}
+
+// switchIndex parses the numeric suffix of a builder-generated switch name
+// ("leaf3", "spine0", "tor1"). Leading zeros are rejected — the builders
+// never produce them, and accepting "leaf01" here would validate a name
+// findLink can never match.
+func switchIndex(name, prefix string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, prefix)
+	if !ok || rest == "" || (len(rest) > 1 && rest[0] == '0') {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// NamedLink resolves, without building the fabric, the inter-switch link two
+// switch names denote on a fabric of the given shape — the authority on the
+// builders' naming scheme, so callers validating configuration ahead of
+// Build never drift from what Build constructs. On a leaf-spine shape
+// (spines > 0) it accepts "leafL"/"spineS" in either order and returns their
+// indices; on a two-tier shape (spines == 0, racks > 1) it accepts
+// "torR"/"agg0" in either order and returns (rack, 0). ok is false when the
+// shape has no such link.
+func NamedLink(racks, spines int, a, b string) (i, j int, ok bool) {
+	if spines > 0 {
+		li, lok := switchIndex(a, "leaf")
+		si, sok := switchIndex(b, "spine")
+		if !lok || !sok {
+			li, lok = switchIndex(b, "leaf")
+			si, sok = switchIndex(a, "spine")
+		}
+		if lok && sok && li < racks && si < spines {
+			return li, si, true
+		}
+		return 0, 0, false
+	}
+	if racks > 1 {
+		ti, tok := switchIndex(a, "tor")
+		other := b
+		if !tok {
+			ti, tok = switchIndex(b, "tor")
+			other = a
+		}
+		if tok && ti < racks && other == "agg0" {
+			return ti, 0, true
+		}
+	}
+	return 0, 0, false
+}
+
+// SpinePathsSurvive reports whether a leaf-spine fabric with the given
+// leaf<->spine links failed still connects every leaf pair — the exact
+// condition rebuildRoutes enforces: some spine whose links to both leaves
+// are up. It returns the first disconnected leaf pair, or (-1, -1, true).
+func SpinePathsSurvive(racks, spines int, failed map[[2]int]bool) (leafA, leafB int, ok bool) {
+	for a := 0; a < racks; a++ {
+		for b := a + 1; b < racks; b++ {
+			alive := false
+			for s := 0; s < spines; s++ {
+				if !failed[[2]int{a, s}] && !failed[[2]int{b, s}] {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				return a, b, false
+			}
+		}
+	}
+	return -1, -1, true
+}
+
+// findLink locates the built inter-switch link between the named switches
+// (either endpoint order), or nil.
+func (cl *Cluster) findLink(a, b string) *fabricLink {
+	for _, l := range cl.links {
+		if (l.a.Name == a && l.b.Name == b) || (l.a.Name == b && l.b.Name == a) {
+			return l
+		}
+	}
+	return nil
+}
+
+// LinkNames lists the inter-switch links as "a<->b" strings, in build order.
+func (cl *Cluster) LinkNames() []string {
+	names := make([]string, len(cl.links))
+	for i, l := range cl.links {
+		names[i] = l.a.Name + "<->" + l.b.Name
+	}
+	return names
+}
+
+// FailLink takes the inter-switch link between the named switches out of
+// service (both directions) and rebuilds every route group around it. It
+// fails if the link does not exist, if the fabric has no alternate paths
+// (star, two-tier), or if removing the link would leave some destination
+// unreachable — in which case the fabric is left unchanged.
+func (cl *Cluster) FailLink(a, b string) error {
+	l := cl.findLink(a, b)
+	if l == nil {
+		return fmt.Errorf("topo: no inter-switch link %s<->%s (have %v)", a, b, cl.LinkNames())
+	}
+	if cl.rebuild == nil {
+		return fmt.Errorf("topo: failing %s<->%s would partition the fabric (no alternate paths)", a, b)
+	}
+	if l.failed {
+		return nil
+	}
+	l.failed = true
+	if err := cl.rebuild(); err != nil {
+		l.failed = false
+		if rerr := cl.rebuild(); rerr != nil {
+			panic(fmt.Sprintf("topo: route rebuild rollback failed: %v", rerr))
+		}
+		return err
+	}
+	return nil
+}
+
+// DerateLink lowers the named inter-switch link's rate (both directions) to
+// factor times its built rate, 0 < factor <= 1. Routes are unchanged —
+// ECMP keeps hashing flows onto the slow path, which is exactly the
+// asymmetric-fabric condition under study.
+func (cl *Cluster) DerateLink(a, b string, factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("topo: derate factor %g out of range (0, 1]", factor)
+	}
+	l := cl.findLink(a, b)
+	if l == nil {
+		return fmt.Errorf("topo: no inter-switch link %s<->%s (have %v)", a, b, cl.LinkNames())
+	}
+	l.ab.SetLinkRate(units.Bandwidth(float64(l.abRate) * factor))
+	l.ba.SetLinkRate(units.Bandwidth(float64(l.baRate) * factor))
+	return nil
 }
 
 func hostQueue(cfg Config, label string) qdisc.Qdisc {
@@ -93,6 +291,7 @@ func hostQueue(cfg Config, label string) qdisc.Qdisc {
 
 func buildStar(eng *sim.Engine, cfg Config) *Cluster {
 	net := netsim.New(eng)
+	net.SetFlowHashSeed(cfg.HashSeed)
 	sw := net.NewSwitch("sw0")
 	cl := &Cluster{Net: net, Switches: []*netsim.Switch{sw}}
 	link := netsim.LinkParams{Rate: cfg.LinkRate, Delay: cfg.LinkDelay}
@@ -113,12 +312,13 @@ func buildStar(eng *sim.Engine, cfg Config) *Cluster {
 
 func buildTwoTier(eng *sim.Engine, cfg Config) *Cluster {
 	net := netsim.New(eng)
+	net.SetFlowHashSeed(cfg.HashSeed)
 	cl := &Cluster{Net: net}
 	perRack := cfg.Nodes / cfg.Racks
 	coreRate := cfg.CoreRate
 	if coreRate <= 0 {
-		// Default: mildly oversubscribed 2:1 core.
-		coreRate = cfg.LinkRate * units.Bandwidth(perRack) / 2
+		// Default: mildly oversubscribed core (historically 2:1).
+		coreRate = units.Bandwidth(float64(cfg.LinkRate) * float64(perRack) / cfg.oversub())
 	}
 	agg := net.NewSwitch("agg0")
 	cl.Switches = append(cl.Switches, agg)
@@ -138,6 +338,11 @@ func buildTwoTier(eng *sim.Engine, cfg Config) *Cluster {
 		down.Label = downLabel
 		agg.AddPort(down)
 		cl.CorePorts = append(cl.CorePorts, up, down)
+		cl.UpPorts = append(cl.UpPorts, up)
+		cl.DownPorts = append(cl.DownPorts, down)
+		cl.links = append(cl.links, &fabricLink{
+			a: tor, b: agg, ab: up, ba: down, abRate: coreRate, baRate: coreRate,
+		})
 
 		rackHosts := make([]*netsim.Host, 0, perRack)
 		for i := 0; i < perRack; i++ {
@@ -170,6 +375,143 @@ func buildTwoTier(eng *sim.Engine, cfg Config) *Cluster {
 				swt.SetRoute(h.ID(), torUp)
 			}
 		}
+	}
+	return cl
+}
+
+// leafSpineState carries the built structure the route rebuild walks:
+// tiered switches, hosts grouped per leaf, and the port/link matrices.
+type leafSpineState struct {
+	leaves, spines []*netsim.Switch
+	hosts          [][]*netsim.Host // [leaf] -> hosts under it
+	up             [][]*netsim.Port // [leaf][spine] leaf->spine egress
+	down           [][]*netsim.Port // [spine][leaf] spine->leaf egress
+	link           [][]*fabricLink  // [leaf][spine]
+}
+
+// rebuildRoutes recomputes every inter-rack route group from the current
+// link health. A spine is a candidate for traffic from leaf l to leaf d iff
+// both the l<->spine and spine<->d links are up: a leaf never hashes a flow
+// onto a spine that cannot reach the destination rack. Local (intra-rack)
+// routes are set once at build time and never change. The rebuild reports an
+// error — without installing a partial state on the affected destination —
+// if some leaf pair has no surviving spine.
+func (st *leafSpineState) rebuildRoutes() error {
+	for li, leaf := range st.leaves {
+		for di, dstHosts := range st.hosts {
+			if di == li {
+				continue
+			}
+			var cands []*netsim.Port
+			for si := range st.spines {
+				if st.link[li][si].failed || st.link[di][si].failed {
+					continue
+				}
+				cands = append(cands, st.up[li][si])
+			}
+			if len(cands) == 0 {
+				return fmt.Errorf("topo: no surviving spine path from %s to %s",
+					leaf.Name, st.leaves[di].Name)
+			}
+			for _, h := range dstHosts {
+				leaf.SetRoutes(h.ID(), cands...)
+			}
+		}
+	}
+	for si, sp := range st.spines {
+		for li := range st.leaves {
+			for _, h := range st.hosts[li] {
+				if st.link[li][si].failed {
+					// No leaf will hash onto this spine for these hosts;
+					// clearing the route turns a routing bug into a panic
+					// instead of a silently resurrected path.
+					sp.ClearRoute(h.ID())
+				} else {
+					sp.SetRoute(h.ID(), st.down[si][li])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// buildLeafSpine constructs the three-tier fabric: Racks leaf switches each
+// holding Nodes/Racks hosts, Spines spine switches, and a full leaf<->spine
+// mesh. Cross-rack traffic ECMPs over the spines by 5-tuple flow hash.
+func buildLeafSpine(eng *sim.Engine, cfg Config) *Cluster {
+	net := netsim.New(eng)
+	net.SetFlowHashSeed(cfg.HashSeed)
+	cl := &Cluster{Net: net}
+	perRack := cfg.Nodes / cfg.Racks
+	coreRate := cfg.CoreRate
+	if coreRate <= 0 {
+		// Default: the rack's uplink capacity is its ingress divided by the
+		// oversubscription factor, split evenly across the spines.
+		coreRate = units.Bandwidth(float64(cfg.LinkRate) * float64(perRack) / (cfg.oversub() * float64(cfg.Spines)))
+	}
+	edge := netsim.LinkParams{Rate: cfg.LinkRate, Delay: cfg.LinkDelay}
+	core := netsim.LinkParams{Rate: coreRate, Delay: cfg.LinkDelay}
+
+	st := &leafSpineState{
+		hosts: make([][]*netsim.Host, cfg.Racks),
+		up:    make([][]*netsim.Port, cfg.Racks),
+		down:  make([][]*netsim.Port, cfg.Spines),
+		link:  make([][]*fabricLink, cfg.Racks),
+	}
+	for s := 0; s < cfg.Spines; s++ {
+		sp := net.NewSwitch(fmt.Sprintf("spine%d", s))
+		st.spines = append(st.spines, sp)
+		st.down[s] = make([]*netsim.Port, cfg.Racks)
+	}
+	cl.Switches = append(cl.Switches, st.spines...)
+	cl.Spines = st.spines
+
+	for r := 0; r < cfg.Racks; r++ {
+		leaf := net.NewSwitch(fmt.Sprintf("leaf%d", r))
+		st.leaves = append(st.leaves, leaf)
+		cl.Switches = append(cl.Switches, leaf)
+		st.up[r] = make([]*netsim.Port, cfg.Spines)
+		st.link[r] = make([]*fabricLink, cfg.Spines)
+
+		// Full mesh to the spine tier.
+		for s, sp := range st.spines {
+			upLabel := fmt.Sprintf("%s->%s", leaf.Name, sp.Name)
+			up := net.NewPort(leaf, sp, core, cfg.SwitchQueue(upLabel, coreRate))
+			up.Label = upLabel
+			leaf.AddPort(up)
+			downLabel := fmt.Sprintf("%s->%s", sp.Name, leaf.Name)
+			down := net.NewPort(sp, leaf, core, cfg.SwitchQueue(downLabel, coreRate))
+			down.Label = downLabel
+			sp.AddPort(down)
+			st.up[r][s], st.down[s][r] = up, down
+			st.link[r][s] = &fabricLink{
+				a: leaf, b: sp, ab: up, ba: down, abRate: coreRate, baRate: coreRate,
+			}
+			cl.links = append(cl.links, st.link[r][s])
+			cl.CorePorts = append(cl.CorePorts, up, down)
+			cl.UpPorts = append(cl.UpPorts, up)
+			cl.DownPorts = append(cl.DownPorts, down)
+		}
+
+		// Hosts under the leaf; intra-rack routes are final here.
+		for i := 0; i < perRack; i++ {
+			h := net.NewHost(fmt.Sprintf("node%02d", r*perRack+i))
+			hup := net.NewPort(h, leaf, edge, hostQueue(cfg, h.Name+"->"+leaf.Name))
+			hup.Label = h.Name + "->" + leaf.Name
+			h.AttachUplink(hup)
+			hdown := net.NewPort(leaf, h, edge, cfg.SwitchQueue(leaf.Name+"->"+h.Name, cfg.LinkRate))
+			hdown.Label = leaf.Name + "->" + h.Name
+			leaf.AddPort(hdown)
+			leaf.SetRoute(h.ID(), hdown)
+			cl.Hosts = append(cl.Hosts, h)
+			cl.EdgePorts = append(cl.EdgePorts, hdown)
+			st.hosts[r] = append(st.hosts[r], h)
+		}
+	}
+	cl.Leaves = st.leaves
+	cl.rebuild = st.rebuildRoutes
+	if err := cl.rebuild(); err != nil {
+		panic(err) // unreachable: all links are up at build time
 	}
 	return cl
 }

@@ -223,3 +223,245 @@ func TestEdgePortLabels(t *testing.T) {
 	}
 	var _ *netsim.Port = cl.EdgePorts[0]
 }
+
+func leafSpineConfig(nodes, racks, spines int) Config {
+	cfg := starConfig(nodes)
+	cfg.Racks = racks
+	cfg.Spines = spines
+	return cfg
+}
+
+func TestLeafSpineShape(t *testing.T) {
+	cl := Build(sim.New(), leafSpineConfig(8, 4, 2))
+	if len(cl.Hosts) != 8 {
+		t.Errorf("hosts = %d", len(cl.Hosts))
+	}
+	if len(cl.Switches) != 6 { // 2 spines + 4 leaves
+		t.Errorf("switches = %d, want 6", len(cl.Switches))
+	}
+	if len(cl.Leaves) != 4 || len(cl.Spines) != 2 {
+		t.Errorf("tiers = %d leaves, %d spines", len(cl.Leaves), len(cl.Spines))
+	}
+	if len(cl.CorePorts) != 16 { // 4 leaves x 2 spines x up+down
+		t.Errorf("core ports = %d, want 16", len(cl.CorePorts))
+	}
+	if len(cl.UpPorts) != 8 || len(cl.DownPorts) != 8 {
+		t.Errorf("up/down ports = %d/%d, want 8/8", len(cl.UpPorts), len(cl.DownPorts))
+	}
+	if len(cl.LinkNames()) != 8 {
+		t.Errorf("links = %d, want 8", len(cl.LinkNames()))
+	}
+	// Cross-rack destinations resolve to a full ECMP group; local ones to
+	// a single port.
+	leaf0 := cl.Leaves[0]
+	if got := len(leaf0.RoutesFor(cl.Hosts[7].ID())); got != 2 {
+		t.Errorf("cross-rack route group size = %d, want 2", got)
+	}
+	if got := len(leaf0.RoutesFor(cl.Hosts[0].ID())); got != 1 {
+		t.Errorf("local route group size = %d, want 1", got)
+	}
+}
+
+// allPairs sends one packet for every ordered host pair and reports the
+// per-host delivery counts.
+func allPairs(t *testing.T, eng *sim.Engine, cl *Cluster) map[packet.NodeID]int {
+	t.Helper()
+	got := make(map[packet.NodeID]int)
+	for _, h := range cl.Hosts {
+		h := h
+		h.AttachProtocol(protoFunc(func(p *packet.Packet) { got[h.ID()]++ }))
+	}
+	id := uint64(0)
+	for i, src := range cl.Hosts {
+		for j, dst := range cl.Hosts {
+			if i == j {
+				continue
+			}
+			id++
+			src.Send(&packet.Packet{
+				ID:  id,
+				Src: packet.Addr{Node: src.ID(), Port: uint16(1000 + i)},
+				Dst: packet.Addr{Node: dst.ID(), Port: uint16(2000 + j)},
+			})
+		}
+	}
+	eng.Run()
+	return got
+}
+
+// TestLeafSpineAllPairsConnectivity is the connectivity property test: every
+// ordered host pair exchanges a packet on the healthy fabric, again after a
+// spine link fails (routes rebuilt around it), and the failed link carries
+// no traffic afterwards.
+func TestLeafSpineAllPairsConnectivity(t *testing.T) {
+	eng := sim.New()
+	cfg := leafSpineConfig(12, 3, 2)
+	cfg.HashSeed = 99
+	cl := Build(eng, cfg)
+	want := len(cl.Hosts) - 1
+	got := allPairs(t, eng, cl)
+	for _, h := range cl.Hosts {
+		if got[h.ID()] != want {
+			t.Errorf("healthy fabric: host %v received %d, want %d", h.ID(), got[h.ID()], want)
+		}
+	}
+
+	if err := cl.FailLink("leaf0", "spine0"); err != nil {
+		t.Fatalf("FailLink: %v", err)
+	}
+	failedUp := cl.UpPorts[0] // leaf0->spine0 is built first
+	if failedUp.Label != "leaf0->spine0" {
+		t.Fatalf("port order changed: %q", failedUp.Label)
+	}
+	sentBefore, _ := failedUp.Sent()
+
+	got = allPairs(t, eng, cl)
+	for _, h := range cl.Hosts {
+		if got[h.ID()] != want {
+			t.Errorf("degraded fabric: host %v received %d, want %d", h.ID(), got[h.ID()], want)
+		}
+	}
+	if sentAfter, _ := failedUp.Sent(); sentAfter != sentBefore {
+		t.Errorf("failed link carried %d packets after FailLink", sentAfter-sentBefore)
+	}
+	// leaf0's cross-rack groups now hold only spine1.
+	if got := cl.Leaves[0].RoutesFor(cl.Hosts[len(cl.Hosts)-1].ID()); len(got) != 1 {
+		t.Errorf("route group after failure = %d candidates, want 1", len(got))
+	}
+}
+
+func TestLeafSpineFailLastSpineErrors(t *testing.T) {
+	eng := sim.New()
+	cl := Build(eng, leafSpineConfig(4, 2, 1))
+	if err := cl.FailLink("leaf0", "spine0"); err == nil {
+		t.Fatal("failing the only spine path should error")
+	}
+	// The rollback must leave the fabric fully routable: every ordered host
+	// pair still exchanges a packet.
+	want := len(cl.Hosts) - 1
+	got := allPairs(t, eng, cl)
+	for _, h := range cl.Hosts {
+		if got[h.ID()] != want {
+			t.Errorf("after rollback: host %v received %d, want %d", h.ID(), got[h.ID()], want)
+		}
+	}
+}
+
+func TestDerateLink(t *testing.T) {
+	cl := Build(sim.New(), leafSpineConfig(4, 2, 2))
+	up := cl.UpPorts[0]
+	built := up.Link().Rate
+	if err := cl.DerateLink("leaf0", "spine0", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if got := up.Link().Rate; got != built/4 {
+		t.Errorf("derated rate = %v, want %v", got, built/4)
+	}
+	// Derate factors are relative to the built rate, not compounding.
+	if err := cl.DerateLink("leaf0", "spine0", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := up.Link().Rate; got != built/2 {
+		t.Errorf("re-derated rate = %v, want %v", got, built/2)
+	}
+	if err := cl.DerateLink("leaf0", "spine0", 0); err == nil {
+		t.Error("factor 0 accepted by DerateLink")
+	}
+	if err := cl.DerateLink("leaf0", "nope", 0.5); err == nil {
+		t.Error("unknown link accepted")
+	}
+}
+
+func TestTwoTierDegradation(t *testing.T) {
+	cfg := starConfig(4)
+	cfg.Racks = 2
+	cl := Build(sim.New(), cfg)
+	if err := cl.FailLink("tor0", "agg0"); err == nil {
+		t.Error("two-tier FailLink should report no alternate path")
+	}
+	if err := cl.DerateLink("tor0", "agg0", 0.5); err != nil {
+		t.Errorf("two-tier DerateLink: %v", err)
+	}
+}
+
+func TestLeafSpineValidation(t *testing.T) {
+	bad := []Config{
+		leafSpineConfig(8, 1, 2),  // spine tier without racks
+		leafSpineConfig(8, 2, -1), // negative spines
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should not validate", i)
+		}
+	}
+	cfg := leafSpineConfig(8, 4, 2)
+	cfg.Oversub = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative oversubscription should not validate")
+	}
+}
+
+func TestLeafSpineCrossRackHops(t *testing.T) {
+	eng := sim.New()
+	cl := Build(eng, leafSpineConfig(4, 2, 2))
+	var hops int
+	dst := cl.Hosts[3]
+	dst.AttachProtocol(protoFunc(func(p *packet.Packet) { hops = p.Hops }))
+	cl.Hosts[0].Send(&packet.Packet{
+		ID:  1,
+		Src: packet.Addr{Node: cl.Hosts[0].ID(), Port: 1},
+		Dst: packet.Addr{Node: dst.ID(), Port: 1},
+	})
+	eng.Run()
+	if hops != 4 { // host->leaf0->spineX->leaf1->host
+		t.Errorf("cross-rack hops = %d, want 4", hops)
+	}
+}
+
+func TestOversubShapesCoreRate(t *testing.T) {
+	cfg := leafSpineConfig(8, 4, 2)
+	base := Build(sim.New(), cfg).UpPorts[0].Link().Rate // default oversub 2
+	cfg.Oversub = 1
+	tight := Build(sim.New(), cfg).UpPorts[0].Link().Rate
+	if tight != base*2 {
+		t.Errorf("oversub 1 core rate = %v, want double the 2:1 default %v", tight, base)
+	}
+}
+
+func TestNamedLink(t *testing.T) {
+	cases := []struct {
+		racks, spines int
+		a, b          string
+		ok            bool
+	}{
+		{4, 2, "leaf0", "spine1", true},
+		{4, 2, "spine1", "leaf3", true}, // either endpoint order
+		{4, 2, "leaf4", "spine0", false},
+		{4, 2, "leaf0", "spine2", false},
+		{4, 2, "leaf01", "spine0", false}, // leading zero: never a built name
+		{4, 2, "leaf0", "leaf1", false},
+		{4, 0, "tor2", "agg0", true},
+		{4, 0, "agg0", "tor0", true},
+		{4, 0, "tor4", "agg0", false},
+		{4, 0, "leaf0", "spine0", false},
+		{1, 0, "tor0", "agg0", false}, // star has no inter-switch links
+	}
+	for _, tc := range cases {
+		if _, _, ok := NamedLink(tc.racks, tc.spines, tc.a, tc.b); ok != tc.ok {
+			t.Errorf("NamedLink(%d, %d, %q, %q) ok = %v, want %v",
+				tc.racks, tc.spines, tc.a, tc.b, ok, tc.ok)
+		}
+	}
+}
+
+func TestSpinePathsSurvive(t *testing.T) {
+	// Both failures on spine0: spine1 still serves every pair.
+	if _, _, ok := SpinePathsSurvive(4, 2, map[[2]int]bool{{0, 0}: true, {1, 0}: true}); !ok {
+		t.Error("survivable failure set reported as partition")
+	}
+	// leaf0 lost spine0 and leaf1 lost spine1: no common spine for the pair.
+	a, b, ok := SpinePathsSurvive(4, 2, map[[2]int]bool{{0, 0}: true, {1, 1}: true})
+	if ok || a != 0 || b != 1 {
+		t.Errorf("partition not detected: leaves %d,%d ok=%v", a, b, ok)
+	}
+}
