@@ -27,7 +27,12 @@ func main() {
 	)
 	fabric := ecnsim.DefaultFlags()
 	fabric.BindFabric(flag.CommandLine)
+	fabric.BindTenant(flag.CommandLine)
 	flag.Parse()
+	tenantOpts, err := fabric.TenantOptions()
+	if err != nil {
+		fatal(err)
+	}
 
 	scaleOpt := ecnsim.TestScale()
 	switch *scaleName {
@@ -78,6 +83,8 @@ func main() {
 	if s == nil {
 		var err error
 		sweepOpts := append([]ecnsim.Option{ecnsim.Seed(*seed), scaleOpt}, fabric.FabricOptions()...)
+		// -jobs / -rpc-clients run the grid under the multi-tenant engine.
+		sweepOpts = append(sweepOpts, tenantOpts...)
 		s, err = ecnsim.NewSweep(sweepOpts...)
 		if err != nil {
 			fatal(err)

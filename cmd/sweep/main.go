@@ -24,6 +24,7 @@ func main() {
 	)
 	fabric := ecnsim.DefaultFlags()
 	fabric.BindFabric(flag.CommandLine)
+	fabric.BindTenant(flag.CommandLine)
 	flag.Parse()
 
 	opts := []ecnsim.Option{ecnsim.Seed(*seed)}
@@ -38,6 +39,13 @@ func main() {
 	}
 	// After the scale, so -racks/-spines reshape the named scale's fabric.
 	opts = append(opts, fabric.FabricOptions()...)
+	// -jobs / -rpc-clients switch every grid cell onto the multi-tenant
+	// workload engine; the knobs ride along in the -json archive.
+	tenantOpts, err := fabric.TenantOptions()
+	if err != nil {
+		fatal(err)
+	}
+	opts = append(opts, tenantOpts...)
 	s, err := ecnsim.NewSweep(opts...)
 	if err != nil {
 		fatal(err)

@@ -18,10 +18,11 @@
 //     ecnsim.TargetDelay(100*time.Microsecond),
 //     )
 //
-//   - A Scenario registry. Workloads implement Scenario and register under a
-//     name; terasort, incast, mixed and aqmcompare ship registered. Scenarios()
-//     lists them, Lookup retrieves one, and every scenario produces uniform
-//     Result rows (JSON- and CSV-marshalable) whatever it simulates.
+//   - A Scenario registry. Workloads implement Scenario and register under
+//     a name; terasort, incast, mixed, aqmcompare, leafspine, degradedfabric,
+//     multijob and tenantmix ship registered. Scenarios() lists them, Lookup
+//     retrieves one, and every scenario produces uniform Result rows (JSON-
+//     and CSV-marshalable) whatever it simulates.
 //
 //   - A Runner. Runner.Run accepts a context, fans jobs and their seed
 //     replications across a bounded worker pool, reports progress through a
@@ -30,6 +31,12 @@
 //
 // The figure pipeline of the paper is exposed through Sweep (the Figures 2-4
 // grid with rendering and JSON archival), Figure1, TableI/TableII and
-// RenderAQMTable. The cmd/ binaries and examples/ programs are thin shells
-// over this package — see DESIGN.md for the system inventory.
+// RenderAQMTable. The multi-tenant workload engine (open-loop job arrivals
+// on a shared-slot scheduler plus an open-loop RPC fleet, measured in
+// windows) is configured through the JobArrivals/Arrivals/FairShare/
+// RPCClients/Warmup/Measure/MeasureWindow options and consumed by the
+// multijob and tenantmix scenarios. The cmd/ binaries and examples/
+// programs are thin shells over this package — see DESIGN.md for the system
+// inventory, and the Example functions in this package's test files for
+// runnable godoc examples.
 package ecnsim

@@ -1,0 +1,84 @@
+package ecnsim_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/ecnsim"
+)
+
+// ExampleLookup resolves scenarios by name from the registry every CLI
+// keys on. ecnsim.Scenarios() lists everything registered, including any
+// scenarios the importing program added itself.
+func ExampleLookup() {
+	builtins := []string{
+		"aqmcompare", "degradedfabric", "incast", "leafspine",
+		"mixed", "multijob", "tenantmix", "terasort",
+	}
+	for _, name := range builtins {
+		if _, ok := ecnsim.Lookup(name); !ok {
+			log.Fatalf("%s not registered (have %v)", name, ecnsim.Scenarios())
+		}
+	}
+	fmt.Printf("%d built-ins: %s\n", len(builtins), strings.Join(builtins, " "))
+	s, _ := ecnsim.Lookup("tenantmix")
+	fmt.Println(s.Name() + ": " + s.Description())
+	// Output:
+	// 8 built-ins: aqmcompare degradedfabric incast leafspine mixed multijob tenantmix terasort
+	// tenantmix: RPC client fleet under sustained batch load: per-window P99 across protection modes
+}
+
+// ExampleNewCluster builds a validated experiment configuration with the
+// functional-options builder. Invalid combinations surface as errors here,
+// not as panics mid-run.
+func ExampleNewCluster() {
+	c, err := ecnsim.NewCluster(
+		ecnsim.Nodes(8),
+		ecnsim.Queue(ecnsim.RED),
+		ecnsim.Protect(ecnsim.ACKSYN),
+		ecnsim.TargetDelay(100*time.Microsecond),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Label(), c.Nodes())
+
+	_, err = ecnsim.NewCluster(ecnsim.Protect(ecnsim.ACKSYN)) // DropTail cannot protect
+	fmt.Println(err)
+	// Output:
+	// ecn-ack+syn 8
+	// ecnsim: protection mode ack+syn requires an AQM queue (red|codel|pie), not droptail
+}
+
+// ExampleRunner_Run executes a registered scenario over a worker pool.
+// Results are deterministic in (options, seed) no matter how many workers
+// run the pool.
+func ExampleRunner_Run() {
+	scenario, err := ecnsim.MustScenario("terasort")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := ecnsim.NewCluster(
+		ecnsim.Nodes(4),
+		ecnsim.InputSize(16<<20), // 16 MiB: example-sized
+		ecnsim.BlockSize(4<<20),
+		ecnsim.Reducers(4),
+		ecnsim.Seed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := &ecnsim.Runner{Workers: 2, Replications: 2}
+	rs, err := runner.Run(context.Background(), ecnsim.Job{Scenario: scenario, Cluster: cluster})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rs.Results[0]
+	fmt.Printf("%s %s rows=%d runtime>0=%v\n",
+		r.Scenario, r.Label, len(rs.Results), r.Duration(ecnsim.KeyRuntime) > 0)
+	// Output:
+	// terasort droptail rows=1 runtime>0=true
+}

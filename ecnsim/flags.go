@@ -22,6 +22,11 @@ type FlagSet struct {
 	Block     string        // -block, e.g. "64MiB" ("" = input/nodes)
 	Reducers  int           // -reducers
 	SeedVal   uint64        // -seed
+
+	// Multi-tenant workload flags (0 / "" = scenario defaults).
+	Jobs       int    // -jobs: max batch jobs the arrival process admits
+	Arrival    string // -arrival: "poisson:400ms" | "fixed:250ms" | "poisson"
+	RPCClients int    // -rpc-clients: open-loop RPC fleet size
 }
 
 // DefaultFlags returns the paper-testbed defaults (16 nodes, 1 GiB Terasort,
@@ -85,6 +90,44 @@ func (f *FlagSet) BindFabric(fs *flag.FlagSet) {
 // FabricOptions resolves only the fabric-shape flags into builder options.
 func (f *FlagSet) FabricOptions() []Option {
 	return []Option{Racks(f.Racks), Spines(f.Spines)}
+}
+
+// BindTenant registers the multi-tenant workload flags (-jobs, -arrival,
+// -rpc-clients) — for commands that can drive the workload engine (sweep,
+// figures, the tenant examples). Zero values defer to scenario defaults.
+// On grid commands (sweep, figures), -jobs or -rpc-clients enables the
+// engine; -arrival alone only parameterizes it.
+func (f *FlagSet) BindTenant(fs *flag.FlagSet) {
+	fs.IntVar(&f.Jobs, "jobs", f.Jobs, "max batch jobs the open-loop arrival process admits (enables the multi-tenant grid; 0 = scenario default)")
+	fs.StringVar(&f.Arrival, "arrival", f.Arrival, `job arrival process, "poisson:400ms" or "fixed:250ms" (takes effect with -jobs/-rpc-clients or a tenant scenario)`)
+	fs.IntVar(&f.RPCClients, "rpc-clients", f.RPCClients, "open-loop RPC fleet size (enables the multi-tenant grid; 0 = scenario default)")
+}
+
+// TenantOptions resolves the tenant flags into builder options, reporting a
+// malformed -arrival spec. Unset flags contribute no options, so scenario
+// defaults still apply.
+func (f *FlagSet) TenantOptions() ([]Option, error) {
+	var opts []Option
+	if f.Jobs > 0 {
+		opts = append(opts, JobArrivals(f.Jobs))
+	}
+	if f.Arrival != "" {
+		kind, mean, err := ParseArrival(f.Arrival)
+		if err != nil {
+			return nil, err
+		}
+		if mean > 0 {
+			opts = append(opts, Arrivals(kind, mean))
+		} else {
+			// Bare kind ("-arrival fixed"): switch the distribution only,
+			// leaving the builder's default mean in force.
+			opts = append(opts, func(c *Cluster) error { c.arrivalKind = kind; return nil })
+		}
+	}
+	if f.RPCClients > 0 {
+		opts = append(opts, RPCClients(f.RPCClients))
+	}
+	return opts, nil
 }
 
 // Options resolves the parsed flag values into builder options, reporting

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiment"
+	"repro/internal/mapred"
 	"repro/internal/qdisc"
 	"repro/internal/tcp"
 	"repro/internal/topo"
@@ -269,6 +270,21 @@ type Cluster struct {
 	senders     int // incast; 0 = nodes-1
 	flowSize    int64
 	rpcInterval time.Duration
+
+	// Multi-tenant workload knobs (multijob / tenantmix; 0 values defer to
+	// scenario defaults).
+	jobArrivals  int // max jobs the arrival process admits
+	arrivalKind  ArrivalKind
+	arrivalMean  time.Duration
+	fairShare    bool
+	rpcClients   int
+	rpcReqSize   int64
+	rpcRespSize  int64
+	rpcHeavyTail bool
+	warmup       time.Duration
+	measure      time.Duration
+	window       time.Duration
+	windowSet    bool
 }
 
 // Option configures a Cluster under construction. Options report invalid
@@ -292,6 +308,13 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 		reducers:    32,
 		flowSize:    int64(4 * units.MiB),
 		rpcInterval: 2 * time.Millisecond,
+		arrivalKind: PoissonArrivals,
+		arrivalMean: 150 * time.Millisecond,
+		rpcReqSize:  128,
+		rpcRespSize: 4096,
+		warmup:      250 * time.Millisecond,
+		measure:     2 * time.Second,
+		window:      500 * time.Millisecond,
 	}
 	for _, opt := range opts {
 		if opt == nil {
@@ -319,6 +342,12 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	if c.senders == 0 {
 		c.senders = c.nodes - 1
 	}
+	if !c.windowSet && c.window > c.measure {
+		// A short Measure with the default 500 ms window would be rejected;
+		// when the caller never chose a window, follow the measure phase
+		// down instead of demanding an explicit MeasureWindow.
+		c.window = c.measure
+	}
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
@@ -336,6 +365,19 @@ func (c *Cluster) validate() error {
 			FormatSize(c.blockSize), FormatSize(c.inputSize))
 	case c.senders >= c.nodes:
 		return fmt.Errorf("ecnsim: %d incast senders need at least %d nodes", c.senders, c.senders+1)
+	case c.window <= 0 || c.window > c.measure:
+		return fmt.Errorf("ecnsim: MeasureWindow(%v) must be in (0, Measure(%v)]", c.window, c.measure)
+	case c.measure/c.window >= 1000:
+		return fmt.Errorf("ecnsim: Measure(%v)/MeasureWindow(%v) yields %d windows (max 1000 — the per-window result keys are padded to three digits)",
+			c.measure, c.window, c.measure/c.window)
+	case c.warmup < 0:
+		return fmt.Errorf("ecnsim: Warmup(%v) must be non-negative", c.warmup)
+	}
+	// The internal workload config is the final authority on the tenant
+	// knobs, exactly as spec() is on the fabric.
+	wc := c.workloadConfig()
+	if err := wc.Validate(); err != nil {
+		return fmt.Errorf("ecnsim: %w", err)
 	}
 	if err := c.validateDegrade(); err != nil {
 		return err
@@ -661,13 +703,169 @@ func FlowSize(n int64) Option {
 	}
 }
 
-// RPCInterval sets the mixed scenario's probe period.
+// RPCInterval sets the RPC issue period: the mixed scenario's closed-loop
+// probe period, and each tenantmix fleet client's open-loop clock.
 func RPCInterval(d time.Duration) Option {
 	return func(c *Cluster) error {
 		if d <= 0 {
 			return fmt.Errorf("ecnsim: RPCInterval(%v): must be positive", d)
 		}
 		c.rpcInterval = d
+		return nil
+	}
+}
+
+// ArrivalKind selects the job inter-arrival distribution of the
+// multi-tenant workload engine.
+type ArrivalKind uint8
+
+// Arrival kinds.
+const (
+	// PoissonArrivals draws exponential inter-arrival times (the default).
+	PoissonArrivals ArrivalKind = iota
+	// FixedArrivals submits jobs at exact intervals.
+	FixedArrivals
+)
+
+// String names the kind as the CLIs spell it.
+func (k ArrivalKind) String() string {
+	if k == FixedArrivals {
+		return "fixed"
+	}
+	return "poisson"
+}
+
+// ParseArrival parses a CLI arrival spec: "poisson:400ms" or "fixed:250ms"
+// (the bare kind keeps the default mean).
+func ParseArrival(s string) (ArrivalKind, time.Duration, error) {
+	kindStr, meanStr, hasMean := strings.Cut(strings.ToLower(strings.TrimSpace(s)), ":")
+	var kind ArrivalKind
+	switch kindStr {
+	case "poisson", "":
+		kind = PoissonArrivals
+	case "fixed":
+		kind = FixedArrivals
+	default:
+		return 0, 0, fmt.Errorf("ecnsim: unknown arrival kind %q (want poisson|fixed, e.g. \"poisson:400ms\")", kindStr)
+	}
+	if !hasMean {
+		return kind, 0, nil
+	}
+	mean, err := time.ParseDuration(meanStr)
+	if err != nil || mean <= 0 {
+		return 0, 0, fmt.Errorf("ecnsim: bad arrival mean %q (want a positive duration like 400ms)", meanStr)
+	}
+	return kind, mean, nil
+}
+
+func (k ArrivalKind) internal() mapred.ArrivalKind {
+	if k == FixedArrivals {
+		return mapred.ArrivalFixed
+	}
+	return mapred.ArrivalPoisson
+}
+
+// JobArrivals caps how many batch jobs the multi-tenant arrival process
+// admits (0 = scenario default; arrivals always stop when the measurement
+// phase ends).
+func JobArrivals(n int) Option {
+	return func(c *Cluster) error {
+		if n < 0 {
+			return fmt.Errorf("ecnsim: JobArrivals(%d): must be non-negative", n)
+		}
+		c.jobArrivals = n
+		return nil
+	}
+}
+
+// Arrivals selects the job inter-arrival process: Poisson or fixed, with
+// the given mean.
+func Arrivals(kind ArrivalKind, mean time.Duration) Option {
+	return func(c *Cluster) error {
+		if kind > FixedArrivals {
+			return fmt.Errorf("ecnsim: Arrivals(%d): unknown arrival kind", kind)
+		}
+		if mean <= 0 {
+			return fmt.Errorf("ecnsim: Arrivals(%v): mean must be positive", mean)
+		}
+		c.arrivalKind = kind
+		c.arrivalMean = mean
+		return nil
+	}
+}
+
+// FairShare switches the multi-job slot scheduler from FIFO to fair-share
+// (each free slot goes to the job running the fewest tasks of that type).
+func FairShare(on bool) Option {
+	return func(c *Cluster) error { c.fairShare = on; return nil }
+}
+
+// RPCClients sizes the tenantmix scenario's open-loop service fleet
+// (client/server pairs spread across the cluster; 0 = scenario default).
+func RPCClients(n int) Option {
+	return func(c *Cluster) error {
+		if n < 0 {
+			return fmt.Errorf("ecnsim: RPCClients(%d): must be non-negative", n)
+		}
+		if n > 1024 {
+			return fmt.Errorf("ecnsim: RPCClients(%d): exceeds the 1024 port budget", n)
+		}
+		c.rpcClients = n
+		return nil
+	}
+}
+
+// RPCSizes sets the fleet's request and response payloads in bytes.
+func RPCSizes(req, resp int64) Option {
+	return func(c *Cluster) error {
+		if req <= 0 || resp <= 0 {
+			return fmt.Errorf("ecnsim: RPCSizes(%d, %d): must be positive", req, resp)
+		}
+		c.rpcReqSize, c.rpcRespSize = req, resp
+		return nil
+	}
+}
+
+// HeavyTailRPC switches fleet responses to a bounded Pareto distribution
+// with mean RPCSizes' response value — result sets, not echo packets.
+func HeavyTailRPC(on bool) Option {
+	return func(c *Cluster) error { c.rpcHeavyTail = on; return nil }
+}
+
+// Warmup sets how long the multi-tenant run warms up before measurement
+// (arrivals and clients run, nothing is recorded).
+func Warmup(d time.Duration) Option {
+	return func(c *Cluster) error {
+		if d < 0 {
+			return fmt.Errorf("ecnsim: Warmup(%v): must be non-negative", d)
+		}
+		c.warmup = d
+		return nil
+	}
+}
+
+// Measure sets the steady-state measurement phase length. If no
+// MeasureWindow was chosen and the phase is shorter than the default
+// window, the window follows the phase down (one window).
+func Measure(d time.Duration) Option {
+	return func(c *Cluster) error {
+		if d <= 0 {
+			return fmt.Errorf("ecnsim: Measure(%v): must be positive", d)
+		}
+		c.measure = d
+		return nil
+	}
+}
+
+// MeasureWindow sets the width of the per-window percentile series the
+// measurement phase is split into (must not exceed Measure).
+func MeasureWindow(d time.Duration) Option {
+	return func(c *Cluster) error {
+		if d <= 0 {
+			return fmt.Errorf("ecnsim: MeasureWindow(%v): must be positive", d)
+		}
+		c.window = d
+		c.windowSet = true
 		return nil
 	}
 }
@@ -765,6 +963,30 @@ func (c *Cluster) scale() experiment.Scale {
 		InputSize: units.ByteSize(c.inputSize),
 		BlockSize: units.ByteSize(c.blockSize),
 		Reducers:  c.reducers,
+	}
+}
+
+// workloadConfig lowers the tenant knobs onto the internal workload config.
+// Zero-valued counts (JobArrivals, RPCClients) stay zero here; the tenant
+// scenarios apply their own defaults before running.
+func (c *Cluster) workloadConfig() experiment.WorkloadConfig {
+	policy := mapred.SchedFIFO
+	if c.fairShare {
+		policy = mapred.SchedFair
+	}
+	return experiment.WorkloadConfig{
+		Arrival:          c.arrivalKind.internal(),
+		MeanInterarrival: c.arrivalMean,
+		MaxJobs:          c.jobArrivals,
+		Policy:           policy,
+		RPCClients:       c.rpcClients,
+		RPCReqSize:       int(c.rpcReqSize),
+		RPCRespSize:      int(c.rpcRespSize),
+		RPCHeavyTail:     c.rpcHeavyTail,
+		RPCInterval:      c.rpcInterval,
+		Warmup:           c.warmup,
+		Measure:          c.measure,
+		Window:           c.window,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/figures"
+	"repro/internal/mapred"
 )
 
 // FigureMetric selects which of the paper's three quantities a figure plots.
@@ -41,7 +42,10 @@ type Sweep struct {
 // NewSweep prepares a sweep at the scale, fabric and seed the options
 // describe — Racks/Spines/DegradeLink apply to every grid cell.
 // Queue/protection/transport options are ignored — the grid enumerates every
-// setup itself.
+// setup itself. Configuring tenancy — JobArrivals(n > 0) or
+// RPCClients(n > 0) — switches every grid cell onto the multi-tenant
+// workload engine instead of a single Terasort, and the workload knobs are
+// archived with the grid.
 func NewSweep(opts ...Option) (*Sweep, error) {
 	c, err := NewCluster(opts...)
 	if err != nil {
@@ -49,6 +53,10 @@ func NewSweep(opts ...Option) (*Sweep, error) {
 	}
 	inner := experiment.NewSweep(c.scale(), c.seed)
 	inner.Degrade = c.degrade
+	if c.jobArrivals > 0 || c.rpcClients > 0 {
+		wc := c.workloadConfig()
+		inner.Workload = &wc
+	}
 	return &Sweep{inner: inner}, nil
 }
 
@@ -99,6 +107,38 @@ func (s *Sweep) ScaleOptions() []Option {
 	}
 	for _, d := range s.inner.Degrade {
 		opts = append(opts, DegradeLink(d.From, d.To, d.Factor))
+	}
+	if w := s.inner.Workload; w != nil {
+		kind := PoissonArrivals
+		if w.Arrival == mapred.ArrivalFixed {
+			kind = FixedArrivals
+		}
+		opts = append(opts,
+			Arrivals(kind, time.Duration(w.MeanInterarrival)),
+			FairShare(w.Policy == mapred.SchedFair),
+			HeavyTailRPC(w.RPCHeavyTail),
+			Warmup(time.Duration(w.Warmup)),
+			Measure(time.Duration(w.Measure)),
+			MeasureWindow(time.Duration(w.Window)),
+		)
+		// Zero-valued knobs mean "unset" at the builder (scenario defaults
+		// apply) and would be rejected or dropped by the options, so only
+		// the populated ones are emitted. Workloads authored through
+		// ecnsim always populate sizes and interval; a hand-rolled
+		// experiment-layer workload with a clientless fleet config still
+		// round-trips without tripping RPCSizes' positivity check.
+		if w.MaxJobs > 0 {
+			opts = append(opts, JobArrivals(w.MaxJobs))
+		}
+		if w.RPCClients > 0 {
+			opts = append(opts, RPCClients(w.RPCClients))
+		}
+		if w.RPCReqSize > 0 && w.RPCRespSize > 0 {
+			opts = append(opts, RPCSizes(int64(w.RPCReqSize), int64(w.RPCRespSize)))
+		}
+		if w.RPCInterval > 0 {
+			opts = append(opts, RPCInterval(time.Duration(w.RPCInterval)))
+		}
 	}
 	return opts
 }

@@ -1,0 +1,152 @@
+package ecnsim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/experiment"
+)
+
+// Extra value keys produced by the multi-tenant scenarios.
+const (
+	// Batch tier: the job stream's fate.
+	KeyJobsSubmitted = "jobs_submitted"
+	KeyJobsCompleted = "jobs_completed"
+	KeyJobMean       = "job_mean_s"
+	KeyJobP50        = "job_p50_s"
+	KeyJobP99        = "job_p99_s"
+	KeyMakespan      = "makespan_s"
+	// KeyDrained is 1 when every submitted job completed before the drain
+	// deadline, 0 when the open-loop backlog outlived it.
+	KeyDrained = "drained"
+
+	// Service tier shape.
+	KeyRPCClients = "rpc_clients"
+)
+
+// Per-window series keys. Window indices are zero-padded to three digits
+// so the CSV column order matches the time order (NewCluster caps a run at
+// 1000 windows, so the padding always suffices).
+
+// KeyRPCWindowP50 returns the RPC P50 key for measurement window i.
+func KeyRPCWindowP50(i int) string { return fmt.Sprintf("rpc_p50_w%03d_s", i) }
+
+// KeyRPCWindowP99 returns the RPC P99 key for measurement window i.
+func KeyRPCWindowP99(i int) string { return fmt.Sprintf("rpc_p99_w%03d_s", i) }
+
+// KeyRPCWindowCount returns the RPC sample-count key for window i.
+func KeyRPCWindowCount(i int) string { return fmt.Sprintf("rpc_n_w%03d", i) }
+
+// KeyNetWindowP99 returns the per-packet network latency P99 key for
+// measurement window i.
+func KeyNetWindowP99(i int) string { return fmt.Sprintf("net_p99_w%03d_s", i) }
+
+func init() {
+	Register(NewScenario("multijob",
+		"open-loop job arrivals overlapping on shared slots: FIFO vs fair-share scheduling",
+		runMultiJob))
+	Register(NewScenario("tenantmix",
+		"RPC client fleet under sustained batch load: per-window P99 across protection modes",
+		runTenantMix))
+}
+
+// tenantValues flattens a tenant result onto canonical keys: the figure
+// metrics, the job statistics, the service aggregate, and the per-window
+// series.
+func tenantValues(r experiment.TenantResult) map[string]float64 {
+	values := experimentValues(r.Result)
+	values[KeyJobsSubmitted] = float64(r.JobsSubmitted)
+	values[KeyJobsCompleted] = float64(r.JobsCompleted)
+	values[KeyJobMean] = r.JobMean.Seconds()
+	values[KeyJobP50] = r.JobP50.Seconds()
+	values[KeyJobP99] = r.JobP99.Seconds()
+	values[KeyMakespan] = r.Makespan.Seconds()
+	values[KeyDrained] = 0
+	if r.Drained {
+		values[KeyDrained] = 1
+	}
+	values[KeyRPCClients] = float64(r.Workload.RPCClients)
+	values[KeyRPCCount] = float64(r.RPCCount)
+	values[KeyRPCFailed] = float64(r.RPCFailed)
+	values[KeyRPCMean] = r.RPCMean.Seconds()
+	values[KeyRPCP50] = r.RPCP50.Seconds()
+	values[KeyRPCP99] = r.RPCP99.Seconds()
+	for i, w := range r.RPCWindows {
+		values[KeyRPCWindowCount(i)] = float64(w.Count)
+		values[KeyRPCWindowP50(i)] = w.P50.Seconds()
+		values[KeyRPCWindowP99(i)] = w.P99.Seconds()
+	}
+	for i, w := range r.NetWindows {
+		values[KeyNetWindowP99(i)] = w.P99.Seconds()
+	}
+	return values
+}
+
+// runMultiJob answers the consolidation question the single-job harness
+// cannot: what happens when jobs keep arriving before their predecessors
+// finish? It runs the same seeded arrival stream twice over the cluster's
+// queue configuration — once under FIFO slot scheduling, once under
+// fair-share — and reports job completion statistics side by side. The
+// cluster's RPC fleet knobs apply if set (default: batch only); JobArrivals
+// caps submissions (default 0 = arrivals continue for the whole
+// measurement phase).
+func runMultiJob(ctx context.Context, c *Cluster) ([]Result, error) {
+	d := *c
+	rows := make([]Result, 0, 2)
+	for _, fair := range []bool{false, true} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		run := d
+		run.fairShare = fair
+		w := run.workloadConfig()
+		r := experiment.RunTenants(run.experimentConfig(), w)
+		rows = append(rows, Result{
+			Scenario: "multijob",
+			Label:    d.Label() + "/" + w.Policy.String(),
+			Seed:     d.seed,
+			Values:   tenantValues(r),
+		})
+	}
+	return rows, nil
+}
+
+// runTenantMix is the paper's motivating scenario measured the way an SLO
+// is: an open-loop RPC fleet shares the fabric with a sustained stream of
+// batch jobs, and the service's per-window P99 series is reported under
+// three queue setups — the DropTail baseline, the AQM's default
+// (unprotected) mode, and ACK+SYN protection. The AQM family follows the
+// cluster's transport (DCTCP-RED under Transport(DCTCP)). Defaults: a
+// 4-client fleet if the cluster configured none; arrivals continue for the
+// whole measurement phase unless JobArrivals caps them.
+func runTenantMix(ctx context.Context, c *Cluster) ([]Result, error) {
+	d := *c
+	if d.rpcClients == 0 {
+		d.rpcClients = 4
+	}
+	setups := []experiment.QueueSetup{
+		experiment.SetupDropTail, experiment.SetupECNDefault, experiment.SetupECNAckSyn,
+	}
+	if d.transport == DCTCP {
+		setups = []experiment.QueueSetup{
+			experiment.SetupDropTail, experiment.SetupDCTCPDefault, experiment.SetupDCTCPAckSyn,
+		}
+	}
+	w := d.workloadConfig()
+	rows := make([]Result, 0, len(setups))
+	for _, setup := range setups {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cfg := d.experimentConfig()
+		cfg.Setup = setup
+		r := experiment.RunTenants(cfg, w)
+		rows = append(rows, Result{
+			Scenario: "tenantmix",
+			Label:    setup.Label,
+			Seed:     d.seed,
+			Values:   tenantValues(r),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,75 @@
+// Tenantmix: the multi-tenant steady state — an open-loop RPC client fleet
+// sharing the cluster with a continuous Poisson stream of MapReduce jobs
+// through the fair-share slot scheduler. Instead of one end-of-run number,
+// the scenario reports the service's P99 latency per measurement window
+// under three queue setups (DropTail, ECN default mode, ECN ack+syn), the
+// way an SLO dashboard would show it.
+//
+//	go run ./examples/tenantmix
+//	go run ./examples/tenantmix -jobs 8 -arrival fixed:100ms -rpc-clients 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/ecnsim"
+)
+
+func main() {
+	flags := ecnsim.DefaultFlags()
+	flags.BindTenant(flag.CommandLine)
+	input := flag.String("input", "128MiB", "base job-mix input size")
+	measure := flag.Duration("measure", 2*time.Second, "measurement phase length")
+	window := flag.Duration("window", 500*time.Millisecond, "percentile window width")
+	flag.Parse()
+
+	tenantOpts, err := flags.TenantOptions()
+	if err != nil {
+		log.Fatalf("tenantmix: %v", err)
+	}
+	size, err := ecnsim.ParseSize(*input)
+	if err != nil {
+		log.Fatalf("tenantmix: %v", err)
+	}
+	opts := append([]ecnsim.Option{
+		ecnsim.Nodes(8),
+		ecnsim.InputSize(size),
+		ecnsim.BlockSize(0), // auto: input/nodes (the mix re-blocks per job anyway)
+		ecnsim.Reducers(8),
+		// The paper's interesting regime: a tight marking threshold, where
+		// default-mode RED pays its ACK-drop tax in full.
+		ecnsim.TargetDelay(100 * time.Microsecond),
+		ecnsim.Measure(*measure),
+		ecnsim.MeasureWindow(*window),
+		ecnsim.FairShare(true),
+	}, tenantOpts...)
+
+	rs, err := ecnsim.RunScenario(context.Background(), "tenantmix", opts...)
+	if err != nil {
+		log.Fatalf("tenantmix: %v", err)
+	}
+
+	windows := int((*measure + *window - 1) / *window)
+	fmt.Printf("Open-loop RPC fleet under sustained batch load (%v measured in %v windows)\n\n", *measure, *window)
+	us := func(d time.Duration) string { return d.Round(time.Microsecond).String() }
+	for _, r := range rs.Results {
+		fmt.Printf("%-14s jobs=%2.0f/%-2.0f batch tput/node=%-8s rpc n=%-5.0f p50=%-9s p99=%-9s\n",
+			r.Label,
+			r.Value(ecnsim.KeyJobsCompleted), r.Value(ecnsim.KeyJobsSubmitted),
+			fmt.Sprintf("%.0fMbps", r.Value(ecnsim.KeyThroughput)/1e6),
+			r.Value(ecnsim.KeyRPCCount),
+			us(r.Duration(ecnsim.KeyRPCP50)), us(r.Duration(ecnsim.KeyRPCP99)))
+		fmt.Printf("%-14s p99 per window:", "")
+		for i := 0; i < windows; i++ {
+			fmt.Printf(" %9s", us(r.Duration(ecnsim.KeyRPCWindowP99(i))))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nDropTail keeps throughput but bloats the service tail; default-mode ECN")
+	fmt.Println("looks great on RPC latency only because its ACK drops starved the batch")
+	fmt.Println("tier (watch throughput/node collapse); ack+syn protection keeps both.")
+}

@@ -331,6 +331,36 @@ func (c *Cluster) RunJob(cfg mapred.JobConfig) *mapred.Job {
 	return job
 }
 
+// NewScheduler hands the cluster's workers to a shared-slot multi-job
+// scheduler — the multi-tenant entry point, where several jobs overlap on
+// the same map/reduce slots instead of running one RunJob to completion.
+// The scheduler takes ownership of the workers' slot counters; do not mix
+// it with RunJob on the same cluster.
+func (c *Cluster) NewScheduler(policy mapred.SchedPolicy) *mapred.Scheduler {
+	return mapred.NewScheduler(c.Engine, c.Workers, policy)
+}
+
+// RunUntil drives the engine to the absolute simulated time t, executing
+// every event scheduled before it.
+func (c *Cluster) RunUntil(t units.Time) { c.Engine.RunUntil(t) }
+
+// Drain steps the engine until quiet() reports true, no events remain, or
+// the simulated clock passes deadline. It reports whether the quiet
+// condition was reached — callers decide whether an unfinished drain is an
+// error (a deliberately overloaded open-loop run may legitimately still
+// hold a backlog at the cutoff).
+func (c *Cluster) Drain(deadline units.Time, quiet func() bool) bool {
+	for !quiet() {
+		if !c.Engine.Step() {
+			return quiet()
+		}
+		if c.Engine.Now() > deadline {
+			return quiet()
+		}
+	}
+	return true
+}
+
 // Ports returns the switch->host edge ports (the studied bottlenecks).
 func (c *Cluster) Ports() []*netsim.Port { return c.Topo.EdgePorts }
 

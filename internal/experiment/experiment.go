@@ -116,6 +116,12 @@ type Config struct {
 	// WatchTiers enables per-tier queue-occupancy aggregation; the means
 	// land in Result.TierOccupancy.
 	WatchTiers bool
+	// Workload, when non-nil, replaces the single run-to-completion
+	// Terasort with the open-loop multi-tenant workload engine: a stream
+	// of jobs through a shared-slot scheduler plus an optional RPC client
+	// fleet, measured in steady state (see RunTenants). Run then reports
+	// the figure metrics over the measurement window.
+	Workload *WorkloadConfig `json:"workload,omitempty"`
 }
 
 // String identifies the run compactly.
@@ -155,16 +161,22 @@ type Result struct {
 }
 
 // Run executes one Terasort under the configuration and returns its result.
-// Runs are deterministic in (Config, Seed).
+// When cfg.Workload is set, the multi-tenant engine runs instead and the
+// figure metrics are reported over its measurement window. Runs are
+// deterministic in (Config, Seed).
 func Run(cfg Config) Result {
+	if cfg.Workload != nil {
+		return RunTenants(cfg, *cfg.Workload).Result
+	}
 	r, _ := RunJob(cfg)
 	return r
 }
 
-// RunJob is Run exposing the finished MapReduce job as well, for callers
-// that report per-phase breakdowns (map waves, shuffle windows) beyond the
-// figure metrics.
-func RunJob(cfg Config) (Result, *mapred.Job) {
+// clusterSpec lowers cfg onto the cluster spec (fabric, queues, transport,
+// ablation overrides) — the one lowering shared by the single-job harness
+// and the multi-tenant harness, so a new Config knob cannot silently apply
+// to one but not the other.
+func clusterSpec(cfg Config) cluster.Spec {
 	spec := cluster.DefaultSpec()
 	spec.Nodes = cfg.Scale.Nodes
 	spec.Racks = cfg.Scale.Racks
@@ -194,7 +206,14 @@ func RunJob(cfg Config) (Result, *mapred.Job) {
 		tcpCfg.DelayedAck = false
 	}
 	spec.TCPOverride = &tcpCfg
+	return spec
+}
 
+// RunJob is Run exposing the finished MapReduce job as well, for callers
+// that report per-phase breakdowns (map waves, shuffle windows) beyond the
+// figure metrics.
+func RunJob(cfg Config) (Result, *mapred.Job) {
+	spec := clusterSpec(cfg)
 	c := cluster.New(spec)
 	if cfg.WatchTiers {
 		c.WatchTierOccupancy()

@@ -21,6 +21,7 @@ type sweepJSON struct {
 	Seed          uint64                         `json:"seed"`
 	Repeats       int                            `json:"repeats"`
 	Degrade       []cluster.LinkDegrade          `json:"degrade,omitempty"`
+	Workload      *WorkloadConfig                `json:"workload,omitempty"`
 	DropTail      map[string]Result              `json:"droptail"`
 	Series        map[string]map[string][]Result `json:"series"`
 }
@@ -47,6 +48,7 @@ func (s *Sweep) WriteJSON(w io.Writer) error {
 		Seed:          s.Seed,
 		Repeats:       s.Repeats,
 		Degrade:       s.Degrade,
+		Workload:      s.Workload,
 		DropTail:      make(map[string]Result),
 		Series:        make(map[string]map[string][]Result),
 	}
@@ -81,6 +83,7 @@ func ReadJSON(r io.Reader) (*Sweep, error) {
 	s := NewSweep(in.Scale, in.Seed)
 	s.Repeats = in.Repeats
 	s.Degrade = in.Degrade
+	s.Workload = in.Workload
 	s.TargetDelays = s.TargetDelays[:0]
 	for _, ns := range in.TargetDelays {
 		s.TargetDelays = append(s.TargetDelays, units.Duration(ns))

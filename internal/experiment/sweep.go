@@ -88,6 +88,10 @@ type Sweep struct {
 	// Degrade lists inter-switch link degradations applied to every grid
 	// cell's fabric (see cluster.LinkDegrade).
 	Degrade []cluster.LinkDegrade
+	// Workload, when non-nil, runs every grid cell under the multi-tenant
+	// workload engine instead of a single Terasort (see RunTenants); the
+	// knobs are archived with the grid.
+	Workload *WorkloadConfig
 	// Repeats averages each grid point over this many consecutive seeds
 	// starting at Seed (0 or 1 = single run).
 	Repeats int
@@ -160,6 +164,7 @@ func (s *Sweep) ExecuteContext(ctx context.Context) error {
 				Scale:       s.Scale,
 				Seed:        s.Seed,
 				Degrade:     s.Degrade,
+				Workload:    s.Workload,
 			},
 			baseline: true,
 		})
@@ -177,6 +182,7 @@ func (s *Sweep) ExecuteContext(ctx context.Context) error {
 						Scale:       s.Scale,
 						Seed:        s.Seed,
 						Degrade:     s.Degrade,
+						Workload:    s.Workload,
 					},
 					label: setup.Label,
 					index: i,

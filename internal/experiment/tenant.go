@@ -1,0 +1,388 @@
+package experiment
+
+// The multi-tenant steady-state harness. The paper's motivating scenario is
+// a *shared* Hadoop cluster — latency-sensitive services colocated with a
+// continuous stream of batch jobs — and single-job lifetime statistics
+// cannot express what such a service observes. RunTenants drives an
+// open-loop job-arrival process through a shared-slot scheduler alongside
+// an RPC client fleet, and measures in phases:
+//
+//   - warmup:  arrivals and clients run, nothing is recorded — the cluster
+//     reaches its congested steady state first;
+//   - measure: RPC latencies and per-packet latencies are windowed
+//     (P50/P99 per window) and throughput is taken over the window's
+//     delivered-byte delta;
+//   - drain:   arrivals and clients stop, submitted jobs run out (bounded
+//     by a generous deadline; an overloaded open-loop run may legitimately
+//     keep a backlog, which is reported, not panicked over).
+//
+// Everything is deterministic in (Config, WorkloadConfig): arrivals, the
+// job mix and the fleet all derive their streams from the run seed.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/flow"
+	"repro/internal/mapred"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// FleetBasePort is the first port the tenant RPC fleet's servers listen on.
+const FleetBasePort uint16 = 7000
+
+// WorkloadConfig describes the sustained multi-tenant load: the batch-job
+// arrival stream, the slot-scheduling policy, the RPC client fleet, and the
+// warmup/measure phase layout.
+type WorkloadConfig struct {
+	// Arrival selects the inter-arrival distribution; MeanInterarrival its
+	// mean. MaxJobs caps total submissions (0 = unlimited while the
+	// submission phase is open, i.e. until the measurement phase ends).
+	Arrival          mapred.ArrivalKind `json:"arrival"`
+	MeanInterarrival units.Duration     `json:"mean_interarrival_ns"`
+	MaxJobs          int                `json:"max_jobs"`
+	// Policy selects how jobs share the workers' map/reduce slots.
+	Policy mapred.SchedPolicy `json:"policy"`
+	// Mix is the weighted job-shape table arrivals draw from (empty = the
+	// default mix derived from the configured scale).
+	Mix []mapred.MixEntry `json:"mix,omitempty"`
+
+	// RPCClients sizes the open-loop service fleet (0 = batch only).
+	RPCClients int `json:"rpc_clients"`
+	// RPCReqSize / RPCRespSize are the exchange payloads in bytes;
+	// RPCHeavyTail switches responses to a bounded Pareto with that mean.
+	RPCReqSize   int  `json:"rpc_req_size"`
+	RPCRespSize  int  `json:"rpc_resp_size"`
+	RPCHeavyTail bool `json:"rpc_heavy_tail,omitempty"`
+	// RPCInterval is each client's open-loop issue period.
+	RPCInterval units.Duration `json:"rpc_interval_ns"`
+
+	// Warmup precedes measurement; Measure is the measurement phase length,
+	// split into Window-wide percentile windows.
+	Warmup  units.Duration `json:"warmup_ns"`
+	Measure units.Duration `json:"measure_ns"`
+	Window  units.Duration `json:"window_ns"`
+}
+
+// DefaultWorkload returns a small sustained-load shape: open Poisson
+// arrivals every 150 ms (no job cap — the stream runs until the
+// measurement phase closes), FIFO slots, a 4-client fleet of 128 B / 4 KiB
+// exchanges every 2 ms, 250 ms of warmup and a 2 s measurement phase in
+// 500 ms windows.
+func DefaultWorkload() WorkloadConfig {
+	return WorkloadConfig{
+		Arrival:          mapred.ArrivalPoisson,
+		MeanInterarrival: 150 * units.Millisecond,
+		Policy:           mapred.SchedFIFO,
+		RPCClients:       4,
+		RPCReqSize:       128,
+		RPCRespSize:      4096,
+		RPCInterval:      2 * units.Millisecond,
+		Warmup:           250 * units.Millisecond,
+		Measure:          2 * units.Second,
+		Window:           500 * units.Millisecond,
+	}
+}
+
+// Validate reports a workload error, or nil.
+func (w *WorkloadConfig) Validate() error {
+	switch {
+	case w.MeanInterarrival <= 0:
+		return fmt.Errorf("experiment: workload mean inter-arrival must be positive")
+	case w.Arrival > mapred.ArrivalPoisson:
+		return fmt.Errorf("experiment: unknown arrival kind %d", w.Arrival)
+	case w.Policy > mapred.SchedFair:
+		return fmt.Errorf("experiment: unknown scheduling policy %d", w.Policy)
+	case w.MaxJobs < 0:
+		return fmt.Errorf("experiment: workload max jobs must be non-negative")
+	case w.RPCClients < 0:
+		return fmt.Errorf("experiment: workload RPC clients must be non-negative")
+	case w.Measure <= 0:
+		return fmt.Errorf("experiment: workload measure phase must be positive")
+	case w.Warmup < 0:
+		return fmt.Errorf("experiment: workload warmup must be non-negative")
+	case w.Window <= 0 || w.Window > w.Measure:
+		return fmt.Errorf("experiment: workload window must be in (0, measure]")
+	}
+	if w.RPCClients > 0 {
+		fc := w.fleetConfig(0)
+		if err := fc.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(w.Mix) > 0 {
+		// NewJobMix is the authority on mix validity (weights, job configs,
+		// the replicated-output ban); run it here so a bad mix surfaces at
+		// validation time instead of panicking mid-run.
+		if _, err := mapred.NewJobMix(w.Mix, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Windows returns the number of measurement windows the phase layout
+// induces.
+func (w *WorkloadConfig) Windows() int {
+	return int(math.Ceil(float64(w.Measure) / float64(w.Window)))
+}
+
+func (w *WorkloadConfig) fleetConfig(seed uint64) flow.FleetConfig {
+	return flow.FleetConfig{
+		Clients:   w.RPCClients,
+		ReqSize:   w.RPCReqSize,
+		RespSize:  w.RPCRespSize,
+		HeavyTail: w.RPCHeavyTail,
+		Interval:  w.RPCInterval,
+		BasePort:  FleetBasePort,
+		Seed:      seed,
+	}
+}
+
+// WindowStat is one measurement window's latency summary.
+type WindowStat struct {
+	// Start is the window's offset from the start of the measurement phase.
+	Start units.Duration
+	// Count is the number of samples the window holds.
+	Count uint64
+	// P50/P99 are the window's latency percentiles.
+	P50, P99 units.Duration
+}
+
+// TenantResult reports one multi-tenant run: the standard figure metrics
+// (throughput over the measurement window, whole-run latency/drop
+// accounting) plus the tenant views — job completion statistics and the
+// windowed RPC/network latency series.
+type TenantResult struct {
+	Result
+	Workload WorkloadConfig
+
+	// Batch tier.
+	JobsSubmitted int
+	JobsCompleted int
+	// JobMean/P50/P99 summarize completed-job runtimes (submission to
+	// completion, queueing included).
+	JobMean, JobP50, JobP99 units.Duration
+	// Makespan is first submission to last completion (or the drain cutoff
+	// when the backlog outlived it).
+	Makespan units.Duration
+	// Drained reports whether every submitted job completed before the
+	// drain deadline.
+	Drained bool
+
+	// Service tier (measurement phase only).
+	RPCCount uint64
+	// RPCFailed counts exchanges that failed outright plus exchanges still
+	// unanswered when the drain deadline cut the run off — an SLO view
+	// must not let the slowest tail vanish from the books.
+	RPCFailed int
+	RPCMean   units.Duration
+	RPCP50    units.Duration
+	RPCP99    units.Duration
+	// RPCWindows is the per-window RPC latency series — the SLO view.
+	RPCWindows []WindowStat
+	// NetWindows is the per-window per-packet network latency series.
+	NetWindows []WindowStat
+}
+
+// RunTenants executes the multi-tenant workload under the configuration.
+// It panics on an invalid workload (the ecnsim layer validates at
+// NewCluster time, like every other config error).
+func RunTenants(cfg Config, w WorkloadConfig) TenantResult {
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+	spec := clusterSpec(cfg)
+	c := cluster.New(spec)
+	if cfg.WatchTiers {
+		c.WatchTierOccupancy()
+	}
+
+	// Phase layout. Like RunJob, everything starts slightly after t=0 so
+	// TSVal==0 never collides with the "no timestamp" sentinel.
+	start := units.Time(1 * units.Millisecond)
+	measureStart := start.Add(w.Warmup)
+	measureEnd := measureStart.Add(w.Measure)
+	nw := w.Windows()
+
+	c.Metrics.WatchLatencyWindows(measureStart.Seconds(), w.Window.Seconds(), nw,
+		spec.LatencyReservoir, spec.Seed)
+	// When Measure is not an exact multiple of Window the last window would
+	// extend past the measurement phase and absorb drain-phase latencies;
+	// cut it off at measureEnd so the steady-state series stays honest.
+	c.Metrics.LatencyWindows().SetCutoff(measureEnd.Seconds())
+
+	// Batch tier: seeded arrivals drawing from the job mix into the
+	// shared-slot scheduler.
+	sched := c.NewScheduler(w.Policy)
+	entries := w.Mix
+	if len(entries) == 0 {
+		entries = mapred.DefaultMix(cfg.Scale.InputSize, cfg.Scale.Reducers)
+	}
+	mix, err := mapred.NewJobMix(entries, spec.Seed^0x6a09e667f3bcc908)
+	if err != nil {
+		panic(err)
+	}
+	arrivals := mapred.NewArrivalProcess(w.Arrival, w.MeanInterarrival, spec.Seed^0xbb67ae8584caa73b)
+	submitted := 0
+	var firstSubmit units.Time
+	var submitNext func()
+	submitNext = func() {
+		if c.Engine.Now() >= measureEnd {
+			return // the submission phase closes with the measurement phase
+		}
+		if w.MaxJobs > 0 && submitted >= w.MaxJobs {
+			return
+		}
+		if submitted == 0 {
+			firstSubmit = c.Engine.Now()
+		}
+		sched.Submit(mix.Pick())
+		submitted++
+		c.Engine.After(arrivals.Next(), submitNext)
+	}
+	c.Engine.Schedule(start, submitNext)
+
+	// Service tier: the open-loop RPC fleet.
+	var fleet *flow.Fleet
+	if w.RPCClients > 0 {
+		fleet = flow.StartFleet(c.Stacks, w.fleetConfig(spec.Seed^0x3c6ef372fe94f82b), start)
+	}
+
+	// Steady-state throughput comes from the delivered-byte delta across
+	// the measurement window, not whole-run totals.
+	var payloadAtStart, payloadAtEnd units.ByteSize
+	c.Engine.Schedule(measureStart, func() { payloadAtStart = c.Metrics.TotalDeliveredPayload() })
+	c.Engine.Schedule(measureEnd, func() {
+		payloadAtEnd = c.Metrics.TotalDeliveredPayload()
+		if fleet != nil {
+			fleet.Stop()
+		}
+	})
+
+	c.RunUntil(measureEnd)
+	drainEnd := measureEnd.Add(6 * units.Second * units.Duration(1+spec.Nodes))
+	// Quiet means both tiers are done: the batch backlog has run out AND no
+	// RPC exchange is still in flight — otherwise exactly the slowest tail
+	// exchanges would be dropped from the windows they exist to expose.
+	drained := c.Drain(drainEnd, func() bool {
+		if sched.Active() > 0 {
+			return false
+		}
+		return fleet == nil || fleet.Outstanding() == 0
+	})
+
+	// ------------------------------------------------------------------
+	// Aggregate.
+	res := TenantResult{Workload: w, Drained: drained, JobsSubmitted: submitted}
+	res.Config = cfg
+
+	// Batch tier.
+	jobSample := stats.NewSample()
+	var lastDone units.Time
+	for _, j := range sched.Jobs() {
+		if !j.Done() {
+			continue
+		}
+		res.JobsCompleted++
+		jobSample.Add(j.Runtime().Seconds())
+		if j.Finished > lastDone {
+			lastDone = j.Finished
+		}
+		res.FetchRetries += j.FetchRetries
+	}
+	toDur := func(sec float64) units.Duration {
+		return units.Duration(sec * float64(units.Second))
+	}
+	res.JobMean = toDur(jobSample.Mean())
+	res.JobP50 = toDur(jobSample.Quantile(0.5))
+	res.JobP99 = toDur(jobSample.Quantile(0.99))
+	if submitted > 0 {
+		end := lastDone
+		if !drained || end == 0 {
+			end = c.Engine.Now()
+		}
+		res.Makespan = end.Sub(firstSubmit)
+	}
+
+	// Service tier: window every exchange issued inside the measurement
+	// phase, clients in fleet order so the aggregation is deterministic.
+	rpcAll := stats.NewSample()
+	rpcWin := stats.NewWindowed(measureStart.Seconds(), w.Window.Seconds(), nw)
+	if fleet != nil {
+		for _, cl := range fleet.Clients {
+			for i := range cl.Results {
+				r := &cl.Results[i]
+				if r.Issued < measureStart || r.Issued >= measureEnd {
+					continue
+				}
+				if r.Failed {
+					res.RPCFailed++
+					continue
+				}
+				lat := r.Latency().Seconds()
+				rpcAll.Add(lat)
+				rpcWin.Add(r.Issued.Seconds(), lat)
+			}
+			// Exchanges the drain deadline cut off never produced a result;
+			// they are the slowest tail, so book them as failures rather
+			// than letting them vanish from the SLO accounting.
+			for _, issued := range cl.OutstandingIssued() {
+				if issued >= measureStart && issued < measureEnd {
+					res.RPCFailed++
+				}
+			}
+		}
+	}
+	res.RPCCount = rpcAll.N()
+	res.RPCMean = toDur(rpcAll.Mean())
+	res.RPCP50 = toDur(rpcAll.Quantile(0.5))
+	res.RPCP99 = toDur(rpcAll.Quantile(0.99))
+	res.RPCWindows = windowStats(rpcWin, nw, w.Window)
+	res.NetWindows = windowStats(c.Metrics.LatencyWindows(), nw, w.Window)
+
+	// Figure metrics: throughput over the measurement window, latency and
+	// drop accounting over the whole run (as every harness reports them).
+	res.Runtime = c.Engine.Now().Sub(start)
+	if sec := w.Measure.Seconds(); sec > 0 && spec.Nodes > 0 {
+		res.ThroughputPerNode = units.Bandwidth(
+			float64((payloadAtEnd-payloadAtStart)*8) / sec / float64(spec.Nodes))
+	}
+	res.MeanLatency = c.Metrics.MeanLatency()
+	res.P99Latency = c.Metrics.P99Latency()
+	res.ShuffledBytes = payloadAtEnd - payloadAtStart
+	res.AckDropShare = c.Metrics.AckDropShare()
+	res.Marks = c.Metrics.Marked.Total()
+	res.Retransmits = c.TCP.Retransmits()
+	res.RTOEvents = c.TCP.RTOEvents
+	res.SynRetries = c.TCP.SynRetries
+	res.EarlyDrops, res.OverflowDrops = c.Metrics.Drops()
+	res.Events = c.Engine.Executed()
+	res.SimTime = units.Duration(c.Engine.Now())
+	if cfg.WatchTiers {
+		at := c.Engine.Now().Seconds()
+		for t := metrics.Tier(0); t < metrics.TierCount; t++ {
+			res.TierOccupancy[t] = c.Metrics.TierOccupancyAt(t, at)
+		}
+	}
+	return res
+}
+
+// windowStats flattens a windowed accumulator into exactly n WindowStats
+// (quiet windows report zero counts). Offsets are exact multiples of the
+// window width, not float reconstructions.
+func windowStats(win *stats.Windowed, n int, width units.Duration) []WindowStat {
+	out := make([]WindowStat, n)
+	for i := 0; i < n; i++ {
+		out[i] = WindowStat{
+			Start: units.Duration(i) * width,
+			Count: win.Count(i),
+			P50:   units.Duration(win.Quantile(i, 0.5) * float64(units.Second)),
+			P99:   units.Duration(win.Quantile(i, 0.99) * float64(units.Second)),
+		}
+	}
+	return out
+}

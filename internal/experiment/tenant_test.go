@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/mapred"
+	"repro/internal/units"
+)
+
+// tenantTestConfig is a CI-sized multi-tenant run: 4 nodes, a 32 MiB base
+// mix, one second of measurement in 250 ms windows.
+func tenantTestConfig() (Config, WorkloadConfig) {
+	cfg := Config{
+		Setup:       SetupECNAckSyn,
+		TargetDelay: 500 * units.Microsecond,
+		Scale:       Scale{Nodes: 4, InputSize: 32 * units.MiB, BlockSize: 8 * units.MiB, Reducers: 4},
+		Seed:        1,
+	}
+	w := DefaultWorkload()
+	w.Warmup = 100 * units.Millisecond
+	w.Measure = 1 * units.Second
+	w.Window = 250 * units.Millisecond
+	return cfg, w
+}
+
+func TestRunTenantsSmoke(t *testing.T) {
+	cfg, w := tenantTestConfig()
+	r := RunTenants(cfg, w)
+	if r.JobsSubmitted == 0 {
+		t.Fatal("no jobs submitted")
+	}
+	if !r.Drained || r.JobsCompleted != r.JobsSubmitted {
+		t.Fatalf("drain incomplete: %d/%d jobs, drained=%v", r.JobsCompleted, r.JobsSubmitted, r.Drained)
+	}
+	if r.JobMean <= 0 || r.JobP99 < r.JobP50 {
+		t.Errorf("job stats implausible: mean=%v p50=%v p99=%v", r.JobMean, r.JobP50, r.JobP99)
+	}
+	if r.RPCCount == 0 {
+		t.Fatal("no RPC exchanges measured")
+	}
+	if want := w.Windows(); len(r.RPCWindows) != want || len(r.NetWindows) != want {
+		t.Fatalf("window series lengths %d/%d, want %d", len(r.RPCWindows), len(r.NetWindows), want)
+	}
+	var rpcTotal uint64
+	for i, win := range r.RPCWindows {
+		rpcTotal += win.Count
+		if wantStart := units.Duration(i) * w.Window; win.Start != wantStart {
+			t.Errorf("window %d start = %v, want %v", i, win.Start, wantStart)
+		}
+	}
+	if rpcTotal != r.RPCCount {
+		t.Errorf("window counts sum to %d, aggregate is %d", rpcTotal, r.RPCCount)
+	}
+	if r.ThroughputPerNode <= 0 {
+		t.Error("no steady-state throughput measured")
+	}
+	if r.Events == 0 || r.SimTime <= 0 {
+		t.Error("substrate accounting missing")
+	}
+}
+
+// TestRunTenantsDeterministic replays the identical configuration and
+// expects a bit-identical result structure.
+func TestRunTenantsDeterministic(t *testing.T) {
+	cfg, w := tenantTestConfig()
+	a, b := RunTenants(cfg, w), RunTenants(cfg, w)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replayed tenant run diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunRoutesWorkload pins the Config.Workload routing: Run() with a
+// workload equals RunTenants' embedded figure result.
+func TestRunRoutesWorkload(t *testing.T) {
+	cfg, w := tenantTestConfig()
+	cfg.Workload = &w
+	got := Run(cfg)
+	want := RunTenants(cfg, w).Result
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Run(workload) != RunTenants().Result:\n%+v\n%+v", got, want)
+	}
+}
+
+// TestTenantPoliciesDiffer exercises the policy knob end to end: under
+// sustained overlap, fair-share changes the job-latency distribution
+// relative to FIFO (the scheduler genuinely arbitrates).
+func TestTenantPoliciesDiffer(t *testing.T) {
+	cfg, w := tenantTestConfig()
+	w.RPCClients = 0 // batch only: isolate the scheduler
+	// Dense fixed arrivals over a contention-heavy mix: the large job's 16
+	// reducers need two full waves of the 4-node cluster's 8 reduce slots,
+	// so overlapping small jobs only run early if the policy grants them
+	// freed slots.
+	w.Arrival = mapred.ArrivalFixed
+	w.MeanInterarrival = 20 * units.Millisecond
+	large := mapred.TerasortConfig(16*units.MiB, 16)
+	large.BlockSize = 1 * units.MiB
+	large.Name = "large"
+	small := mapred.TerasortConfig(4*units.MiB, 2)
+	small.BlockSize = 1 * units.MiB
+	small.Name = "small"
+	w.Mix = []mapred.MixEntry{{Weight: 1, Cfg: large}, {Weight: 2, Cfg: small}}
+	w.Policy = mapred.SchedFIFO
+	fifo := RunTenants(cfg, w)
+	w.Policy = mapred.SchedFair
+	fair := RunTenants(cfg, w)
+	if fifo.JobsSubmitted != fair.JobsSubmitted {
+		t.Fatalf("policies saw different arrival streams: %d vs %d jobs",
+			fifo.JobsSubmitted, fair.JobsSubmitted)
+	}
+	if fifo.JobMean == fair.JobMean && fifo.JobP50 == fair.JobP50 && fifo.Makespan == fair.Makespan {
+		t.Error("FIFO and fair-share produced identical job statistics — the policy is not arbitrating")
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	mutations := map[string]func(*WorkloadConfig){
+		"zero mean":       func(w *WorkloadConfig) { w.MeanInterarrival = 0 },
+		"bad arrival":     func(w *WorkloadConfig) { w.Arrival = 9 },
+		"bad policy":      func(w *WorkloadConfig) { w.Policy = 9 },
+		"negative jobs":   func(w *WorkloadConfig) { w.MaxJobs = -1 },
+		"negative fleet":  func(w *WorkloadConfig) { w.RPCClients = -1 },
+		"zero measure":    func(w *WorkloadConfig) { w.Measure = 0 },
+		"negative warmup": func(w *WorkloadConfig) { w.Warmup = -1 },
+		"window>measure":  func(w *WorkloadConfig) { w.Window = w.Measure + 1 },
+		"zero req size":   func(w *WorkloadConfig) { w.RPCReqSize = 0 },
+		"bad mix":         func(w *WorkloadConfig) { w.Mix = []mapred.MixEntry{{Weight: 1}} },
+		"zero-weight mix": func(w *WorkloadConfig) {
+			w.Mix = []mapred.MixEntry{{Weight: 0, Cfg: mapred.TerasortConfig(16*units.MiB, 2)}}
+		},
+		"replicated mix": func(w *WorkloadConfig) {
+			cfg := mapred.TerasortConfig(16*units.MiB, 2)
+			cfg.ReplicationFactor = 3
+			w.Mix = []mapred.MixEntry{{Weight: 1, Cfg: cfg}}
+		},
+	}
+	for name, mutate := range mutations {
+		w := DefaultWorkload()
+		mutate(&w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+	w := DefaultWorkload()
+	if err := w.Validate(); err != nil {
+		t.Errorf("default workload rejected: %v", err)
+	}
+	if got := w.Windows(); got != 4 {
+		t.Errorf("default Windows = %d, want 4 (2s / 500ms)", got)
+	}
+}
+
+// TestSweepArchivesWorkload pins the archive round trip: a sweep's workload
+// knobs survive WriteJSON/ReadJSON, so an archived multi-tenant grid can be
+// re-rendered (and its companion runs re-matched) exactly.
+func TestSweepArchivesWorkload(t *testing.T) {
+	_, w := tenantTestConfig()
+	s := NewSweep(TestScale(), 7)
+	s.Workload = &w
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload == nil {
+		t.Fatal("workload lost in the archive round trip")
+	}
+	if !reflect.DeepEqual(*back.Workload, w) {
+		t.Fatalf("workload round trip diverged:\n%+v\n%+v", *back.Workload, w)
+	}
+
+	// Without a workload the field stays absent.
+	s2 := NewSweep(TestScale(), 7)
+	buf.Reset()
+	if err := s2.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("workload")) {
+		t.Error("empty workload serialized into the archive")
+	}
+}

@@ -1,0 +1,261 @@
+package flow
+
+// Open-loop RPC client fleets: N client/server pairs spread across the
+// cluster, each issuing requests on a fixed clock regardless of whether
+// earlier responses have returned — the service model behind steady-state
+// SLO measurement. The single closed-loop RPCClient probe measures "how
+// slow is one cautious client"; a fleet measures "what latency does a
+// service under its own offered load observe while the batch tier churns".
+//
+// Response sizes may be heavy-tailed. Client and server must agree on every
+// exchange's response size without a side channel, so size k is a pure
+// seeded function of (pair seed, k) — both ends evaluate it independently
+// and deterministically.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// FleetConfig parameterizes an open-loop RPC client fleet.
+type FleetConfig struct {
+	// Clients is the number of client/server pairs.
+	Clients int
+	// ReqSize is the request payload in bytes.
+	ReqSize int
+	// RespSize is the response payload in bytes (the mean, under HeavyTail).
+	RespSize int
+	// HeavyTail draws per-exchange response sizes from a bounded Pareto
+	// (alpha 1.5, scaled to mean RespSize, capped at 64x) instead of the
+	// fixed RespSize — SQL-on-Hadoop result sets, not echo packets.
+	HeavyTail bool
+	// Interval is each client's open-loop issue period.
+	Interval units.Duration
+	// BasePort is the first server port; pair i listens on BasePort+i.
+	BasePort uint16
+	// Seed drives the per-pair start stagger and response-size streams.
+	Seed uint64
+}
+
+// Validate reports a config error, or nil.
+func (c *FleetConfig) Validate() error {
+	switch {
+	case c.Clients <= 0:
+		return fmt.Errorf("flow: fleet needs at least 1 client, got %d", c.Clients)
+	case c.Clients > 1024:
+		return fmt.Errorf("flow: fleet of %d clients exceeds the 1024 port budget", c.Clients)
+	case c.ReqSize <= 0 || c.RespSize <= 0:
+		return fmt.Errorf("flow: fleet request/response sizes must be positive")
+	case c.Interval <= 0:
+		return fmt.Errorf("flow: fleet interval must be positive")
+	case c.BasePort == 0:
+		return fmt.Errorf("flow: fleet needs a base port")
+	}
+	return nil
+}
+
+// respSize returns exchange k's response size for a pair seed: fixed, or a
+// bounded Pareto draw with mean ~= base. The draw is a pure function of
+// (pair seed, k) via the stateless rng.SplitMix64 mixer, so client and
+// server evaluate it independently and always agree.
+func respSize(cfg *FleetConfig, pairSeed uint64, k uint64) int {
+	if !cfg.HeavyTail {
+		return cfg.RespSize
+	}
+	u := float64(rng.SplitMix64(pairSeed^k*0x9e3779b97f4a7c15)>>11) / (1 << 53)
+	// Pareto(alpha=1.5) has mean 3*xm; scale xm so the uncapped mean is the
+	// configured RespSize, and cap the tail at 64x to bound one exchange.
+	const alpha = 1.5
+	xm := float64(cfg.RespSize) / 3
+	size := xm / math.Pow(1-u, 1/alpha)
+	if max := float64(cfg.RespSize) * 64; size > max {
+		size = max
+	}
+	if size < 1 {
+		size = 1
+	}
+	return int(size)
+}
+
+// OpenRPCClient issues fixed-period requests on one persistent connection
+// without waiting for responses. Completed exchanges append to Results with
+// their issue and finish times, so callers can window them.
+type OpenRPCClient struct {
+	eng      *sim.Engine
+	cfg      *FleetConfig
+	fleet    *Fleet // aggregate outstanding accounting
+	pairSeed uint64
+	conn     *tcp.Conn
+
+	issued   uint64 // exchanges issued
+	answered uint64 // exchanges completed
+	// outstanding holds, per in-flight exchange, the cumulative delivered
+	// byte count that completes it and the issue time.
+	outstanding []pendingRPC
+	Results     []RPCResult
+	stopped     bool
+	failed      bool
+}
+
+type pendingRPC struct {
+	doneAt units.ByteSize
+	issued units.Time
+}
+
+// Fleet is a running set of open-loop RPC pairs.
+type Fleet struct {
+	Clients []*OpenRPCClient
+	// outstanding counts issued-but-unanswered exchanges fleet-wide,
+	// maintained at issue/complete/fail sites so Outstanding is O(1) —
+	// drain loops poll it before every engine step.
+	outstanding int
+}
+
+// StartFleet installs cfg.Clients echo servers and dials one open-loop
+// client at each pair, beginning at sim time `at` (staggered across the
+// first interval so the fleet doesn't fire in phase). Pair i's client runs
+// on stack i mod N and its server on the opposite side of the cluster
+// ((i + N/2) mod N, bumped by one if that lands on the client's own node).
+func StartFleet(stacks []*tcp.Stack, cfg FleetConfig, at units.Time) *Fleet {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(stacks) < 2 {
+		panic("flow: fleet needs at least 2 stacks")
+	}
+	eng := stacks[0].Host().Network().Engine
+	f := &Fleet{}
+	n := len(stacks)
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		clientNode := i % n
+		serverNode := (i + n/2) % n
+		if serverNode == clientNode {
+			serverNode = (serverNode + 1) % n
+		}
+		port := cfg.BasePort + uint16(i)
+		pairSeed := rng.SplitMix64(cfg.Seed ^ uint64(i)*0x2545f4914f6cdd1d)
+		installOpenRPCServer(stacks[serverNode], port, &cfg, pairSeed)
+		c := &OpenRPCClient{eng: eng, cfg: &cfg, fleet: f, pairSeed: pairSeed}
+		f.Clients = append(f.Clients, c)
+		// Deterministic stagger: spread starts uniformly over one interval.
+		stagger := units.Duration(uint64(cfg.Interval) * uint64(i) / uint64(cfg.Clients))
+		dst := packet.Addr{Node: stacks[serverNode].Host().ID(), Port: port}
+		src := stacks[clientNode]
+		eng.Schedule(at.Add(stagger), func() { c.start(src, dst) })
+	}
+	return f
+}
+
+// start dials the pair's server and begins the issue clock.
+func (c *OpenRPCClient) start(src *tcp.Stack, dst packet.Addr) {
+	conn := src.Dial(dst)
+	c.conn = conn
+	conn.OnDeliver = func(int) { c.drain() }
+	conn.OnError = func(err error) {
+		// The pair is dead: fail everything outstanding, once.
+		if c.failed {
+			return
+		}
+		c.failed = true
+		now := c.eng.Now()
+		for _, p := range c.outstanding {
+			c.Results = append(c.Results, RPCResult{Issued: p.issued, Finished: now, Failed: true})
+		}
+		c.fleet.outstanding -= len(c.outstanding)
+		c.outstanding = c.outstanding[:0]
+	}
+	c.issue()
+}
+
+// issue sends one request and re-arms the open-loop clock.
+func (c *OpenRPCClient) issue() {
+	if c.stopped || c.failed {
+		return
+	}
+	k := c.issued
+	c.issued++
+	var last units.ByteSize
+	if len(c.outstanding) > 0 {
+		last = c.outstanding[len(c.outstanding)-1].doneAt
+	} else {
+		last = c.conn.BytesDelivered()
+	}
+	c.outstanding = append(c.outstanding, pendingRPC{
+		doneAt: last + units.ByteSize(respSize(c.cfg, c.pairSeed, k)),
+		issued: c.eng.Now(),
+	})
+	c.fleet.outstanding++
+	c.conn.Send(c.cfg.ReqSize)
+	c.eng.After(c.cfg.Interval, c.issue)
+}
+
+// drain records every outstanding exchange the delivered byte count now
+// covers.
+func (c *OpenRPCClient) drain() {
+	got := c.conn.BytesDelivered()
+	for len(c.outstanding) > 0 && got >= c.outstanding[0].doneAt {
+		p := c.outstanding[0]
+		c.outstanding = c.outstanding[1:]
+		c.answered++
+		c.fleet.outstanding--
+		c.Results = append(c.Results, RPCResult{Issued: p.issued, Finished: c.eng.Now()})
+	}
+}
+
+// Stop ends the issue clock after the next tick; outstanding exchanges keep
+// completing as their responses arrive.
+func (c *OpenRPCClient) Stop() { c.stopped = true }
+
+// Outstanding returns the number of issued-but-unanswered exchanges.
+func (c *OpenRPCClient) Outstanding() int { return len(c.outstanding) }
+
+// OutstandingIssued returns the issue times of unanswered exchanges, in
+// issue order — so a harness cut off by a drain deadline can account for
+// the exchanges that never completed instead of silently dropping them.
+func (c *OpenRPCClient) OutstandingIssued() []units.Time {
+	out := make([]units.Time, len(c.outstanding))
+	for i := range c.outstanding {
+		out[i] = c.outstanding[i].issued
+	}
+	return out
+}
+
+// Stop stops every client's issue clock.
+func (f *Fleet) Stop() {
+	for _, c := range f.Clients {
+		c.Stop()
+	}
+}
+
+// Outstanding returns the fleet-wide number of issued-but-unanswered
+// exchanges (failed pairs hold none — their outstanding set is flushed to
+// failed results). Drain loops wait on this so the slowest tail exchanges
+// are measured, not dropped; the count is maintained incrementally, so the
+// per-step poll is O(1).
+func (f *Fleet) Outstanding() int { return f.outstanding }
+
+// installOpenRPCServer registers the fleet's per-pair responder: for every
+// full request received it sends the pure-function response size for that
+// exchange index, matching what the client expects.
+func installOpenRPCServer(st *tcp.Stack, port uint16, cfg *FleetConfig, pairSeed uint64) {
+	reqSize := cfg.ReqSize
+	st.Listen(port, func(c *tcp.Conn) {
+		var pending int
+		var served uint64
+		c.OnDeliver = func(n int) {
+			pending += n
+			for pending >= reqSize {
+				pending -= reqSize
+				c.Send(respSize(cfg, pairSeed, served))
+				served++
+			}
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package mapred
+
+// Job-arrival machinery for the multi-tenant workload engine: a seeded
+// open-loop arrival process (the tenants keep submitting whether or not the
+// cluster keeps up) and a weighted job-mix table it draws job shapes from.
+// Both are deterministic in their seed, so a multi-job run replays
+// bit-identically regardless of how the surrounding experiment is scheduled.
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// ArrivalKind selects the inter-arrival distribution of the job stream.
+type ArrivalKind uint8
+
+// Arrival kinds.
+const (
+	// ArrivalFixed submits jobs at exact Mean intervals (a cron-like tenant).
+	ArrivalFixed ArrivalKind = iota
+	// ArrivalPoisson draws exponential inter-arrival times with the given
+	// mean — the memoryless stream workload-consolidation studies assume.
+	ArrivalPoisson
+)
+
+// String names the kind as the CLIs spell it.
+func (k ArrivalKind) String() string {
+	if k == ArrivalPoisson {
+		return "poisson"
+	}
+	return "fixed"
+}
+
+// ArrivalProcess generates deterministic job inter-arrival times.
+type ArrivalProcess struct {
+	kind ArrivalKind
+	mean units.Duration
+	src  *rng.Source
+}
+
+// NewArrivalProcess returns a seeded arrival process with the given mean
+// inter-arrival time. It panics on a non-positive mean or unknown kind.
+func NewArrivalProcess(kind ArrivalKind, mean units.Duration, seed uint64) *ArrivalProcess {
+	if mean <= 0 {
+		panic(fmt.Sprintf("mapred: arrival mean %v must be positive", mean))
+	}
+	if kind > ArrivalPoisson {
+		panic(fmt.Sprintf("mapred: unknown arrival kind %d", kind))
+	}
+	return &ArrivalProcess{kind: kind, mean: mean, src: rng.New(seed)}
+}
+
+// Next returns the time until the next job arrival. Fixed processes return
+// the mean exactly; Poisson processes draw from Exp(mean).
+func (a *ArrivalProcess) Next() units.Duration {
+	if a.kind == ArrivalFixed {
+		return a.mean
+	}
+	d := units.Duration(float64(a.mean) * a.src.ExpFloat64())
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// MixEntry is one row of a job-mix table: a job shape and its relative
+// weight in the arrival stream.
+type MixEntry struct {
+	// Weight is the entry's integer selection weight (>= 1). Integer weights
+	// keep the weighted pick exact and archive-stable.
+	Weight int `json:"weight"`
+	// Cfg is the job submitted when this entry is drawn.
+	Cfg JobConfig `json:"cfg"`
+}
+
+// JobMix draws job shapes from a weighted table with a seeded stream.
+type JobMix struct {
+	entries []MixEntry
+	total   int
+	src     *rng.Source
+}
+
+// NewJobMix validates the table and returns a seeded mix. Entries must have
+// positive weights and valid job configs; overlapping jobs share one fabric,
+// so replicated output (ReplicationFactor > 1) is rejected — every job would
+// need the well-known DataNode port.
+func NewJobMix(entries []MixEntry, seed uint64) (*JobMix, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("mapred: empty job mix")
+	}
+	m := &JobMix{entries: entries, src: rng.New(seed)}
+	for i := range entries {
+		e := &entries[i]
+		if e.Weight <= 0 {
+			return nil, fmt.Errorf("mapred: mix entry %d (%s): weight %d must be positive", i, e.Cfg.Name, e.Weight)
+		}
+		if err := e.Cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("mapred: mix entry %d (%s): %w", i, e.Cfg.Name, err)
+		}
+		if e.Cfg.ReplicationFactor > 1 {
+			return nil, fmt.Errorf("mapred: mix entry %d (%s): replicated output is not supported for overlapping jobs", i, e.Cfg.Name)
+		}
+		m.total += e.Weight
+	}
+	return m, nil
+}
+
+// Pick draws the next job shape from the mix.
+func (m *JobMix) Pick() JobConfig {
+	n := m.src.Intn(m.total)
+	for i := range m.entries {
+		n -= m.entries[i].Weight
+		if n < 0 {
+			return m.entries[i].Cfg
+		}
+	}
+	return m.entries[len(m.entries)-1].Cfg // unreachable
+}
+
+// Entries returns the mix table (shared backing array; treat as read-only).
+func (m *JobMix) Entries() []MixEntry { return m.entries }
+
+// DefaultMix returns a small consolidation-study mix shaped from a base
+// input size: frequent small Terasorts, occasional larger ones, and a
+// lighter-shuffle WordCount. Blocks are cut to 1/16 of each entry's input
+// (floor 1 MiB) so every job runs multiple map waves — overlapping jobs
+// then genuinely contend for slots, and fair-share vs FIFO scheduling
+// visibly diverges.
+func DefaultMix(input units.ByteSize, reducers int) []MixEntry {
+	if input <= 0 {
+		panic("mapred: DefaultMix input must be positive")
+	}
+	if reducers < 1 {
+		reducers = 1
+	}
+	shape := func(cfg JobConfig, name string, in units.ByteSize, red int) JobConfig {
+		if in < 1 {
+			in = 1
+		}
+		if red < 1 {
+			red = 1
+		}
+		cfg.Name = name
+		cfg.InputSize = in
+		cfg.Reducers = red
+		cfg.BlockSize = in / 16
+		if min := units.ByteSize(1 * units.MiB); cfg.BlockSize < min {
+			cfg.BlockSize = min
+		}
+		if cfg.BlockSize > in {
+			cfg.BlockSize = in
+		}
+		return cfg
+	}
+	// Reducer counts are deliberately generous (the large job alone wants
+	// every reduce slot of the default 2-slot workers): reducers hold their
+	// slot for the whole shuffle, so overlapping jobs contend there — the
+	// contention point where FIFO and fair-share actually part ways.
+	return []MixEntry{
+		{Weight: 2, Cfg: shape(TerasortConfig(input, reducers), "terasort-small", input/4, reducers)},
+		{Weight: 1, Cfg: shape(TerasortConfig(input, reducers), "terasort-large", input/2, 2*reducers)},
+		{Weight: 1, Cfg: shape(WordCountConfig(input, reducers), "wordcount", input/2, reducers)},
+	}
+}

@@ -1,0 +1,164 @@
+package mapred_test
+
+import (
+	"testing"
+
+	"repro/internal/mapred"
+	"repro/internal/units"
+)
+
+// TestArrivalDeterminism pins the seeded generators: identical seeds replay
+// identical inter-arrival sequences, distinct seeds do not.
+func TestArrivalDeterminism(t *testing.T) {
+	draw := func(seed uint64) []units.Duration {
+		p := mapred.NewArrivalProcess(mapred.ArrivalPoisson, 100*units.Millisecond, seed)
+		out := make([]units.Duration, 1000)
+		for i := range out {
+			out[i] = p.Next()
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed draw %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestArrivalFixed(t *testing.T) {
+	p := mapred.NewArrivalProcess(mapred.ArrivalFixed, 250*units.Millisecond, 7)
+	for i := 0; i < 10; i++ {
+		if got := p.Next(); got != 250*units.Millisecond {
+			t.Fatalf("fixed arrival %d = %v, want 250ms", i, got)
+		}
+	}
+}
+
+// TestArrivalPoissonMean checks the exponential draws actually average to
+// the configured mean (law of large numbers tolerance).
+func TestArrivalPoissonMean(t *testing.T) {
+	mean := 10 * units.Millisecond
+	p := mapred.NewArrivalProcess(mapred.ArrivalPoisson, mean, 1)
+	const n = 50000
+	var sum units.Duration
+	for i := 0; i < n; i++ {
+		d := p.Next()
+		if d < 0 {
+			t.Fatalf("negative inter-arrival %v", d)
+		}
+		sum += d
+	}
+	got := float64(sum) / n
+	if got < 0.95*float64(mean) || got > 1.05*float64(mean) {
+		t.Fatalf("empirical mean %v, want ~%v", units.Duration(got), mean)
+	}
+}
+
+func TestArrivalProcessPanics(t *testing.T) {
+	assertPanics(t, "zero mean", func() {
+		mapred.NewArrivalProcess(mapred.ArrivalPoisson, 0, 1)
+	})
+	assertPanics(t, "bad kind", func() {
+		mapred.NewArrivalProcess(mapred.ArrivalKind(9), units.Second, 1)
+	})
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestJobMixValidation(t *testing.T) {
+	good := mapred.TerasortConfig(16*units.MiB, 2)
+	cases := []struct {
+		name    string
+		entries []mapred.MixEntry
+	}{
+		{"empty", nil},
+		{"zero weight", []mapred.MixEntry{{Weight: 0, Cfg: good}}},
+		{"invalid cfg", []mapred.MixEntry{{Weight: 1, Cfg: mapred.JobConfig{}}}},
+		{"replicated output", func() []mapred.MixEntry {
+			cfg := good
+			cfg.ReplicationFactor = 3
+			return []mapred.MixEntry{{Weight: 1, Cfg: cfg}}
+		}()},
+	}
+	for _, c := range cases {
+		if _, err := mapred.NewJobMix(c.entries, 1); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := mapred.NewJobMix([]mapred.MixEntry{{Weight: 1, Cfg: good}}, 1); err != nil {
+		t.Errorf("valid mix rejected: %v", err)
+	}
+}
+
+// TestJobMixPick pins the weighted draw: deterministic in the seed, and
+// distributed roughly by weight.
+func TestJobMixPick(t *testing.T) {
+	entries := []mapred.MixEntry{
+		{Weight: 3, Cfg: mapred.TerasortConfig(16*units.MiB, 2)},
+		{Weight: 1, Cfg: mapred.WordCountConfig(16*units.MiB, 2)},
+	}
+	mixA, err := mapred.NewJobMix(entries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixB, _ := mapred.NewJobMix(entries, 5)
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		a, b := mixA.Pick(), mixB.Pick()
+		if a.Name != b.Name {
+			t.Fatalf("same-seed picks diverged at %d: %s vs %s", i, a.Name, b.Name)
+		}
+		counts[a.Name]++
+	}
+	share := float64(counts["terasort"]) / n
+	if share < 0.72 || share > 0.78 {
+		t.Fatalf("terasort share %.3f, want ~0.75 (weights 3:1)", share)
+	}
+}
+
+// TestDefaultMixShapes checks every default entry is a valid, multi-wave
+// job: blocks are input/16 (floor 1 MiB), so overlapping jobs contend for
+// map slots.
+func TestDefaultMixShapes(t *testing.T) {
+	entries := mapred.DefaultMix(128*units.MiB, 8)
+	if len(entries) != 3 {
+		t.Fatalf("default mix has %d entries, want 3", len(entries))
+	}
+	for _, e := range entries {
+		if err := e.Cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", e.Cfg.Name, err)
+		}
+		if e.Cfg.NumMaps() < 16 {
+			t.Errorf("%s: %d maps — too few to contend for slots", e.Cfg.Name, e.Cfg.NumMaps())
+		}
+		if e.Cfg.ReplicationFactor > 1 {
+			t.Errorf("%s: replicated output in the default mix", e.Cfg.Name)
+		}
+	}
+	// Tiny inputs still validate (block floors at the input size).
+	for _, e := range mapred.DefaultMix(2*units.MiB, 1) {
+		if err := e.Cfg.Validate(); err != nil {
+			t.Errorf("tiny %s: %v", e.Cfg.Name, err)
+		}
+	}
+}

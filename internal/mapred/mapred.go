@@ -103,6 +103,19 @@ type JobConfig struct {
 	// the output through a two-hop DataNode write pipeline over the
 	// network (HDFS default).
 	ReplicationFactor int
+	// ShufflePort overrides the port this job's map-output servers listen
+	// on (0 = the well-known ShufflePort). The multi-job Scheduler hands
+	// each concurrent job a distinct port so their shuffle servers coexist
+	// on one stack.
+	ShufflePort uint16
+}
+
+// shufflePort resolves the job's map-output server port.
+func (c *JobConfig) shufflePort() uint16 {
+	if c.ShufflePort != 0 {
+		return c.ShufflePort
+	}
+	return ShufflePort
 }
 
 // TerasortConfig returns a Terasort-shaped job over the given input size:
@@ -260,6 +273,17 @@ type Job struct {
 	// FetchRetries counts shuffle fetches that failed (connection error)
 	// and were re-queued.
 	FetchRetries int
+
+	// Multi-job scheduling state. sched is nil when the job is the sole
+	// tenant (the original single-job path, which owns the worker slot
+	// counters directly); under a Scheduler the job keeps its own
+	// per-worker map queues and every slot acquisition is arbitrated.
+	sched  *Scheduler
+	schedQ [][]*MapTask // per-worker pending maps (scheduled mode only)
+	// runningMaps / runningReduces are the scheduler's fair-share
+	// accounting: tasks of this job currently holding a slot.
+	runningMaps    int
+	runningReduces int
 }
 
 // NewJob builds a job over the workers. Workers must already have stacks
@@ -327,7 +351,7 @@ const FetchRequestBytes = 120
 // reducer's connection delivers its fetch request, look up how many bytes
 // that fetch moves and stream them, then close.
 func (j *Job) installShuffleServer(w *Worker) {
-	w.Stack.Listen(ShufflePort, func(c *tcp.Conn) {
+	w.Stack.Listen(j.Cfg.shufflePort(), func(c *tcp.Conn) {
 		var got int
 		served := false
 		c.OnDeliver = func(n int) {
@@ -348,9 +372,23 @@ func (j *Job) installShuffleServer(w *Worker) {
 	})
 }
 
-// Start launches the job at the current simulated time.
+// Start launches the job at the current simulated time. Sole-tenant jobs
+// reset and own the workers' slot counters; scheduled jobs queue their maps
+// per worker and let the Scheduler arbitrate every slot.
 func (j *Job) Start() {
 	j.Started = j.eng.Now()
+	if j.sched != nil {
+		j.schedQ = make([][]*MapTask, len(j.workers))
+		for _, m := range j.Maps {
+			j.schedQ[m.Node] = append(j.schedQ[m.Node], m)
+		}
+		for _, w := range j.workers {
+			j.sched.pumpMaps(w)
+		}
+		// With slowstart 0, reducers launch immediately.
+		j.maybeStartReducers()
+		return
+	}
 	for _, w := range j.workers {
 		w.mapFree = w.Spec.MapSlots
 		w.reduceFree = w.Spec.ReduceSlots
@@ -409,19 +447,29 @@ func (j *Job) scheduleMaps(w *Worker) {
 		task := w.mapQueue[0]
 		w.mapQueue = w.mapQueue[1:]
 		w.mapFree--
-		task.State = TaskRunning
-		task.Start = j.eng.Now()
-		dur := w.Spec.mapTaskTime(task.Block, j.Cfg.OutputRatio)
-		j.eng.After(dur, func() { j.mapFinished(w, task) })
+		j.startMapTask(w, task)
 	}
+}
+
+// startMapTask launches one placed map task on a worker whose slot has
+// already been acquired (by scheduleMaps or by the Scheduler).
+func (j *Job) startMapTask(w *Worker, task *MapTask) {
+	task.State = TaskRunning
+	task.Start = j.eng.Now()
+	dur := w.Spec.mapTaskTime(task.Block, j.Cfg.OutputRatio)
+	j.eng.After(dur, func() { j.mapFinished(w, task) })
 }
 
 func (j *Job) mapFinished(w *Worker, task *MapTask) {
 	task.State = TaskDone
 	task.End = j.eng.Now()
-	w.mapFree++
 	j.mapsDone++
-	j.scheduleMaps(w)
+	if j.sched != nil {
+		j.sched.mapSlotFreed(j, w)
+	} else {
+		w.mapFree++
+		j.scheduleMaps(w)
+	}
 	j.maybeStartReducers()
 	// Publish this map's output to all live reducers.
 	for _, r := range j.Reduces {
@@ -445,6 +493,11 @@ func (j *Job) maybeStartReducers() {
 		return
 	}
 	j.reducersLive = true
+	if j.sched != nil {
+		// The shared reduce slots are granted by policy, not grabbed.
+		j.sched.pumpAllReduces()
+		return
+	}
 	// Sort reducers by node for deterministic slot assignment.
 	byNode := make([]*ReduceTask, len(j.Reduces))
 	copy(byNode, j.Reduces)
@@ -499,7 +552,7 @@ func (j *Job) startFetch(r *ReduceTask, mapID int) {
 	m := j.Maps[mapID]
 	size := m.OutputPerReducer(&j.Cfg)
 	src := j.workers[r.Node].Stack
-	dst := packet.Addr{Node: j.workers[m.Node].Stack.Host().ID(), Port: ShufflePort}
+	dst := packet.Addr{Node: j.workers[m.Node].Stack.Host().ID(), Port: j.Cfg.shufflePort()}
 
 	c := src.Dial(dst)
 	j.fetchSize[c.LocalAddr()] = size
@@ -548,18 +601,25 @@ func (j *Job) startReduceCompute(r *ReduceTask) {
 func (j *Job) reduceFinished(w *Worker, r *ReduceTask) {
 	r.State = TaskDone
 	r.End = j.eng.Now()
-	w.reduceFree++
 	j.reducesDone++
-	// Launch a waiting reducer wave if any.
-	for _, nxt := range j.Reduces {
-		if nxt.State == TaskPending && nxt.Node == r.Node && w.reduceFree > 0 {
-			w.reduceFree--
-			j.activateReducer(nxt)
+	if j.sched != nil {
+		j.sched.reduceSlotFreed(j, w)
+	} else {
+		w.reduceFree++
+		// Launch a waiting reducer wave if any.
+		for _, nxt := range j.Reduces {
+			if nxt.State == TaskPending && nxt.Node == r.Node && w.reduceFree > 0 {
+				w.reduceFree--
+				j.activateReducer(nxt)
+			}
 		}
 	}
 	if j.reducesDone == len(j.Reduces) {
 		j.done = true
 		j.Finished = j.eng.Now()
+		if j.sched != nil {
+			j.sched.jobDone(j)
+		}
 		if j.OnDone != nil {
 			j.OnDone(j)
 		}

@@ -1,0 +1,241 @@
+package mapred
+
+// Multi-job slot scheduler: the arbitration layer that lets several
+// MapReduce jobs overlap on one cluster's map/reduce slots, as a shared
+// Hadoop cluster does. The paper's motivating scenario is exactly this —
+// latency-sensitive services colocated with a *stream* of batch jobs — so
+// the multi-tenant experiments submit jobs through a Scheduler instead of
+// running one job to completion at a time.
+//
+// The Scheduler owns the workers' slot counters. Jobs submitted through it
+// keep their own per-worker map queues (Job.schedQ) and never touch a slot
+// directly: every grant flows through pumpMaps/pumpReduces, which apply the
+// configured policy when more than one job wants the same freed slot.
+// Everything iterates jobs in admission order and workers in index order,
+// so scheduling is deterministic.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// SchedPolicy selects how shared slots are granted across jobs.
+type SchedPolicy uint8
+
+// Scheduling policies.
+const (
+	// SchedFIFO grants every free slot to the earliest-admitted job with a
+	// runnable task — Hadoop's original JobQueueTaskScheduler behaviour:
+	// small jobs starve behind large ones.
+	SchedFIFO SchedPolicy = iota
+	// SchedFair grants each free slot to the job currently running the
+	// fewest tasks of that type (ties to the earliest admitted) — the
+	// Fair Scheduler's equal-share steady state.
+	SchedFair
+)
+
+// String names the policy as the CLIs spell it.
+func (p SchedPolicy) String() string {
+	if p == SchedFair {
+		return "fair"
+	}
+	return "fifo"
+}
+
+// Scheduler arbitrates a fixed worker set's map/reduce slots across
+// concurrently running jobs.
+type Scheduler struct {
+	eng     *sim.Engine
+	workers []*Worker
+	policy  SchedPolicy
+
+	jobs   []*Job // admission order
+	active int    // submitted jobs not yet done
+
+	// OnJobDone, if non-nil, fires when a submitted job completes.
+	OnJobDone func(*Job)
+}
+
+// NewScheduler builds a scheduler over the workers and takes ownership of
+// their slot counters (resetting them to the specs' capacities).
+func NewScheduler(eng *sim.Engine, workers []*Worker, policy SchedPolicy) *Scheduler {
+	if len(workers) == 0 {
+		panic("mapred: scheduler needs workers")
+	}
+	if policy > SchedFair {
+		panic(fmt.Sprintf("mapred: unknown scheduling policy %d", policy))
+	}
+	for _, w := range workers {
+		if err := w.Spec.Validate(); err != nil {
+			panic(err)
+		}
+		w.mapFree = w.Spec.MapSlots
+		w.reduceFree = w.Spec.ReduceSlots
+		w.mapQueue = nil
+	}
+	return &Scheduler{eng: eng, workers: workers, policy: policy}
+}
+
+// Submit admits a job at the current simulated time and starts it under the
+// scheduler's slot arbitration. If the config does not name a shuffle port,
+// the job is assigned a distinct one (ShufflePort + admission index) so
+// concurrent shuffle servers coexist on each stack. Replicated output is
+// rejected — overlapping jobs would contend for the well-known DataNode
+// port.
+func (s *Scheduler) Submit(cfg JobConfig) *Job {
+	if cfg.ReplicationFactor > 1 {
+		panic(fmt.Sprintf("mapred: job %s: replicated output is not supported under the multi-job scheduler", cfg.Name))
+	}
+	if cfg.ShufflePort == 0 {
+		cfg.ShufflePort = ShufflePort + uint16(len(s.jobs))
+	}
+	j := NewJob(s.eng, cfg, s.workers)
+	j.sched = s
+	s.jobs = append(s.jobs, j)
+	s.active++
+	j.Start()
+	return j
+}
+
+// Active returns the number of submitted jobs that have not completed.
+func (s *Scheduler) Active() int { return s.active }
+
+// Jobs returns every submitted job in admission order (shared slice; treat
+// as read-only).
+func (s *Scheduler) Jobs() []*Job { return s.jobs }
+
+// Policy returns the configured scheduling policy.
+func (s *Scheduler) Policy() SchedPolicy { return s.policy }
+
+// RunningTasks returns the jobs' currently running map and reduce task
+// totals — the fair-share accounting, exposed for invariant tests.
+func (s *Scheduler) RunningTasks(j *Job) (maps, reduces int) {
+	return j.runningMaps, j.runningReduces
+}
+
+// pickMapJob returns the job the next free map slot on w should go to, or
+// nil when no job has a map placed there.
+func (s *Scheduler) pickMapJob(w *Worker) *Job {
+	var best *Job
+	for _, j := range s.jobs {
+		if j.done || len(j.schedQ[w.Index]) == 0 {
+			continue
+		}
+		if s.policy == SchedFIFO {
+			return j
+		}
+		if best == nil || j.runningMaps < best.runningMaps {
+			best = j
+		}
+	}
+	return best
+}
+
+// pumpMaps grants w's free map slots until the slots or the placed work run
+// out.
+func (s *Scheduler) pumpMaps(w *Worker) {
+	for w.mapFree > 0 {
+		j := s.pickMapJob(w)
+		if j == nil {
+			return
+		}
+		q := j.schedQ[w.Index]
+		task := q[0]
+		j.schedQ[w.Index] = q[1:]
+		w.mapFree--
+		j.runningMaps++
+		j.startMapTask(w, task)
+	}
+}
+
+// mapSlotFreed returns j's slot on w to the pool and re-arbitrates it.
+func (s *Scheduler) mapSlotFreed(j *Job, w *Worker) {
+	j.runningMaps--
+	w.mapFree++
+	s.pumpMaps(w)
+}
+
+// nextPendingReduce returns j's first pending reducer placed on worker
+// node, or nil.
+func (j *Job) nextPendingReduce(node int) *ReduceTask {
+	if !j.reducersLive {
+		return nil
+	}
+	for _, r := range j.Reduces {
+		if r.State == TaskPending && r.Node == node {
+			return r
+		}
+	}
+	return nil
+}
+
+// pickReduceJob returns the job the next free reduce slot on w should go
+// to, or nil.
+func (s *Scheduler) pickReduceJob(w *Worker) *Job {
+	var best *Job
+	for _, j := range s.jobs {
+		if j.done || j.nextPendingReduce(w.Index) == nil {
+			continue
+		}
+		if s.policy == SchedFIFO {
+			return j
+		}
+		if best == nil || j.runningReduces < best.runningReduces {
+			best = j
+		}
+	}
+	return best
+}
+
+// pumpReduces grants w's free reduce slots by policy.
+func (s *Scheduler) pumpReduces(w *Worker) {
+	for w.reduceFree > 0 {
+		j := s.pickReduceJob(w)
+		if j == nil {
+			return
+		}
+		r := j.nextPendingReduce(w.Index)
+		w.reduceFree--
+		j.runningReduces++
+		j.activateReducer(r)
+	}
+}
+
+// pumpAllReduces re-arbitrates reduce slots on every worker (called when a
+// job's reducers first become eligible).
+func (s *Scheduler) pumpAllReduces() {
+	for _, w := range s.workers {
+		s.pumpReduces(w)
+	}
+}
+
+// reduceSlotFreed returns j's reduce slot on w to the pool and
+// re-arbitrates it.
+func (s *Scheduler) reduceSlotFreed(j *Job, w *Worker) {
+	j.runningReduces--
+	w.reduceFree++
+	s.pumpReduces(w)
+}
+
+// jobDone records a completion (reduceFinished calls it before the job's
+// own OnDone, so callbacks observe a consistent Active count).
+func (s *Scheduler) jobDone(j *Job) {
+	s.active--
+	if s.OnJobDone != nil {
+		s.OnJobDone(j)
+	}
+}
+
+// CompletedRuntimes returns the runtimes of completed jobs in admission
+// order.
+func (s *Scheduler) CompletedRuntimes() []units.Duration {
+	var out []units.Duration
+	for _, j := range s.jobs {
+		if j.done {
+			out = append(out, j.Runtime())
+		}
+	}
+	return out
+}

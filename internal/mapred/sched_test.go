@@ -1,0 +1,128 @@
+package mapred_test
+
+import (
+	"testing"
+
+	"repro/internal/mapred"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// schedRig submits a large job at t=1ms and a small job at t=5ms on a
+// 2-node cluster under the given policy, drives the engine until both
+// complete, and returns the jobs. The large job's 8 reducers need two full
+// waves of the cluster's 4 reduce slots, so the small job's reducers must
+// be granted by the policy, not by luck.
+func schedRig(t *testing.T, policy mapred.SchedPolicy) (large, small *mapred.Job, sched *mapred.Scheduler, eng *sim.Engine) {
+	t.Helper()
+	eng, workers := rig(t, 2)
+	sched = mapred.NewScheduler(eng, workers, policy)
+
+	largeCfg := mapred.TerasortConfig(32*units.MiB, 8)
+	largeCfg.BlockSize = 2 * units.MiB
+	largeCfg.Name = "large"
+	smallCfg := mapred.TerasortConfig(4*units.MiB, 2)
+	smallCfg.BlockSize = 1 * units.MiB
+	smallCfg.Name = "small"
+
+	eng.Schedule(units.Time(1*units.Millisecond), func() { large = sched.Submit(largeCfg) })
+	eng.Schedule(units.Time(5*units.Millisecond), func() { small = sched.Submit(smallCfg) })
+
+	// Invariant sampler: the jobs' running totals never exceed the shared
+	// slot capacity (2 nodes x 2 slots of each kind) and never go negative.
+	var sample func()
+	sample = func() {
+		var maps, reduces int
+		for _, j := range sched.Jobs() {
+			m, r := sched.RunningTasks(j)
+			if m < 0 || r < 0 {
+				t.Fatalf("negative running-task count: maps=%d reduces=%d", m, r)
+			}
+			maps += m
+			reduces += r
+		}
+		if maps > 4 || reduces > 4 {
+			t.Fatalf("slots oversubscribed: %d running maps, %d running reduces (4 of each)", maps, reduces)
+		}
+		if sched.Active() > 0 {
+			eng.After(units.Duration(2*units.Millisecond), sample)
+		}
+	}
+	eng.Schedule(units.Time(2*units.Millisecond), sample)
+
+	deadline := units.Time(120 * units.Second)
+	for sched.Active() > 0 || large == nil || small == nil {
+		if !eng.Step() {
+			t.Fatal("scheduler deadlocked")
+		}
+		if eng.Now() > deadline {
+			t.Fatal("scheduler run exceeded deadline")
+		}
+	}
+	return large, small, sched, eng
+}
+
+// TestSchedulerFairVsFIFO pins the policies' defining difference: under
+// FIFO the earliest-admitted (large) job monopolizes freed reduce slots and
+// the small job waits out its waves; under fair-share the small job is
+// granted slots as they free and finishes strictly earlier.
+func TestSchedulerFairVsFIFO(t *testing.T) {
+	_, smallFIFO, _, _ := schedRig(t, mapred.SchedFIFO)
+	_, smallFair, _, _ := schedRig(t, mapred.SchedFair)
+	if !smallFIFO.Done() || !smallFair.Done() {
+		t.Fatal("small job did not complete")
+	}
+	if smallFair.Runtime() >= smallFIFO.Runtime() {
+		t.Errorf("fair-share small-job runtime %v not better than FIFO %v",
+			smallFair.Runtime(), smallFIFO.Runtime())
+	}
+}
+
+// TestSchedulerDeterminism runs the same submission schedule twice and
+// expects identical completion times.
+func TestSchedulerDeterminism(t *testing.T) {
+	l1, s1, _, _ := schedRig(t, mapred.SchedFair)
+	l2, s2, _, _ := schedRig(t, mapred.SchedFair)
+	if l1.Finished != l2.Finished || s1.Finished != s2.Finished {
+		t.Fatalf("replayed run diverged: large %v vs %v, small %v vs %v",
+			l1.Finished, l2.Finished, s1.Finished, s2.Finished)
+	}
+}
+
+// TestSchedulerAccounting checks completion bookkeeping: all jobs done,
+// zero running tasks, distinct auto-assigned shuffle ports, and runtimes
+// reported for every completed job.
+func TestSchedulerAccounting(t *testing.T) {
+	large, small, sched, _ := schedRig(t, mapred.SchedFIFO)
+	if sched.Active() != 0 {
+		t.Errorf("Active = %d after completion", sched.Active())
+	}
+	for _, j := range sched.Jobs() {
+		if m, r := sched.RunningTasks(j); m != 0 || r != 0 {
+			t.Errorf("%s: running tasks after completion: maps=%d reduces=%d", j.Cfg.Name, m, r)
+		}
+	}
+	if large.Cfg.ShufflePort == small.Cfg.ShufflePort {
+		t.Errorf("concurrent jobs share shuffle port %d", large.Cfg.ShufflePort)
+	}
+	if got := sched.CompletedRuntimes(); len(got) != 2 {
+		t.Errorf("CompletedRuntimes = %d entries, want 2", len(got))
+	}
+	if sched.Policy() != mapred.SchedFIFO {
+		t.Errorf("Policy = %v, want fifo", sched.Policy())
+	}
+	// Both jobs moved their full input through the shuffle.
+	if large.ShuffledBytes() == 0 || small.ShuffledBytes() == 0 {
+		t.Errorf("shuffled bytes: large=%v small=%v", large.ShuffledBytes(), small.ShuffledBytes())
+	}
+}
+
+// TestSchedulerRejectsReplication pins the port-clash guard: overlapping
+// jobs cannot stream replicated output through the shared DataNode port.
+func TestSchedulerRejectsReplication(t *testing.T) {
+	eng, workers := rig(t, 2)
+	sched := mapred.NewScheduler(eng, workers, mapred.SchedFIFO)
+	cfg := mapred.TerasortConfig(4*units.MiB, 2)
+	cfg.ReplicationFactor = 3
+	assertPanics(t, "replicated submit", func() { sched.Submit(cfg) })
+}

@@ -108,6 +108,11 @@ type Collector struct {
 	tierPortOcc map[*netsim.Port]*stats.TimeWeighted
 	tierPorts   [TierCount][]*stats.TimeWeighted
 	watchTiers  bool
+
+	// latWindows, when non-nil, accumulates per-packet latency into fixed
+	// time windows for steady-state percentile series (P50/P99 per window).
+	// Off by default — the hot path pays only a nil test.
+	latWindows *stats.Windowed
 }
 
 // New creates an empty collector. If reservoir is > 0, per-packet latency
@@ -138,6 +143,23 @@ func (c *Collector) WatchTiers() {
 		c.tierPortOcc = make(map[*netsim.Port]*stats.TimeWeighted)
 	}
 }
+
+// WatchLatencyWindows enables time-windowed per-packet latency tracking:
+// windows of the given width starting at start (seconds), at most limit
+// windows (observations beyond are dropped). Each window's sample store is
+// reservoir-bounded to the collector's usual capacity so a long window
+// cannot grow without bound. Read back via LatencyWindows.
+func (c *Collector) WatchLatencyWindows(start, width float64, limit, reservoir int, seed uint64) {
+	if reservoir > 0 {
+		c.latWindows = stats.NewWindowedReservoir(start, width, limit, reservoir, seed^0x71a7)
+	} else {
+		c.latWindows = stats.NewWindowed(start, width, limit)
+	}
+}
+
+// LatencyWindows returns the windowed latency accumulator (nil unless
+// WatchLatencyWindows was enabled).
+func (c *Collector) LatencyWindows() *stats.Windowed { return c.latWindows }
 
 // SetPortTier registers a port's fabric tier for per-tier aggregation.
 // Re-registering a port is a no-op (a port has one place in the fabric).
@@ -199,6 +221,9 @@ func (c *Collector) PacketDelivered(now units.Time, p *packet.Packet) {
 	c.DeliveredPackets++
 	lat := now.Sub(p.SentAt).Seconds()
 	c.Latency.Add(lat)
+	if c.latWindows != nil {
+		c.latWindows.Add(now.Seconds(), lat)
+	}
 	if p.Payload > 0 {
 		c.DataLatency.Add(lat)
 		node := int(p.Dst.Node)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/packet"
 	"repro/internal/qdisc"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -386,10 +387,7 @@ func FlowHash(seed uint64, src, dst packet.Addr) uint64 {
 	x := seed
 	x ^= uint64(uint32(src.Node)) | uint64(uint32(dst.Node))<<32
 	x ^= (uint64(src.Port) | uint64(dst.Port)<<16) << 13
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	return rng.SplitMix64(x)
 }
 
 // Switch forwards packets to an egress port registered for the packet's

@@ -15,16 +15,25 @@ type Source struct {
 	s [4]uint64
 }
 
+// SplitMix64 advances x by the golden-ratio gamma and applies the
+// splitmix64 finalizer — the stateless mixer shared by everything that
+// needs a pure hash of a seed (stream seeding here, ECMP flow hashing in
+// netsim, fleet response sizes in flow). One implementation, so a tweak
+// cannot drift between call sites.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // New creates a Source from a 64-bit seed.
 func New(seed uint64) *Source {
 	var src Source
 	sm := seed
 	for i := range src.s {
+		src.s[i] = SplitMix64(sm)
 		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		src.s[i] = z ^ (z >> 31)
 	}
 	return &src
 }

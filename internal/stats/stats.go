@@ -247,6 +247,115 @@ func (h *Histogram) BinBounds(i int) (float64, float64) {
 	return h.lo + float64(i)*w, h.lo + float64(i+1)*w
 }
 
+// Windowed partitions timestamped observations into fixed-width time
+// windows and reports per-window statistics — the steady-state view the
+// multi-tenant experiments need (P50/P99 latency per measurement window)
+// instead of one whole-run aggregate.
+//
+// Window i covers [start + i*width, start + (i+1)*width). Observations
+// before start are discarded; when a window limit is set, observations at
+// or beyond the last window are discarded too. Windows materialize lazily
+// in Add, so a quiet tail costs nothing.
+type Windowed struct {
+	start, width float64
+	limit        int     // max windows (0 = unbounded)
+	cutoff       float64 // drop observations at/after this time (0 = none)
+	reservoir    int     // per-window sample bound (0 = keep all)
+	seed         uint64
+	wins         []*Sample
+}
+
+// NewWindowed returns a windowed accumulator over [start, start+limit*width)
+// (limit 0 = unbounded). width must be positive.
+func NewWindowed(start, width float64, limit int) *Windowed {
+	if width <= 0 {
+		panic("stats: window width must be positive")
+	}
+	if limit < 0 {
+		panic("stats: window limit must be non-negative")
+	}
+	return &Windowed{start: start, width: width, limit: limit}
+}
+
+// NewWindowedReservoir is NewWindowed with each window's sample store bounded
+// by reservoir sampling (means and counts remain exact).
+func NewWindowedReservoir(start, width float64, limit, capacity int, seed uint64) *Windowed {
+	w := NewWindowed(start, width, limit)
+	if capacity <= 0 {
+		panic("stats: windowed reservoir capacity must be positive")
+	}
+	w.reservoir = capacity
+	w.seed = seed
+	return w
+}
+
+// SetCutoff drops observations at or after t (seconds) even when they fall
+// inside the last window — for measurement phases that end mid-window, so
+// the final window cannot absorb post-phase samples.
+func (w *Windowed) SetCutoff(t float64) { w.cutoff = t }
+
+// Add records observation v at time t (seconds). Observations outside the
+// covered range (or at/after the cutoff) are dropped.
+func (w *Windowed) Add(t, v float64) {
+	if t < w.start {
+		return
+	}
+	if w.cutoff != 0 && t >= w.cutoff {
+		return
+	}
+	i := int((t - w.start) / w.width)
+	if w.limit > 0 && i >= w.limit {
+		return
+	}
+	for len(w.wins) <= i {
+		w.wins = append(w.wins, nil)
+	}
+	if w.wins[i] == nil {
+		if w.reservoir > 0 {
+			// Distinct seeds per window keep the reservoirs independent.
+			w.wins[i] = NewReservoir(w.reservoir, w.seed+uint64(i)*0x9e3779b97f4a7c15+1)
+		} else {
+			w.wins[i] = NewSample()
+		}
+	}
+	w.wins[i].Add(v)
+}
+
+// Windows returns the number of materialized windows (the highest window
+// index observed plus one; trailing quiet windows are not counted).
+func (w *Windowed) Windows() int { return len(w.wins) }
+
+// WindowStart returns the start time of window i in seconds.
+func (w *Windowed) WindowStart(i int) float64 { return w.start + float64(i)*w.width }
+
+// Width returns the window width in seconds.
+func (w *Windowed) Width() float64 { return w.width }
+
+// Count returns the number of observations in window i (0 if the window was
+// never materialized or is out of range).
+func (w *Windowed) Count(i int) uint64 {
+	if i < 0 || i >= len(w.wins) || w.wins[i] == nil {
+		return 0
+	}
+	return w.wins[i].N()
+}
+
+// Quantile returns the q-quantile of window i (0 when the window is empty).
+func (w *Windowed) Quantile(i int, q float64) float64 {
+	if i < 0 || i >= len(w.wins) || w.wins[i] == nil {
+		return 0
+	}
+	return w.wins[i].Quantile(q)
+}
+
+// Mean returns the exact mean of window i (0 when empty).
+func (w *Windowed) Mean(i int) float64 {
+	if i < 0 || i >= len(w.wins) || w.wins[i] == nil {
+		return 0
+	}
+	return w.wins[i].Mean()
+}
+
 // TimeWeighted tracks the time-average of a step function, e.g. queue
 // occupancy sampled at transition instants.
 type TimeWeighted struct {

@@ -1,0 +1,130 @@
+package stats_test
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestWindowedPartitioning is the windowed-percentile regression test:
+// observations land in the window their timestamp selects, quantiles are
+// computed per window, and out-of-range observations are dropped.
+func TestWindowedPartitioning(t *testing.T) {
+	w := stats.NewWindowed(10.0, 1.0, 3) // [10,11) [11,12) [12,13)
+	// Window 0: 1..100. Window 2: constant 5. Window 1: empty.
+	for i := 1; i <= 100; i++ {
+		w.Add(10.0+float64(i)/101/10, float64(i))
+	}
+	for i := 0; i < 10; i++ {
+		w.Add(12.5, 5)
+	}
+	w.Add(9.9, 1e9)  // before start: dropped
+	w.Add(13.0, 1e9) // beyond the limit: dropped
+	w.Add(42.0, 1e9) // far beyond: dropped
+
+	if got := w.Windows(); got != 3 {
+		t.Fatalf("Windows = %d, want 3", got)
+	}
+	if got := w.Count(0); got != 100 {
+		t.Errorf("window 0 count = %d, want 100", got)
+	}
+	if got := w.Quantile(0, 0.5); got != 50.5 {
+		t.Errorf("window 0 median = %g, want 50.5", got)
+	}
+	if got := w.Quantile(0, 0.99); got < 99 || got > 100 {
+		t.Errorf("window 0 p99 = %g, want in [99,100]", got)
+	}
+	if got := w.Count(1); got != 0 {
+		t.Errorf("empty window count = %d", got)
+	}
+	if got := w.Quantile(1, 0.99); got != 0 {
+		t.Errorf("empty window p99 = %g, want 0", got)
+	}
+	if got := w.Quantile(2, 0.99); got != 5 {
+		t.Errorf("window 2 p99 = %g, want 5", got)
+	}
+	if got := w.Mean(2); got != 5 {
+		t.Errorf("window 2 mean = %g, want 5", got)
+	}
+	if got := w.WindowStart(2); got != 12.0 {
+		t.Errorf("WindowStart(2) = %g, want 12", got)
+	}
+	if got := w.Width(); got != 1.0 {
+		t.Errorf("Width = %g, want 1", got)
+	}
+	// Out-of-range reads are zero, not panics.
+	if w.Count(-1) != 0 || w.Count(99) != 0 || w.Quantile(99, 0.5) != 0 {
+		t.Error("out-of-range window reads not zero")
+	}
+}
+
+// TestWindowedCutoff pins the mid-window phase boundary: when the covered
+// span outruns the phase (limit*width > measure), observations at or after
+// the cutoff must not leak into the last window.
+func TestWindowedCutoff(t *testing.T) {
+	w := stats.NewWindowed(0, 0.3, 4) // covers [0, 1.2) but the phase ends at 1.0
+	w.SetCutoff(1.0)
+	w.Add(0.95, 1) // inside window 3 and the phase: kept
+	w.Add(1.0, 99) // at the cutoff: dropped
+	w.Add(1.1, 99) // inside window 3 but after the phase: dropped
+	if got := w.Count(3); got != 1 {
+		t.Fatalf("last window count = %d, want 1 (post-cutoff samples leaked)", got)
+	}
+	if got := w.Quantile(3, 0.99); got != 1 {
+		t.Errorf("last window p99 = %g, want 1", got)
+	}
+}
+
+// TestWindowedUnbounded grows windows on demand when no limit is set.
+func TestWindowedUnbounded(t *testing.T) {
+	w := stats.NewWindowed(0, 1.0, 0)
+	w.Add(7.5, 1)
+	if got := w.Windows(); got != 8 {
+		t.Fatalf("Windows = %d, want 8 (lazily materialized through index 7)", got)
+	}
+	if w.Count(7) != 1 || w.Count(3) != 0 {
+		t.Error("observation landed in the wrong window")
+	}
+}
+
+// TestWindowedReservoir keeps exact counts and means while bounding stored
+// samples, deterministically in the seed.
+func TestWindowedReservoir(t *testing.T) {
+	run := func(seed uint64) *stats.Windowed {
+		w := stats.NewWindowedReservoir(0, 1.0, 2, 64, seed)
+		for i := 0; i < 10000; i++ {
+			w.Add(0.5, float64(i))
+		}
+		return w
+	}
+	a, b := run(9), run(9)
+	if a.Count(0) != 10000 {
+		t.Fatalf("reservoir count = %d, want exact 10000", a.Count(0))
+	}
+	if got, want := a.Mean(0), 4999.5; got != want {
+		t.Errorf("reservoir mean = %g, want exact %g", got, want)
+	}
+	if a.Quantile(0, 0.5) != b.Quantile(0, 0.5) {
+		t.Error("same-seed reservoirs disagree on the median")
+	}
+	if m := a.Quantile(0, 0.5); m < 2000 || m > 8000 {
+		t.Errorf("reservoir median %g implausible for uniform 0..9999", m)
+	}
+}
+
+func TestWindowedPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero width":     func() { stats.NewWindowed(0, 0, 1) },
+		"negative limit": func() { stats.NewWindowed(0, 1, -1) },
+		"zero reservoir": func() { stats.NewWindowedReservoir(0, 1, 1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# checklinks.sh — fail on broken intra-repo markdown links.
+#
+# Scans every tracked *.md file for inline links/images whose target is a
+# relative path (external schemes and pure #anchors are ignored), strips any
+# #fragment, and verifies the target exists relative to the linking file.
+# Run from the repository root:
+#
+#   ./scripts/checklinks.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r file; do
+    # SNIPPETS.md quotes exemplar files from other repositories verbatim;
+    # links inside quoted material are not ours to keep working.
+    case "$file" in
+    SNIPPETS.md) continue ;;
+    esac
+    dir="$(dirname "$file")"
+    # Inline markdown links: [text](target) — one target per line via grep -o.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | "#"*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "broken link: $file -> $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)<>[:space:]]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//' || true)
+done < <(git ls-files '*.md')
+
+if [ "$fail" -ne 0 ]; then
+    echo "checklinks: broken intra-repo markdown links found" >&2
+    exit 1
+fi
+echo "checklinks: all intra-repo markdown links resolve"
