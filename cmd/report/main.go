@@ -1,0 +1,199 @@
+// Command report keeps the documentation's quoted tables true by
+// construction: it executes the registered campaign book (ecnsim.Campaigns)
+// and splices the rendered markdown tables into the documentation files
+// between "<!-- report:NAME -->" / "<!-- /report:NAME -->" markers. The
+// reserved "scenarios" block renders the scenario registry itself.
+//
+// Without -check it rewrites the files in place; with -check it compares the
+// regenerated tables against the committed bytes and exits 1 on drift — the
+// CI docs gate. Runs are memoized in a content-addressed result cache keyed
+// by (results version, scenario, canonical configuration, seed), so repeated
+// invocations re-simulate nothing.
+//
+// Usage:
+//
+//	report [-check] [-quick] [-docs README.md,EXPERIMENTS.md]
+//	       [-cache DIR | -nocache] [-workers N] [-list]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+
+	"repro/ecnsim"
+	"repro/internal/pool"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		check    = flag.Bool("check", false, "compare regenerated tables against the committed files; exit 1 on drift")
+		quick    = flag.Bool("quick", false, "run campaigns at quick (CI/test) scale — the scale of the committed tables")
+		docsFlag = flag.String("docs", "README.md,EXPERIMENTS.md", "comma-separated documentation files to render into")
+		cacheDir = flag.String("cache", ecnsim.DefaultCacheDir(), "result cache directory")
+		nocache  = flag.Bool("nocache", false, "disable the result cache (every run re-simulates)")
+		workers  = flag.Int("workers", 0, "concurrent simulations per campaign (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list the registered campaign book and exit")
+		quiet    = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range ecnsim.Campaigns() {
+			fmt.Printf("%-16s scenario=%-16s rows=%d  %s\n", c.Name, c.Scenario, len(c.Rows), c.Title)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runner := &ecnsim.CampaignRunner{Workers: *workers, Quick: *quick}
+	if !*nocache {
+		cache, err := ecnsim.OpenCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		runner.Cache = cache
+	}
+	if !*quiet {
+		runner.Progress = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done+1, total, label)
+		}
+	}
+
+	docs := strings.Split(*docsFlag, ",")
+	type docState struct {
+		path string
+		text string
+	}
+	var (
+		states []*docState
+		needed = map[string][]string{} // block name -> files using it
+	)
+	for _, path := range docs {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		blocks, err := report.Parse(string(data))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		st := &docState{path: path, text: string(data)}
+		for _, b := range blocks {
+			needed[b.Name] = append(needed[b.Name], path)
+		}
+		states = append(states, st)
+	}
+
+	// Every marker must correspond to a campaign (or the reserved registry
+	// table), and every registered campaign must be documented somewhere —
+	// a scenario added with a campaign but no marker fails here, telling the
+	// author exactly what to paste.
+	var problems []string
+	for name := range needed {
+		if name == "scenarios" {
+			continue
+		}
+		if _, ok := ecnsim.CampaignFor(name); !ok {
+			problems = append(problems, fmt.Sprintf("marker %q (%s) names no registered campaign", name, strings.Join(needed[name], ", ")))
+		}
+	}
+	for _, c := range ecnsim.Campaigns() {
+		if _, ok := needed[c.Name]; !ok {
+			problems = append(problems, fmt.Sprintf("campaign %q has no <!-- report:%s --> block in %s", c.Name, c.Name, *docsFlag))
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "report: "+p)
+		}
+		os.Exit(1)
+	}
+
+	// Execute the needed campaigns and render block contents.
+	content := map[string]string{}
+	if _, ok := needed["scenarios"]; ok {
+		content["scenarios"] = report.BlockContent(report.ScenarioTable(), *quick)
+	}
+	names := make([]string, 0, len(needed))
+	for name := range needed {
+		if name != "scenarios" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	// Campaigns execute concurrently (each additionally fans its own rows
+	// over the runner's workers — single-row campaigns would otherwise
+	// serialize the cold CI gate); results are collected by index and
+	// spliced after everything drains, so output bytes never depend on
+	// completion order.
+	rendered := make([]string, len(names))
+	errs := make([]error, len(names))
+	cp := &pool.Pool{Workers: len(names)}
+	poolErr := cp.Run(ctx, len(names), func(i int) {
+		camp, _ := ecnsim.CampaignFor(names[i])
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "campaign %s (%s, %d rows)\n", camp.Name, camp.Scenario, len(camp.Rows))
+		}
+		cr, err := runner.Run(ctx, camp)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rendered[i] = report.BlockContent(report.CampaignTable(cr), *quick)
+	})
+	if poolErr != nil {
+		fatal(poolErr)
+	}
+	for i, err := range errs {
+		if err != nil {
+			fatal(err)
+		}
+		content[names[i]] = rendered[i]
+	}
+	if runner.Cache != nil && !*quiet {
+		hits, misses := runner.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hit(s), %d miss(es) (%s)\n", hits, misses, *cacheDir)
+	}
+
+	drifted := 0
+	for _, st := range states {
+		next, err := report.Splice(st.text, content)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", st.path, err))
+		}
+		switch {
+		case next == st.text:
+			fmt.Printf("report: %s up to date\n", st.path)
+		case *check:
+			drifted++
+			fmt.Printf("report: %s drifted:\n%s", st.path, report.Diff(st.text, next))
+		default:
+			if err := os.WriteFile(st.path, []byte(next), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("report: wrote %s\n", st.path)
+		}
+	}
+	if drifted > 0 {
+		fmt.Fprintf(os.Stderr, "report: %d file(s) drifted from the campaign book — regenerate with: go run ./cmd/report -quick\n", drifted)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

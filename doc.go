@@ -25,6 +25,6 @@
 //	go test -bench=Figure -benchmem
 //
 // and the commands under cmd/ expose the same as CLIs (cmd/figures,
-// cmd/sweep, cmd/hadoopsim, cmd/queueviz, cmd/bench). See README.md for
-// the quickstart and scenario overview.
+// cmd/sweep, cmd/hadoopsim, cmd/queueviz, cmd/bench, cmd/report). See
+// README.md for the quickstart and scenario overview.
 package repro

@@ -1,0 +1,97 @@
+// Registry-vs-docs drift gate: the scenario registry, the campaign book and
+// the documentation must cover each other. A scenario without a campaign, a
+// campaign without a report marker, or a README scenario table missing a
+// registered scenario fails here — before cmd/report ever runs.
+package repro_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/ecnsim"
+	"repro/internal/report"
+)
+
+// docFiles are the files cmd/report renders into (its -docs default).
+var docFiles = []string{"README.md", "EXPERIMENTS.md"}
+
+func parseDoc(t *testing.T, path string) (string, []report.Block) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := report.Parse(string(data))
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return string(data), blocks
+}
+
+// TestEveryScenarioHasACampaign pins the "documented table for free"
+// guarantee: registering a scenario without adding it to the campaign book
+// is a test failure, not silent undocumentation.
+func TestEveryScenarioHasACampaign(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, c := range ecnsim.Campaigns() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("registered campaign %q is invalid: %v", c.Name, err)
+		}
+		covered[c.Scenario] = true
+	}
+	for _, name := range ecnsim.Scenarios() {
+		if !covered[name] {
+			t.Errorf("scenario %q has no campaign definition (add one in ecnsim/campaigns.go)", name)
+		}
+	}
+}
+
+// TestEveryCampaignHasAReportBlock pins that the book lands in the docs:
+// each campaign's marker pair must exist in one of the rendered files, and
+// every marker must name a campaign (or the reserved scenario registry).
+func TestEveryCampaignHasAReportBlock(t *testing.T) {
+	markers := make(map[string]string) // name -> file
+	for _, path := range docFiles {
+		_, blocks := parseDoc(t, path)
+		for _, b := range blocks {
+			if prev, dup := markers[b.Name]; dup {
+				t.Errorf("marker %q appears in both %s and %s", b.Name, prev, path)
+			}
+			markers[b.Name] = path
+		}
+	}
+	for _, c := range ecnsim.Campaigns() {
+		if _, ok := markers[c.Name]; !ok {
+			t.Errorf("campaign %q has no <!-- report:%s --> block in %v", c.Name, c.Name, docFiles)
+		}
+	}
+	for name, file := range markers {
+		if name == "scenarios" {
+			continue
+		}
+		if _, ok := ecnsim.CampaignFor(name); !ok {
+			t.Errorf("%s: marker %q names no registered campaign", file, name)
+		}
+	}
+}
+
+// TestREADMEListsEveryScenario pins the README scenario table (the generated
+// "scenarios" block) to the registry.
+func TestREADMEListsEveryScenario(t *testing.T) {
+	text, blocks := parseDoc(t, "README.md")
+	var table string
+	for _, b := range blocks {
+		if b.Name == "scenarios" {
+			table = text[b.Start:b.End]
+		}
+	}
+	if table == "" {
+		t.Fatal("README.md has no <!-- report:scenarios --> block")
+	}
+	for _, name := range ecnsim.Scenarios() {
+		if !strings.Contains(table, "`"+name+"`") {
+			t.Errorf("README scenario table is missing %q — regenerate with: go run ./cmd/report -quick", name)
+		}
+	}
+}

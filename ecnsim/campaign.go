@@ -1,0 +1,422 @@
+package ecnsim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/experiment"
+	"repro/internal/pool"
+)
+
+// A Campaign is a declarative measurement table: one registered scenario run
+// over a list of option cells, rendered as the columns it declares. Campaigns
+// are what keeps the documentation true by construction — cmd/report executes
+// the registered book, splices the resulting tables into the markdown files
+// between report markers, and CI fails when a committed table no longer
+// matches a regenerated one.
+//
+// Campaigns execute at one of two scales: the full scale described by Common
+// alone, or quick scale, where the Quick options are appended after each
+// row's options (so they win on the workload knobs they set). The committed
+// documentation tables are quick scale — small enough that the CI drift gate
+// re-simulates the whole book on every push.
+type Campaign struct {
+	// Name is the registry key and the marker name the tables splice under
+	// ("<!-- report:NAME -->"); lowercase letters, digits and dashes.
+	Name string
+	// Title renders above the table.
+	Title string
+	// Scenario is the ecnsim scenario registry key every row runs.
+	Scenario string
+	// Note, if non-empty, renders as a one-line reading aid under the table.
+	Note string
+
+	// Common options apply to every row, before the row's own options.
+	Common []Option
+	// Quick options are appended after the row options at quick scale.
+	Quick []Option
+
+	// Rows are the table's cells in render order.
+	Rows []CampaignRow
+	// Replications averages every cell over this many consecutive seeds
+	// (0 or 1 = single run), exactly like Runner.Replications.
+	Replications int
+
+	// Columns declare what the table shows, in render order.
+	Columns []Column
+}
+
+// CampaignRow is one option cell. A scenario that returns several result
+// rows per run (aqmcompare, tenantmix, ...) expands the cell into that many
+// table rows.
+type CampaignRow struct {
+	// Label overrides the rendered row label when the scenario returns a
+	// single result row; multi-row results keep their own labels.
+	Label string
+	// Options apply after the campaign's Common options.
+	Options []Option
+}
+
+// Column maps one result metric onto a rendered table column.
+type Column struct {
+	// Header is the column heading.
+	Header string
+	// Key is the Result value key the column reads.
+	Key string
+	// Format selects the rendering (ignored when Norm is set).
+	Format ColumnFormat
+	// Norm renders the value as a multiple of the table's first row —
+	// the paper's "normalized to the DropTail baseline" idiom. A zero or
+	// missing baseline renders as an em dash.
+	Norm bool
+}
+
+// ColumnFormat selects how a metric value renders in a table cell. Values
+// are deterministic, so the formatting only has to be readable and stable —
+// three significant digits with an adaptive unit.
+type ColumnFormat uint8
+
+// Column formats.
+const (
+	// FormatSeconds renders a value in seconds as an adaptive duration
+	// ("1.42s", "87.3ms", "25µs").
+	FormatSeconds ColumnFormat = iota
+	// FormatBandwidth renders bits per second adaptively ("1.2Gbps").
+	FormatBandwidth
+	// FormatCount renders a count; replication-averaged non-integers keep
+	// one decimal.
+	FormatCount
+	// FormatBytes renders a byte count in binary units.
+	FormatBytes
+	// FormatFloat renders three significant digits.
+	FormatFloat
+	// FormatBool renders 0 as "no" and anything else as "yes".
+	FormatBool
+)
+
+// missingCell renders for absent keys and undefined normalizations.
+const missingCell = "—"
+
+// Cell renders the column's value for row r. base is the table's first row,
+// the normalization baseline.
+func (col Column) Cell(r, base Result) string {
+	v, ok := r.Values[col.Key]
+	if !ok {
+		return missingCell
+	}
+	if col.Norm {
+		b, ok := base.Values[col.Key]
+		if !ok || b == 0 {
+			return missingCell
+		}
+		return strconv.FormatFloat(v/b, 'f', 2, 64) + "×"
+	}
+	switch col.Format {
+	case FormatBandwidth:
+		return formatScaled(v, []unitStep{{1e9, "Gbps"}, {1e6, "Mbps"}, {1e3, "Kbps"}, {1, "bps"}})
+	case FormatCount:
+		if v == math.Trunc(v) {
+			return strconv.FormatFloat(v, 'f', 0, 64)
+		}
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	case FormatBytes:
+		return formatScaled(v, []unitStep{{1 << 30, "GiB"}, {1 << 20, "MiB"}, {1 << 10, "KiB"}, {1, "B"}})
+	case FormatFloat:
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	case FormatBool:
+		if v == 0 {
+			return "no"
+		}
+		return "yes"
+	default: // FormatSeconds
+		return formatScaled(v, []unitStep{{1, "s"}, {1e-3, "ms"}, {1e-6, "µs"}, {1e-9, "ns"}})
+	}
+}
+
+type unitStep struct {
+	scale float64
+	name  string
+}
+
+// formatScaled renders v with three significant digits against the largest
+// unit that keeps the mantissa >= 1 (the smallest unit otherwise).
+func formatScaled(v float64, steps []unitStep) string {
+	if v == 0 {
+		return "0" + steps[len(steps)-1].name
+	}
+	neg := ""
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	step := steps[len(steps)-1]
+	for _, s := range steps {
+		if v >= s.scale {
+			step = s
+			break
+		}
+	}
+	m := v / step.scale
+	// Three significant digits without drifting into scientific notation:
+	// pick the decimal count from the magnitude.
+	var prec int
+	switch {
+	case m >= 100:
+		prec = 0
+	case m >= 10:
+		prec = 1
+	default:
+		prec = 2
+	}
+	return neg + strconv.FormatFloat(m, 'f', prec, 64) + step.name
+}
+
+var campaignNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9-]*$`)
+
+// Validate reports the first structural problem: a malformed name, an
+// unregistered scenario, or a shapeless table. It is called by every
+// CampaignRunner.Run, so a broken definition fails loudly before simulating.
+func (c Campaign) Validate() error {
+	switch {
+	case !campaignNameRE.MatchString(c.Name):
+		return fmt.Errorf("ecnsim: campaign name %q must match %s", c.Name, campaignNameRE)
+	case c.Title == "":
+		return fmt.Errorf("ecnsim: campaign %s has no title", c.Name)
+	case len(c.Rows) == 0:
+		return fmt.Errorf("ecnsim: campaign %s has no rows", c.Name)
+	case len(c.Columns) == 0:
+		return fmt.Errorf("ecnsim: campaign %s has no columns", c.Name)
+	case c.Replications < 0:
+		return fmt.Errorf("ecnsim: campaign %s: negative replications", c.Name)
+	}
+	if _, ok := Lookup(c.Scenario); !ok {
+		return fmt.Errorf("ecnsim: campaign %s names unknown scenario %q (registered: %v)", c.Name, c.Scenario, Scenarios())
+	}
+	for i, col := range c.Columns {
+		if col.Header == "" || col.Key == "" {
+			return fmt.Errorf("ecnsim: campaign %s column %d needs a header and a key", c.Name, i)
+		}
+	}
+	return nil
+}
+
+var (
+	campaignMu sync.RWMutex
+	campaigns  = make(map[string]Campaign)
+)
+
+// RegisterCampaign adds a campaign to the book. Like Register, it panics on
+// a malformed or reserved name or a duplicate — campaign names are the flat
+// namespace the report markers key on, and "scenarios" is the registry
+// table cmd/report renders itself (a campaign under that name would be
+// silently shadowed, never rendered). Scenario existence is checked at run
+// time (Validate), not here, because package init order registers campaigns
+// before some scenarios.
+func RegisterCampaign(c Campaign) {
+	if !campaignNameRE.MatchString(c.Name) {
+		panic(fmt.Sprintf("ecnsim: RegisterCampaign with bad name %q", c.Name))
+	}
+	if c.Name == "scenarios" {
+		panic(`ecnsim: campaign name "scenarios" is reserved for the registry table`)
+	}
+	campaignMu.Lock()
+	defer campaignMu.Unlock()
+	if _, dup := campaigns[c.Name]; dup {
+		panic(fmt.Sprintf("ecnsim: campaign %q registered twice", c.Name))
+	}
+	campaigns[c.Name] = c
+}
+
+// CampaignFor returns the named campaign, if registered.
+func CampaignFor(name string) (Campaign, bool) {
+	campaignMu.RLock()
+	defer campaignMu.RUnlock()
+	c, ok := campaigns[name]
+	return c, ok
+}
+
+// Campaigns returns the registered book sorted by name.
+func Campaigns() []Campaign {
+	campaignMu.RLock()
+	defer campaignMu.RUnlock()
+	out := make([]Campaign, 0, len(campaigns))
+	for _, c := range campaigns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RunCache is the campaign engine's content-addressed result cache: one
+// entry per single-seed scenario run, keyed by the results version, the
+// scenario name and the cluster's canonical configuration (seed included).
+// Re-running a campaign with an unchanged definition therefore re-simulates
+// nothing, and editing one row invalidates only that row's runs.
+type RunCache struct {
+	inner *experiment.Cache
+}
+
+// OpenCache opens (creating if needed) a run cache rooted at dir.
+func OpenCache(dir string) (*RunCache, error) {
+	inner, err := experiment.OpenCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &RunCache{inner: inner}, nil
+}
+
+// DefaultCacheDir returns the conventional per-user cache location.
+func DefaultCacheDir() string { return experiment.DefaultCacheDir() }
+
+// Stats reports cache hits and misses since opening.
+func (c *RunCache) Stats() (hits, misses int) { return c.inner.Stats() }
+
+// runKey addresses one single-seed scenario run.
+func runKey(scenario string, cl *Cluster) string {
+	return experiment.CacheKey(experiment.ResultsVersion, scenario, string(cl.canonicalJSON()))
+}
+
+// CampaignResult is an executed campaign: the flattened table rows in render
+// order, with row labels resolved.
+type CampaignResult struct {
+	Campaign Campaign
+	// Quick records the scale the rows were produced at.
+	Quick bool
+	// Rows is the rendered table's data in order: each campaign row's
+	// results (replication-averaged), concatenated.
+	Rows []Result
+}
+
+// CampaignRunner executes campaigns: rows expand into single-seed runs, the
+// cache absorbs runs already on disk, the remainder fans over a bounded
+// worker pool, and replications merge in declaration order after the pool
+// drains — so results are bit-identical for any worker count and any
+// hit/miss split, exactly like Runner.
+type CampaignRunner struct {
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// Quick appends each campaign's Quick options after the row options.
+	Quick bool
+	// Cache, if non-nil, short-circuits runs whose results are stored.
+	Cache *RunCache
+	// Progress, if non-nil, is called before each simulated run with the
+	// number of runs already accounted for (cached runs count as done), the
+	// total, and the run's identity. Invoked under the pool's dispatch
+	// lock; must not block.
+	Progress func(done, total int, label string)
+}
+
+// campaignTask is one single-seed run of one campaign row.
+type campaignTask struct {
+	row     int
+	cluster *Cluster
+	key     string
+	cached  bool
+	rows    []Result
+	err     error
+}
+
+// Run executes the campaign at the runner's scale and returns its table.
+func (cr *CampaignRunner) Run(ctx context.Context, camp Campaign) (*CampaignResult, error) {
+	if err := camp.Validate(); err != nil {
+		return nil, err
+	}
+	scenario, _ := Lookup(camp.Scenario)
+	reps := camp.Replications
+	if reps < 1 {
+		reps = 1
+	}
+
+	tasks := make([]*campaignTask, 0, len(camp.Rows)*reps)
+	var misses []*campaignTask
+	for ri, row := range camp.Rows {
+		opts := make([]Option, 0, len(camp.Common)+len(row.Options)+len(camp.Quick))
+		opts = append(opts, camp.Common...)
+		opts = append(opts, row.Options...)
+		if cr.Quick {
+			opts = append(opts, camp.Quick...)
+		}
+		base, err := NewCluster(opts...)
+		if err != nil {
+			return nil, fmt.Errorf("ecnsim: campaign %s row %d: %w", camp.Name, ri, err)
+		}
+		for rep := 0; rep < reps; rep++ {
+			t := &campaignTask{row: ri, cluster: base.withSeed(base.seed + uint64(rep))}
+			if cr.Cache != nil {
+				t.key = runKey(camp.Scenario, t.cluster)
+				hit, err := cr.Cache.inner.Get(t.key, &t.rows)
+				if err != nil {
+					return nil, err
+				}
+				t.cached = hit
+			}
+			if !t.cached {
+				misses = append(misses, t)
+			}
+			tasks = append(tasks, t)
+		}
+	}
+
+	total := len(tasks)
+	alreadyDone := total - len(misses)
+	p := &pool.Pool{Workers: cr.Workers}
+	if cr.Progress != nil {
+		p.OnStart = func(i, done int) {
+			cr.Progress(alreadyDone+done, total, camp.Name+"/"+camp.Scenario+" "+misses[i].cluster.String())
+		}
+	}
+	if err := p.Run(ctx, len(misses), func(i int) {
+		t := misses[i]
+		t.rows, t.err = scenario.Run(ctx, t.cluster)
+	}); err != nil {
+		return nil, err
+	}
+	for _, t := range misses {
+		if t.err != nil {
+			return nil, fmt.Errorf("ecnsim: campaign %s: %w", camp.Name, t.err)
+		}
+		if cr.Cache != nil {
+			if err := cr.Cache.inner.Put(t.key, t.rows); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := &CampaignResult{Campaign: camp, Quick: cr.Quick}
+	for ri, row := range camp.Rows {
+		perRep := make([][]Result, 0, reps)
+		for _, t := range tasks {
+			if t.row == ri {
+				perRep = append(perRep, t.rows)
+			}
+		}
+		merged, err := mergeReplications(perRep)
+		if err != nil {
+			return nil, fmt.Errorf("ecnsim: campaign %s row %d: %w", camp.Name, ri, err)
+		}
+		if row.Label != "" && len(merged) == 1 {
+			merged[0].Label = row.Label
+		}
+		out.Rows = append(out.Rows, merged...)
+	}
+	return out, nil
+}
+
+// RunCampaign is the one-call form: look up a registered campaign and run it
+// on a default runner at the given scale.
+func RunCampaign(ctx context.Context, name string, quick bool) (*CampaignResult, error) {
+	camp, ok := CampaignFor(name)
+	if !ok {
+		var names []string
+		for _, c := range Campaigns() {
+			names = append(names, c.Name)
+		}
+		return nil, fmt.Errorf("ecnsim: unknown campaign %q (registered: %v)", name, names)
+	}
+	r := &CampaignRunner{Quick: quick}
+	return r.Run(ctx, camp)
+}

@@ -1,0 +1,205 @@
+package ecnsim_test
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/ecnsim"
+)
+
+// probeRuns counts executions of the registered probe scenario, so the cache
+// tests can assert "no re-simulation" directly at the layer that matters.
+var probeRuns atomic.Int64
+
+func init() {
+	ecnsim.Register(ecnsim.NewScenario("campaign-test-probe",
+		"test-only: deterministic rows derived from the configuration, no simulation",
+		func(ctx context.Context, c *ecnsim.Cluster) ([]ecnsim.Result, error) {
+			probeRuns.Add(1)
+			return []ecnsim.Result{{
+				Scenario: "campaign-test-probe",
+				Label:    c.Label(),
+				Seed:     c.Seed(),
+				Values: map[string]float64{
+					"seed":     float64(c.Seed()),
+					"nodes":    float64(c.Nodes()),
+					"target_s": c.TargetDelay().Seconds(),
+				},
+			}}, nil
+		}))
+}
+
+func probeCampaign() ecnsim.Campaign {
+	return ecnsim.Campaign{
+		Name:     "probe",
+		Title:    "probe",
+		Scenario: "campaign-test-probe",
+		Common:   []ecnsim.Option{ecnsim.Nodes(4)},
+		Rows: []ecnsim.CampaignRow{
+			{Options: []ecnsim.Option{ecnsim.Seed(1)}},
+			{Options: []ecnsim.Option{ecnsim.Seed(100)}},
+			{Label: "renamed", Options: []ecnsim.Option{ecnsim.Seed(200), ecnsim.Queue(ecnsim.RED)}},
+		},
+		Replications: 2,
+		Columns:      []ecnsim.Column{{Header: "seed", Key: "seed", Format: ecnsim.FormatCount}},
+	}
+}
+
+// TestCampaignCacheShortCircuits is the acceptance test for the result
+// cache: a second execution of an unchanged campaign against the same cache
+// directory simulates nothing and returns identical rows.
+func TestCampaignCacheShortCircuits(t *testing.T) {
+	dir := t.TempDir()
+	camp := probeCampaign()
+	runs := len(camp.Rows) * camp.Replications
+
+	open := func() *ecnsim.RunCache {
+		c, err := ecnsim.OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	probeRuns.Store(0)
+	cold := open()
+	first, err := (&ecnsim.CampaignRunner{Cache: cold, Workers: 2}).Run(context.Background(), camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := probeRuns.Load(); got != int64(runs) {
+		t.Fatalf("cold run simulated %d times, want %d", got, runs)
+	}
+	if hits, misses := cold.Stats(); hits != 0 || misses != runs {
+		t.Fatalf("cold stats = (%d, %d), want (0, %d)", hits, misses, runs)
+	}
+
+	warm := open()
+	second, err := (&ecnsim.CampaignRunner{Cache: warm, Workers: 2}).Run(context.Background(), camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := probeRuns.Load(); got != int64(runs) {
+		t.Fatalf("warm run re-simulated: %d total runs, want still %d", got, runs)
+	}
+	if hits, misses := warm.Stats(); hits != runs || misses != 0 {
+		t.Fatalf("warm stats = (%d, %d), want (%d, 0)", hits, misses, runs)
+	}
+	if !reflect.DeepEqual(first.Rows, second.Rows) {
+		t.Fatalf("cached rows differ from simulated rows:\n%v\nvs\n%v", second.Rows, first.Rows)
+	}
+
+	// Editing one row invalidates only that row's runs.
+	camp.Rows[0].Options = []ecnsim.Option{ecnsim.Seed(7)}
+	edited := open()
+	if _, err := (&ecnsim.CampaignRunner{Cache: edited, Workers: 2}).Run(context.Background(), camp); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := edited.Stats(); hits != runs-camp.Replications || misses != camp.Replications {
+		t.Fatalf("edited stats = (%d, %d), want (%d, %d)", hits, misses, runs-camp.Replications, camp.Replications)
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers pins that worker count and the
+// cache never change a row: replication merging happens in declaration
+// order after the pool drains.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	camp := probeCampaign()
+	var want *ecnsim.CampaignResult
+	for _, workers := range []int{1, 4, 8} {
+		got, err := (&ecnsim.CampaignRunner{Workers: workers}).Run(context.Background(), camp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(want.Rows, got.Rows) {
+			t.Fatalf("workers=%d changed rows:\n%v\nvs\n%v", workers, got.Rows, want.Rows)
+		}
+	}
+	// Replications averaged: row 0 runs seeds 1 and 2, so the merged
+	// "seed" metric is 1.5 while the identity Seed stays the base.
+	if got := want.Rows[0].Values["seed"]; got != 1.5 {
+		t.Fatalf("replication average = %v, want 1.5", got)
+	}
+	if want.Rows[0].Seed != 1 {
+		t.Fatalf("merged row seed = %d, want base seed 1", want.Rows[0].Seed)
+	}
+	if want.Rows[2].Label != "renamed" {
+		t.Fatalf("row label override not applied: %q", want.Rows[2].Label)
+	}
+}
+
+// TestRegisterCampaignReservedName pins that the registry table's name can
+// never be claimed by a campaign — cmd/report would silently shadow it.
+func TestRegisterCampaignReservedName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal(`RegisterCampaign accepted the reserved name "scenarios"`)
+		}
+	}()
+	ecnsim.RegisterCampaign(ecnsim.Campaign{Name: "scenarios"})
+}
+
+func TestCampaignValidate(t *testing.T) {
+	valid := probeCampaign()
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid campaign rejected: %v", err)
+	}
+	cases := map[string]func(*ecnsim.Campaign){
+		"bad name":         func(c *ecnsim.Campaign) { c.Name = "Has Space" },
+		"no title":         func(c *ecnsim.Campaign) { c.Title = "" },
+		"unknown scenario": func(c *ecnsim.Campaign) { c.Scenario = "no-such-scenario" },
+		"no rows":          func(c *ecnsim.Campaign) { c.Rows = nil },
+		"no columns":       func(c *ecnsim.Campaign) { c.Columns = nil },
+		"headerless col":   func(c *ecnsim.Campaign) { c.Columns = []ecnsim.Column{{Key: "x"}} },
+	}
+	for name, mutate := range cases {
+		c := probeCampaign()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the campaign", name)
+		}
+	}
+}
+
+// TestFingerprintSensitivity pins the canonicalization under the cache key:
+// equal configurations agree, and every class of knob — fabric, queue,
+// seed, scenario knobs, tenant knobs — moves the fingerprint.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func(extra ...ecnsim.Option) string {
+		opts := append([]ecnsim.Option{ecnsim.Nodes(8), ecnsim.Queue(ecnsim.RED)}, extra...)
+		c, err := ecnsim.NewCluster(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Fingerprint()
+	}
+	ref := base()
+	if again := base(); again != ref {
+		t.Fatalf("identical clusters fingerprint differently: %s vs %s", ref, again)
+	}
+	variants := map[string][]ecnsim.Option{
+		"seed":        {ecnsim.Seed(2)},
+		"nodes":       {ecnsim.Nodes(16)},
+		"protect":     {ecnsim.Protect(ecnsim.ACKSYN)},
+		"target":      {ecnsim.TargetDelay(time.Millisecond)},
+		"buffer":      {ecnsim.Buffer(ecnsim.Deep)},
+		"senders":     {ecnsim.Senders(3)},
+		"flow size":   {ecnsim.FlowSize(1 << 20)},
+		"rpc period":  {ecnsim.RPCInterval(5 * time.Millisecond)},
+		"fair share":  {ecnsim.FairShare(true)},
+		"ablation":    {ecnsim.DisableDelAck(true)},
+		"degradation": {ecnsim.Racks(4), ecnsim.Spines(2), ecnsim.DegradeLink("leaf0", "spine0", 0.5)},
+	}
+	for name, opts := range variants {
+		if got := base(opts...); got == ref {
+			t.Errorf("%s option did not change the fingerprint", name)
+		}
+	}
+}

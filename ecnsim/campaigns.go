@@ -1,0 +1,227 @@
+package ecnsim
+
+import "time"
+
+// The campaign book: one registered campaign per built-in scenario, so every
+// scenario ships with a documented, regenerable results table. cmd/report
+// executes this book and splices the tables into EXPERIMENTS.md/README.md
+// between "<!-- report:NAME -->" markers; the registry-vs-docs drift test
+// fails if a scenario is missing from the book.
+//
+// Scales: Common options describe the full-pressure table (the paper's
+// testbed shape where it applies); Quick options shrink each run to the
+// tinyScale the unit tests use (seconds of wall time), which is the scale of
+// the committed documentation tables and the CI drift gate.
+
+// quickScale is the shared quick-mode shrink for the Terasort-shaped
+// campaigns. It matches the experiment tests' pressure scale — the smallest
+// shuffle that sustains enough congestion for the paper's comparative shapes
+// (a tiny shuffle doesn't stress the AQM, and the tables would contradict
+// their own captions).
+func quickScale() []Option {
+	return []Option{
+		Nodes(8), InputSize(256 << 20), BlockSize(32 << 20), Reducers(16),
+	}
+}
+
+func init() {
+	figureCols := []Column{
+		{Header: "runtime", Key: KeyRuntime, Format: FormatSeconds},
+		{Header: "vs row 1", Key: KeyRuntime, Norm: true},
+		{Header: "tput/node", Key: KeyThroughput, Format: FormatBandwidth},
+		{Header: "mean lat", Key: KeyMeanLatency, Format: FormatSeconds},
+		{Header: "early drops", Key: KeyEarlyDrops, Format: FormatCount},
+		{Header: "RTOs", Key: KeyRTOEvents, Format: FormatCount},
+	}
+
+	RegisterCampaign(Campaign{
+		Name:     "terasort",
+		Scenario: "terasort",
+		Title:    "Terasort — the untold cost of default-mode ECN, and its repair",
+		Note: "RED at a tight 100 µs marking threshold. Default mode early-drops the " +
+			"unmarkable ACKs/SYNs and throws the AQM's win away — no faster than DropTail — " +
+			"while ACK+SYN protection and true simple marking finish 2–3× sooner at a " +
+			"fraction of the latency.",
+		Common: []Option{PaperScale(), TargetDelay(100 * time.Microsecond)},
+		Quick:  quickScale(),
+		Rows: []CampaignRow{
+			{Options: []Option{Queue(DropTail)}},
+			{Options: []Option{Queue(RED)}},
+			{Options: []Option{Queue(RED), Protect(ACKSYN)}},
+			{Options: []Option{Queue(SimpleMark)}},
+		},
+		Columns: figureCols,
+	})
+
+	RegisterCampaign(Campaign{
+		Name:     "incast",
+		Scenario: "incast",
+		Title:    "Incast — synchronized senders into one receiver",
+		Note: "The shuffle's worst-case microbenchmark: synchronized flows into one egress " +
+			"queue. DropTail suffers classic incast collapse — correlated losses decay into " +
+			"RTO-bound recovery — while marking absorbs the burst. At this fan-in ECN never " +
+			"drops an ACK, so default and protected modes tie; the non-ECT bias needs the " +
+			"sustained shuffle above.",
+		Common: []Option{Nodes(16), FlowSize(4 << 20), TargetDelay(100 * time.Microsecond)},
+		Quick:  []Option{Nodes(8), FlowSize(1 << 20)},
+		Rows: []CampaignRow{
+			{Options: []Option{Queue(DropTail)}},
+			{Options: []Option{Queue(RED)}},
+			{Options: []Option{Queue(RED), Protect(ACKSYN)}},
+		},
+		Columns: []Column{
+			{Header: "completion", Key: KeyCompletion, Format: FormatSeconds},
+			{Header: "vs row 1", Key: KeyCompletion, Norm: true},
+			{Header: "agg goodput", Key: KeyGoodput, Format: FormatBandwidth},
+			{Header: "retransmits", Key: KeyRetransmits, Format: FormatCount},
+			{Header: "RTOs", Key: KeyRTOEvents, Format: FormatCount},
+		},
+	})
+
+	RegisterCampaign(Campaign{
+		Name:     "mixed",
+		Scenario: "mixed",
+		Title:    "Mixed cluster — a latency-sensitive RPC probe beside the shuffle",
+		Note: "The paper's motivating bufferbloat scenario: deep DropTail buffers drown the " +
+			"probe's tail; marking keeps the queue — and the probe's P99 — short.",
+		Common: []Option{PaperScale(), TargetDelay(100 * time.Microsecond), RPCInterval(2 * time.Millisecond)},
+		// The bufferbloat contrast is sharpest on a small cluster: one probe
+		// against a shuffle that fits the switch buffer (the scale the mixed
+		// regression tests pin).
+		Quick: []Option{Nodes(4), InputSize(64 << 20), BlockSize(16 << 20), Reducers(8)},
+		Rows: []CampaignRow{
+			{Options: []Option{Queue(DropTail)}},
+			{Options: []Option{Queue(DropTail), Buffer(Deep)}},
+			{Options: []Option{Queue(SimpleMark)}},
+			{Options: []Option{Queue(SimpleMark), Buffer(Deep)}},
+		},
+		Columns: []Column{
+			{Header: "job runtime", Key: KeyJobRuntime, Format: FormatSeconds},
+			{Header: "RPCs", Key: KeyRPCCount, Format: FormatCount},
+			{Header: "RPC p50", Key: KeyRPCP50, Format: FormatSeconds},
+			{Header: "RPC p99", Key: KeyRPCP99, Format: FormatSeconds},
+			{Header: "RPC max", Key: KeyRPCMax, Format: FormatSeconds},
+		},
+	})
+
+	RegisterCampaign(Campaign{
+		Name:     "aqmcompare",
+		Scenario: "aqmcompare",
+		Title:    "AQM generalization — the non-ECT bias is not RED-specific",
+		Note: "One row per setup, normalized to the DropTail baseline. Every AQM's default " +
+			"mode early-drops only what it cannot mark; every ack+syn row shows the repair.",
+		Common: []Option{PaperScale(), TargetDelay(100 * time.Microsecond)},
+		Quick:  quickScale(),
+		Rows: []CampaignRow{
+			{}, // the scenario enumerates the setups itself
+		},
+		Columns: figureCols,
+	})
+
+	RegisterCampaign(Campaign{
+		Name:     "leafspine",
+		Scenario: "leafspine",
+		Title:    "Leaf-spine — the cross-rack shuffle over ECMP, and where it queues",
+		Note: "Four racks under two spines (2:1 oversubscription). The per-tier occupancy " +
+			"columns locate the standing queues: the oversubscribed core, not the edge.",
+		Common: []Option{PaperScale(), Racks(4), Spines(2), TargetDelay(500 * time.Microsecond)},
+		Quick:  append(quickScale(), Nodes(8), Racks(4), Spines(2)),
+		Rows: []CampaignRow{
+			{Options: []Option{Queue(DropTail)}},
+			{Options: []Option{Queue(RED), Protect(ACKSYN)}},
+		},
+		Columns: []Column{
+			{Header: "runtime", Key: KeyRuntime, Format: FormatSeconds},
+			{Header: "tput/node", Key: KeyThroughput, Format: FormatBandwidth},
+			{Header: "host-up occ", Key: KeyHostUpOcc, Format: FormatFloat},
+			{Header: "edge occ", Key: KeyEdgeOcc, Format: FormatFloat},
+			{Header: "core-up occ", Key: KeyCoreUpOcc, Format: FormatFloat},
+			{Header: "core-down occ", Key: KeyCoreDownOcc, Format: FormatFloat},
+		},
+	})
+
+	RegisterCampaign(Campaign{
+		Name:     "degradedfabric",
+		Scenario: "degradedfabric",
+		Title:    "Degraded fabric — protection under asymmetric link health",
+		Note: "One leaf→spine uplink derated to 25% of its built rate; ECMP keeps hashing " +
+			"flows onto the sick link. Default-mode ECN pays catastrophically (its ACKs die " +
+			"on the hot queue); ack+syn stays near the healthy-fabric runtime.",
+		Common: []Option{PaperScale(), Racks(4), Spines(2), TargetDelay(500 * time.Microsecond)},
+		Quick:  append(quickScale(), Nodes(8), Racks(4), Spines(2)),
+		Rows: []CampaignRow{
+			{}, // the scenario runs droptail / default / ack+syn itself
+		},
+		Columns: []Column{
+			{Header: "runtime", Key: KeyRuntime, Format: FormatSeconds},
+			{Header: "vs row 1", Key: KeyRuntime, Norm: true},
+			{Header: "mean lat", Key: KeyMeanLatency, Format: FormatSeconds},
+			{Header: "early drops", Key: KeyEarlyDrops, Format: FormatCount},
+			{Header: "RTOs", Key: KeyRTOEvents, Format: FormatCount},
+		},
+	})
+
+	RegisterCampaign(Campaign{
+		Name:     "multijob",
+		Scenario: "multijob",
+		Title:    "Multi-job — FIFO vs fair-share under open-loop arrivals",
+		Note: "The same seeded arrival stream under both slot-scheduling policies. FIFO " +
+			"hands every freed slot to the earliest-admitted job, so an arriving small job " +
+			"waits out whole reduce waves; fair-share grants slots to the job running the " +
+			"fewest tasks and nearly halves the completed-job P99.",
+		Common: []Option{
+			PaperScale(), Queue(RED), Protect(ACKSYN), TargetDelay(500 * time.Microsecond),
+			Arrivals(PoissonArrivals, 150*time.Millisecond),
+		},
+		// Quick mode provokes contention the way the tenant policy test
+		// does: dense fixed arrivals on a 4-node cluster whose large jobs
+		// want every reduce slot, so small jobs only run early if the
+		// policy grants them freed slots.
+		Quick: []Option{
+			Nodes(4), InputSize(64 << 20), BlockSize(8 << 20), Reducers(8),
+			Arrivals(FixedArrivals, 30*time.Millisecond),
+			Warmup(100 * time.Millisecond), Measure(1 * time.Second), MeasureWindow(250 * time.Millisecond),
+		},
+		Rows: []CampaignRow{
+			{}, // the scenario runs fifo and fair itself
+		},
+		Columns: []Column{
+			{Header: "jobs done", Key: KeyJobsCompleted, Format: FormatCount},
+			{Header: "job mean", Key: KeyJobMean, Format: FormatSeconds},
+			{Header: "job p50", Key: KeyJobP50, Format: FormatSeconds},
+			{Header: "job p99", Key: KeyJobP99, Format: FormatSeconds},
+			{Header: "makespan", Key: KeyMakespan, Format: FormatSeconds},
+			{Header: "drained", Key: KeyDrained, Format: FormatBool},
+		},
+	})
+
+	RegisterCampaign(Campaign{
+		Name:     "tenantmix",
+		Scenario: "tenantmix",
+		Title:    "Tenant mix — the SLO view of the untold truth",
+		Note: "An open-loop RPC fleet beside sustained batch load. Read the throughput and " +
+			"P99 columns together: default-mode ECN buys its service latency by starving " +
+			"the batch tier through ACK drops; ack+syn keeps both tiers healthy.",
+		Common: []Option{
+			PaperScale(), RPCClients(4), TargetDelay(100 * time.Microsecond),
+			Arrivals(PoissonArrivals, 150*time.Millisecond), FairShare(true),
+		},
+		// Quick mode is examples/tenantmix's exact configuration, where the
+		// batch-starvation contrast is unmistakable.
+		Quick: []Option{
+			Nodes(8), InputSize(128 << 20), BlockSize(0), Reducers(8),
+			Measure(2 * time.Second), MeasureWindow(500 * time.Millisecond),
+		},
+		Rows: []CampaignRow{
+			{}, // the scenario runs droptail / ecn-default / ecn-ack+syn itself
+		},
+		Columns: []Column{
+			{Header: "batch tput/node", Key: KeyThroughput, Format: FormatBandwidth},
+			{Header: "jobs done", Key: KeyJobsCompleted, Format: FormatCount},
+			{Header: "RPCs", Key: KeyRPCCount, Format: FormatCount},
+			{Header: "RPC p50", Key: KeyRPCP50, Format: FormatSeconds},
+			{Header: "RPC p99", Key: KeyRPCP99, Format: FormatSeconds},
+			{Header: "ACK drop share", Key: KeyAckDropShare, Format: FormatFloat},
+		},
+	})
+}

@@ -29,6 +29,14 @@
 //     callback, and returns a ResultSet that is bit-identical for a given
 //     (options, seed) whatever the worker count.
 //
+//   - Campaigns. A Campaign is a declarative measurement table — scenario,
+//     option rows, metric columns — executed by CampaignRunner through a
+//     content-addressed result cache (RunCache) keyed on each cluster's
+//     canonical configuration (Fingerprint). The registered book
+//     (RegisterCampaign/Campaigns) is what cmd/report renders into the
+//     generated tables of EXPERIMENTS.md and README.md, and its -check mode
+//     gates CI on drift.
+//
 // The figure pipeline of the paper is exposed through Sweep (the Figures 2-4
 // grid with rendering and JSON archival), Figure1, TableI/TableII and
 // RenderAQMTable. The multi-tenant workload engine (open-loop job arrivals

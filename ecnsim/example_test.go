@@ -53,6 +53,49 @@ func ExampleNewCluster() {
 	// ecnsim: protection mode ack+syn requires an AQM queue (red|codel|pie), not droptail
 }
 
+// ExampleCampaign declares and executes a small measurement campaign — the
+// mechanism behind every generated table in EXPERIMENTS.md. Rows are option
+// cells over one scenario; columns map result metrics onto rendered cells;
+// cmd/report runs the registered book and splices the tables into the docs.
+func ExampleCampaign() {
+	camp := ecnsim.Campaign{
+		Name:     "quickstart",
+		Title:    "DropTail vs simple marking",
+		Scenario: "terasort",
+		Common: []ecnsim.Option{
+			ecnsim.Nodes(4),
+			ecnsim.InputSize(16 << 20), // 16 MiB: example-sized
+			ecnsim.BlockSize(4 << 20),
+			ecnsim.Reducers(4),
+		},
+		Rows: []ecnsim.CampaignRow{
+			{}, // the DropTail default
+			{Options: []ecnsim.Option{
+				ecnsim.Queue(ecnsim.SimpleMark),
+				ecnsim.TargetDelay(100 * time.Microsecond),
+			}},
+		},
+		Columns: []ecnsim.Column{
+			{Header: "runtime", Key: ecnsim.KeyRuntime, Format: ecnsim.FormatSeconds},
+			{Header: "vs droptail", Key: ecnsim.KeyRuntime, Norm: true},
+		},
+	}
+	cr, err := (&ecnsim.CampaignRunner{Workers: 2}).Run(context.Background(), camp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range cr.Rows {
+		fmt.Printf("%s ran=%v\n", r.Label, r.Duration(ecnsim.KeyRuntime) > 0)
+	}
+	// The first row is its own normalization baseline, so its "vs droptail"
+	// cell is exactly 1.00× in every regeneration.
+	fmt.Println(camp.Columns[1].Cell(cr.Rows[0], cr.Rows[0]))
+	// Output:
+	// droptail ran=true
+	// ecn-simplemark ran=true
+	// 1.00×
+}
+
 // ExampleRunner_Run executes a registered scenario over a worker pool.
 // Results are deterministic in (options, seed) no matter how many workers
 // run the pool.

@@ -1,6 +1,7 @@
 package ecnsim
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -988,6 +989,46 @@ func (c *Cluster) workloadConfig() experiment.WorkloadConfig {
 		Measure:          c.measure,
 		Window:           c.window,
 	}
+}
+
+// canonicalConfig is the canonical, serializable identity of a Cluster: the
+// same lowered experiment and workload configurations every scenario actually
+// simulates from, plus the few scenario knobs that bypass them. Two Clusters
+// with equal canonical JSON produce identical results by the determinism
+// contract, which is what makes the form safe to hash into result-cache keys.
+// The builder's bookkeeping fields (transportSet, windowSet) are deliberately
+// absent — they change how defaults resolve, not what runs.
+type canonicalConfig struct {
+	Experiment experiment.Config         `json:"experiment"`
+	Workload   experiment.WorkloadConfig `json:"workload"`
+	Senders    int                       `json:"senders"`
+	FlowSize   int64                     `json:"flow_size"`
+}
+
+// canonicalJSON serializes the resolved configuration deterministically
+// (fixed field order, no maps). It rides the same lowering functions the
+// scenarios run through, so a new option that reaches the simulation cannot
+// silently stay out of the canonical form.
+func (c *Cluster) canonicalJSON() []byte {
+	b, err := json.Marshal(canonicalConfig{
+		Experiment: c.experimentConfig(),
+		Workload:   c.workloadConfig(),
+		Senders:    c.senders,
+		FlowSize:   c.flowSize,
+	})
+	if err != nil {
+		// Every field is plain data; a marshal failure is a programming error.
+		panic(fmt.Sprintf("ecnsim: canonicalizing cluster: %v", err))
+	}
+	return b
+}
+
+// Fingerprint returns a stable content address for the fully resolved
+// configuration: equal fingerprints mean equal simulation inputs under the
+// current results version (see the campaign result cache). The seed is part
+// of the fingerprint.
+func (c *Cluster) Fingerprint() string {
+	return experiment.CacheKey(experiment.ResultsVersion, string(c.canonicalJSON()))
 }
 
 // experimentConfig lowers the full configuration (including ablations) onto

@@ -1,0 +1,107 @@
+package experiment_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestCacheKeyFraming pins that the key is sensitive to part boundaries,
+// part order and part content — the properties that make it safe to build
+// from (version, scenario, canonical config) without a delimiter convention.
+func TestCacheKeyFraming(t *testing.T) {
+	keys := []string{
+		experiment.CacheKey("ab", "c"),
+		experiment.CacheKey("a", "bc"),
+		experiment.CacheKey("abc"),
+		experiment.CacheKey("c", "ab"),
+		experiment.CacheKey("ab", "c", ""),
+	}
+	seen := make(map[string]int)
+	for i, k := range keys {
+		if len(k) != 64 {
+			t.Fatalf("key %d: length %d, want 64 hex chars", i, len(k))
+		}
+		if j, dup := seen[k]; dup {
+			t.Fatalf("part lists %d and %d collide: %s", i, j, k)
+		}
+		seen[k] = i
+	}
+	if a, b := experiment.CacheKey("x", "y"), experiment.CacheKey("x", "y"); a != b {
+		t.Fatalf("identical parts produced different keys: %s vs %s", a, b)
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := experiment.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		Label string             `json:"label"`
+		Vals  map[string]float64 `json:"vals"`
+	}
+	key := experiment.CacheKey(experiment.ResultsVersion, "test", "cfg")
+	var missed []row
+	if ok, err := c.Get(key, &missed); err != nil || ok {
+		t.Fatalf("Get on empty cache = (%v, %v), want miss", ok, err)
+	}
+	want := []row{{Label: "droptail", Vals: map[string]float64{"runtime_s": 1.5}}}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	var got []row
+	if ok, err := c.Get(key, &got); err != nil || !ok {
+		t.Fatalf("Get after Put = (%v, %v), want hit", ok, err)
+	}
+	if len(got) != 1 || got[0].Label != "droptail" || got[0].Vals["runtime_s"] != 1.5 {
+		t.Fatalf("round trip mangled the value: %+v", got)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("Stats = (%d, %d), want (1, 1)", hits, misses)
+	}
+}
+
+// TestCacheRejectsUnsafeKeys pins that only digest-shaped keys reach the
+// filesystem: a relative-path "key" must never resolve outside the cache.
+func TestCacheRejectsUnsafeKeys(t *testing.T) {
+	c, err := experiment.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"",
+		"short",
+		"../../etc/passwd",
+		strings.Repeat("g", 64), // right length, not hex
+	} {
+		if err := c.Put(key, 1); err == nil {
+			t.Errorf("Put(%q) accepted a non-digest key", key)
+		}
+		var v int
+		if _, err := c.Get(key, &v); err == nil {
+			t.Errorf("Get(%q) accepted a non-digest key", key)
+		}
+	}
+}
+
+// TestCacheCorruptEntryIsAnError pins that a damaged entry surfaces loudly
+// instead of masquerading as a miss and silently re-simulating forever.
+func TestCacheCorruptEntryIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	c, err := experiment.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := experiment.CacheKey("v", "corrupt")
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]int
+	if _, err := c.Get(key, &v); err == nil {
+		t.Fatal("Get on a corrupt entry returned no error")
+	}
+}

@@ -1,0 +1,236 @@
+// Package report renders executed ecnsim campaigns as markdown tables and
+// splices them into documentation files between report markers, so every
+// quoted number in EXPERIMENTS.md/README.md is a build artifact rather than
+// a hand transcription. cmd/report is the CLI; its -check mode is the CI
+// drift gate.
+//
+// # Marker protocol
+//
+// A generated block is delimited by a matched pair of HTML comments on their
+// own lines:
+//
+//	<!-- report:NAME -->
+//	...generated content, never edited by hand...
+//	<!-- /report:NAME -->
+//
+// NAME is a registered campaign name (or the reserved "scenarios" registry
+// table). Markers cannot nest, every open marker needs its close, and a name
+// may appear at most once per file — Parse rejects anything else, and
+// scripts/checklinks.sh enforces balance repo-wide.
+package report
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"repro/ecnsim"
+)
+
+// Table is a rendered campaign: a title, column headings, pre-formatted
+// cells, and an optional reading note.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Note    string
+	// Prose leaves every column left-aligned (for text tables like the
+	// scenario registry); the default right-aligns the value columns.
+	Prose bool
+}
+
+// Markdown renders the table as a GitHub-flavored markdown block: bold
+// title, the table (first column left-aligned, the rest right-aligned
+// unless Prose), and the note in italics.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|---")
+	for range t.Columns[1:] {
+		if t.Prose {
+			b.WriteString("|---")
+		} else {
+			b.WriteString("|---:")
+		}
+	}
+	b.WriteString("|\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n_%s_\n", t.Note)
+	}
+	return b.String()
+}
+
+// CampaignTable lowers an executed campaign onto a renderable table: one
+// line per result row, cells formatted by the campaign's column
+// declarations, normalizations taken against the first row.
+func CampaignTable(cr *ecnsim.CampaignResult) Table {
+	camp := cr.Campaign
+	t := Table{
+		Title:   camp.Title,
+		Columns: append([]string{"setup"}, headers(camp)...),
+		Note:    camp.Note,
+	}
+	if len(cr.Rows) == 0 {
+		return t
+	}
+	base := cr.Rows[0]
+	for _, r := range cr.Rows {
+		row := make([]string, 0, len(camp.Columns)+1)
+		row = append(row, "`"+r.Label+"`")
+		for _, col := range camp.Columns {
+			row = append(row, col.Cell(r, base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func headers(camp ecnsim.Campaign) []string {
+	hs := make([]string, len(camp.Columns))
+	for i, c := range camp.Columns {
+		hs[i] = c.Header
+	}
+	return hs
+}
+
+// ScenarioTable renders the scenario registry (names and descriptions) —
+// the reserved "scenarios" block, which keeps README's scenario listing true
+// to ecnsim.Scenarios() by construction.
+func ScenarioTable() Table {
+	t := Table{Columns: []string{"Scenario", "What it measures"}, Prose: true}
+	for _, name := range ecnsim.Scenarios() {
+		t.Rows = append(t.Rows, []string{"`" + name + "`", ecnsim.Describe(name)})
+	}
+	return t
+}
+
+// Block is one marker-delimited span of a document.
+type Block struct {
+	// Name is the marker name.
+	Name string
+	// Start and End delimit the content between the markers (excluding the
+	// marker lines themselves) as byte offsets into the document.
+	Start, End int
+}
+
+var markerRE = regexp.MustCompile(`^[ \t]*<!-- (/?)report:([a-z0-9][a-z0-9-]*) -->[ \t]*$`)
+
+// Parse finds every report block in doc, in order. It errors on an
+// unmatched open or close, a nested block, or a name repeated within the
+// document — the failure modes that would make splicing silently wrong.
+func Parse(doc string) ([]Block, error) {
+	var (
+		blocks []Block
+		open   string
+		start  int
+		seen   = make(map[string]bool)
+	)
+	offset := 0
+	for _, line := range strings.SplitAfter(doc, "\n") {
+		m := markerRE.FindStringSubmatch(strings.TrimSuffix(line, "\n"))
+		if m != nil {
+			closing, name := m[1] == "/", m[2]
+			switch {
+			case !closing && open != "":
+				return nil, fmt.Errorf("report: marker %q opens inside open block %q", name, open)
+			case !closing && seen[name]:
+				return nil, fmt.Errorf("report: marker %q appears twice", name)
+			case !closing:
+				open, start = name, offset+len(line)
+				seen[name] = true
+			case open == "":
+				return nil, fmt.Errorf("report: close marker %q without an open block", name)
+			case name != open:
+				return nil, fmt.Errorf("report: close marker %q inside block %q", name, open)
+			default:
+				blocks = append(blocks, Block{Name: open, Start: start, End: offset})
+				open = ""
+			}
+		}
+		offset += len(line)
+	}
+	if open != "" {
+		return nil, fmt.Errorf("report: block %q never closes", open)
+	}
+	return blocks, nil
+}
+
+// Splice returns doc with each named block's content replaced. Content for
+// blocks not present in doc is ignored; blocks present in doc but absent
+// from content are left untouched.
+func Splice(doc string, content map[string]string) (string, error) {
+	blocks, err := Parse(doc)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	prev := 0
+	for _, blk := range blocks {
+		c, ok := content[blk.Name]
+		if !ok {
+			continue
+		}
+		b.WriteString(doc[prev:blk.Start])
+		b.WriteString(c)
+		prev = blk.End
+	}
+	b.WriteString(doc[prev:])
+	return b.String(), nil
+}
+
+// BlockContent wraps a rendered table for embedding: a blank line on each
+// side so the markers stay on their own lines, and a provenance comment so
+// a reader editing the file knows where the bytes come from.
+func BlockContent(t Table, quick bool) string {
+	cmd := "go run ./cmd/report"
+	scale := "full"
+	if quick {
+		cmd += " -quick"
+		scale = "quick"
+	}
+	return fmt.Sprintf("<!-- generated at %s scale: %s — do not edit by hand -->\n\n%s",
+		scale, cmd, t.Markdown())
+}
+
+// Diff returns a compact line diff of want vs got (empty when equal):
+// context around the first divergence, "-" lines from want, "+" lines from
+// got. It is a drift report, not a patch — enough to see which cells moved.
+func Diff(want, got string) string {
+	if want == got {
+		return ""
+	}
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	// Trim the common prefix and suffix; what remains is the drifted core.
+	p := 0
+	for p < len(w) && p < len(g) && w[p] == g[p] {
+		p++
+	}
+	sw, sg := len(w), len(g)
+	for sw > p && sg > p && w[sw-1] == g[sg-1] {
+		sw, sg = sw-1, sg-1
+	}
+	var b strings.Builder
+	const maxLines = 20
+	if p > 0 {
+		fmt.Fprintf(&b, "  %s\n", w[p-1])
+	}
+	for i := p; i < sw && i < p+maxLines; i++ {
+		fmt.Fprintf(&b, "- %s\n", w[i])
+	}
+	if sw > p+maxLines {
+		fmt.Fprintf(&b, "- … %d more\n", sw-p-maxLines)
+	}
+	for i := p; i < sg && i < p+maxLines; i++ {
+		fmt.Fprintf(&b, "+ %s\n", g[i])
+	}
+	if sg > p+maxLines {
+		fmt.Fprintf(&b, "+ … %d more\n", sg-p-maxLines)
+	}
+	return b.String()
+}

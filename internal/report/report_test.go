@@ -1,0 +1,135 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/ecnsim"
+	"repro/internal/report"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := report.Table{
+		Title:   "T",
+		Columns: []string{"setup", "runtime"},
+		Rows:    [][]string{{"`droptail`", "1.42s"}, {"`ecn-default`", "5.90s"}},
+		Note:    "read carefully",
+	}
+	got := tbl.Markdown()
+	want := "**T**\n\n" +
+		"| setup | runtime |\n" +
+		"|---|---:|\n" +
+		"| `droptail` | 1.42s |\n" +
+		"| `ecn-default` | 5.90s |\n" +
+		"\n_read carefully_\n"
+	if got != want {
+		t.Fatalf("Markdown:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCampaignTable(t *testing.T) {
+	camp := ecnsim.Campaign{
+		Name: "x", Title: "X", Scenario: "terasort",
+		Columns: []ecnsim.Column{
+			{Header: "runtime", Key: "runtime_s", Format: ecnsim.FormatSeconds},
+			{Header: "vs row 1", Key: "runtime_s", Norm: true},
+			{Header: "absent", Key: "nope", Format: ecnsim.FormatCount},
+		},
+	}
+	cr := &ecnsim.CampaignResult{
+		Campaign: camp,
+		Rows: []ecnsim.Result{
+			{Label: "droptail", Values: map[string]float64{"runtime_s": 2.0}},
+			{Label: "ecn-default", Values: map[string]float64{"runtime_s": 7.0}},
+		},
+	}
+	tbl := report.CampaignTable(cr)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	if got := tbl.Rows[1]; got[0] != "`ecn-default`" || got[1] != "7.00s" || got[2] != "3.50×" || got[3] != "—" {
+		t.Fatalf("row 1 = %v", got)
+	}
+	if got := tbl.Rows[0][2]; got != "1.00×" {
+		t.Fatalf("baseline norm cell = %q, want 1.00×", got)
+	}
+}
+
+// TestScenarioTableCoversRegistry pins the reserved "scenarios" block to the
+// registry: every registered scenario renders with its description.
+func TestScenarioTableCoversRegistry(t *testing.T) {
+	tbl := report.ScenarioTable()
+	md := tbl.Markdown()
+	for _, name := range ecnsim.Scenarios() {
+		if !strings.Contains(md, "`"+name+"`") {
+			t.Errorf("scenario table missing %q", name)
+		}
+		if d := ecnsim.Describe(name); !strings.Contains(md, d) {
+			t.Errorf("scenario table missing description of %q", name)
+		}
+	}
+}
+
+func TestParseAndSplice(t *testing.T) {
+	doc := "intro\n" +
+		"<!-- report:alpha -->\nold A\n<!-- /report:alpha -->\n" +
+		"middle\n" +
+		"<!-- report:beta -->\nold B\n<!-- /report:beta -->\n" +
+		"outro\n"
+	blocks, err := report.Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 || blocks[0].Name != "alpha" || blocks[1].Name != "beta" {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+	if got := doc[blocks[0].Start:blocks[0].End]; got != "old A\n" {
+		t.Fatalf("alpha content = %q", got)
+	}
+	out, err := report.Splice(doc, map[string]string{"alpha": "new A\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Replace(doc, "old A\n", "new A\n", 1)
+	if out != want {
+		t.Fatalf("Splice:\n%q\nwant:\n%q", out, want)
+	}
+	// Splicing identical content is a fixed point — the property -check
+	// relies on.
+	again, err := report.Splice(out, map[string]string{"alpha": "new A\n", "beta": "old B\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != out {
+		t.Fatal("Splice with identical content changed the document")
+	}
+}
+
+func TestParseRejectsMalformedMarkers(t *testing.T) {
+	for name, doc := range map[string]string{
+		"unclosed":   "<!-- report:a -->\n",
+		"unopened":   "<!-- /report:a -->\n",
+		"nested":     "<!-- report:a -->\n<!-- report:b -->\n<!-- /report:b -->\n<!-- /report:a -->\n",
+		"mismatched": "<!-- report:a -->\n<!-- /report:b -->\n",
+		"duplicate":  "<!-- report:a -->\n<!-- /report:a -->\n<!-- report:a -->\n<!-- /report:a -->\n",
+	} {
+		if _, err := report.Parse(doc); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, doc)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	if d := report.Diff("a\nb\n", "a\nb\n"); d != "" {
+		t.Fatalf("equal docs diffed: %q", d)
+	}
+	d := report.Diff("a\nold\nz\n", "a\nnew\nz\n")
+	for _, want := range []string{"- old", "+ new"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff %q missing %q", d, want)
+		}
+	}
+	if strings.Contains(d, "- a") || strings.Contains(d, "+ z") {
+		t.Errorf("diff %q includes unchanged context as changes", d)
+	}
+}

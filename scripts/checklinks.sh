@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# checklinks.sh — fail on broken intra-repo markdown links.
+# checklinks.sh — fail on broken intra-repo markdown links and unbalanced
+# report markers.
 #
 # Scans every tracked *.md file for inline links/images whose target is a
 # relative path (external schemes and pure #anchors are ignored), strips any
 # #fragment, and verifies the target exists relative to the linking file.
+# Also verifies that every "<!-- report:NAME -->" generated-table marker is
+# balanced: each open has a matching close, no nesting, no repeated name per
+# file (the protocol internal/report.Parse enforces; checked here too so a
+# marker typo in a file cmd/report does not render still fails CI).
 # Run from the repository root:
 #
 #   ./scripts/checklinks.sh
@@ -33,8 +38,36 @@ while IFS= read -r file; do
     done < <(grep -oE '\]\([^)<>[:space:]]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//' || true)
 done < <(git ls-files '*.md')
 
+while IFS= read -r file; do
+    case "$file" in
+    SNIPPETS.md) continue ;;
+    esac
+    # Replay internal/report's marker rules: open/close alternation with
+    # matching names, each name at most once per file.
+    if ! awk '
+        match($0, /^[ \t]*<!-- \/?report:[a-z0-9][a-z0-9-]* -->[ \t]*$/) {
+            line = $0
+            sub(/^[ \t]*<!-- /, "", line); sub(/ -->[ \t]*$/, "", line)
+            closing = (line ~ /^\//)
+            sub(/^\/?report:/, "", line)
+            if (!closing) {
+                if (open != "") { print FILENAME ": marker " line " opens inside open block " open; bad = 1; exit 1 }
+                if (seen[line]++) { print FILENAME ": marker " line " appears twice"; bad = 1; exit 1 }
+                open = line
+            } else {
+                if (open == "") { print FILENAME ": close marker " line " without an open block"; bad = 1; exit 1 }
+                if (line != open) { print FILENAME ": close marker " line " inside block " open; bad = 1; exit 1 }
+                open = ""
+            }
+        }
+        END { if (!bad && open != "") { print FILENAME ": block " open " never closes"; exit 1 } }
+    ' "$file"; then
+        fail=1
+    fi
+done < <(git ls-files '*.md')
+
 if [ "$fail" -ne 0 ]; then
-    echo "checklinks: broken intra-repo markdown links found" >&2
+    echo "checklinks: broken links or unbalanced report markers found" >&2
     exit 1
 fi
-echo "checklinks: all intra-repo markdown links resolve"
+echo "checklinks: all intra-repo markdown links resolve and report markers balance"
