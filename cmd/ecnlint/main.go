@@ -1,0 +1,229 @@
+// Command ecnlint is the repo's determinism linter: a multichecker over the
+// custom analyzers in internal/lint that prove the bit-identical contract
+// (DESIGN.md §4, §2.4) at compile time — map-order-sensitive accumulation,
+// wall-clock and global-rand escapes in simulation code, goroutines outside
+// internal/pool, and builder options that miss the campaign cache key.
+//
+// Standalone (the CI job and the pre-push check):
+//
+//	go run ./cmd/ecnlint ./...
+//
+// As a go vet tool (unit-checker protocol, one package per invocation):
+//
+//	go build -o /tmp/ecnlint ./cmd/ecnlint
+//	go vet -vettool=/tmp/ecnlint ./...
+//
+// Exit status: 0 clean, 1 operational error, 2 findings. Suppress a finding
+// with "//ecnlint:allow <analyzer> <reason>" on or directly above the
+// flagged line; the reason is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("ecnlint", flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (go vet tool handshake)")
+	flagsFlag := fs.Bool("flags", false, "print the analyzer flag set as JSON and exit (go vet tool handshake)")
+	listFlag := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: ecnlint [packages]  |  ecnlint <unit>.cfg  (go vet mode)\n\n")
+		fmt.Fprintf(fs.Output(), "Determinism linter for this repository; see DESIGN.md §2.5.\n\nAnalyzers:\n")
+		printAnalyzers(fs.Output())
+		fs.PrintDefaults()
+	}
+	// go vet passes analyzer flags like -maporder=true when probing; accept
+	// and ignore per-analyzer toggles so the handshake succeeds.
+	for _, a := range lint.Analyzers() {
+		fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer (always on)")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	if *versionFlag != "" {
+		return printVersion(*versionFlag)
+	}
+	if *flagsFlag {
+		// No tool-level flags beyond the handshake set: the suite is always
+		// all-on (suppression happens per line, in source).
+		fmt.Println("[]")
+		return 0
+	}
+	if *listFlag {
+		printAnalyzers(os.Stdout)
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetUnit(rest[0])
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Module(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecnlint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ecnlint: %d finding(s); fix them or annotate with \"//ecnlint:allow <analyzer> <reason>\" (see DESIGN.md §2.5)\n", len(findings))
+		return 2
+	}
+	return 0
+}
+
+func printAnalyzers(w io.Writer) {
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(w, "  %-20s %s\n", a.Name, a.Doc)
+	}
+}
+
+// printVersion implements the `-V=full` handshake the go command performs on
+// vet tools: the output's trailing "buildID=..." field keys go vet's result
+// cache, so it hashes this executable.
+func printVersion(mode string) int {
+	progname := filepath.Base(os.Args[0])
+	if mode != "full" {
+		fmt.Printf("%s version devel\n", progname)
+		return 0
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecnlint:", err)
+		return 1
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecnlint:", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "ecnlint:", err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+	return 0
+}
+
+// vetConfig is the unit-checker configuration the go command writes for
+// -vettool invocations (one JSON file per package).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package the way go vet hands it to a vettool: source
+// files plus compiler export data for every dependency.
+func vetUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecnlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ecnlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// go vet requires the facts file to exist even though this suite
+	// produces no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ecnlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Test code is out of scope by design (DESIGN.md §2.5): tests exercise
+	// wall clocks and ad-hoc randomness legitimately, and the standalone
+	// driver never loads them. go vet hands us each package as its
+	// test-augmented variant ("pkg [pkg.test]" with _test.go files in
+	// GoFiles), so agreement with the standalone mode means skipping the
+	// purely-test units (external _test packages, the generated test main)
+	// and analyzing the in-package units minus their test files.
+	importPath, goFiles, ok := nonTestUnit(cfg)
+	if !ok {
+		return 0
+	}
+
+	pkg, err := load.ExportFiles(importPath, goFiles, cfg.PackageFile, cfg.ImportMap)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "ecnlint:", err)
+		return 1
+	}
+	findings, err := lint.Run([]*load.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecnlint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// nonTestUnit reduces a vet unit to its non-test content: the bare import
+// path (the " [pkg.test]" variant suffix stripped) and the non-_test.go
+// files. ok is false for units with no non-test content — external _test
+// packages and the synthesized test main.
+func nonTestUnit(cfg vetConfig) (importPath string, goFiles []string, ok bool) {
+	importPath = cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	if strings.HasSuffix(importPath, "_test") || strings.HasSuffix(importPath, ".test") {
+		return "", nil, false
+	}
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	return importPath, goFiles, len(goFiles) > 0
+}

@@ -246,9 +246,13 @@ type Cluster struct {
 	linkRate     int64 // bits per second
 	linkDelay    time.Duration
 
-	queue        QueueKind
-	protect      ProtectMode
-	transport    TransportKind
+	queue     QueueKind
+	protect   ProtectMode
+	transport TransportKind
+	// transportSet only gates whether a scenario default may overwrite
+	// transport; the resolved transport itself is fingerprinted via
+	// Setup.Transport, so the flag stays out of the cache key.
+	//ecnlint:allow fingerprintcoverage resolution bookkeeping; the resolved transport is fingerprinted via Setup.Transport
 	transportSet bool
 	buffer       BufferDepth
 	targetDelay  time.Duration
@@ -285,7 +289,11 @@ type Cluster struct {
 	warmup       time.Duration
 	measure      time.Duration
 	window       time.Duration
-	windowSet    bool
+	// windowSet only records that WithAggregationWindow was called so a zero
+	// window can mean "scenario default"; the resolved window is
+	// fingerprinted via the workload config.
+	//ecnlint:allow fingerprintcoverage resolution bookkeeping; the resolved window is fingerprinted via the workload config
+	windowSet bool
 }
 
 // Option configures a Cluster under construction. Options report invalid
@@ -1003,6 +1011,12 @@ type canonicalConfig struct {
 	Workload   experiment.WorkloadConfig `json:"workload"`
 	Senders    int                       `json:"senders"`
 	FlowSize   int64                     `json:"flow_size"`
+	// Fabric link parameters bypass the experiment lowering — they reach the
+	// simulation only through spec() (drop traces, fabric construction) — so
+	// they enter the canonical form directly. LinkDelay marshals as integer
+	// nanoseconds.
+	LinkRate  int64         `json:"link_rate_bps"`
+	LinkDelay time.Duration `json:"link_delay_ns"`
 }
 
 // canonicalJSON serializes the resolved configuration deterministically
@@ -1015,6 +1029,8 @@ func (c *Cluster) canonicalJSON() []byte {
 		Workload:   c.workloadConfig(),
 		Senders:    c.senders,
 		FlowSize:   c.flowSize,
+		LinkRate:   c.linkRate,
+		LinkDelay:  c.linkDelay,
 	})
 	if err != nil {
 		// Every field is plain data; a marshal failure is a programming error.

@@ -93,6 +93,7 @@ func ReadJSON(r io.Reader) (*Sweep, error) {
 		if err != nil {
 			return nil, err
 		}
+		//ecnlint:allow maporder parseBufKey is a bijective decode of the range key, so each iteration writes a distinct slot
 		s.DropTail[buf] = r
 	}
 	for k, bySetup := range in.Series {

@@ -1,0 +1,85 @@
+// Package analysis is the minimal analyzer framework the determinism lint
+// suite runs on: an API-compatible subset of golang.org/x/tools/go/analysis,
+// reimplemented on the standard library because this module deliberately
+// carries no third-party dependencies. An Analyzer receives one fully
+// type-checked package per Pass and reports Diagnostics; drivers (cmd/ecnlint
+// standalone, the go vet -vettool unit checker, the linttest golden harness
+// and the root regression test) share the same Analyzer values, so a pass
+// behaves identically however it is invoked.
+//
+// Only the surface the suite needs is implemented: no facts, no modular
+// result passing between analyzers, no suggested fixes. If the module ever
+// gains a dependency on golang.org/x/tools, the analyzers port by changing
+// one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one determinism pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in
+	// "//ecnlint:allow <name> <reason>" suppression comments. It must be a
+	// valid identifier.
+	Name string
+	// Doc is the one-paragraph description `ecnlint help` prints.
+	Doc string
+	// URL points at the contract the pass enforces (a DESIGN.md anchor).
+	URL string
+	// Run executes the pass over one package.
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn for
+// each node; fn returning false prunes the subtree (ast.Inspect semantics).
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// WithStack walks every file like Inspect but also hands fn the stack of
+// ancestor nodes, outermost first and excluding n itself. Returning false
+// prunes the subtree.
+func (p *Pass) WithStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}

@@ -1,0 +1,219 @@
+// Package fpcover machine-checks the campaign cache-key invariant from PR 5
+// (DESIGN.md §2.4): an option cannot reach the simulation without reaching
+// the cache key. The key is a hash of Cluster.Fingerprint's canonical JSON,
+// produced by marshaling a canonicalConfig built from the same lowering
+// functions the scenarios run through. Two ways for a knob to silently
+// escape that hash:
+//
+//  1. A builder field added to Cluster but never read anywhere in
+//     canonicalJSON's call closure — the option changes what runs, the
+//     fingerprint doesn't move, and the cache serves a stale result.
+//  2. A field of a lowered config struct that encoding/json skips —
+//     unexported, tagged `json:"-"`, or of an unserializable kind — so the
+//     value rides into the simulation but not into the canonical form.
+//
+// The analyzer fires in any package that declares a struct type named
+// canonicalConfig together with a Cluster type carrying a canonicalJSON
+// method (in this module: package ecnsim). Pure bookkeeping fields that
+// deliberately stay out of the fingerprint (they change how defaults
+// resolve, not what runs) carry an `//ecnlint:allow fingerprintcoverage`
+// annotation at their declaration.
+package fpcover
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the fingerprintcoverage pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fingerprintcoverage",
+	Doc: "prove every Cluster builder field reaches canonicalJSON's call " +
+		"closure and every lowered config field survives JSON " +
+		"marshaling — the cache-key invariant of DESIGN.md §2.4",
+	URL: "DESIGN.md#25-determinism-lint",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	scope := pass.Pkg.Scope()
+	canonicalObj := scope.Lookup("canonicalConfig")
+	clusterObj := scope.Lookup("Cluster")
+	if canonicalObj == nil || clusterObj == nil {
+		return nil, nil // not the fingerprint-defining package
+	}
+	canonical, ok := structOf(canonicalObj.Type())
+	if !ok {
+		return nil, nil
+	}
+	clusterStruct, ok := structOf(clusterObj.Type())
+	if !ok {
+		return nil, nil
+	}
+	entry := methodDecl(pass, clusterObj.Type(), "canonicalJSON")
+	if entry == nil {
+		return nil, nil
+	}
+
+	checkSerializable(pass, canonical)
+	checkBuilderCoverage(pass, clusterStruct, entry)
+	return nil, nil
+}
+
+func structOf(t types.Type) (*types.Struct, bool) {
+	s, ok := t.Underlying().(*types.Struct)
+	return s, ok
+}
+
+// methodDecl finds the declaration of the named method on recv (value or
+// pointer receiver) among the pass's files.
+func methodDecl(pass *analysis.Pass, recv types.Type, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			r := obj.Type().(*types.Signature).Recv()
+			if r == nil {
+				continue
+			}
+			rt := r.Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if types.Identical(rt, recv) {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// checkSerializable walks the type graph hanging off canonicalConfig and
+// reports any field encoding/json would silently skip. Diagnostics anchor at
+// the canonicalConfig field that roots the offending path, so the finding is
+// always in the analyzed package even when the broken field lives in a
+// lowered internal struct.
+func checkSerializable(pass *analysis.Pass, canonical *types.Struct) {
+	for i := 0; i < canonical.NumFields(); i++ {
+		root := canonical.Field(i)
+		// The root fields get the same exportedness/tag checks walkJSON
+		// applies to nested structs — anchored at themselves.
+		if !root.Exported() {
+			pass.Reportf(root.Pos(), "canonical-config path %s is unexported: encoding/json skips it, so a value stored there changes the simulation without changing Fingerprint's cache key (DESIGN.md §2.4)", root.Name())
+			continue
+		}
+		if tag := reflect.StructTag(canonical.Tag(i)).Get("json"); tag == "-" {
+			pass.Reportf(root.Pos(), "canonical-config path %s carries json:\"-\": it is excluded from the canonical form, so the option escapes the cache key (DESIGN.md §2.4)", root.Name())
+			continue
+		}
+		walkJSON(pass, root.Type(), root.Name(), root.Pos(), make(map[*types.Named]bool))
+	}
+}
+
+func walkJSON(pass *analysis.Pass, t types.Type, path string, pos token.Pos, seen map[*types.Named]bool) {
+	switch tt := types.Unalias(t).(type) {
+	case *types.Pointer:
+		walkJSON(pass, tt.Elem(), path, pos, seen)
+	case *types.Slice:
+		walkJSON(pass, tt.Elem(), path+"[]", pos, seen)
+	case *types.Array:
+		walkJSON(pass, tt.Elem(), path+"[]", pos, seen)
+	case *types.Map:
+		// encoding/json sorts map keys, so the container itself is
+		// deterministic; only the element type needs checking.
+		walkJSON(pass, tt.Elem(), path+"[key]", pos, seen)
+	case *types.Named:
+		if seen[tt] {
+			return
+		}
+		seen[tt] = true
+		walkJSON(pass, tt.Underlying(), path, pos, seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			f := tt.Field(i)
+			sub := path + "." + f.Name()
+			if !f.Exported() {
+				pass.Reportf(pos, "canonical-config path %s is unexported: encoding/json skips it, so a value stored there changes the simulation without changing Fingerprint's cache key (DESIGN.md §2.4)", sub)
+				continue
+			}
+			if tag := reflect.StructTag(tt.Tag(i)).Get("json"); tag == "-" {
+				pass.Reportf(pos, "canonical-config path %s carries json:\"-\": it is excluded from the canonical form, so the option escapes the cache key (DESIGN.md §2.4)", sub)
+				continue
+			}
+			walkJSON(pass, f.Type(), sub, pos, seen)
+		}
+	case *types.Basic:
+		// Serializable leaf.
+	default:
+		// Interfaces, funcs, channels: json.Marshal would either error or
+		// (for nil interfaces) hide arbitrary dynamic state from the key.
+		pass.Reportf(pos, "canonical-config path %s has type %s, which encoding/json cannot canonicalize: the value would reach the simulation without reaching the cache key (DESIGN.md §2.4)", path, t.String())
+	}
+}
+
+// checkBuilderCoverage computes the set of Cluster fields read anywhere in
+// the call closure of canonicalJSON (following static intra-package calls)
+// and reports every builder field the closure never touches.
+func checkBuilderCoverage(pass *analysis.Pass, cluster *types.Struct, entry *ast.FuncDecl) {
+	clusterFields := make(map[*types.Var]bool)
+	for i := 0; i < cluster.NumFields(); i++ {
+		clusterFields[cluster.Field(i)] = true
+	}
+
+	// Index this package's function/method declarations by their object so
+	// calls resolve to bodies.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	read := make(map[*types.Var]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if fd == nil || visited[fd] || fd.Body == nil {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok && clusterFields[v] {
+						read[v] = true
+					}
+				}
+			case *ast.Ident:
+				if fn, ok := pass.TypesInfo.Uses[x].(*types.Func); ok {
+					visit(decls[fn])
+				}
+			}
+			return true
+		})
+	}
+	visit(entry)
+
+	for i := 0; i < cluster.NumFields(); i++ {
+		f := cluster.Field(i)
+		if read[f] {
+			continue
+		}
+		pass.Reportf(f.Pos(), "Cluster field %q never reaches canonicalJSON's call closure: an option stored here changes what runs without moving Fingerprint, so the campaign cache would serve stale results (DESIGN.md §2.4); lower it into the canonical config, or annotate it as resolution-only bookkeeping", f.Name())
+	}
+}

@@ -1,0 +1,16 @@
+package fpcover_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/fpcover"
+	"repro/internal/lint/linttest"
+)
+
+func TestCoverageAndSerializability(t *testing.T) {
+	linttest.Run(t, fpcover.Analyzer, "testdata/src/fp", "repro/somepkg")
+}
+
+func TestPackagesWithoutFingerprintAreSilent(t *testing.T) {
+	linttest.Run(t, fpcover.Analyzer, "testdata/src/plain", "repro/somepkg")
+}

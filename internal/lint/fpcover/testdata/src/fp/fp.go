@@ -1,0 +1,47 @@
+// Golden fixture for the fingerprintcoverage analyzer: a miniature of the
+// ecnsim builder. Serializability diagnostics anchor at the canonicalConfig
+// field that roots the offending path; coverage diagnostics anchor at the
+// unread Cluster field.
+package fp
+
+import "encoding/json"
+
+type lowered struct {
+	Exported int `json:"exported"`
+	hidden   int
+}
+
+type canonicalConfig struct {
+	Config  lowered `json:"config"` // want "path Config.hidden is unexported"
+	Skipped int     `json:"-"`      // want "carries json:"
+	Hook    func()  `json:"hook"`   // want "cannot canonicalize"
+	Depth   int     `json:"depth"`
+}
+
+type Cluster struct {
+	depth   int
+	skipped int
+	hook    func()
+	stray   int // want "never reaches canonicalJSON"
+	// resolved only steers defaulting; the resolved value lands in Depth.
+	//ecnlint:allow fingerprintcoverage golden-test fixture for resolution-only bookkeeping
+	resolved bool
+}
+
+func (c *Cluster) lower() lowered {
+	return lowered{Exported: c.depth}
+}
+
+func (c *Cluster) canonicalJSON() []byte {
+	b, _ := json.Marshal(canonicalConfig{
+		Config:  c.lower(),
+		Skipped: c.skipped,
+		Hook:    c.hook,
+		Depth:   c.depth,
+	})
+	return b
+}
+
+func use(c *Cluster) (int, bool) {
+	return c.stray, c.resolved
+}

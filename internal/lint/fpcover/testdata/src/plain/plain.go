@@ -1,0 +1,9 @@
+// A package without the canonicalConfig/Cluster/canonicalJSON trio: the
+// analyzer must not fire at all, whatever the code does.
+package plain
+
+type Config struct {
+	hidden int
+}
+
+func Sum(c Config) int { return c.hidden }

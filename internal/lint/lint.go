@@ -1,0 +1,201 @@
+// Package lint assembles the determinism analyzer suite and runs it over
+// loaded packages, applying the repo's suppression protocol. It is the one
+// place that knows both the full analyzer inventory and how
+// "//ecnlint:allow" comments work, so the standalone multichecker, the go
+// vet vettool mode and the root regression test cannot drift apart.
+//
+// # Suppression protocol
+//
+// A diagnostic is suppressed by a comment of the form
+//
+//	//ecnlint:allow <analyzer> <reason>
+//
+// placed either at the end of the flagged line or on its own line
+// immediately above it. The reason is mandatory and should say why the
+// contract holds anyway (or why breaking it is acceptable there); an allow
+// without a reason, or naming an unknown analyzer, is itself reported as a
+// finding so suppressions cannot rot silently. scripts/checklinks.sh
+// enforces the non-empty reason textually as a second, go-vet-independent
+// net.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/fpcover"
+	"repro/internal/lint/load"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/poolonly"
+	"repro/internal/lint/seededrng"
+	"repro/internal/lint/wallclock"
+)
+
+// AllowPrefix is the suppression comment marker.
+const AllowPrefix = "//ecnlint:allow"
+
+// Analyzers returns the full determinism suite, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		fpcover.Analyzer,
+		maporder.Analyzer,
+		poolonly.Analyzer,
+		seededrng.Analyzer,
+		wallclock.Analyzer,
+	}
+}
+
+// Finding is one diagnostic after suppression filtering, resolved to a file
+// position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding the way go vet renders diagnostics, with the
+// analyzer name prefixed for allow-comment targeting.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// allowKey locates a suppression comment: file path and line.
+type allowKey struct {
+	file string
+	line int
+}
+
+// Run applies the analyzers to every package, filters suppressed
+// diagnostics, and returns the surviving findings sorted by position. An
+// analyzer returning an error aborts the run: that is a broken pass, not a
+// finding.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows, bad := scanAllows(pkg, known)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			var diags []analysis.Diagnostic
+			pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if allows[allowKey{pos.Filename, pos.Line}][a.Name] ||
+					allows[allowKey{pos.Filename, pos.Line - 1}][a.Name] {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return dedupe(findings), nil
+}
+
+// scanAllows collects the package's suppression comments, keyed by file and
+// line, and reports malformed ones (missing reason, unknown analyzer) as
+// findings from the pseudo-analyzer "ecnlint".
+func scanAllows(pkg *load.Package, known map[string]bool) (map[allowKey]map[string]bool, []Finding) {
+	allows := make(map[allowKey]map[string]bool)
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{Analyzer: "ecnlint", Pos: pos,
+						Message: "malformed suppression: want \"//ecnlint:allow <analyzer> <reason>\""})
+					continue
+				case !known[fields[0]]:
+					bad = append(bad, Finding{Analyzer: "ecnlint", Pos: pos,
+						Message: fmt.Sprintf("suppression names unknown analyzer %q (known: %s)", fields[0], strings.Join(knownNames(known), ", "))})
+					continue
+				case len(fields) < 2:
+					bad = append(bad, Finding{Analyzer: "ecnlint", Pos: pos,
+						Message: fmt.Sprintf("suppression of %q has no reason: say why the determinism contract holds anyway", fields[0])})
+					continue
+				}
+				key := allowKey{pos.Filename, pos.Line}
+				if allows[key] == nil {
+					allows[key] = make(map[string]bool)
+				}
+				allows[key][fields[0]] = true
+			}
+		}
+	}
+	return allows, bad
+}
+
+func knownNames(known map[string]bool) []string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// dedupe drops exact-duplicate findings (same position, analyzer and
+// message); findings must already be sorted.
+func dedupe(findings []Finding) []Finding {
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 && f == findings[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Module is the one-call convenience the binaries and the regression test
+// share: load every package matching patterns under dir and run the full
+// suite.
+func Module(dir string, patterns ...string) ([]Finding, error) {
+	pkgs, err := load.Module(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return Run(pkgs, Analyzers())
+}

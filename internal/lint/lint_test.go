@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+	"repro/internal/lint/maporder"
+)
+
+// TestSuppressionProtocol runs maporder over the allow fixture, where every
+// function trips the analyzer and only the well-formedness of the allow
+// comment varies, and checks which findings survive: malformed suppressions
+// both fail to suppress and are reported themselves.
+func TestSuppressionProtocol(t *testing.T) {
+	pkg, err := load.Files("testdata/src/allow", "repro/internal/somepkg")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := lint.Run([]*load.Package{pkg}, []*analysis.Analyzer{maporder.Analyzer})
+	if err != nil {
+		t.Fatalf("running maporder: %v", err)
+	}
+
+	// In position order (the maporder diagnostic sits at the statement, the
+	// protocol finding at the trailing comment): the reason-less and typo'd
+	// allows each yield the unsuppressed maporder finding plus the ecnlint
+	// protocol finding; the two well-formed allows suppress; the
+	// wrong-analyzer allow is well-formed but does not suppress maporder.
+	want := []struct{ analyzer, substr string }{
+		{"maporder", "float accumulation"},
+		{"ecnlint", "has no reason"},
+		{"maporder", "float accumulation"},
+		{"ecnlint", "unknown analyzer"},
+		{"maporder", "float accumulation"},
+	}
+	if len(findings) != len(want) {
+		for _, f := range findings {
+			t.Logf("got: %s", f)
+		}
+		t.Fatalf("got %d findings, want %d", len(findings), len(want))
+	}
+	for i, w := range want {
+		f := findings[i]
+		if f.Analyzer != w.analyzer || !strings.Contains(f.Message, w.substr) {
+			t.Errorf("finding %d = %s, want analyzer %q with message containing %q", i, f, w.analyzer, w.substr)
+		}
+	}
+}
+
+// TestAnalyzerInventory pins the suite's composition: the analyzer set and
+// its stable order are part of the linter's interface (allow comments name
+// these strings).
+func TestAnalyzerInventory(t *testing.T) {
+	var names []string
+	for _, a := range lint.Analyzers() {
+		names = append(names, a.Name)
+	}
+	want := "fingerprintcoverage maporder poolonly seededrng wallclock"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("Analyzers() = %q, want %q", got, want)
+	}
+	for _, a := range lint.Analyzers() {
+		if a.Doc == "" || a.URL == "" || a.Run == nil {
+			t.Errorf("analyzer %s is missing Doc, URL or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package linttest is the golden-test harness for the determinism
+// analyzers, modeled on golang.org/x/tools/go/analysis/analysistest. A
+// testdata directory holds one small package; comments of the form
+//
+//	// want "regexp"
+//
+// on a line declare that the analyzer must report a diagnostic on that line
+// whose message matches the (Go-quoted) regular expression. Multiple want
+// patterns on one line expect multiple diagnostics. Any reported diagnostic
+// without a matching want, or want without a matching diagnostic, fails the
+// test.
+//
+// Runs go through the real lint.Run driver, so "//ecnlint:allow"
+// suppressions behave in testdata exactly as they do in the tree — a
+// suppressed line simply carries no want.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads dir as one package under the import path asPath and checks a's
+// diagnostics (after suppression) against the want comments. Assigning the
+// import path is what lets testdata exercise path-sensitive rules: the same
+// files can play the role of a simulation package or of an exempt one.
+func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := load.Files(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := lint.Run([]*load.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		key := lineKey{f.Pos.Filename, f.Pos.Line}
+		if i := matchWant(wants[key], f.Message); i >= 0 {
+			wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+			continue
+		}
+		t.Errorf("unexpected diagnostic at %s: %s: %s", f.Pos, f.Analyzer, f.Message)
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, re.String())
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// matchWant returns the index of the first pattern matching msg, or -1.
+func matchWant(res []*regexp.Regexp, msg string) int {
+	for i, re := range res {
+		if re.MatchString(msg) {
+			return i
+		}
+	}
+	return -1
+}
+
+func collectWants(t *testing.T, pkg *load.Package) map[lineKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					pattern, err := unescape(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					key := lineKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// unescape undoes the minimal string escaping want patterns need inside a
+// quoted segment (\" and \\).
+func unescape(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			if i+1 >= len(s) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+			i++
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,294 @@
+// Package load turns Go packages into the type-checked form the determinism
+// analyzers consume, using only the standard library and the go command.
+//
+// The strategy mirrors what golang.org/x/tools/go/packages does in
+// NeedExportFile mode: one `go list -deps -export -json` invocation both
+// enumerates the packages under analysis and compiles export data for every
+// dependency (standard library included) into the build cache. Each analyzed
+// package is then parsed and type-checked from source, with imports resolved
+// through that export data via the compiler importer — no network, no
+// GOPATH source walking, and dependency type information stays bit-exact
+// with what the real build saw.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (for synthetic test packages, the
+	// path the caller assigned).
+	Path string
+	// Dir is the directory holding the source files.
+	Dir string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, in go list order.
+	Files []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct {
+		Err string
+	}
+}
+
+// Module loads every package matching patterns in the module rooted at (or
+// containing) dir, type-checked and ready for analysis. Test files are not
+// loaded: the determinism contract governs what simulations execute, and
+// tests exercise wall clocks and ad-hoc randomness legitimately.
+func Module(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string)
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	base := newExportImporter(fset, exports)
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := check(fset, base, lp.ImportPath, lp.Dir, lp.GoFiles, lp.ImportMap)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// Files loads the non-test .go files of a single directory as one package
+// under the given import path, resolving its imports (standard library or
+// already-compiled module packages) through go list export data. It is the
+// entry point the linttest golden harness uses: assigning the import path
+// lets testdata packages exercise path-sensitive analyzer rules ("is this a
+// simulation package?") without living at those paths.
+func Files(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	asts, imports, err := parseFiles(fset, dir, files)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		listed, err := goList(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	base := newExportImporter(fset, exports)
+	return checkParsed(fset, base, importPath, dir, asts, nil)
+}
+
+// ExportFiles type-checks an explicit file list as one package, resolving
+// imports through the supplied import-path -> export-data-file map (with an
+// optional import-path rewrite map applied first). It is the vettool entry
+// point: `go vet` hands exactly these ingredients to a unit checker.
+func ExportFiles(importPath string, goFiles []string, packageFile, importMap map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	dir := ""
+	asts := make([]*ast.File, 0, len(goFiles))
+	for _, f := range goFiles {
+		if dir == "" {
+			dir = filepath.Dir(f)
+		}
+		a, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		asts = append(asts, a)
+	}
+	base := newExportImporter(fset, packageFile)
+	return checkParsed(fset, base, importPath, dir, asts, importMap)
+}
+
+// goList runs `go list -deps -export -json` over args in dir and decodes the
+// stream. -e keeps going on broken packages; callers decide whether a
+// package-level error matters.
+func goList(dir string, args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-deps", "-export", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var listed []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, []string, error) {
+	var asts []*ast.File
+	importSet := make(map[string]bool)
+	for _, name := range names {
+		a, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("load: %w", err)
+		}
+		asts = append(asts, a)
+		for _, imp := range a.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[path] = true
+			}
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for path := range importSet {
+		imports = append(imports, path)
+	}
+	sort.Strings(imports)
+	return asts, imports, nil
+}
+
+func check(fset *token.FileSet, base *exportImporter, importPath, dir string, goFiles []string, importMap map[string]string) (*Package, error) {
+	asts, _, err := parseFiles(fset, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	return checkParsed(fset, base, importPath, dir, asts, importMap)
+}
+
+func checkParsed(fset *token.FileSet, base *exportImporter, importPath, dir string, asts []*ast.File, importMap map[string]string) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{
+		Importer: &mappedImporter{base: base, importMap: importMap},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := cfg.Check(importPath, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  fset,
+		Files: asts,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// exportImporter resolves import paths to *types.Package through compiler
+// export data files, sharing one gc importer (and so one package identity
+// cache) across every package checked against the same FileSet.
+type exportImporter struct {
+	gc      types.Importer
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	im := &exportImporter{exports: exports}
+	im.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := im.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return im
+}
+
+func (im *exportImporter) Import(path string) (*types.Package, error) {
+	return im.gc.Import(path)
+}
+
+// mappedImporter applies one package's import-path rewrite map (go list's
+// ImportMap / vet config's ImportMap) before delegating to the shared
+// export importer.
+type mappedImporter struct {
+	base      *exportImporter
+	importMap map[string]string
+}
+
+func (im *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	return im.base.Import(path)
+}

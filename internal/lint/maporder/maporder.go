@@ -1,0 +1,364 @@
+// Package maporder flags `range` loops over maps whose bodies are sensitive
+// to iteration order. Go randomizes map iteration per run, so any
+// order-sensitive effect inside such a loop — accumulating floats (rounding
+// is not associative), concatenating strings, appending to a result slice,
+// or last-writer-wins assignment into state that outlives the loop — makes
+// the output depend on the runtime's hash salt instead of (configuration,
+// seed), breaking the bit-identical contract (DESIGN.md §4).
+//
+// Order-insensitive bodies stay legal: integer/boolean accumulation is exact
+// and commutative, writes keyed by the (unique) range key land on disjoint
+// slots, and guarded min/max/selection updates pick the same winner in any
+// order. The sanctioned way to do an order-sensitive pass over a map is the
+// sorted-keys idiom — collect the keys, sort them, range over the slice —
+// which the analyzer recognizes: an append of keys/values that are sorted
+// later in the same function is not reported.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive bodies of range-over-map loops (float/string " +
+		"accumulation, unsorted appends, last-writer-wins stores); sort the " +
+		"keys first (DESIGN.md §4)",
+	URL: "DESIGN.md#25-determinism-lint",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rs, enclosingFuncBody(stack))
+		return true
+	})
+	return nil, nil
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal on the stack (for the sorted-later idiom search).
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+
+	var walk func(n ast.Node, ifDepth int)
+	walk = func(n ast.Node, ifDepth int) {
+		switch s := n.(type) {
+		case nil:
+			return
+		case *ast.IfStmt:
+			walk(s.Init, ifDepth)
+			// The branch bodies are guarded; the condition itself is not a
+			// store site.
+			walkBlock(s.Body, ifDepth+1, walk)
+			walk(s.Else, ifDepth+1)
+			return
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, s, rangeVars, ifDepth, funcBody)
+		case *ast.RangeStmt:
+			// A nested range over another map is analyzed by its own
+			// checkMapRange call; walking into it would double-report.
+			if t := pass.TypesInfo.TypeOf(s.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return
+				}
+			}
+			descendChildren(s, ifDepth, walk)
+			return
+		case *ast.ForStmt, *ast.BlockStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.CaseClause,
+			*ast.CommClause, *ast.LabeledStmt:
+			// Containers: descend with the current guard depth (switch cases
+			// are selections too, treat them like if-guards).
+			depth := ifDepth
+			switch n.(type) {
+			case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				depth++
+			}
+			descendChildren(n, depth, walk)
+			return
+		}
+		// Generic descent for everything else (expressions may hold FuncLits;
+		// a store inside a func literal runs at call time, skip those).
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return
+		}
+		descendChildren(n, ifDepth, walk)
+	}
+	for _, stmt := range rs.Body.List {
+		walk(stmt, 0)
+	}
+}
+
+// descendChildren hands each direct child of n to walk with the given guard
+// depth, without descending further itself.
+func descendChildren(n ast.Node, ifDepth int, walk func(ast.Node, int)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n {
+			return true
+		}
+		if m != nil {
+			walk(m, ifDepth)
+		}
+		return false
+	})
+}
+
+func walkBlock(b *ast.BlockStmt, ifDepth int, walk func(ast.Node, int)) {
+	if b == nil {
+		return
+	}
+	for _, stmt := range b.List {
+		walk(stmt, ifDepth)
+	}
+}
+
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.AssignStmt, rangeVars map[types.Object]bool, ifDepth int, funcBody *ast.BlockStmt) {
+	if s.Tok == token.DEFINE {
+		// New variables scoped to the loop body cannot leak order. (Their
+		// later accumulation sites are checked on their own.)
+		return
+	}
+	for i, lhs := range s.Lhs {
+		root := rootIdent(lhs)
+		if root == nil {
+			continue
+		}
+		obj := pass.TypesInfo.ObjectOf(root)
+		if obj == nil || !declaredOutside(obj, rs) {
+			continue
+		}
+		lt := pass.TypesInfo.TypeOf(lhs)
+
+		// A slot indexed by a (unique) range variable is touched at most once
+		// per loop, so even float accumulation into it is order-insensitive.
+		slotPerKey := indexedByRangeVar(pass, lhs, rangeVars)
+
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if orderSensitiveAccum(lt) && !slotPerKey {
+				pass.Reportf(s.Pos(), "%s accumulation into %q inside a range over a map: float rounding and string concatenation are order-sensitive and Go randomizes map order; iterate sorted keys instead (DESIGN.md §4)", typeClass(lt), root.Name)
+			}
+			continue
+		case token.ASSIGN:
+		default:
+			continue
+		}
+
+		// Pairwise assignment picks the matching RHS; a multi-value RHS
+		// (x, y = f(...)) is shared by every LHS.
+		rhs := s.Rhs[0]
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		}
+		// x = append(x, ...): result collection. Allowed when the collected
+		// slice is sorted later in the same function (the sanctioned idiom).
+		if call, ok := rhs.(*ast.CallExpr); ok && isAppend(pass, call) {
+			if sortedLater(pass, obj, rs, funcBody) {
+				continue
+			}
+			pass.Reportf(s.Pos(), "append to %q inside a range over a map without sorting afterwards: element order follows Go's randomized map order; sort %q before use, or collect+sort the keys and range over the slice (DESIGN.md §4)", root.Name, root.Name)
+			continue
+		}
+		// x = x <op> v rewritten accumulations.
+		if mentionsObject(pass, rhs, obj) && orderSensitiveAccum(lt) && !slotPerKey {
+			pass.Reportf(s.Pos(), "%s accumulation into %q inside a range over a map: rounding/concatenation order follows Go's randomized map order; iterate sorted keys instead (DESIGN.md §4)", typeClass(lt), root.Name)
+			continue
+		}
+		// Plain store of loop-derived data into state that outlives the
+		// loop: last writer wins, and the last iteration is random.
+		// Exemptions: stores keyed by a range variable land on disjoint
+		// slots; stores under an if/switch are selection idioms
+		// (min/max, key match) that pick the same winner in any order.
+		if ifDepth == 0 && usesRangeVar(pass, rhs, rangeVars) && !slotPerKey {
+			pass.Reportf(s.Pos(), "unconditional store of loop-derived data into %q inside a range over a map: the surviving value follows Go's randomized map order; guard the store with a selection condition or iterate sorted keys (DESIGN.md §4)", root.Name)
+		}
+	}
+}
+
+// rootIdent strips selectors, indexes, derefs and parens down to the base
+// identifier of an assignable expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the range
+// statement (so writes to it survive the loop).
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() == token.NoPos || obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+// orderSensitiveAccum reports whether accumulating into this type depends on
+// operand order: floats and complexes round, strings concatenate. Integer and
+// boolean accumulation is exact and commutative.
+func orderSensitiveAccum(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}
+
+func typeClass(t types.Type) string {
+	b, _ := t.Underlying().(*types.Basic)
+	switch {
+	case b == nil:
+		return "value"
+	case b.Info()&types.IsString != 0:
+		return "string"
+	default:
+		return "float"
+	}
+}
+
+func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// mentionsObject reports whether e references obj.
+func mentionsObject(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func usesRangeVar(pass *analysis.Pass, e ast.Expr, rangeVars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && rangeVars[pass.TypesInfo.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// indexedByRangeVar reports whether lhs stores through an index expression
+// whose index involves a range variable (distinct keys hit distinct slots,
+// so order cannot matter).
+func indexedByRangeVar(pass *analysis.Pass, lhs ast.Expr, rangeVars map[types.Object]bool) bool {
+	for {
+		switch x := lhs.(type) {
+		case *ast.IndexExpr:
+			if usesRangeVar(pass, x.Index, rangeVars) {
+				return true
+			}
+			lhs = x.X
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// sortedLater reports whether obj is passed to a sort (sort.* or slices.Sort*
+// or a .Sort method) after the range statement within the enclosing function
+// body — the collect-then-sort idiom that makes collection order irrelevant.
+func sortedLater(pass *analysis.Pass, obj types.Object, rs *ast.RangeStmt, funcBody *ast.BlockStmt) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, obj) {
+				found = true
+			}
+		}
+		// Method form: keys.Sort().
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && mentionsObject(pass, sel.X, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func); ok && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+			return true
+		}
+	}
+	return sel.Sel.Name == "Sort"
+}

@@ -1,0 +1,112 @@
+// Golden fixture for the maporder analyzer: order-sensitive map-range bodies
+// are flagged, the sanctioned idioms are not.
+package a
+
+import "sort"
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation"
+	}
+	return sum
+}
+
+func intAccum(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v // exact and commutative: fine
+	}
+	return sum
+}
+
+func stringConcat(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s += v // want "string accumulation"
+	}
+	return s
+}
+
+func rewrittenAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want "float accumulation"
+	}
+	return sum
+}
+
+func unsortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append"
+	}
+	return out
+}
+
+func sortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort idiom: fine
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k] // range over a slice, not a map: fine
+	}
+	return sum
+}
+
+func lastWriter(m map[string]int) int {
+	var last int
+	for _, v := range m {
+		last = v // want "unconditional store"
+	}
+	return last
+}
+
+func guardedMax(m map[string]int) int {
+	best := -1
+	for _, v := range m {
+		if v > best {
+			best = v // guarded selection: same winner in any order
+		}
+	}
+	return best
+}
+
+func slotPerKey(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range m {
+		out[k] += v // slot indexed by the range key: one write per slot
+	}
+	return out
+}
+
+func loopLocal(m map[string]float64) {
+	for _, v := range m {
+		x := v
+		x += 1 // loop-local variable: cannot leak order
+		_ = x
+	}
+}
+
+func deferredWork(m map[string]float64) []func() float64 {
+	var sum float64
+	var fns []func() float64
+	for range m {
+		fns = append(fns, func() float64 { // want "append"
+			sum += 1 // inside a func literal: runs at call time, not flagged
+			return sum
+		})
+	}
+	return fns
+}
+
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //ecnlint:allow maporder golden-test fixture exercising the suppression protocol
+	}
+	return sum
+}

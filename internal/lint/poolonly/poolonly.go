@@ -1,0 +1,59 @@
+// Package poolonly keeps goroutine creation funnelled through
+// repro/internal/pool. The Runner's bit-identical-at-any-worker-count
+// guarantee (DESIGN.md §4) holds because the only concurrency in the module
+// is the pool's bounded fan-out over independent, index-addressed
+// simulations, with results merged in a fixed order after the pool drains. A
+// bare `go` statement anywhere in engine or experiment code reintroduces
+// scheduling nondeterminism the pool was built to exclude — racing on engine
+// state at worst, reordering float aggregation at best.
+package poolonly
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the poolonly pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolonly",
+	Doc: "reject bare go statements outside repro/internal/pool; parallel " +
+		"work must go through the pool's deterministic fan-out " +
+		"(DESIGN.md §4)",
+	URL: "DESIGN.md#25-determinism-lint",
+	Run: run,
+}
+
+// ExemptPaths lists where goroutines are legitimate: the pool itself (its
+// workers are the sanctioned fan-out) and the wall-clock world of binaries
+// and examples (progress meters, signal handling), which never touch a live
+// engine concurrently.
+var ExemptPaths = []string{
+	"internal/pool",
+	"internal/lint",
+	"/cmd/",
+	"/examples/",
+}
+
+func exempt(path string) bool {
+	for _, p := range ExemptPaths {
+		if strings.Contains(path+"/", strings.TrimSuffix(p, "/")+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if exempt(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			pass.Reportf(g.Pos(), "bare go statement in %s: goroutines outside internal/pool break the Runner's bit-identical-at-any-worker-count guarantee; submit the work through repro/internal/pool (DESIGN.md §4)", pass.Pkg.Path())
+		}
+		return true
+	})
+	return nil, nil
+}

@@ -1,0 +1,22 @@
+package poolonly_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/poolonly"
+)
+
+func TestBareGoStatementsAreFlagged(t *testing.T) {
+	linttest.Run(t, poolonly.Analyzer, "testdata/src/bad", "repro/internal/somepkg")
+}
+
+func TestExemptPathsAreSilent(t *testing.T) {
+	for _, path := range []string{
+		"repro/internal/pool",
+		"repro/cmd/somecmd",
+		"repro/examples/basic",
+	} {
+		linttest.Run(t, poolonly.Analyzer, "testdata/src/exempt", path)
+	}
+}

@@ -1,0 +1,18 @@
+// Golden fixture for the poolonly analyzer: bare go statements are flagged
+// in engine code, wherever they hide.
+package bad
+
+func fanOut(ch chan int) {
+	go func() { ch <- 1 }() // want "bare go statement"
+	f := func() {
+		go send(ch) // want "bare go statement"
+	}
+	f()
+}
+
+func send(ch chan int) { ch <- 2 }
+
+func suppressed(ch chan int) {
+	//ecnlint:allow poolonly golden-test fixture exercising the suppression protocol
+	go send(ch)
+}

@@ -1,0 +1,10 @@
+// The same go statements with no want annotations: loaded under the
+// internal/pool import path the analyzer must stay silent — the pool's
+// workers are the sanctioned fan-out.
+package exempt
+
+func Workers(n int, work func()) {
+	for i := 0; i < n; i++ {
+		go work()
+	}
+}

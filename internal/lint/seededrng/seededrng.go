@@ -1,0 +1,59 @@
+// Package seededrng funnels all randomness through repro/internal/rng. Every
+// random decision in the simulator must derive from the run seed through a
+// labelled child stream (DESIGN.md §4), so identical configurations replay
+// identical packet schedules regardless of component construction order. A
+// math/rand generator — even an explicitly seeded one — sits outside that
+// derivation tree: its stream cannot be reproduced from (configuration,
+// seed) by the rng package's Child labels, and the two generator families
+// drift independently. The analyzer therefore rejects any math/rand or
+// math/rand/v2 import outside internal/rng itself.
+package seededrng
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the seededrng pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrng",
+	Doc: "reject math/rand imports outside repro/internal/rng; all " +
+		"randomness must flow through the seed-derived rng streams " +
+		"(DESIGN.md §4)",
+	URL: "DESIGN.md#25-determinism-lint",
+	Run: run,
+}
+
+// ExemptSuffixes lists import-path suffixes allowed to touch math/rand: the
+// rng package itself (its tests cross-check distributions against the
+// standard library).
+var ExemptSuffixes = []string{"internal/rng"}
+
+func exempt(path string) bool {
+	for _, s := range ExemptSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if exempt(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s outside internal/rng: randomness must derive from the run seed via repro/internal/rng child streams so runs stay bit-identical in (config, seed) (DESIGN.md §4)", path)
+			}
+		}
+	}
+	return nil, nil
+}

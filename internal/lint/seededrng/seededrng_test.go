@@ -1,0 +1,16 @@
+package seededrng_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/seededrng"
+)
+
+func TestMathRandImportsAreFlagged(t *testing.T) {
+	linttest.Run(t, seededrng.Analyzer, "testdata/src/bad", "repro/internal/somepkg")
+}
+
+func TestRNGPackageIsExempt(t *testing.T) {
+	linttest.Run(t, seededrng.Analyzer, "testdata/src/exempt", "repro/internal/rng")
+}

@@ -1,0 +1,13 @@
+// Golden fixture for the seededrng analyzer: any math/rand import outside
+// internal/rng is flagged at the import site, even an explicitly seeded use.
+package bad
+
+import (
+	"math/rand"       // want "import of math/rand outside internal/rng"
+	v2 "math/rand/v2" // want "import of math/rand/v2 outside internal/rng"
+)
+
+func roll() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6) + v2.IntN(6)
+}

@@ -1,0 +1,10 @@
+// The same import with no want annotations: loaded under the internal/rng
+// import path itself, the analyzer must stay silent (the rng package
+// cross-checks distributions against the standard library).
+package exempt
+
+import "math/rand"
+
+func Reference() float64 {
+	return rand.New(rand.NewSource(1)).Float64()
+}

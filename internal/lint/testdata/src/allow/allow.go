@@ -1,0 +1,45 @@
+// Fixture for the suppression protocol: every function trips maporder, and
+// the allow comments differ in well-formedness. lint_test.go asserts which
+// findings survive.
+package allow
+
+func noReason(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //ecnlint:allow maporder
+	}
+	return sum
+}
+
+func unknownAnalyzer(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //ecnlint:allow mapodrer typo in the analyzer name
+	}
+	return sum
+}
+
+func sameLine(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //ecnlint:allow maporder a well-formed reason suppresses on the same line
+	}
+	return sum
+}
+
+func lineAbove(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//ecnlint:allow maporder the line-above form also suppresses
+		sum += v
+	}
+	return sum
+}
+
+func wrongAnalyzer(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //ecnlint:allow poolonly naming a different analyzer does not suppress this one
+	}
+	return sum
+}

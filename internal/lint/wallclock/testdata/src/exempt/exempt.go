@@ -1,0 +1,12 @@
+// The same wall-clock reads as the sim fixture, with no want annotations:
+// loaded under an exempt import path (cmd/, benchkit) the analyzer must stay
+// silent.
+package exempt
+
+import "time"
+
+func Stopwatch() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}

@@ -1,0 +1,30 @@
+// Golden fixture for the wallclock analyzer, loaded under a simulation
+// import path: wall-clock reads and global rand draws are flagged; types,
+// constants and methods are not.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Duration {
+	t0 := time.Now()             // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	<-time.After(time.Second)    // want "time.After reads the wall clock"
+	return time.Since(t0)        // want "time.Since reads the wall clock"
+}
+
+func dice() int {
+	return rand.Intn(6) // want "rand.Intn draws from the process-global random source"
+}
+
+// unitsOnly shows that time's types and constants stay legal: they are units
+// of simulated time, not clock reads.
+func unitsOnly(d time.Duration) float64 {
+	return d.Seconds() + time.Millisecond.Seconds()
+}
+
+func suppressed() time.Time {
+	return time.Now() //ecnlint:allow wallclock golden-test fixture exercising the suppression protocol
+}

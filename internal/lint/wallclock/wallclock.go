@@ -1,0 +1,98 @@
+// Package wallclock rejects wall-clock and global-randomness escapes from
+// simulation code. Simulated time is the only clock a deterministic run may
+// consult: a time.Now() in a qdisc or a global rand.Intn() in the scheduler
+// makes results depend on the host machine instead of (configuration, seed),
+// breaking the bit-identical contract (DESIGN.md §4) that the Runner, the
+// campaign cache and the bench gate all assume.
+//
+// Wall time is the point of the benchmark harness and of CLI progress
+// reporting, so internal/benchkit, cmd/ and examples/ are exempt.
+package wallclock
+
+import (
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock reads (time.Now/Since/Sleep/timers) and global " +
+		"math/rand calls in simulation packages; simulated time and seeded " +
+		"rng streams are the only admissible sources (DESIGN.md §4)",
+	URL: "DESIGN.md#25-determinism-lint",
+	Run: run,
+}
+
+// ExemptPrefixes lists import-path prefixes where wall time is legitimate:
+// the benchmark harness measures it, binaries and examples report progress
+// with it, and the lint driver itself is host tooling. Everything else in
+// the module is simulation or simulation-adjacent code and is covered.
+var ExemptPrefixes = []string{
+	"repro/cmd/",
+	"repro/examples/",
+	"repro/internal/benchkit",
+	"repro/internal/lint",
+}
+
+// forbiddenTime names the time package's wall-clock entry points. Types and
+// constants (time.Duration, time.Millisecond) remain free to use: they are
+// units, not clock reads.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func exempt(path string) bool {
+	for _, p := range ExemptPrefixes {
+		if path == strings.TrimSuffix(p, "/") || strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if exempt(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		// Only package-level functions: methods (e.g. time.Time.Sub on two
+		// simulated stamps, rng.Source.Float64) are fine.
+		if fn.Type().(*types.Signature).Recv() != nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if forbiddenTime[fn.Name()] {
+				pass.Reportf(id.Pos(), "time.%s reads the wall clock in simulation package %s; use the engine's simulated clock (sim.Engine.Now) — results must be bit-identical in (config, seed), see DESIGN.md §4", fn.Name(), pass.Pkg.Path())
+			}
+		case "math/rand", "math/rand/v2":
+			if strings.HasPrefix(fn.Name(), "New") {
+				continue // construction is the seededrng analyzer's finding
+			}
+			pass.Reportf(id.Pos(), "%s.%s draws from the process-global random source in simulation package %s; derive a seeded stream from repro/internal/rng instead (DESIGN.md §4)", pathBase(fn.Pkg().Path()), fn.Name(), pass.Pkg.Path())
+		}
+	}
+	return nil, nil
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

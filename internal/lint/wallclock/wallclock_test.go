@@ -1,0 +1,22 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/wallclock"
+)
+
+func TestSimulationPackagesAreCovered(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "testdata/src/sim", "repro/internal/somepkg")
+}
+
+func TestExemptPathsAreSilent(t *testing.T) {
+	for _, path := range []string{
+		"repro/cmd/somecmd",
+		"repro/examples/basic",
+		"repro/internal/benchkit",
+	} {
+		linttest.Run(t, wallclock.Analyzer, "testdata/src/exempt", path)
+	}
+}

@@ -1,0 +1,29 @@
+// The determinism-lint regression gate: the full analyzer suite over the
+// real module must report nothing. A finding here means either new code
+// broke the bit-identical contract (fix it) or a deliberate exception lost
+// its "//ecnlint:allow <analyzer> <reason>" annotation (restore it). This is
+// the same check CI runs as `go run ./cmd/ecnlint ./...`; keeping it a test
+// makes `go test ./...` sufficient locally.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestDeterminismLintIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("relints the whole module; skipped in -short")
+	}
+	findings, err := lint.Module(".", "./...")
+	if err != nil {
+		t.Fatalf("running the determinism suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("fix the findings or annotate deliberate exceptions with %q (DESIGN.md §2.5)", lint.AllowPrefix+" <analyzer> <reason>")
+	}
+}

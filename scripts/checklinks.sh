@@ -9,6 +9,9 @@
 # balanced: each open has a matching close, no nesting, no repeated name per
 # file (the protocol internal/report.Parse enforces; checked here too so a
 # marker typo in a file cmd/report does not render still fails CI).
+# Also audits every "//ecnlint:allow" suppression in tracked Go files: it
+# must name a known analyzer and carry a non-empty reason (the textual
+# mirror of the check cmd/ecnlint performs, see DESIGN.md §2.5).
 # Run from the repository root:
 #
 #   ./scripts/checklinks.sh
@@ -66,8 +69,29 @@ while IFS= read -r file; do
     fi
 done < <(git ls-files '*.md')
 
+# Suppression audit: each //ecnlint:allow must name a known analyzer and
+# give a reason. Keep the analyzer list in sync with internal/lint.Analyzers
+# (plus the "ecnlint" pseudo-analyzer for protocol findings).
+known_analyzers='fingerprintcoverage|maporder|poolonly|seededrng|wallclock|ecnlint'
+while IFS= read -r file; do
+    case "$file" in
+    # The lint packages' golden fixtures exercise malformed allows on purpose.
+    */testdata/*) continue ;;
+    esac
+    while IFS= read -r hit; do
+        lineno="${hit%%:*}"
+        rest="${hit#*//ecnlint:allow}"
+        # shellcheck disable=SC2086 # word-splitting $rest is the point
+        set -- $rest
+        if [ "$#" -lt 2 ] || ! printf '%s\n' "$1" | grep -qE "^($known_analyzers)\$"; then
+            echo "bad suppression: $file:$lineno: want \"//ecnlint:allow <analyzer> <reason>\" with a known analyzer and a non-empty reason"
+            fail=1
+        fi
+    done < <(grep -n '//ecnlint:allow' "$file" || true)
+done < <(git ls-files '*.go')
+
 if [ "$fail" -ne 0 ]; then
-    echo "checklinks: broken links or unbalanced report markers found" >&2
+    echo "checklinks: broken links, unbalanced report markers, or bad ecnlint suppressions found" >&2
     exit 1
 fi
-echo "checklinks: all intra-repo markdown links resolve and report markers balance"
+echo "checklinks: all intra-repo markdown links resolve, report markers balance, and ecnlint suppressions carry reasons"
