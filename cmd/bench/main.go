@@ -30,6 +30,7 @@ func main() {
 		maxDrop   = flag.Float64("max-drop", benchkit.DefaultTolerances().MaxThroughputDrop, "max fractional events/sec drop vs baseline")
 		maxGrowth = flag.Float64("max-alloc-growth", benchkit.DefaultTolerances().MaxAllocGrowth, "max absolute allocs/event growth vs baseline")
 		reps      = flag.Int("reps", 3, "repetitions per scenario (best wall time and lowest allocs kept)")
+		shardGate = flag.Float64("min-shard-speedup", 0, "fail unless leafspine-sharded reaches this multiple of leafspine-ecmp's events/sec with a bit-identical event count (0 = no speedup floor, event counts still checked)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,16 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 	} else if err := rep.WriteJSON(os.Stdout); err != nil {
 		fatal(err)
+	}
+
+	// The shard gate compares two scenarios inside this report — no baseline
+	// needed — so it runs whenever both were measured.
+	if findings := benchkit.ShardGate(rep, "leafspine-ecmp", "leafspine-sharded", *shardGate); len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: sharded event loop gate failed:\n")
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, "  - "+f)
+		}
+		os.Exit(1)
 	}
 
 	if *baseline == "" {

@@ -20,16 +20,14 @@ import (
 func main() {
 	var (
 		scaleName = flag.String("scale", "test", "experiment scale: test | paper")
-		seed      = flag.Uint64("seed", 1, "base seed")
 		repeats   = flag.Int("repeats", 1, "seeds averaged per grid point")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		loadPath  = flag.String("load", "", "render figures from a sweep archive (cmd/sweep -json) instead of re-simulating")
 	)
-	fabric := ecnsim.DefaultFlags()
-	fabric.BindFabric(flag.CommandLine)
-	fabric.BindTenant(flag.CommandLine)
+	fl := ecnsim.NewFlagBinder(ecnsim.FlagsFabric | ecnsim.FlagsTenant | ecnsim.FlagsSeed)
+	fl.Bind(flag.CommandLine)
 	flag.Parse()
-	tenantOpts, err := fabric.TenantOptions()
+	flagOpts, err := fl.Options()
 	if err != nil {
 		fatal(err)
 	}
@@ -57,9 +55,10 @@ func main() {
 	}
 
 	// Companion runs (Figure 1, aqmcompare) match the grid's scale: the
-	// archive's when loading, the -scale flag's otherwise.
-	opts := []ecnsim.Option{scaleOpt, ecnsim.Seed(*seed)}
-	opts = append(opts, fabric.FabricOptions()...)
+	// archive's when loading, the -scale flag's otherwise. The tenant knobs
+	// ride along harmlessly — these scenarios never enable the workload
+	// engine.
+	opts := append([]ecnsim.Option{scaleOpt}, flagOpts...)
 	if s != nil {
 		opts = s.ScaleOptions()
 	}
@@ -82,9 +81,8 @@ func main() {
 
 	if s == nil {
 		var err error
-		sweepOpts := append([]ecnsim.Option{ecnsim.Seed(*seed), scaleOpt}, fabric.FabricOptions()...)
 		// -jobs / -rpc-clients run the grid under the multi-tenant engine.
-		sweepOpts = append(sweepOpts, tenantOpts...)
+		sweepOpts := append([]ecnsim.Option{scaleOpt}, flagOpts...)
 		s, err = ecnsim.NewSweep(sweepOpts...)
 		if err != nil {
 			fatal(err)

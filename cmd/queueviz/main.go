@@ -20,13 +20,13 @@ import (
 func main() {
 	// Only the workload flags: the queue configuration is fixed — Figure 1
 	// is a portrait of RED's default (unprotected) mode.
-	fl := ecnsim.DefaultFlags()
+	fl := ecnsim.NewFlagBinder(ecnsim.FlagsWorkload | ecnsim.FlagsFabric | ecnsim.FlagsSeed)
 	fl.Nodes = 8
 	fl.Input = "256MiB"
 	fl.Block = "" // auto: input/nodes
 	fl.Reducers = 16
 	fl.Target = 100 * time.Microsecond
-	fl.BindWorkload(flag.CommandLine)
+	fl.Bind(flag.CommandLine)
 	var (
 		interval = flag.Duration("interval", 200*time.Microsecond, "queue sampling interval")
 		traceN   = flag.Int("trace", 0, "also print the last N drop events")

@@ -16,18 +16,16 @@ import (
 func main() {
 	var (
 		scaleName = flag.String("scale", "test", "experiment scale: test | paper")
-		seed      = flag.Uint64("seed", 1, "base seed")
 		repeats   = flag.Int("repeats", 1, "seeds averaged per grid point")
 		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		jsonPath  = flag.String("json", "", "also archive the sweep as JSON to this file")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of the TSV summary")
 	)
-	fabric := ecnsim.DefaultFlags()
-	fabric.BindFabric(flag.CommandLine)
-	fabric.BindTenant(flag.CommandLine)
+	fl := ecnsim.NewFlagBinder(ecnsim.FlagsFabric | ecnsim.FlagsTenant | ecnsim.FlagsSeed)
+	fl.Bind(flag.CommandLine)
 	flag.Parse()
 
-	opts := []ecnsim.Option{ecnsim.Seed(*seed)}
+	var opts []ecnsim.Option
 	switch *scaleName {
 	case "test":
 		opts = append(opts, ecnsim.TestScale())
@@ -38,14 +36,13 @@ func main() {
 		os.Exit(2)
 	}
 	// After the scale, so -racks/-spines reshape the named scale's fabric.
-	opts = append(opts, fabric.FabricOptions()...)
 	// -jobs / -rpc-clients switch every grid cell onto the multi-tenant
 	// workload engine; the knobs ride along in the -json archive.
-	tenantOpts, err := fabric.TenantOptions()
+	flagOpts, err := fl.Options()
 	if err != nil {
 		fatal(err)
 	}
-	opts = append(opts, tenantOpts...)
+	opts = append(opts, flagOpts...)
 	s, err := ecnsim.NewSweep(opts...)
 	if err != nil {
 		fatal(err)

@@ -5,10 +5,41 @@ import (
 	"time"
 )
 
+// FlagGroup selects which blocks of the shared CLI surface a FlagBinder
+// registers. Groups compose with |; every binder implicitly includes
+// FlagsRun, so -shards behaves identically across binaries.
+type FlagGroup uint
+
+// Flag groups.
+const (
+	// FlagsQueue is the queue configuration: -queue, -mode, -transport.
+	FlagsQueue FlagGroup = 1 << iota
+	// FlagsBuffer is the switch buffer depth: -buffer.
+	FlagsBuffer
+	// FlagsFabric is the fabric shape: -racks, -spines.
+	FlagsFabric
+	// FlagsWorkload is the Terasort workload: -target, -nodes, -input,
+	// -block, -reducers.
+	FlagsWorkload
+	// FlagsSeed is the simulation seed: -seed.
+	FlagsSeed
+	// FlagsTenant is the multi-tenant workload engine: -jobs, -arrival,
+	// -rpc-clients.
+	FlagsTenant
+	// FlagsRun is the run-execution surface: -shards. Every FlagBinder
+	// includes it whether or not it is requested — how a run executes is
+	// never a per-binary decision.
+	FlagsRun
+)
+
 // FlagSet is the shared CLI surface: every command binds the same flag names
 // with the same parsing, so -queue, -input, -target and friends behave
-// identically across binaries. Set fields before Bind to change a command's
-// defaults; call Options after flag parsing to resolve the values.
+// identically across binaries. Set fields before binding to change a
+// command's defaults; resolve the values after flag parsing.
+//
+// Commands compose the surface through a FlagBinder (NewFlagBinder), which
+// binds exactly the groups the command honors — no flag is accepted and then
+// silently ignored.
 type FlagSet struct {
 	Queue     string        // -queue: droptail | red | simplemark | codel | pie
 	Mode      string        // -mode: default | ece-bit | ack+syn
@@ -23,6 +54,11 @@ type FlagSet struct {
 	Reducers  int           // -reducers
 	SeedVal   uint64        // -seed
 
+	// Shards is the event-loop shard request (-shards): 1 = serial,
+	// 0 = auto (sized to the machine on leaf-spine fabrics), n > 1 =
+	// explicit. Results are bit-identical at every value.
+	Shards int
+
 	// Multi-tenant workload flags (0 / "" = scenario defaults).
 	Jobs       int    // -jobs: max batch jobs the arrival process admits
 	Arrival    string // -arrival: "poisson:400ms" | "fixed:250ms" | "poisson"
@@ -30,7 +66,7 @@ type FlagSet struct {
 }
 
 // DefaultFlags returns the paper-testbed defaults (16 nodes, 1 GiB Terasort,
-// DropTail, shallow buffers, 500 µs target).
+// DropTail, shallow buffers, 500 µs target, serial event loop).
 func DefaultFlags() *FlagSet {
 	return &FlagSet{
 		Queue:     "droptail",
@@ -45,49 +81,184 @@ func DefaultFlags() *FlagSet {
 		Block:     "64MiB",
 		Reducers:  32,
 		SeedVal:   1,
+		Shards:    1,
 	}
 }
 
-// Bind registers the shared flags on fs with the FlagSet's current values as
-// defaults.
+// FlagBinder is the one-stop run-configuration surface for commands: a
+// FlagSet plus the groups the command honors. Bind registers exactly those
+// groups' flags; Options resolves exactly those groups' values, so unbound
+// groups keep the builder's defaults instead of overriding them with the
+// FlagSet's.
+type FlagBinder struct {
+	*FlagSet
+	groups FlagGroup
+}
+
+// NewFlagBinder returns a binder over the paper-testbed defaults covering
+// the requested groups plus, always, FlagsRun (-shards).
+func NewFlagBinder(groups FlagGroup) *FlagBinder {
+	return &FlagBinder{FlagSet: DefaultFlags(), groups: groups | FlagsRun}
+}
+
+// Groups returns the groups the binder covers (including the implicit
+// FlagsRun).
+func (b *FlagBinder) Groups() FlagGroup { return b.groups }
+
+// Bind registers the binder's groups on fs with the FlagSet's current
+// values as defaults.
+func (b *FlagBinder) Bind(fs *flag.FlagSet) { b.FlagSet.bindGroups(fs, b.groups) }
+
+// Options resolves the parsed values of the binder's groups into builder
+// options, reporting the first malformed value.
+func (b *FlagBinder) Options() ([]Option, error) { return b.FlagSet.optionsFor(b.groups) }
+
+// bindGroups registers the flags of the selected groups. Registration order
+// is irrelevant to the flag package (usage output sorts by name).
+func (f *FlagSet) bindGroups(fs *flag.FlagSet, g FlagGroup) {
+	if g&FlagsQueue != 0 {
+		fs.StringVar(&f.Queue, "queue", f.Queue, "queue discipline: droptail | red | simplemark | codel | pie")
+		fs.StringVar(&f.Mode, "mode", f.Mode, "AQM protection mode: default | ece-bit | ack+syn")
+		fs.StringVar(&f.Transport, "transport", f.Transport, "tcp | tcp-ecn | dctcp (default: tcp for droptail, tcp-ecn otherwise)")
+	}
+	if g&FlagsBuffer != 0 {
+		fs.StringVar(&f.BufferStr, "buffer", f.BufferStr, "switch buffer depth: shallow (1MB/port) | deep (10MB/port)")
+	}
+	if g&FlagsWorkload != 0 {
+		fs.DurationVar(&f.Target, "target", f.Target, "AQM target delay")
+		fs.IntVar(&f.Nodes, "nodes", f.Nodes, "cluster size")
+		fs.StringVar(&f.Input, "input", f.Input, "Terasort input size (e.g. 1GiB)")
+		fs.StringVar(&f.Block, "block", f.Block, "HDFS block size (empty = input/nodes)")
+		fs.IntVar(&f.Reducers, "reducers", f.Reducers, "reduce tasks")
+	}
+	if g&FlagsFabric != 0 {
+		fs.IntVar(&f.Racks, "racks", f.Racks, "racks (0/1 = single-switch star)")
+		fs.IntVar(&f.Spines, "spines", f.Spines, "spine switches above the racks (0 = no spine tier; needs -racks >= 2)")
+	}
+	if g&FlagsSeed != 0 {
+		fs.Uint64Var(&f.SeedVal, "seed", f.SeedVal, "simulation seed")
+	}
+	if g&FlagsTenant != 0 {
+		fs.IntVar(&f.Jobs, "jobs", f.Jobs, "max batch jobs the open-loop arrival process admits (enables the multi-tenant grid; 0 = scenario default)")
+		fs.StringVar(&f.Arrival, "arrival", f.Arrival, `job arrival process, "poisson:400ms" or "fixed:250ms" (takes effect with -jobs/-rpc-clients or a tenant scenario)`)
+		fs.IntVar(&f.RPCClients, "rpc-clients", f.RPCClients, "open-loop RPC fleet size (enables the multi-tenant grid; 0 = scenario default)")
+	}
+	if g&FlagsRun != 0 {
+		fs.IntVar(&f.Shards, "shards", f.Shards, "event-loop shards: 1 = serial, 0 = auto (sized to the machine on leaf-spine fabrics), n > 1 = explicit leaf-spine partitions; results are bit-identical at every value")
+	}
+}
+
+// optionsFor resolves the selected groups' values into builder options.
+func (f *FlagSet) optionsFor(g FlagGroup) ([]Option, error) {
+	var opts []Option
+	if g&FlagsQueue != 0 {
+		queue, err := ParseQueue(f.Queue)
+		if err != nil {
+			return nil, err
+		}
+		protect, err := ParseProtect(f.Mode)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, Queue(queue))
+		if protect != NoProtection {
+			opts = append(opts, Protect(protect))
+		}
+		if f.Transport != "" {
+			transport, err := ParseTransport(f.Transport)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, Transport(transport))
+		}
+	}
+	if g&FlagsBuffer != 0 {
+		buffer, err := ParseBuffer(f.BufferStr)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, Buffer(buffer))
+	}
+	if g&FlagsWorkload != 0 {
+		input, err := ParseSize(f.Input)
+		if err != nil {
+			return nil, err
+		}
+		var block int64
+		if f.Block != "" {
+			if block, err = ParseSize(f.Block); err != nil {
+				return nil, err
+			}
+		}
+		opts = append(opts, TargetDelay(f.Target), Nodes(f.Nodes),
+			InputSize(input), BlockSize(block), Reducers(f.Reducers))
+	}
+	if g&FlagsFabric != 0 {
+		opts = append(opts, Racks(f.Racks), Spines(f.Spines))
+	}
+	if g&FlagsSeed != 0 {
+		opts = append(opts, Seed(f.SeedVal))
+	}
+	if g&FlagsTenant != 0 {
+		tenant, err := f.TenantOptions()
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, tenant...)
+	}
+	if g&FlagsRun != 0 {
+		if f.Shards == 0 {
+			opts = append(opts, ShardAuto())
+		} else {
+			// Shards itself rejects negatives with a pointer at ShardAuto.
+			opts = append(opts, Shards(f.Shards))
+		}
+	}
+	return opts, nil
+}
+
+// Bind registers the queue, buffer, workload, fabric and seed flags on fs
+// with the FlagSet's current values as defaults.
+//
+// Deprecated: build a FlagBinder with
+// NewFlagBinder(FlagsQueue | FlagsBuffer | FlagsWorkload | FlagsFabric | FlagsSeed)
+// instead — it also binds -shards, which this legacy surface predates.
 func (f *FlagSet) Bind(fs *flag.FlagSet) {
-	fs.StringVar(&f.Queue, "queue", f.Queue, "queue discipline: droptail | red | simplemark | codel | pie")
-	fs.StringVar(&f.Mode, "mode", f.Mode, "AQM protection mode: default | ece-bit | ack+syn")
-	fs.StringVar(&f.Transport, "transport", f.Transport, "tcp | tcp-ecn | dctcp (default: tcp for droptail, tcp-ecn otherwise)")
-	f.BindBuffer(fs)
-	f.BindWorkload(fs)
+	f.bindGroups(fs, FlagsQueue|FlagsBuffer|FlagsWorkload|FlagsFabric|FlagsSeed)
 }
 
 // BindBuffer registers only the -buffer flag, for commands that honor the
 // buffer depth but fix the queue discipline (like aqmcompare, which
 // enumerates the disciplines itself).
+//
+// Deprecated: use NewFlagBinder(FlagsBuffer | ...) instead.
 func (f *FlagSet) BindBuffer(fs *flag.FlagSet) {
-	fs.StringVar(&f.BufferStr, "buffer", f.BufferStr, "switch buffer depth: shallow (1MB/port) | deep (10MB/port)")
+	f.bindGroups(fs, FlagsBuffer)
 }
 
 // BindWorkload registers only the workload/scale flags — for commands (like
 // queueviz) whose queue configuration is fixed by what they visualize, so no
 // flag is accepted and then silently ignored.
+//
+// Deprecated: use NewFlagBinder(FlagsWorkload | FlagsFabric | FlagsSeed)
+// instead.
 func (f *FlagSet) BindWorkload(fs *flag.FlagSet) {
-	fs.DurationVar(&f.Target, "target", f.Target, "AQM target delay")
-	fs.IntVar(&f.Nodes, "nodes", f.Nodes, "cluster size")
-	f.BindFabric(fs)
-	fs.StringVar(&f.Input, "input", f.Input, "Terasort input size (e.g. 1GiB)")
-	fs.StringVar(&f.Block, "block", f.Block, "HDFS block size (empty = input/nodes)")
-	fs.IntVar(&f.Reducers, "reducers", f.Reducers, "reduce tasks")
-	fs.Uint64Var(&f.SeedVal, "seed", f.SeedVal, "simulation seed")
+	f.bindGroups(fs, FlagsWorkload|FlagsFabric|FlagsSeed)
 }
 
 // BindFabric registers only the fabric-shape flags (-racks, -spines) — for
-// commands like sweep and figures whose workload is fixed by a named scale
-// but whose fabric should still be selectable from the CLI. BindWorkload
-// includes these.
+// commands whose workload is fixed by a named scale but whose fabric should
+// still be selectable from the CLI.
+//
+// Deprecated: use NewFlagBinder(FlagsFabric | ...) instead.
 func (f *FlagSet) BindFabric(fs *flag.FlagSet) {
-	fs.IntVar(&f.Racks, "racks", f.Racks, "racks (0/1 = single-switch star)")
-	fs.IntVar(&f.Spines, "spines", f.Spines, "spine switches above the racks (0 = no spine tier; needs -racks >= 2)")
+	f.bindGroups(fs, FlagsFabric)
 }
 
 // FabricOptions resolves only the fabric-shape flags into builder options.
+//
+// Deprecated: use a FlagBinder's Options, which resolves exactly the bound
+// groups.
 func (f *FlagSet) FabricOptions() []Option {
 	return []Option{Racks(f.Racks), Spines(f.Spines)}
 }
@@ -97,10 +268,10 @@ func (f *FlagSet) FabricOptions() []Option {
 // figures, the tenant examples). Zero values defer to scenario defaults.
 // On grid commands (sweep, figures), -jobs or -rpc-clients enables the
 // engine; -arrival alone only parameterizes it.
+//
+// Deprecated: use NewFlagBinder(FlagsTenant | ...) instead.
 func (f *FlagSet) BindTenant(fs *flag.FlagSet) {
-	fs.IntVar(&f.Jobs, "jobs", f.Jobs, "max batch jobs the open-loop arrival process admits (enables the multi-tenant grid; 0 = scenario default)")
-	fs.StringVar(&f.Arrival, "arrival", f.Arrival, `job arrival process, "poisson:400ms" or "fixed:250ms" (takes effect with -jobs/-rpc-clients or a tenant scenario)`)
-	fs.IntVar(&f.RPCClients, "rpc-clients", f.RPCClients, "open-loop RPC fleet size (enables the multi-tenant grid; 0 = scenario default)")
+	f.bindGroups(fs, FlagsTenant)
 }
 
 // TenantOptions resolves the tenant flags into builder options, reporting a
@@ -130,52 +301,10 @@ func (f *FlagSet) TenantOptions() ([]Option, error) {
 	return opts, nil
 }
 
-// Options resolves the parsed flag values into builder options, reporting
-// the first malformed value.
+// Options resolves the parsed flag values of the legacy Bind surface into
+// builder options, reporting the first malformed value.
+//
+// Deprecated: use a FlagBinder's Options, which also resolves -shards.
 func (f *FlagSet) Options() ([]Option, error) {
-	queue, err := ParseQueue(f.Queue)
-	if err != nil {
-		return nil, err
-	}
-	protect, err := ParseProtect(f.Mode)
-	if err != nil {
-		return nil, err
-	}
-	buffer, err := ParseBuffer(f.BufferStr)
-	if err != nil {
-		return nil, err
-	}
-	input, err := ParseSize(f.Input)
-	if err != nil {
-		return nil, err
-	}
-	var block int64
-	if f.Block != "" {
-		if block, err = ParseSize(f.Block); err != nil {
-			return nil, err
-		}
-	}
-	opts := []Option{
-		Queue(queue),
-		Buffer(buffer),
-		TargetDelay(f.Target),
-		Nodes(f.Nodes),
-		Racks(f.Racks),
-		Spines(f.Spines),
-		InputSize(input),
-		BlockSize(block),
-		Reducers(f.Reducers),
-		Seed(f.SeedVal),
-	}
-	if protect != NoProtection {
-		opts = append(opts, Protect(protect))
-	}
-	if f.Transport != "" {
-		transport, err := ParseTransport(f.Transport)
-		if err != nil {
-			return nil, err
-		}
-		opts = append(opts, Transport(transport))
-	}
-	return opts, nil
+	return f.optionsFor(FlagsQueue | FlagsBuffer | FlagsWorkload | FlagsFabric | FlagsSeed)
 }

@@ -271,6 +271,16 @@ type Cluster struct {
 	disableSACK   bool
 	disableDelAck bool
 
+	// shards is the event-loop shard request: 0/1 = serial, -1 = auto
+	// (cluster.ShardAuto), n > 1 = explicit. Lowered through scale() into
+	// the experiment config, so it is part of the canonical form.
+	shards int
+	// warnings collects non-fatal configuration demotions (currently only
+	// shard fallback); it changes nothing about what runs beyond what the
+	// resolved fields already say.
+	//ecnlint:allow fingerprintcoverage advisory only; the resolved shard count is fingerprinted via Scale.Shards
+	warnings []error
+
 	// Scenario knobs.
 	senders     int // incast; 0 = nodes-1
 	flowSize    int64
@@ -350,6 +360,13 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	}
 	if c.senders == 0 {
 		c.senders = c.nodes - 1
+	}
+	if c.shards > 1 && (c.spines == 0 || c.racks < 2) {
+		// An explicit shard request on a fabric with no leaf/spine cut:
+		// demote to serial (results are bit-identical anyway) and record a
+		// typed warning instead of failing a configuration that runs fine.
+		c.warnings = append(c.warnings, &ShardFallbackWarning{Requested: c.shards, Racks: c.racks, Spines: c.spines})
+		c.shards = 1
 	}
 	if !c.windowSet && c.window > c.measure {
 		// A short Measure with the default 500 ms window would be rejected;
@@ -470,6 +487,56 @@ func Spines(n int) Option {
 			return fmt.Errorf("ecnsim: Spines(%d): must be non-negative", n)
 		}
 		c.spines = n
+		return nil
+	}
+}
+
+// ShardFallbackWarning records an explicit Shards(n) request that was
+// demoted to serial because the configured fabric has no leaf/spine cut to
+// partition (it needs Spines >= 1 and Racks >= 2). The run proceeds
+// serially with bit-identical results; the warning is advisory.
+type ShardFallbackWarning struct {
+	// Requested is the shard count the option asked for.
+	Requested int
+	// Racks and Spines describe the fabric that could not be partitioned.
+	Racks, Spines int
+}
+
+// Error describes the demotion.
+func (w *ShardFallbackWarning) Error() string {
+	return fmt.Sprintf("ecnsim: Shards(%d) demoted to serial: a %d-rack/%d-spine fabric has no leaf/spine cut (need Racks >= 2 and Spines >= 1)",
+		w.Requested, w.Racks, w.Spines)
+}
+
+// AutoShards is the sentinel Shards() reports while ShardAuto is in effect:
+// the actual count is sized to the machine and fabric when a run starts.
+const AutoShards = cluster.ShardAuto
+
+// Shards requests an explicit event-loop shard count for intra-run
+// parallelism: the fabric is partitioned at the leaf/spine boundary and the
+// partitions run concurrently under conservative lookahead, with results
+// bit-identical to the serial engine. n must be >= 1; 1 is the serial
+// engine. On fabrics without a leaf/spine cut an n > 1 request falls back
+// to serial with a ShardFallbackWarning (see Warnings); on leaf-spine
+// fabrics n must not exceed the leaf (rack) count, which NewCluster rejects.
+// Use ShardAuto to size the shard count to the machine instead.
+func Shards(n int) Option {
+	return func(c *Cluster) error {
+		if n < 1 {
+			return fmt.Errorf("ecnsim: Shards(%d): need at least 1 (use ShardAuto for automatic sizing)", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// ShardAuto sizes the event-loop shard count automatically:
+// min(GOMAXPROCS, racks) on leaf-spine fabrics, serial everywhere else.
+// Unlike an explicit Shards(n) it never warns — it adapts to whatever
+// fabric the other options configure.
+func ShardAuto() Option {
+	return func(c *Cluster) error {
+		c.shards = cluster.ShardAuto
 		return nil
 	}
 }
@@ -893,6 +960,17 @@ func (c *Cluster) Spines() int { return c.spines }
 // Seed returns the configured base seed.
 func (c *Cluster) Seed() uint64 { return c.seed }
 
+// Shards returns the resolved event-loop shard request: 0/1 = serial,
+// AutoShards = sized to the machine at run time, n > 1 = explicit. An
+// explicit request demoted by fabric shape has already been rewritten to 1
+// here (see Warnings).
+func (c *Cluster) Shards() int { return c.shards }
+
+// Warnings returns the non-fatal configuration demotions NewCluster
+// recorded (nil when the options resolved cleanly). Currently the only
+// source is ShardFallbackWarning.
+func (c *Cluster) Warnings() []error { return c.warnings }
+
 // TargetDelay returns the configured AQM target delay.
 func (c *Cluster) TargetDelay() time.Duration { return c.targetDelay }
 
@@ -959,6 +1037,7 @@ func (c *Cluster) spec() cluster.Spec {
 	spec.Seed = c.seed
 	spec.ByteMode = c.byteMode
 	spec.Instantaneous = c.instantaneous
+	spec.Shards = c.shards
 	return spec
 }
 
@@ -972,6 +1051,7 @@ func (c *Cluster) scale() experiment.Scale {
 		InputSize: units.ByteSize(c.inputSize),
 		BlockSize: units.ByteSize(c.blockSize),
 		Reducers:  c.reducers,
+		Shards:    c.shards,
 	}
 }
 

@@ -23,10 +23,14 @@ func WriteDropTrace(w io.Writer, n int, opts ...Option) error {
 	}
 	spec := c.spec()
 	// Force the misbehaving configuration whatever the caller's options say,
-	// mirroring Figure1.
+	// mirroring Figure1. The tracer chains in front of the single metrics
+	// collector via SetObserver, which only the serial engine routes every
+	// packet through — so the trace runs serial regardless of Shards (the
+	// results are bit-identical either way).
 	spec.Queue = cluster.QueueRED
 	spec.Protect = qdisc.ProtectNone
 	spec.Transport = tcp.RenoECN
+	spec.Shards = 1
 	cl := cluster.New(spec)
 
 	tr := trace.New(n, metrics.New(1<<14, c.seed))

@@ -20,14 +20,14 @@ import (
 func main() {
 	// Workload + buffer flags only: the scenario enumerates the queue
 	// disciplines itself, so -queue/-mode/-transport would be dead knobs.
-	fl := ecnsim.DefaultFlags()
+	fl := ecnsim.NewFlagBinder(ecnsim.FlagsBuffer | ecnsim.FlagsWorkload |
+		ecnsim.FlagsFabric | ecnsim.FlagsSeed)
 	fl.Nodes = 8
 	fl.Input = "256MiB"
 	fl.Block = "" // auto: input/nodes
 	fl.Reducers = 16
 	fl.Target = 100 * time.Microsecond
-	fl.BindBuffer(flag.CommandLine)
-	fl.BindWorkload(flag.CommandLine)
+	fl.Bind(flag.CommandLine)
 	flag.Parse()
 
 	opts, err := fl.Options()

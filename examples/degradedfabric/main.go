@@ -8,6 +8,7 @@
 //
 //	go run ./examples/degradedfabric
 //	go run ./examples/degradedfabric -nodes 16 -racks 4 -spines 4 -derate 0.1
+//	go run ./examples/degradedfabric -shards 4    # same results, sharded event loop
 package main
 
 import (
@@ -21,7 +22,8 @@ import (
 )
 
 func main() {
-	fl := ecnsim.DefaultFlags()
+	fl := ecnsim.NewFlagBinder(ecnsim.FlagsBuffer | ecnsim.FlagsWorkload |
+		ecnsim.FlagsFabric | ecnsim.FlagsSeed)
 	fl.Nodes = 8
 	fl.Racks = 4
 	fl.Spines = 2
@@ -29,8 +31,7 @@ func main() {
 	fl.Block = "" // auto: input/nodes
 	fl.Reducers = 16
 	fl.Target = 100 * time.Microsecond
-	fl.BindBuffer(flag.CommandLine)
-	fl.BindWorkload(flag.CommandLine)
+	fl.Bind(flag.CommandLine)
 	derate := flag.Float64("derate", 0.25, "sick uplink rate as a fraction of its built rate (0 fails the link)")
 	flag.Parse()
 

@@ -20,14 +20,14 @@ import (
 )
 
 func main() {
-	flags := ecnsim.DefaultFlags()
-	flags.BindTenant(flag.CommandLine)
+	flags := ecnsim.NewFlagBinder(ecnsim.FlagsTenant)
+	flags.Bind(flag.CommandLine)
 	input := flag.String("input", "128MiB", "base job-mix input size")
 	measure := flag.Duration("measure", 2*time.Second, "measurement phase length")
 	window := flag.Duration("window", 500*time.Millisecond, "percentile window width")
 	flag.Parse()
 
-	tenantOpts, err := flags.TenantOptions()
+	tenantOpts, err := flags.Options()
 	if err != nil {
 		log.Fatalf("tenantmix: %v", err)
 	}

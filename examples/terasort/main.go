@@ -17,7 +17,8 @@ import (
 )
 
 func main() {
-	fl := ecnsim.DefaultFlags()
+	fl := ecnsim.NewFlagBinder(ecnsim.FlagsQueue | ecnsim.FlagsBuffer |
+		ecnsim.FlagsWorkload | ecnsim.FlagsFabric | ecnsim.FlagsSeed)
 	fl.Bind(flag.CommandLine)
 	flag.Parse()
 

@@ -108,6 +108,24 @@ func fullSpecs() []Spec {
 				ecnsim.Seed(1),
 			},
 		},
+		// The same ECMP shuffle as leafspine-ecmp with the event loop cut
+		// into four shards — the intra-run parallelism hot path. Its event
+		// count must equal leafspine-ecmp's exactly (the bit-identity
+		// contract); ShardGate enforces that plus the speedup floor.
+		{
+			Name:     "leafspine-sharded",
+			Scenario: "leafspine",
+			Opts: []ecnsim.Option{
+				ecnsim.TestScale(),
+				ecnsim.Racks(4),
+				ecnsim.Spines(2),
+				ecnsim.Shards(4),
+				ecnsim.Queue(ecnsim.RED),
+				ecnsim.Protect(ecnsim.ACKSYN),
+				ecnsim.TargetDelay(500 * time.Microsecond),
+				ecnsim.Seed(1),
+			},
+		},
 	}
 }
 
@@ -185,6 +203,23 @@ func reducedSpecs() []Spec {
 				ecnsim.TargetDelay(500 * time.Microsecond),
 				ecnsim.Measure(1 * time.Second),
 				ecnsim.MeasureWindow(250 * time.Millisecond),
+				ecnsim.Seed(1),
+			},
+		},
+		{
+			Name:     "leafspine-sharded",
+			Scenario: "leafspine",
+			Opts: []ecnsim.Option{
+				ecnsim.Nodes(8),
+				ecnsim.Racks(4),
+				ecnsim.Spines(2),
+				ecnsim.Shards(4),
+				ecnsim.InputSize(32 << 20),
+				ecnsim.BlockSize(8 << 20),
+				ecnsim.Reducers(4),
+				ecnsim.Queue(ecnsim.RED),
+				ecnsim.Protect(ecnsim.ACKSYN),
+				ecnsim.TargetDelay(500 * time.Microsecond),
 				ecnsim.Seed(1),
 			},
 		},
@@ -405,6 +440,45 @@ type Tolerances struct {
 // DefaultTolerances is the CI gate configuration.
 func DefaultTolerances() Tolerances {
 	return Tolerances{MaxThroughputDrop: 0.15, MaxAllocGrowth: 0.05}
+}
+
+// ShardGate checks the intra-run parallelism contract within one report:
+// the sharded scenario must have executed exactly the serial scenario's
+// event count (bit-identity — a count drift means the shard cut changed
+// what was simulated, not just how fast), and its events/sec must be at
+// least minSpeedup times the serial scenario's. Both scenarios come from
+// the same report, so no machine normalization is needed. Returns one
+// finding per violation; missing scenarios are findings too, so the gate
+// cannot pass vacuously. minSpeedup <= 0 skips the speedup check but
+// still enforces bit-identity.
+func ShardGate(rep *Report, serial, sharded string, minSpeedup float64) []string {
+	byName := make(map[string]Measurement, len(rep.Scenarios))
+	for _, m := range rep.Scenarios {
+		byName[m.Name] = m
+	}
+	var findings []string
+	s, sOK := byName[serial]
+	p, pOK := byName[sharded]
+	if !sOK {
+		findings = append(findings, fmt.Sprintf("%s: serial reference not measured", serial))
+	}
+	if !pOK {
+		findings = append(findings, fmt.Sprintf("%s: sharded scenario not measured", sharded))
+	}
+	if !sOK || !pOK {
+		return findings
+	}
+	if p.Events != s.Events {
+		findings = append(findings, fmt.Sprintf(
+			"%s: event count diverged from %s (%d vs %d): sharded results are not bit-identical",
+			sharded, serial, p.Events, s.Events))
+	}
+	if minSpeedup > 0 && s.EventsPerSec > 0 && p.EventsPerSec < minSpeedup*s.EventsPerSec {
+		findings = append(findings, fmt.Sprintf(
+			"%s: %.0f events/sec is %.2fx %s's %.0f (gate: >= %.2fx)",
+			sharded, p.EventsPerSec, p.EventsPerSec/s.EventsPerSec, serial, s.EventsPerSec, minSpeedup))
+	}
+	return findings
 }
 
 // Compare diffs current against baseline scenario-by-scenario and returns

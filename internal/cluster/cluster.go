@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/mapred"
 	"repro/internal/metrics"
@@ -143,7 +144,20 @@ type Spec struct {
 	Seed uint64
 	// LatencyReservoir bounds latency sample memory (0 = keep all).
 	LatencyReservoir int
+
+	// Shards partitions the event loop by fabric slice for parallel
+	// execution: 0 (the zero value) and 1 run the serial engine, ShardAuto
+	// (-1) resolves automatically (GOMAXPROCS-aware on leaf-spine fabrics,
+	// serial elsewhere), n > 1 requests that many shards. More than one shard
+	// requires a leaf-spine fabric (Spines > 0) with at most one shard per
+	// rack; RunJob is the sharded drive path (RunUntil/Drain/NewScheduler
+	// need a serial spec). Results are bit-identical at every shard count.
+	Shards int
 }
+
+// ShardAuto is the Spec.Shards sentinel for automatic shard-count selection:
+// min(GOMAXPROCS, Racks) on leaf-spine fabrics, serial everywhere else.
+const ShardAuto = -1
 
 // DefaultSpec returns the paper's default testbed: a 16-node Hadoop cluster
 // on one switch with 10 Gbps links (the paper's context: thresholds of tens
@@ -182,6 +196,12 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("cluster: %d nodes not divisible into %d racks", s.Nodes, s.Racks)
 	case len(s.Degrade) > 0 && s.Racks <= 1:
 		return fmt.Errorf("cluster: link degradation needs inter-switch links (Racks >= 2)")
+	case s.Shards < ShardAuto:
+		return fmt.Errorf("cluster: shard count must be ShardAuto (-1), 0/1 (serial), or a positive count, got %d", s.Shards)
+	case s.Shards > 1 && s.Spines == 0:
+		return fmt.Errorf("cluster: %d shards need a leaf-spine fabric (Spines > 0); other fabrics run serially", s.Shards)
+	case s.Shards > 1 && s.Shards > s.Racks:
+		return fmt.Errorf("cluster: %d shards exceed %d racks (the cut is at most one shard per rack)", s.Shards, s.Racks)
 	}
 	for _, d := range s.Degrade {
 		if err := d.Validate(); err != nil {
@@ -191,15 +211,49 @@ func (s *Spec) Validate() error {
 	return s.NodeSpec.Validate()
 }
 
+// ResolveShards returns the effective shard count for the spec: an explicit
+// positive value is taken as-is, the zero value is serial, and ShardAuto
+// resolves to min(GOMAXPROCS, Racks) on leaf-spine fabrics and to 1
+// everywhere else.
+func (s *Spec) ResolveShards() int {
+	if s.Shards > 0 {
+		return s.Shards
+	}
+	if s.Shards != ShardAuto || s.Spines == 0 || s.Racks < 2 {
+		return 1
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > s.Racks {
+		n = s.Racks
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Cluster is a fully wired simulated cluster.
 type Cluster struct {
-	Spec    Spec
-	Engine  *sim.Engine
+	Spec Spec
+	// Engine is the control engine — in serial runs (Shards resolving to 1)
+	// it is the one engine everything runs on, exactly as before sharding
+	// existed. Sharded hosts run on their shard's engine instead; reach it
+	// via Workers[i].Stack.Engine().
+	Engine *sim.Engine
+	// Group coordinates the shard engines under conservative lookahead.
+	// Serial runs hold the degenerate one-shard group.
+	Group   *sim.Group
 	Topo    *topo.Cluster
 	Stacks  []*tcp.Stack
 	Workers []*mapred.Worker
 	Metrics *metrics.Collector
-	TCP     *tcp.Stats
+	// TCP aggregates transport counters. In sharded runs each shard writes
+	// its own block and RunJob folds them in here after the run.
+	TCP *tcp.Stats
+
+	shardViews []*metrics.ShardView
+	shardStats []*tcp.Stats
+	shardOf    []int // worker index -> shard id
 }
 
 // queueFactory builds the spec's switch qdisc for one port.
@@ -257,11 +311,15 @@ func New(spec Spec) *Cluster {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.New()
+	shards := spec.ResolveShards()
+	engines := make([]*sim.Engine, shards)
+	for i := range engines {
+		engines[i] = sim.New()
+	}
 	// As in NS-2 (the paper's simulator), the configured queue discipline
 	// applies uniformly to every link queue — host uplinks included.
 	qf := spec.queueFactory()
-	tc := topo.Build(eng, topo.Config{
+	tc := topo.BuildSharded(engines, topo.Config{
 		Nodes:     spec.Nodes,
 		Racks:     spec.Racks,
 		Spines:    spec.Spines,
@@ -285,23 +343,53 @@ func New(spec Spec) *Cluster {
 			panic(err)
 		}
 	}
+	group := sim.NewGroup(engines, tc.Lookahead)
 	col := metrics.New(spec.LatencyReservoir, spec.Seed)
-	tc.Net.SetObserver(col)
+
+	c := &Cluster{
+		Spec:    spec,
+		Engine:  group.Ctrl(),
+		Group:   group,
+		Topo:    tc,
+		Metrics: col,
+		TCP:     &tcp.Stats{},
+	}
+
+	if group.Serial() {
+		tc.Net.SetObserver(col)
+	} else {
+		// Each shard observes through its own view: order-free counters stay
+		// shard-local, order-sensitive delivery observations are buffered and
+		// replayed into the collector in serial order at every barrier, right
+		// after the cross-shard packet lanes drain.
+		c.shardViews = make([]*metrics.ShardView, shards)
+		for i, e := range engines {
+			c.shardViews[i] = col.ShardView(e)
+			tc.Net.SetShardObserver(i, c.shardViews[i])
+		}
+		group.OnBarrier = func() {
+			tc.Net.DrainCrossShard()
+			col.ReplayDeliveries(c.shardViews)
+		}
+	}
 
 	tcpCfg := tcp.DefaultConfig(spec.Transport)
 	if spec.TCPOverride != nil {
 		tcpCfg = *spec.TCPOverride
 	}
-	stats := &tcp.Stats{}
-	c := &Cluster{
-		Spec:    spec,
-		Engine:  eng,
-		Topo:    tc,
-		Metrics: col,
-		TCP:     stats,
+	c.shardStats = make([]*tcp.Stats, shards)
+	if group.Serial() {
+		// One shared block, written in place — the historical layout.
+		c.shardStats[0] = c.TCP
+	} else {
+		for i := range c.shardStats {
+			c.shardStats[i] = &tcp.Stats{}
+		}
 	}
 	for i, h := range tc.Hosts {
-		st := tcp.NewStack(h, tcpCfg, stats)
+		sid := h.Shard().ID()
+		c.shardOf = append(c.shardOf, sid)
+		st := tcp.NewStack(h, tcpCfg, c.shardStats[sid])
 		c.Stacks = append(c.Stacks, st)
 		c.Workers = append(c.Workers, &mapred.Worker{
 			Index: i,
@@ -312,23 +400,72 @@ func New(spec Spec) *Cluster {
 	return c
 }
 
+// mergeShardState folds per-shard aggregates (metrics counters, transport
+// stats) into the run-wide views. Idempotent; a no-op in serial runs.
+func (c *Cluster) mergeShardState() {
+	if c.Group.Serial() {
+		return
+	}
+	for _, v := range c.shardViews {
+		c.Metrics.MergeShard(v)
+	}
+	*c.TCP = tcp.Stats{}
+	for _, s := range c.shardStats {
+		s.AddInto(c.TCP)
+	}
+}
+
+// controlPlane adapts the group's control scheduler to mapred's view of the
+// world, translating a worker index into its shard id.
+type controlPlane struct {
+	g       *sim.Group
+	shardOf []int
+}
+
+func (cp *controlPlane) ScheduleControl(worker int, at units.Time, fn func()) {
+	sid := cp.shardOf[worker]
+	cp.g.ScheduleControl(sid, at, cp.g.Shards()[sid].ChildLineage(), fn)
+}
+
 // RunJob creates, starts and drives a MapReduce job to completion (with a
 // generous simulated-time safety deadline), returning the finished job.
+// This is the sharded drive path: with Shards > 1 the group runs every
+// fabric partition in parallel under conservative lookahead, producing
+// bit-identical results to the serial engine.
 func (c *Cluster) RunJob(cfg mapred.JobConfig) *mapred.Job {
+	if cfg.ReplicationFactor > 1 && !c.Group.Serial() {
+		panic("cluster: HDFS replication > 1 requires Shards(1) — the write pipeline fans one commit across arbitrary workers")
+	}
 	job := mapred.NewJob(c.Engine, cfg, c.Workers)
+	if !c.Group.Serial() {
+		job.SetControlPlane(&controlPlane{g: c.Group, shardOf: c.shardOf})
+	}
 	// Start slightly after t=0 so TSVal==0 never collides with the "no
 	// timestamp" sentinel.
 	c.Engine.Schedule(units.Time(1*units.Millisecond), job.Start)
 	deadline := units.Time(6 * units.Second * units.Duration(1+c.Spec.Nodes))
-	for !job.Done() {
-		if !c.Engine.Step() {
-			panic("cluster: job deadlocked — no pending events")
-		}
-		if c.Engine.Now() > deadline {
-			panic(fmt.Sprintf("cluster: job exceeded deadline %v (done=%v)", deadline, job.Done()))
-		}
+	switch c.Group.RunLoop(job.Done, deadline) {
+	case sim.RunDeadlock:
+		panic("cluster: job deadlocked — no pending events")
+	case sim.RunTimeout:
+		panic(fmt.Sprintf("cluster: job exceeded deadline %v (done=%v)", deadline, job.Done()))
 	}
+	c.mergeShardState()
 	return job
+}
+
+// Events returns the executed-event count across the whole group — the
+// figure every benchmark normalizes by.
+func (c *Cluster) Events() uint64 { return c.Group.Executed() }
+
+// Now returns the control clock — what a serial run's Engine.Now() reports.
+func (c *Cluster) Now() units.Time { return c.Group.Now() }
+
+// requireSerial guards drive paths that step the control engine directly.
+func (c *Cluster) requireSerial(op string) {
+	if !c.Group.Serial() {
+		panic(fmt.Sprintf("cluster: %s requires Shards(1); only RunJob drives a sharded group", op))
+	}
 }
 
 // NewScheduler hands the cluster's workers to a shared-slot multi-job
@@ -337,12 +474,16 @@ func (c *Cluster) RunJob(cfg mapred.JobConfig) *mapred.Job {
 // The scheduler takes ownership of the workers' slot counters; do not mix
 // it with RunJob on the same cluster.
 func (c *Cluster) NewScheduler(policy mapred.SchedPolicy) *mapred.Scheduler {
+	c.requireSerial("NewScheduler")
 	return mapred.NewScheduler(c.Engine, c.Workers, policy)
 }
 
 // RunUntil drives the engine to the absolute simulated time t, executing
 // every event scheduled before it.
-func (c *Cluster) RunUntil(t units.Time) { c.Engine.RunUntil(t) }
+func (c *Cluster) RunUntil(t units.Time) {
+	c.requireSerial("RunUntil")
+	c.Engine.RunUntil(t)
+}
 
 // Drain steps the engine until quiet() reports true, no events remain, or
 // the simulated clock passes deadline. It reports whether the quiet
@@ -350,6 +491,7 @@ func (c *Cluster) RunUntil(t units.Time) { c.Engine.RunUntil(t) }
 // error (a deliberately overloaded open-loop run may legitimately still
 // hold a backlog at the cutoff).
 func (c *Cluster) Drain(deadline units.Time, quiet func() bool) bool {
+	c.requireSerial("Drain")
 	for !quiet() {
 		if !c.Engine.Step() {
 			return quiet()

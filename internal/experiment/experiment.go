@@ -76,6 +76,11 @@ type Scale struct {
 	InputSize units.ByteSize
 	BlockSize units.ByteSize
 	Reducers  int
+	// Shards partitions the event loop by fabric slice for intra-run
+	// parallelism: 0/1 = serial, cluster.ShardAuto (-1) = GOMAXPROCS-aware
+	// on leaf-spine fabrics, n > 1 = explicit. Results are bit-identical at
+	// every shard count, so Shards changes wall time, never metrics.
+	Shards int
 }
 
 // TestScale is small enough for unit tests (seconds of wall time per grid).
@@ -191,6 +196,7 @@ func clusterSpec(cfg Config) cluster.Spec {
 	spec.Seed = cfg.Seed
 	spec.ByteMode = cfg.ByteMode
 	spec.Instantaneous = cfg.Instantaneous
+	spec.Shards = cfg.Scale.Shards
 
 	tcpCfg := tcp.DefaultConfig(spec.Transport)
 	if cfg.AckWireSize > 0 {
@@ -236,12 +242,12 @@ func RunJob(cfg Config) (Result, *mapred.Job) {
 		RTOEvents:         c.TCP.RTOEvents,
 		SynRetries:        c.TCP.SynRetries,
 		FetchRetries:      job.FetchRetries,
-		Events:            c.Engine.Executed(),
-		SimTime:           units.Duration(c.Engine.Now()),
+		Events:            c.Events(),
+		SimTime:           units.Duration(c.Now()),
 	}
 	res.EarlyDrops, res.OverflowDrops = c.Metrics.Drops()
 	if cfg.WatchTiers {
-		at := c.Engine.Now().Seconds()
+		at := c.Now().Seconds()
 		for t := metrics.Tier(0); t < metrics.TierCount; t++ {
 			res.TierOccupancy[t] = c.Metrics.TierOccupancyAt(t, at)
 		}

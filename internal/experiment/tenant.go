@@ -196,6 +196,10 @@ func RunTenants(cfg Config, w WorkloadConfig) TenantResult {
 		panic(err)
 	}
 	spec := clusterSpec(cfg)
+	// The tenant harness drives the cluster through RunUntil/Drain and the
+	// shared slot scheduler — the serial drive path — so the shard request is
+	// overridden rather than panicking deep inside the run.
+	spec.Shards = 1
 	c := cluster.New(spec)
 	if cfg.WatchTiers {
 		c.WatchTierOccupancy()

@@ -129,7 +129,7 @@ func StartFleet(stacks []*tcp.Stack, cfg FleetConfig, at units.Time) *Fleet {
 	if len(stacks) < 2 {
 		panic("flow: fleet needs at least 2 stacks")
 	}
-	eng := stacks[0].Host().Network().Engine
+	eng := stacks[0].Host().Engine()
 	f := &Fleet{}
 	n := len(stacks)
 	for i := 0; i < cfg.Clients; i++ {

@@ -53,7 +53,7 @@ func StartBulk(src *tcp.Stack, dst packet.Addr, size units.ByteSize, onDone func
 	if size <= 0 {
 		panic("flow: bulk size must be positive")
 	}
-	eng := src.Host().Network().Engine
+	eng := src.Host().Engine()
 	b := &Bulk{eng: eng, onDone: onDone}
 	b.result.Bytes = size
 	b.result.Start = eng.Now()
@@ -145,7 +145,7 @@ func StartRPCClient(src *tcp.Stack, dst packet.Addr, cfg RPCConfig) *RPCClient {
 	if cfg.ReqSize <= 0 || cfg.RespSize <= 0 || cfg.Interval <= 0 {
 		panic(fmt.Sprintf("flow: invalid RPC config %+v", cfg))
 	}
-	eng := src.Host().Network().Engine
+	eng := src.Host().Engine()
 	r := &RPCClient{
 		eng: eng, reqSize: cfg.ReqSize, respSize: cfg.RespSize, interval: cfg.Interval,
 	}

@@ -9,6 +9,10 @@ import "encoding/json"
 type lowered struct {
 	Exported int `json:"exported"`
 	hidden   int
+	// Shards mirrors the run-plan lowering: the builder's shard request
+	// reaches the canonical form through a nested lowering call, two hops
+	// below canonicalJSON.
+	Shards int `json:"shards"`
 }
 
 type canonicalConfig struct {
@@ -23,13 +27,25 @@ type Cluster struct {
 	skipped int
 	hook    func()
 	stray   int // want "never reaches canonicalJSON"
+	shards  int
 	// resolved only steers defaulting; the resolved value lands in Depth.
 	//ecnlint:allow fingerprintcoverage golden-test fixture for resolution-only bookkeeping
 	resolved bool
+	// warnings mirrors the builder's demotion records: advisory output that
+	// never reaches the simulation, so it stays out of the canonical form by
+	// annotation (as a []error it could not marshal anyway).
+	//ecnlint:allow fingerprintcoverage golden-test fixture for advisory demotion records
+	warnings []error
+}
+
+// shardPlan is the second lowering hop: coverage must follow
+// canonicalJSON -> lower -> shardPlan to see c.shards read.
+func (c *Cluster) shardPlan() int {
+	return c.shards
 }
 
 func (c *Cluster) lower() lowered {
-	return lowered{Exported: c.depth}
+	return lowered{Exported: c.depth, Shards: c.shardPlan()}
 }
 
 func (c *Cluster) canonicalJSON() []byte {
@@ -44,4 +60,8 @@ func (c *Cluster) canonicalJSON() []byte {
 
 func use(c *Cluster) (int, bool) {
 	return c.stray, c.resolved
+}
+
+func warned(c *Cluster) []error {
+	return c.warnings
 }

@@ -14,6 +14,7 @@ package mapred
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/packet"
 	"repro/internal/sim"
@@ -245,11 +246,29 @@ type Worker struct {
 	mapQueue   []*MapTask
 }
 
+// ControlPlane routes a job event with zero-lag global effects (the reduce
+// completion timer, fired from a shard-local shuffle context) onto the
+// globally-serialized control engine of a sharded run. at is the absolute
+// firing time; worker is the scheduling worker's index, which tells the
+// router whose shard context (clock, causal lineage — the ordering key a
+// serial engine would have stamped) the registration carries.
+type ControlPlane interface {
+	ScheduleControl(worker int, at units.Time, fn func())
+}
+
 // Job orchestrates one MapReduce execution over a set of workers.
+//
+// In a sharded run the job's engine is the group's control engine: Start,
+// map completions and reduce completions — the events whose effects span
+// workers — execute there, globally serialized, with every shard clock
+// aligned. Shuffle fetches live entirely on the issuing reducer's shard and
+// use that worker's stack engine. With one shard both engines are the same
+// object and the distinction compiles away.
 type Job struct {
 	Cfg     JobConfig
 	eng     *sim.Engine
 	workers []*Worker
+	ctrl    ControlPlane // nil: schedule control events on eng directly
 
 	Maps    []*MapTask
 	Reduces []*ReduceTask
@@ -259,8 +278,12 @@ type Job struct {
 	reducersLive bool
 
 	// Fetch metadata registry: (reducer conn local addr) -> size, consumed
-	// by the shuffle servers.
+	// by the shuffle servers. Written from the reducer's shard, read from
+	// the mapper's — the one genuinely shared map of the shuffle — so every
+	// access holds fetchMu. Uncontended in serial runs, and fetch setup is
+	// far off the per-packet hot path in sharded ones.
 	fetchSize map[packet.Addr]units.ByteSize
+	fetchMu   sync.Mutex
 	// Replica-stream registry for the HDFS write pipeline, keyed by the
 	// dialing end's address.
 	replicaFlows map[packet.Addr]*replicaFlowSpec
@@ -271,7 +294,8 @@ type Job struct {
 	OnDone   func(*Job)
 
 	// FetchRetries counts shuffle fetches that failed (connection error)
-	// and were re-queued.
+	// and were re-queued. Incremented under fetchMu (error callbacks run on
+	// reducer shards); read after the run.
 	FetchRetries int
 
 	// Multi-job scheduling state. sched is nil when the job is the sole
@@ -317,6 +341,17 @@ func NewJob(eng *sim.Engine, cfg JobConfig, workers []*Worker) *Job {
 	return j
 }
 
+// SetControlPlane installs the sharded run's control router. Must be called
+// before Start; nil (the default) schedules control events on the job
+// engine directly, which is the serial path.
+func (j *Job) SetControlPlane(cp ControlPlane) { j.ctrl = cp }
+
+// engOf returns the engine a worker's shard events run on. With one shard
+// it is the job engine.
+func (j *Job) engOf(worker int) *sim.Engine {
+	return j.workers[worker].Stack.Engine()
+}
+
 // placeTasks distributes map blocks and reducers round-robin, which matches
 // HDFS default placement well enough for a network study: every node holds
 // an equal share of blocks and runs its maps data-locally.
@@ -360,7 +395,9 @@ func (j *Job) installShuffleServer(w *Worker) {
 				return
 			}
 			served = true
+			j.fetchMu.Lock()
 			size, ok := j.fetchSize[c.RemoteAddr()]
+			j.fetchMu.Unlock()
 			if !ok {
 				// Unknown fetch: a stale retry; close immediately.
 				c.Close()
@@ -540,7 +577,9 @@ func (j *Job) pumpFetcher(r *ReduceTask) {
 		r.pendingFetch = r.pendingFetch[1:]
 		r.activeFetch++
 		if r.ShuffleStart == 0 {
-			r.ShuffleStart = j.eng.Now()
+			// Read the reducer's own shard clock: pumpFetcher runs either in
+			// control context (all clocks aligned) or on the reducer's shard.
+			r.ShuffleStart = j.engOf(r.Node).Now()
 		}
 		j.startFetch(r, mapID)
 	}
@@ -555,11 +594,15 @@ func (j *Job) startFetch(r *ReduceTask, mapID int) {
 	dst := packet.Addr{Node: j.workers[m.Node].Stack.Host().ID(), Port: j.Cfg.shufflePort()}
 
 	c := src.Dial(dst)
+	j.fetchMu.Lock()
 	j.fetchSize[c.LocalAddr()] = size
+	j.fetchMu.Unlock()
 	c.Send(FetchRequestBytes) // the "HTTP GET"; flows once established
 	c.OnDeliver = func(n int) { r.Received += units.ByteSize(n) }
 	c.OnEOF = func() {
+		j.fetchMu.Lock()
 		delete(j.fetchSize, c.LocalAddr())
+		j.fetchMu.Unlock()
 		r.Fetched++
 		r.activeFetch--
 		j.fetchDone(r)
@@ -567,8 +610,10 @@ func (j *Job) startFetch(r *ReduceTask, mapID int) {
 	c.OnError = func(err error) {
 		// Connection setup failed (SYN retries exhausted under extreme
 		// congestion): re-queue the fetch, as Hadoop's fetcher does.
+		j.fetchMu.Lock()
 		delete(j.fetchSize, c.LocalAddr())
 		j.FetchRetries++
+		j.fetchMu.Unlock()
 		r.activeFetch--
 		r.pendingFetch = append(r.pendingFetch, mapID)
 		j.pumpFetcher(r)
@@ -577,7 +622,7 @@ func (j *Job) startFetch(r *ReduceTask, mapID int) {
 
 func (j *Job) fetchDone(r *ReduceTask) {
 	if r.Fetched == len(j.Maps) {
-		r.ShuffleEnd = j.eng.Now()
+		r.ShuffleEnd = j.engOf(r.Node).Now()
 		j.startReduceCompute(r)
 		return
 	}
@@ -591,11 +636,21 @@ func (j *Job) startReduceCompute(r *ReduceTask) {
 	r.State = TaskRunning
 	w := j.workers[r.Node]
 	dur := w.Spec.reduceTaskTime(r.Received)
-	j.eng.After(dur, func() {
+	finish := func() {
 		// Commit the output through the HDFS write pipeline (a no-op at
 		// replication <= 1), then finish the task.
 		j.startOutputCommit(r, func() { j.reduceFinished(w, r) })
-	})
+	}
+	if j.ctrl != nil {
+		// Sharded run: the reduce completion mutates global job state, so it
+		// must run on the control engine, stamped with the reducer shard's
+		// scheduling context so it sorts exactly where the serial engine
+		// would have placed it.
+		eng := j.engOf(r.Node)
+		j.ctrl.ScheduleControl(r.Node, eng.Now().Add(dur), finish)
+		return
+	}
+	j.eng.After(dur, finish)
 }
 
 func (j *Job) reduceFinished(w *Worker, r *ReduceTask) {

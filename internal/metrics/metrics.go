@@ -218,21 +218,30 @@ func (c *Collector) PacketEnqueued(now units.Time, port *netsim.Port, p *packet.
 
 // PacketDelivered implements netsim.Observer.
 func (c *Collector) PacketDelivered(now units.Time, p *packet.Packet) {
+	c.deliverAt(now, p.SentAt, p.Payload, p.Dst.Node)
+}
+
+// deliverAt is the delivery accounting shared by the serial observer path
+// and the sharded replay: the reservoir RNG draw and the float accumulation
+// order depend only on the sequence of these calls, so replaying buffered
+// deliveries in the serial engine's order reproduces the serial statistics
+// bit for bit.
+func (c *Collector) deliverAt(now, sentAt units.Time, payload int, dst packet.NodeID) {
 	c.DeliveredPackets++
-	lat := now.Sub(p.SentAt).Seconds()
+	lat := now.Sub(sentAt).Seconds()
 	c.Latency.Add(lat)
 	if c.latWindows != nil {
 		c.latWindows.Add(now.Seconds(), lat)
 	}
-	if p.Payload > 0 {
+	if payload > 0 {
 		c.DataLatency.Add(lat)
-		node := int(p.Dst.Node)
+		node := int(dst)
 		if node >= len(c.deliveredPayload) {
 			grown := make([]units.ByteSize, node+1)
 			copy(grown, c.deliveredPayload)
 			c.deliveredPayload = grown
 		}
-		c.deliveredPayload[node] += units.ByteSize(p.Payload)
+		c.deliveredPayload[node] += units.ByteSize(payload)
 	}
 }
 

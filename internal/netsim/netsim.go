@@ -7,6 +7,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/packet"
 	"repro/internal/qdisc"
@@ -41,16 +42,74 @@ type Node interface {
 	Receive(p *packet.Packet)
 }
 
+// Shard is one fabric partition's execution domain: its own engine, packet
+// free list, propagation-cell free list, packet-ID namespace and observer.
+// A serial network is exactly one shard; nothing in the hot path branches on
+// the shard count beyond a same-shard pointer comparison per hop.
+type Shard struct {
+	id       int
+	eng      *sim.Engine
+	net      *Network
+	observer Observer
+	pool     packet.Pool
+	propFree []*propCell
+	nextPkt  uint64
+}
+
+// ID returns the shard index.
+func (sh *Shard) ID() int { return sh.id }
+
+// Eng returns the shard's engine.
+func (sh *Shard) Eng() *sim.Engine { return sh.eng }
+
+// allocPacket returns a zeroed packet with an ID from the shard's strided
+// namespace: shard i mints i+1, i+1+S, i+1+2S, … so IDs stay unique across
+// shards and, with one shard, identical to the historical sequence 1, 2, 3…
+func (sh *Shard) allocPacket() *packet.Packet {
+	p := sh.pool.Get()
+	p.ID = sh.nextPkt*uint64(len(sh.net.shards)) + uint64(sh.id) + 1
+	sh.nextPkt++
+	return p
+}
+
+// laneEntry is one cross-shard packet handoff: an arrival scheduled on the
+// destination shard at the next barrier, backdated to the sender's lineage
+// at send time so it sorts exactly where the serial engine would have
+// placed it.
+type laneEntry struct {
+	at   units.Time
+	lin  sim.Lineage
+	tok  sim.Token
+	peer Node
+	pkt  *packet.Packet
+}
+
+// pktToken derives the residual-tie ordering token of a propagation event
+// from the packet's flow identity and header. Two in-flight packets can
+// carry time-identical causal histories at any bounded lineage depth
+// (phase-locked lockstep transfers), and the serial engine's order between
+// them is then an accident of scheduling order that a sharded run cannot
+// reproduce; the token gives both engines the same content-derived
+// resolution. Same-flow packets that collide in every field below differ in
+// send time and hence in lineage, so the truncations are safe in practice —
+// and a full collision merely falls through to the engine-local seq, the
+// pre-token status quo.
+func pktToken(pkt *packet.Packet) sim.Token {
+	return sim.Token{
+		uint64(uint32(pkt.Src.Node))<<32 | uint64(uint32(pkt.Dst.Node)),
+		uint64(pkt.Src.Port)<<48 | uint64(pkt.Dst.Port)<<32 |
+			(pkt.Seq&0xffffff)<<8 | uint64(pkt.Flags)&0xff,
+	}
+}
+
 // Network owns the set of nodes, allocates packet IDs and fans out observer
-// events. It also owns the run's packet free list: every packet the
-// transports send comes from AllocPacket and returns to the pool at its
+// events. It also owns the run's packet free lists: every packet the
+// transports send comes from AllocPacket and returns to a shard pool at its
 // drop or delivery site, so the steady-state fabric allocates nothing.
 type Network struct {
-	Engine   *sim.Engine
-	nodes    map[packet.NodeID]Node
-	nextID   packet.NodeID
-	nextPkt  uint64
-	observer Observer
+	Engine *sim.Engine // shard 0's engine; THE engine of a serial network
+	nodes  map[packet.NodeID]Node
+	nextID packet.NodeID
 
 	// hashSeed salts the ECMP flow hash. It is derived from the run seed
 	// (never from global state), so multipath path selection is
@@ -58,29 +117,142 @@ type Network struct {
 	// workers execute simulations concurrently.
 	hashSeed uint64
 
-	pool     packet.Pool
-	propFree []*propCell
+	shards []*Shard
+	// lanes[dst*S+src] buffers cross-shard handoffs. Each lane has exactly
+	// one writer per window (the source shard's worker, or the coordinator
+	// during serial phases) and is drained by the coordinator at barriers,
+	// so no lane is ever accessed from two goroutines without a barrier
+	// between them.
+	lanes    [][]laneEntry
+	drainBuf []laneEntry
+
+	// OnCrossShardArrival, if non-nil, observes every drained handoff with
+	// the destination clock at drain time (test hook for the lookahead
+	// safety property: at >= dstNow always, or the horizon math is wrong).
+	OnCrossShardArrival func(dst int, at, dstNow units.Time)
 }
 
-// New creates an empty network on the given engine.
+// New creates an empty serial (single-shard) network on the given engine.
 func New(eng *sim.Engine) *Network {
-	return &Network{
-		Engine:   eng,
-		nodes:    make(map[packet.NodeID]Node),
-		observer: NopObserver{},
-	}
+	return NewSharded([]*sim.Engine{eng})
 }
 
-// SetObserver installs the metrics observer (nil restores the no-op).
+// NewSharded creates an empty network partitioned over the given engines,
+// one shard per engine. Network.Engine aliases shard 0's engine.
+func NewSharded(engines []*sim.Engine) *Network {
+	if len(engines) == 0 {
+		panic("netsim: NewSharded with no engines")
+	}
+	n := &Network{
+		Engine: engines[0],
+		nodes:  make(map[packet.NodeID]Node),
+	}
+	n.shards = make([]*Shard, len(engines))
+	for i, eng := range engines {
+		n.shards[i] = &Shard{id: i, eng: eng, net: n, observer: NopObserver{}}
+	}
+	if len(engines) > 1 {
+		n.lanes = make([][]laneEntry, len(engines)*len(engines))
+	}
+	return n
+}
+
+// ShardCount returns the number of fabric partitions.
+func (n *Network) ShardCount() int { return len(n.shards) }
+
+// Shard returns the i'th partition.
+func (n *Network) Shard(i int) *Shard { return n.shards[i] }
+
+// SetObserver installs the metrics observer on every shard (nil restores
+// the no-op). Sharded runs that need per-shard observers use
+// SetShardObserver instead.
 func (n *Network) SetObserver(o Observer) {
-	if o == nil {
-		o = NopObserver{}
+	for _, sh := range n.shards {
+		sh.observer = normalizeObserver(o)
 	}
-	n.observer = o
 }
 
-// Observer returns the current observer.
-func (n *Network) Observer() Observer { return n.observer }
+// SetShardObserver installs an observer on a single shard.
+func (n *Network) SetShardObserver(i int, o Observer) {
+	n.shards[i].observer = normalizeObserver(o)
+}
+
+func normalizeObserver(o Observer) Observer {
+	if o == nil {
+		return NopObserver{}
+	}
+	return o
+}
+
+// Observer returns shard 0's observer.
+func (n *Network) Observer() Observer { return n.shards[0].observer }
+
+// DrainCrossShard schedules every buffered cross-shard handoff onto its
+// destination engine, in deterministic (arrival time, send time, source
+// shard, emission order) order, with the schedAt key backdated to the send
+// time. The caller is the group coordinator, at a barrier: every shard
+// worker is parked, so the single-writer lane discipline holds.
+func (n *Network) DrainCrossShard() {
+	s := len(n.shards)
+	if s == 1 {
+		return
+	}
+	for dst := 0; dst < s; dst++ {
+		buf := n.drainBuf[:0]
+		for src := 0; src < s; src++ {
+			lane := n.lanes[dst*s+src]
+			if len(lane) == 0 {
+				continue
+			}
+			buf = append(buf, lane...)
+			for i := range lane {
+				lane[i] = laneEntry{}
+			}
+			n.lanes[dst*s+src] = lane[:0]
+		}
+		if len(buf) == 0 {
+			n.drainBuf = buf
+			continue
+		}
+		// Stable sort on (at, lineage, token): appended src-major, so ties
+		// keep (source shard, emission order) — the deterministic drain
+		// order.
+		sort.SliceStable(buf, func(i, j int) bool {
+			if buf[i].at != buf[j].at {
+				return buf[i].at < buf[j].at
+			}
+			if buf[i].lin != buf[j].lin {
+				return buf[i].lin.Less(buf[j].lin)
+			}
+			return buf[i].tok.Less(buf[j].tok)
+		})
+		sh := n.shards[dst]
+		dstNow := sh.eng.Now()
+		for i := range buf {
+			e := &buf[i]
+			if e.at < dstNow {
+				panic(fmt.Sprintf("netsim: lookahead violation: cross-shard arrival at %v drained after shard %d reached %v", e.at, dst, dstNow))
+			}
+			if n.OnCrossShardArrival != nil {
+				n.OnCrossShardArrival(dst, e.at, dstNow)
+			}
+			sh.eng.ScheduleArgKey(e.at, e.lin, e.tok, propArrive, sh.newPropCell(e.peer, e.pkt))
+			*e = laneEntry{}
+		}
+		n.drainBuf = buf[:0]
+	}
+}
+
+// PendingCrossShard reports whether any handoff lane holds undrained
+// entries (for tests).
+func (n *Network) PendingCrossShard() bool {
+	for _, lane := range n.lanes {
+		if len(lane) > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // SetFlowHashSeed salts the ECMP flow hash for this run. Call it once at
 // build time; changing the seed mid-run would migrate live flows between
@@ -90,29 +262,37 @@ func (n *Network) SetFlowHashSeed(seed uint64) { n.hashSeed = seed }
 // FlowHashSeed returns the run's ECMP hash salt.
 func (n *Network) FlowHashSeed() uint64 { return n.hashSeed }
 
-// NewPacketID allocates a unique packet ID.
+// NewPacketID allocates a unique packet ID from shard 0's namespace.
 func (n *Network) NewPacketID() uint64 {
-	n.nextPkt++
-	return n.nextPkt
+	sh := n.shards[0]
+	id := sh.nextPkt*uint64(len(n.shards)) + 1
+	sh.nextPkt++
+	return id
 }
 
-// AllocPacket returns a zeroed packet with a fresh ID, recycled from the
-// network's pool when possible. Packets obtained here are released back
-// automatically when the fabric drops or delivers them; the sender must not
-// retain them past the hand-off to Host.Send.
+// AllocPacket returns a zeroed packet with a fresh ID, recycled from shard
+// 0's pool when possible. Sharded callers allocate through their Host
+// instead, which routes to the host's own shard. Packets obtained here are
+// released back automatically when the fabric drops or delivers them; the
+// sender must not retain them past the hand-off to Host.Send.
 func (n *Network) AllocPacket() *packet.Packet {
-	p := n.pool.Get()
-	n.nextPkt++
-	p.ID = n.nextPkt
-	return p
+	return n.shards[0].allocPacket()
 }
 
-// ReleasePacket returns a packet to the pool. Packets not created by
+// ReleasePacket returns a packet to shard 0's pool. Packets not created by
 // AllocPacket (e.g. hand-built in tests) are ignored.
-func (n *Network) ReleasePacket(p *packet.Packet) { n.pool.Put(p) }
+func (n *Network) ReleasePacket(p *packet.Packet) { n.shards[0].pool.Put(p) }
 
-// PoolStats reports (fresh allocations, free-list reuses) of the packet pool.
-func (n *Network) PoolStats() (news, reuses uint64) { return n.pool.Stats() }
+// PoolStats reports (fresh allocations, free-list reuses) summed over every
+// shard's packet pool.
+func (n *Network) PoolStats() (news, reuses uint64) {
+	for _, sh := range n.shards {
+		a, b := sh.pool.Stats()
+		news += a
+		reuses += b
+	}
+	return news, reuses
+}
 
 // Node returns the node with the given ID, or nil.
 func (n *Network) Node(id packet.NodeID) Node { return n.nodes[id] }
@@ -145,13 +325,15 @@ func (l LinkParams) Validate() error {
 // queue discipline onto a link toward a fixed peer node. A bidirectional
 // cable is modelled as two Ports, one on each end.
 type Port struct {
-	net   *Network
-	owner Node
-	peer  Node
-	link  LinkParams
-	queue qdisc.Qdisc
-	busy  bool
-	txPkt *packet.Packet // packet currently serializing (busy only)
+	net    *Network
+	owner  Node
+	peer   Node
+	sh     *Shard // owner's shard: all port events run here
+	peerSh *Shard // peer's shard: != sh marks a cross-shard link
+	link   LinkParams
+	queue  qdisc.Qdisc
+	busy   bool
+	txPkt  *packet.Packet // packet currently serializing (busy only)
 
 	// Label identifies the port in reports, e.g. "sw0->host3".
 	Label string
@@ -176,23 +358,37 @@ func (n *Network) NewPort(owner, peer Node, link LinkParams, q qdisc.Qdisc) *Por
 		panic("netsim: port requires a qdisc")
 	}
 	p := &Port{
-		net:   n,
-		owner: owner,
-		peer:  peer,
-		link:  link,
-		queue: q,
-		Label: fmt.Sprintf("n%d->n%d", owner.ID(), peer.ID()),
+		net:    n,
+		owner:  owner,
+		peer:   peer,
+		sh:     n.shardOf(owner),
+		peerSh: n.shardOf(peer),
+		link:   link,
+		queue:  q,
+		Label:  fmt.Sprintf("n%d->n%d", owner.ID(), peer.ID()),
 	}
 	// Surface dequeue-time drops (CoDel) to the observer; they would
 	// otherwise be invisible, since the observer only sees enqueue
 	// verdicts.
 	if hd, ok := q.(qdisc.HeadDropper); ok {
 		hd.SetHeadDropCallback(func(pkt *packet.Packet) {
-			n.observer.PacketEnqueued(n.Engine.Now(), p, pkt, qdisc.DroppedEarly)
-			n.ReleasePacket(pkt)
+			p.sh.observer.PacketEnqueued(p.sh.eng.Now(), p, pkt, qdisc.DroppedEarly)
+			p.sh.pool.Put(pkt)
 		})
 	}
 	return p
+}
+
+// shardOf resolves a node's shard. Nodes not built by this network's
+// constructors (test doubles implementing Node directly) land on shard 0.
+func (n *Network) shardOf(node Node) *Shard {
+	switch v := node.(type) {
+	case *Host:
+		return v.sh
+	case *Switch:
+		return v.sh
+	}
+	return n.shards[0]
 }
 
 // Queue exposes the port's queue discipline (for snapshots and tests).
@@ -227,11 +423,11 @@ func (p *Port) Sent() (uint64, units.ByteSize) { return p.sentPackets, p.sentByt
 // is idle. Dropped packets are reported to the observer and released back to
 // the packet pool.
 func (p *Port) Send(pkt *packet.Packet) {
-	now := p.net.Engine.Now()
+	now := p.sh.eng.Now()
 	v := p.queue.Enqueue(now, pkt)
-	p.net.observer.PacketEnqueued(now, p, pkt, v)
+	p.sh.observer.PacketEnqueued(now, p, pkt, v)
 	if v.Dropped() {
-		p.net.ReleasePacket(pkt)
+		p.sh.pool.Put(pkt)
 		return
 	}
 	if !p.busy {
@@ -240,34 +436,34 @@ func (p *Port) Send(pkt *packet.Packet) {
 }
 
 // propCell carries one in-flight propagation (peer, packet) across the
-// link-delay event. Cells are pooled on the Network so the per-hop events
+// link-delay event. Cells are pooled per shard so the per-hop events
 // allocate nothing; the pair of predeclared trampolines below replaces the
 // two closures a transmission used to capture.
 type propCell struct {
-	net  *Network
+	sh   *Shard
 	peer Node
 	pkt  *packet.Packet
 }
 
-// newPropCell takes a cell from the free list or mints one.
-func (n *Network) newPropCell(peer Node, pkt *packet.Packet) *propCell {
-	if k := len(n.propFree); k > 0 {
-		c := n.propFree[k-1]
-		n.propFree[k-1] = nil
-		n.propFree = n.propFree[:k-1]
+// newPropCell takes a cell from the shard's free list or mints one.
+func (sh *Shard) newPropCell(peer Node, pkt *packet.Packet) *propCell {
+	if k := len(sh.propFree); k > 0 {
+		c := sh.propFree[k-1]
+		sh.propFree[k-1] = nil
+		sh.propFree = sh.propFree[:k-1]
 		c.peer, c.pkt = peer, pkt
 		return c
 	}
-	return &propCell{net: n, peer: peer, pkt: pkt}
+	return &propCell{sh: sh, peer: peer, pkt: pkt}
 }
 
 // propArrive fires when a packet finishes propagating: recycle the cell,
 // then hand the packet to the far end.
 func propArrive(arg any) {
 	c := arg.(*propCell)
-	net, peer, pkt := c.net, c.peer, c.pkt
+	sh, peer, pkt := c.sh, c.peer, c.pkt
 	c.peer, c.pkt = nil, nil
-	net.propFree = append(net.propFree, c)
+	sh.propFree = append(sh.propFree, c)
 	pkt.Hops++
 	peer.Receive(pkt)
 }
@@ -288,8 +484,15 @@ func portTxDone(arg any) {
 
 // transmitNext pulls the head packet and schedules its serialization and
 // propagation. Invariant: called only when the transmitter is idle.
+//
+// On a cross-shard link the arrival cannot be scheduled directly — the peer's
+// heap belongs to another goroutine — so it becomes a lane entry drained at
+// the next barrier. Its arrival lag (tx + propagation delay) is at least the
+// group's lookahead by construction of the shard cut, which is exactly why
+// one barrier per window suffices.
 func (p *Port) transmitNext() {
-	now := p.net.Engine.Now()
+	eng := p.sh.eng
+	now := eng.Now()
 	pkt := p.queue.Dequeue(now)
 	if pkt == nil {
 		p.busy = false
@@ -298,9 +501,21 @@ func (p *Port) transmitNext() {
 	p.busy = true
 	p.txPkt = pkt
 	tx := p.link.Rate.TransmitTime(pkt.Size())
-	eng := p.net.Engine
 	eng.AfterArg(tx, portTxDone, p)
-	eng.AfterArg(tx+p.link.Delay, propArrive, p.net.newPropCell(p.peer, pkt))
+	if p.peerSh == p.sh {
+		eng.AfterArgToken(tx+p.link.Delay, pktToken(pkt), propArrive, p.sh.newPropCell(p.peer, pkt))
+		return
+	}
+	n := p.net
+	s := len(n.shards)
+	lane := p.peerSh.id*s + p.sh.id
+	n.lanes[lane] = append(n.lanes[lane], laneEntry{
+		at:   now.Add(tx + p.link.Delay),
+		lin:  eng.ChildLineage(),
+		tok:  pktToken(pkt),
+		peer: p.peer,
+		pkt:  pkt,
+	})
 }
 
 // Protocol is the stack a Host delivers packets to (implemented by
@@ -314,6 +529,7 @@ type Protocol interface {
 type Host struct {
 	id     packet.NodeID
 	net    *Network
+	sh     *Shard
 	uplink *Port
 	proto  Protocol
 
@@ -321,9 +537,14 @@ type Host struct {
 	Name string
 }
 
-// NewHost registers a new host.
+// NewHost registers a new host on shard 0.
 func (n *Network) NewHost(name string) *Host {
-	h := &Host{net: n, Name: name}
+	return n.NewHostOn(0, name)
+}
+
+// NewHostOn registers a new host on the given shard.
+func (n *Network) NewHostOn(shard int, name string) *Host {
+	h := &Host{net: n, sh: n.shards[shard], Name: name}
 	h.id = n.register(h)
 	return h
 }
@@ -333,6 +554,17 @@ func (h *Host) ID() packet.NodeID { return h.id }
 
 // Network returns the owning network.
 func (h *Host) Network() *Network { return h.net }
+
+// Shard returns the host's fabric partition.
+func (h *Host) Shard() *Shard { return h.sh }
+
+// Engine returns the engine the host's events run on — the shard engine.
+// Protocol stacks must schedule their timers here, never on a cached global
+// engine.
+func (h *Host) Engine() *sim.Engine { return h.sh.eng }
+
+// AllocPacket allocates from the host's shard (see Network.AllocPacket).
+func (h *Host) AllocPacket() *packet.Packet { return h.sh.allocPacket() }
 
 // AttachUplink installs the host's egress port.
 func (h *Host) AttachUplink(p *Port) { h.uplink = p }
@@ -349,7 +581,7 @@ func (h *Host) Send(pkt *packet.Packet) {
 	if h.uplink == nil {
 		panic(fmt.Sprintf("netsim: host %s has no uplink", h.Name))
 	}
-	pkt.SentAt = h.net.Engine.Now()
+	pkt.SentAt = h.sh.eng.Now()
 	h.uplink.Send(pkt)
 }
 
@@ -360,11 +592,11 @@ func (h *Host) Receive(pkt *packet.Packet) {
 	if pkt.Dst.Node != h.id {
 		panic(fmt.Sprintf("netsim: host n%d received packet for n%d (misrouted)", h.id, pkt.Dst.Node))
 	}
-	h.net.observer.PacketDelivered(h.net.Engine.Now(), pkt)
+	h.sh.observer.PacketDelivered(h.sh.eng.Now(), pkt)
 	if h.proto != nil {
 		h.proto.Deliver(pkt)
 	}
-	h.net.ReleasePacket(pkt)
+	h.sh.pool.Put(pkt)
 }
 
 // routeEntry is one destination's route group. The single-next-hop case —
@@ -397,6 +629,7 @@ func FlowHash(seed uint64, src, dst packet.Addr) uint64 {
 type Switch struct {
 	id     packet.NodeID
 	net    *Network
+	sh     *Shard
 	routes map[packet.NodeID]routeEntry
 	ports  []*Port
 
@@ -404,15 +637,23 @@ type Switch struct {
 	Name string
 }
 
-// NewSwitch registers a new switch.
+// NewSwitch registers a new switch on shard 0.
 func (n *Network) NewSwitch(name string) *Switch {
-	s := &Switch{net: n, routes: make(map[packet.NodeID]routeEntry), Name: name}
+	return n.NewSwitchOn(0, name)
+}
+
+// NewSwitchOn registers a new switch on the given shard.
+func (n *Network) NewSwitchOn(shard int, name string) *Switch {
+	s := &Switch{net: n, sh: n.shards[shard], routes: make(map[packet.NodeID]routeEntry), Name: name}
 	s.id = n.register(s)
 	return s
 }
 
 // ID implements Node.
 func (s *Switch) ID() packet.NodeID { return s.id }
+
+// Shard returns the switch's fabric partition.
+func (s *Switch) Shard() *Shard { return s.sh }
 
 // AddPort registers an egress port on the switch.
 func (s *Switch) AddPort(p *Port) { s.ports = append(s.ports, p) }

@@ -1,0 +1,69 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ShardSet is the persistent worker crew behind the sharded event loop: one
+// pinned goroutine per shard, released in lockstep rounds by a coordinator.
+// The conservative-lookahead loop runs one round per time window, and windows
+// are microseconds of simulated time — hundreds of thousands of rounds per
+// run — so the release/join cycle must cost well under a mutex+condvar
+// handoff. Workers therefore spin on an atomic epoch (yielding to the Go
+// scheduler each iteration, so oversubscribed hosts and the race detector
+// stay healthy) instead of parking on a sync primitive.
+//
+// All cross-worker data handoff rides on the epoch/join atomics: writes made
+// by the coordinator before Round happen-before the workers' fn, and writes
+// made inside fn happen-before Round's return.
+type ShardSet struct {
+	n       int
+	fn      func(shard int)
+	epoch   atomic.Uint64
+	joined  atomic.Int64
+	closing atomic.Bool
+}
+
+// NewShardSet starts n worker goroutines that each run fn(shard) once per
+// Round. fn must confine itself to shard-owned state plus the single-writer
+// handoff lanes the coordinator drains between rounds.
+func NewShardSet(n int, fn func(shard int)) *ShardSet {
+	s := &ShardSet{n: n, fn: fn}
+	for i := 0; i < n; i++ {
+		go s.worker(i)
+	}
+	return s
+}
+
+// worker spins for the next epoch, runs the shard body, and reports in.
+func (s *ShardSet) worker(shard int) {
+	seen := uint64(0)
+	for {
+		e := s.epoch.Load()
+		if e == seen {
+			if s.closing.Load() {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		seen = e
+		s.fn(shard)
+		s.joined.Add(1)
+	}
+}
+
+// Round releases every worker for one execution of fn and blocks until all
+// have finished. It must only be called from the single coordinator
+// goroutine.
+func (s *ShardSet) Round() {
+	s.joined.Store(0)
+	s.epoch.Add(1)
+	for s.joined.Load() != int64(s.n) {
+		runtime.Gosched()
+	}
+}
+
+// Close terminates the workers. No Round may be issued afterwards.
+func (s *ShardSet) Close() { s.closing.Store(true) }

@@ -37,11 +37,65 @@ const (
 	slotCancelled                  // removed by Cancel before firing
 )
 
+// LineageDepth is the causal-history depth of an event's ordering key: the
+// event's own schedule time plus the schedule times of its LineageDepth-1
+// nearest ancestors (the ancestor chain of "event that scheduled the event").
+// Deeper history resolves more cross-shard timestamp ties; see Lineage.
+const LineageDepth = 32
+
+// Lineage is the causal-history component of an event's ordering key:
+// Lineage[0] is the engine time the event was scheduled at (the classic
+// FIFO-within-instant key), Lineage[i] the schedule time of its i-th
+// ancestor. Events compare by (at, Lineage, seq).
+//
+// Why history and not just the schedule time: two events on different shards
+// can carry the same (at, schedule time) — lockstep transfers over
+// identical links produce exact timestamp collisions — and a single serial
+// engine breaks that tie by seq, i.e. by the execution order of the events'
+// parents, recursively. The ancestor schedule times materialize a bounded
+// prefix of exactly that recursion, so the sharded run can reproduce the
+// serial order without a global counter. Ties that survive LineageDepth
+// levels fall back to the engine-local seq.
+type Lineage [LineageDepth]Time
+
+// Less reports lexicographic order.
+func (l Lineage) Less(m Lineage) bool {
+	for i := range l {
+		if l[i] != m[i] {
+			return l[i] < m[i]
+		}
+	}
+	return false
+}
+
+// Token is the content-derived tie-break of an event's ordering key,
+// compared after the lineage and before the engine-local seq. It exists for
+// the ties lineage cannot resolve: two phase-locked periodic event chains
+// (self-clocked transfers in lockstep) can agree on (at, Lineage) at ANY
+// bounded history depth, because the serial engine's order between them was
+// fixed thousands of events ago and is carried forward only by scheduling
+// order. A token derived from the event's payload (for packet arrivals: the
+// flow endpoints and header fields) is layout-independent, so serial and
+// sharded engines resolve the residual tie identically. The zero Token is
+// "no token": events without one sort before tokened events at a full
+// lineage tie, which is itself deterministic.
+type Token [2]uint64
+
+// Less reports lexicographic order.
+func (t Token) Less(u Token) bool {
+	if t[0] != u[0] {
+		return t[0] < u[0]
+	}
+	return t[1] < u[1]
+}
+
 // slot is one slab entry. A slot is recycled (through the free list) only
 // after its event fired or was cancelled; gen increments on every reuse so
 // stale handles can tell.
 type slot struct {
 	at    Time
+	lin   Lineage // causal-history ordering key (see Lineage)
+	tok   Token   // content-derived residual tie-break (see Token)
 	seq   uint64
 	fn    func()
 	argFn func(any)
@@ -106,11 +160,13 @@ type Engine struct {
 	now      Time
 	seq      uint64
 	slots    []slot
-	heap     []int32 // slot indices ordered as a 4-ary min-heap on (at, seq)
+	heap     []int32 // slot indices ordered as a 4-ary min-heap on (at, lin, seq)
 	free     []int32 // recycled slot indices
 	executed uint64
 	stopped  bool
-	maxTime  Time // 0 means unbounded
+	maxTime  Time    // 0 means unbounded
+	curLin   Lineage // lineage of the event currently executing (see CurrentLineage)
+	curTok   Token   // token of the event currently executing (see CurrentToken)
 }
 
 // New returns an empty engine at time zero.
@@ -127,8 +183,26 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// ChildLineage returns the lineage a child scheduled right now inherits:
+// the current time, then the executing event's own lineage shifted one
+// generation down. This is also the key a cross-engine handoff must carry to
+// re-enter the order a direct schedule would have produced.
+func (e *Engine) ChildLineage() Lineage {
+	var l Lineage
+	l[0] = e.now
+	copy(l[1:], e.curLin[:LineageDepth-1])
+	return l
+}
+
 // alloc claims a slot for an event at the given time and returns its index.
 func (e *Engine) alloc(at Time) int32 {
+	return e.allocKey(at, e.ChildLineage(), Token{})
+}
+
+// allocKey is alloc with an explicit (lineage, token) key. The lineage may
+// lie in the past (a cross-engine handoff backdating an arrival to its send
+// time); at may not.
+func (e *Engine) allocKey(at Time, lin Lineage, tok Token) int32 {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
@@ -143,6 +217,8 @@ func (e *Engine) alloc(at Time) int32 {
 	s := &e.slots[idx]
 	s.gen++
 	s.at = at
+	s.lin = lin
+	s.tok = tok
 	s.seq = e.seq
 	s.state = slotPending
 	e.seq++
@@ -175,6 +251,42 @@ func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) Event {
 	return Event{eng: e, slot: idx + 1, gen: s.gen, at: at}
 }
 
+// ScheduleLineage runs fn at absolute time at, ordered among same-instant
+// events by the given backdated lineage. It is the cross-engine handoff
+// primitive of the sharded loop: a barrier drain re-schedules an arrival on
+// the destination shard after the fact, and the sender-captured lineage
+// (its ChildLineage at send time) restores the position the event would
+// have held had the sender scheduled it directly.
+func (e *Engine) ScheduleLineage(at Time, lin Lineage, fn func()) Event {
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	idx := e.allocKey(at, lin, Token{})
+	e.slots[idx].fn = fn
+	return Event{eng: e, slot: idx + 1, gen: e.slots[idx].gen, at: at}
+}
+
+// ScheduleArgLineage is ScheduleLineage in the allocation-free arg form
+// (see ScheduleArg).
+func (e *Engine) ScheduleArgLineage(at Time, lin Lineage, fn func(any), arg any) Event {
+	return e.ScheduleArgKey(at, lin, Token{}, fn, arg)
+}
+
+// ScheduleArgKey is ScheduleArgLineage with an explicit residual-tie token
+// (see Token). The packet fabric passes a content-derived token for every
+// propagation event, local or cross-shard, so both paths order residual
+// lineage ties the same way.
+func (e *Engine) ScheduleArgKey(at Time, lin Lineage, tok Token, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	idx := e.allocKey(at, lin, tok)
+	s := &e.slots[idx]
+	s.argFn = fn
+	s.arg = arg
+	return Event{eng: e, slot: idx + 1, gen: s.gen, at: at}
+}
+
 // After runs fn d after the current time.
 func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
@@ -189,6 +301,17 @@ func (e *Engine) AfterArg(d Duration, fn func(any), arg any) Event {
 		d = 0
 	}
 	return e.ScheduleArg(e.now.Add(d), fn, arg)
+}
+
+// AfterArgToken is AfterArg with a residual-tie token (see Token): the
+// child inherits the usual ChildLineage but carries a content-derived final
+// tie-break. It is the local-scheduling twin of the cross-shard
+// ScheduleArgKey path.
+func (e *Engine) AfterArgToken(d Duration, tok Token, fn func(any), arg any) Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleArgKey(e.now.Add(d), e.ChildLineage(), tok, fn, arg)
 }
 
 // Cancel removes a scheduled event. Cancelling the zero Event, an event that
@@ -236,6 +359,8 @@ func (e *Engine) Step() bool {
 	}
 	e.heapPopRoot()
 	e.now = s.at
+	e.curLin = s.lin
+	e.curTok = s.tok
 	fn, argFn, arg := s.fn, s.argFn, s.arg
 	e.executed++
 	// Mark fired before invoking: a callback cancelling its own handle must
@@ -279,14 +404,96 @@ func (e *Engine) RunUntil(t Time) Time {
 	return e.now
 }
 
-// ----------------------------------------------------------------------
-// 4-ary index heap over the slot slab, ordered by (at, seq).
+// CurrentLineage returns the lineage of the event currently (or most
+// recently) executing. The sharded observer replay uses it to merge
+// per-shard observations back into the serial engine's order.
+func (e *Engine) CurrentLineage() Lineage { return e.curLin }
 
-// heapLess orders slots by firing time, FIFO within the same instant.
+// CurrentToken returns the token of the event currently (or most recently)
+// executing, the residual-tie companion of CurrentLineage.
+func (e *Engine) CurrentToken() Token { return e.curTok }
+
+// PeekKey returns the ordering key (at, lineage, token) of the earliest
+// pending event. ok is false when nothing is pending.
+func (e *Engine) PeekKey() (at Time, lin Lineage, tok Token, ok bool) {
+	if len(e.heap) == 0 {
+		return 0, Lineage{}, Token{}, false
+	}
+	s := &e.slots[e.heap[0]]
+	return s.at, s.lin, s.tok, true
+}
+
+// SetNow advances the clock to t without executing anything. It is used by
+// the shard group to align every engine on a globally-serialized event's
+// timestamp before executing it. Moving the clock backwards, or past the
+// earliest pending event, panics.
+func (e *Engine) SetNow(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: SetNow(%v) before now %v", t, e.now))
+	}
+	if len(e.heap) > 0 {
+		if head := e.slots[e.heap[0]].at; head < t {
+			panic(fmt.Sprintf("sim: SetNow(%v) past pending event at %v", t, head))
+		}
+	}
+	e.now = t
+}
+
+// RunWindow executes every pending event with timestamp strictly below
+// horizon and returns the number executed. The clock is left at the last
+// executed event (it does NOT advance to horizon: the next window recomputes
+// its own start from the global minimum). This is the per-shard body of one
+// conservative-lookahead round; events scheduled during the window with
+// timestamps below horizon execute in the same call.
+func (e *Engine) RunWindow(horizon Time) int {
+	n := 0
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at < horizon {
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// ----------------------------------------------------------------------
+// 4-ary index heap over the slot slab, ordered by (at, lineage, token, seq).
+
+// heapLess orders slots by firing time, then by causal lineage, then by
+// content token, then FIFO.
+//
+// In a single-engine run (at, lineage, seq) orders identically to the
+// historical (at, seq), so serial runs are bit-for-bit unchanged. Proof
+// sketch, by induction over execution: among events sharing at, lineage[0]
+// (the schedule time) is non-decreasing in seq because the clock is
+// monotone; among events also sharing lineage[0] — all scheduled at that
+// same instant — the parents executed at that instant in (at, lineage, seq)
+// order, their lineages were therefore lexicographically non-decreasing,
+// and each child's lineage tail is its parent's lineage truncated, which
+// preserves non-strict order. Siblings of one parent share the whole
+// lineage and keep their emission (seq) order. So lineage never contradicts
+// seq serially; it only refines ties for cross-shard handoffs, which use a
+// sender-captured lineage to re-enter the order they would have held under
+// a single engine.
+//
+// The token CAN contradict seq — deliberately. It only compares when the
+// full lineage ties, i.e. between event chains whose causal histories are
+// time-identical for LineageDepth generations (phase-locked periodic
+// traffic). For those the pre-token serial order was an accident of
+// scheduling order anyway; the token replaces it with a content-derived
+// order that serial and sharded runs compute identically.
 func (e *Engine) heapLess(a, b int32) bool {
 	sa, sb := &e.slots[a], &e.slots[b]
 	if sa.at != sb.at {
 		return sa.at < sb.at
+	}
+	for i := range sa.lin {
+		if sa.lin[i] != sb.lin[i] {
+			return sa.lin[i] < sb.lin[i]
+		}
+	}
+	if sa.tok != sb.tok {
+		return sa.tok.Less(sb.tok)
 	}
 	return sa.seq < sb.seq
 }

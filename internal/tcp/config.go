@@ -185,3 +185,21 @@ type Stats struct {
 
 // Retransmits returns the total retransmitted segment count.
 func (s *Stats) Retransmits() uint64 { return s.FastRetransmits + s.RTORetransmits }
+
+// AddInto folds s into dst. Every field is additive, so sharded runs keep
+// one Stats per shard (avoiding cross-shard write contention) and merge
+// them after the run.
+func (s *Stats) AddInto(dst *Stats) {
+	dst.SegmentsSent += s.SegmentsSent
+	dst.AcksSent += s.AcksSent
+	dst.BytesSent += s.BytesSent
+	dst.BytesDelivered += s.BytesDelivered
+	dst.FastRetransmits += s.FastRetransmits
+	dst.RTORetransmits += s.RTORetransmits
+	dst.RTOEvents += s.RTOEvents
+	dst.SynRetries += s.SynRetries
+	dst.ConnsEstablished += s.ConnsEstablished
+	dst.ConnsFailed += s.ConnsFailed
+	dst.EceAcksSent += s.EceAcksSent
+	dst.CwndCuts += s.CwndCuts
+}

@@ -194,7 +194,7 @@ func (c *Conn) BytesAcked() units.ByteSize {
 func (c *Conn) newPacket(flags packet.TCPFlags, seq uint64, payload int) *packet.Packet {
 	// Pool-allocated: the fabric releases the packet at its drop or final
 	// delivery site, so the connection must not hold on to it after Send.
-	p := c.stack.host.Network().AllocPacket()
+	p := c.stack.host.AllocPacket()
 	p.Src = c.local
 	p.Dst = c.remote
 	p.Seq = seq

@@ -54,7 +54,7 @@ func NewStack(host *netsim.Host, cfg Config, stats *Stats) *Stack {
 	}
 	s := &Stack{
 		host:      host,
-		eng:       host.Network().Engine,
+		eng:       host.Engine(),
 		cfg:       cfg,
 		listeners: make(map[uint16]*Listener),
 		conns:     make(map[connKey]*Conn),
@@ -67,6 +67,10 @@ func NewStack(host *netsim.Host, cfg Config, stats *Stats) *Stack {
 
 // Host returns the attached host.
 func (s *Stack) Host() *netsim.Host { return s.host }
+
+// Engine returns the engine the stack's events run on — the host's shard
+// engine.
+func (s *Stack) Engine() *sim.Engine { return s.eng }
 
 // Config returns the stack's default configuration.
 func (s *Stack) Config() Config { return s.cfg }

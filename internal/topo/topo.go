@@ -124,6 +124,11 @@ type Cluster struct {
 	UpPorts   []*netsim.Port
 	DownPorts []*netsim.Port
 
+	// Lookahead is the minimum propagation delay over the links that cross
+	// a shard boundary — the conservative horizon of the sharded event
+	// loop. Zero on single-shard builds (nothing crosses).
+	Lookahead units.Duration
+
 	links   []*fabricLink
 	rebuild func() error // topology-specific route-group rebuild (nil = single-path fabric)
 }
@@ -137,10 +142,41 @@ func Build(eng *sim.Engine, cfg Config) *Cluster {
 	case cfg.Racks <= 1:
 		return buildStar(eng, cfg)
 	case cfg.Spines > 0:
-		return buildLeafSpine(eng, cfg)
+		return buildLeafSpine(netsim.New(eng), cfg)
 	default:
 		return buildTwoTier(eng, cfg)
 	}
+}
+
+// LeafShard is the partition rule for the leaf tier: rack r of a fabric cut
+// into shards contiguous rack blocks. Hosts live with their leaf, so the
+// only links that cross shards are leaf<->spine — the cut the conservative
+// lookahead is derived from.
+func LeafShard(racks, shards, r int) int { return r * shards / racks }
+
+// SpineShard spreads the spine tier round-robin over the shards, balancing
+// the spine event load.
+func SpineShard(shards, s int) int { return s % shards }
+
+// BuildSharded constructs the cluster partitioned over the given engines,
+// one shard per engine. Only the leaf-spine shape can be cut (the star and
+// two-tier fabrics share one switch among all racks), and there can be at
+// most one shard per rack; callers validate both ahead of time, so a
+// violation here panics. With a single engine this is exactly Build.
+func BuildSharded(engines []*sim.Engine, cfg Config) *Cluster {
+	if len(engines) == 1 {
+		return Build(engines[0], cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Spines == 0 || cfg.Racks < 2 {
+		panic(fmt.Sprintf("topo: sharding requires a leaf-spine fabric (racks=%d spines=%d)", cfg.Racks, cfg.Spines))
+	}
+	if len(engines) > cfg.Racks {
+		panic(fmt.Sprintf("topo: %d shards exceed %d racks", len(engines), cfg.Racks))
+	}
+	return buildLeafSpine(netsim.NewSharded(engines), cfg)
 }
 
 // switchIndex parses the numeric suffix of a builder-generated switch name
@@ -438,10 +474,10 @@ func (st *leafSpineState) rebuildRoutes() error {
 // buildLeafSpine constructs the three-tier fabric: Racks leaf switches each
 // holding Nodes/Racks hosts, Spines spine switches, and a full leaf<->spine
 // mesh. Cross-rack traffic ECMPs over the spines by 5-tuple flow hash.
-func buildLeafSpine(eng *sim.Engine, cfg Config) *Cluster {
-	net := netsim.New(eng)
+func buildLeafSpine(net *netsim.Network, cfg Config) *Cluster {
 	net.SetFlowHashSeed(cfg.HashSeed)
 	cl := &Cluster{Net: net}
+	shards := net.ShardCount()
 	perRack := cfg.Nodes / cfg.Racks
 	coreRate := cfg.CoreRate
 	if coreRate <= 0 {
@@ -459,7 +495,7 @@ func buildLeafSpine(eng *sim.Engine, cfg Config) *Cluster {
 		link:  make([][]*fabricLink, cfg.Racks),
 	}
 	for s := 0; s < cfg.Spines; s++ {
-		sp := net.NewSwitch(fmt.Sprintf("spine%d", s))
+		sp := net.NewSwitchOn(SpineShard(shards, s), fmt.Sprintf("spine%d", s))
 		st.spines = append(st.spines, sp)
 		st.down[s] = make([]*netsim.Port, cfg.Racks)
 	}
@@ -467,7 +503,8 @@ func buildLeafSpine(eng *sim.Engine, cfg Config) *Cluster {
 	cl.Spines = st.spines
 
 	for r := 0; r < cfg.Racks; r++ {
-		leaf := net.NewSwitch(fmt.Sprintf("leaf%d", r))
+		rackShard := LeafShard(cfg.Racks, shards, r)
+		leaf := net.NewSwitchOn(rackShard, fmt.Sprintf("leaf%d", r))
 		st.leaves = append(st.leaves, leaf)
 		cl.Switches = append(cl.Switches, leaf)
 		st.up[r] = make([]*netsim.Port, cfg.Spines)
@@ -475,6 +512,9 @@ func buildLeafSpine(eng *sim.Engine, cfg Config) *Cluster {
 
 		// Full mesh to the spine tier.
 		for s, sp := range st.spines {
+			if sp.Shard() != leaf.Shard() && (cl.Lookahead == 0 || core.Delay < cl.Lookahead) {
+				cl.Lookahead = core.Delay
+			}
 			upLabel := fmt.Sprintf("%s->%s", leaf.Name, sp.Name)
 			up := net.NewPort(leaf, sp, core, cfg.SwitchQueue(upLabel, coreRate))
 			up.Label = upLabel
@@ -495,7 +535,7 @@ func buildLeafSpine(eng *sim.Engine, cfg Config) *Cluster {
 
 		// Hosts under the leaf; intra-rack routes are final here.
 		for i := 0; i < perRack; i++ {
-			h := net.NewHost(fmt.Sprintf("node%02d", r*perRack+i))
+			h := net.NewHostOn(rackShard, fmt.Sprintf("node%02d", r*perRack+i))
 			hup := net.NewPort(h, leaf, edge, hostQueue(cfg, h.Name+"->"+leaf.Name))
 			hup.Label = h.Name + "->" + leaf.Name
 			h.AttachUplink(hup)
