@@ -23,14 +23,15 @@ import (
 
 func main() {
 	var (
-		suite     = flag.String("suite", benchkit.SuiteFull, "benchmark suite: full|reduced")
-		rev       = flag.String("rev", defaultRevision(), "revision id recorded in the report and output filename")
-		out       = flag.String("out", "", "output path (default BENCH_<rev>.json; - for stdout only)")
-		baseline  = flag.String("baseline", "", "baseline report to gate against (empty = no gate)")
-		maxDrop   = flag.Float64("max-drop", benchkit.DefaultTolerances().MaxThroughputDrop, "max fractional events/sec drop vs baseline")
-		maxGrowth = flag.Float64("max-alloc-growth", benchkit.DefaultTolerances().MaxAllocGrowth, "max absolute allocs/event growth vs baseline")
-		reps      = flag.Int("reps", 3, "repetitions per scenario (best wall time and lowest allocs kept)")
-		shardGate = flag.Float64("min-shard-speedup", 0, "fail unless leafspine-sharded reaches this multiple of leafspine-ecmp's events/sec with a bit-identical event count (0 = no speedup floor, event counts still checked)")
+		suite      = flag.String("suite", benchkit.SuiteFull, "benchmark suite: full|reduced")
+		rev        = flag.String("rev", defaultRevision(), "revision id recorded in the report and output filename")
+		out        = flag.String("out", "", "output path (default BENCH_<rev>.json; - for stdout only)")
+		baseline   = flag.String("baseline", "", "baseline report to gate against (empty = no gate)")
+		maxDrop    = flag.Float64("max-drop", benchkit.DefaultTolerances().MaxThroughputDrop, "max fractional events/sec drop vs baseline")
+		maxGrowth  = flag.Float64("max-alloc-growth", benchkit.DefaultTolerances().MaxAllocGrowth, "max absolute allocs/event growth vs baseline")
+		reps       = flag.Int("reps", 3, "repetitions per scenario (best wall time and lowest allocs kept)")
+		shardGate  = flag.Float64("min-shard-speedup", 0, "fail unless leafspine-sharded reaches this multiple of leafspine-ecmp's events/sec with a bit-identical event count (0 = no speedup floor, event counts still checked)")
+		hybridGate = flag.Float64("min-hybrid-factor", 10, "fail unless macroscale-hybrid beats the packet engine's extrapolated event count (from leafspine-ecmp's events/byte) by this factor (0 = accounting checked only)")
 	)
 	flag.Parse()
 
@@ -74,6 +75,17 @@ func main() {
 	// needed — so it runs whenever both were measured.
 	if findings := benchkit.ShardGate(rep, "leafspine-ecmp", "leafspine-sharded", *shardGate); len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "bench: sharded event loop gate failed:\n")
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, "  - "+f)
+		}
+		os.Exit(1)
+	}
+
+	// The hybrid gate likewise compares within this report: the fluid/packet
+	// engine must make bytes an order of magnitude cheaper in events than the
+	// packet reference's events-per-byte rate predicts.
+	if findings := benchkit.HybridGate(rep, "leafspine-ecmp", "macroscale-hybrid", *hybridGate); len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: hybrid engine gate failed:\n")
 		for _, f := range findings {
 			fmt.Fprintln(os.Stderr, "  - "+f)
 		}

@@ -224,4 +224,67 @@ func init() {
 			{Header: "ACK drop share", Key: KeyAckDropShare, Format: FormatFloat},
 		},
 	})
+
+	RegisterCampaign(Campaign{
+		Name:     "incast-tail",
+		Scenario: "incast",
+		Title:    "Incast tail — MinRTO × fan-in × buffer depth",
+		Note: "The tail of a synchronized fan-in is recovery-bound, not transfer-bound: " +
+			"with shallow DropTail buffers the correlated losses decay into RTO recovery and " +
+			"the 200 ms default MinRTO sets the completion time almost by itself, while a " +
+			"datacenter-tuned 10 ms MinRTO collapses the tail an order of magnitude. Deep " +
+			"buffers absorb the burst instead and decouple the tail from the timer.",
+		Common: []Option{Nodes(24), FlowSize(4 << 20), TargetDelay(100 * time.Microsecond)},
+		Quick:  []Option{FlowSize(1 << 20)},
+		Rows: []CampaignRow{
+			{Label: "rto=200ms/8-in/shallow", Options: []Option{Senders(8)}},
+			{Label: "rto=200ms/8-in/deep", Options: []Option{Senders(8), Buffer(Deep)}},
+			{Label: "rto=200ms/16-in/shallow", Options: []Option{Senders(16)}},
+			{Label: "rto=200ms/16-in/deep", Options: []Option{Senders(16), Buffer(Deep)}},
+			{Label: "rto=10ms/8-in/shallow", Options: []Option{MinRTO(10 * time.Millisecond), Senders(8)}},
+			{Label: "rto=10ms/8-in/deep", Options: []Option{MinRTO(10 * time.Millisecond), Senders(8), Buffer(Deep)}},
+			{Label: "rto=10ms/16-in/shallow", Options: []Option{MinRTO(10 * time.Millisecond), Senders(16)}},
+			{Label: "rto=10ms/16-in/deep", Options: []Option{MinRTO(10 * time.Millisecond), Senders(16), Buffer(Deep)}},
+		},
+		Columns: []Column{
+			{Header: "completion", Key: KeyCompletion, Format: FormatSeconds},
+			{Header: "vs row 1", Key: KeyCompletion, Norm: true},
+			{Header: "agg goodput", Key: KeyGoodput, Format: FormatBandwidth},
+			{Header: "retransmits", Key: KeyRetransmits, Format: FormatCount},
+			{Header: "RTOs", Key: KeyRTOEvents, Format: FormatCount},
+		},
+	})
+
+	RegisterCampaign(Campaign{
+		Name:     "macroscale",
+		Scenario: "macroscale",
+		Title:    "Macroscale — the hybrid engine over a 10k-node cell",
+		Note: "An open-loop transfer mix (background fan-outs, periodic incast hot spots, an " +
+			"RPC probe fleet) at a scale the packet engine cannot hold. The threshold rows " +
+			"show the fidelity dial: lower thresholds push more bytes to packet level and " +
+			"buy nothing on the uncontended majority; the event column is the price.",
+		Common: []Option{Queue(RED), Protect(ACKSYN), TargetDelay(500 * time.Microsecond), Hybrid()},
+		// Quick scale is the determinism matrix's cell: 64 nodes in 8 racks
+		// under 4 spines, a 40 ms measurement — small enough for the CI
+		// drift gate to re-simulate, hot-spotted enough to exercise both
+		// service levels.
+		Quick: []Option{
+			Nodes(64), Racks(8), Spines(4), FlowSize(512 << 10),
+			Warmup(5 * time.Millisecond), Measure(40 * time.Millisecond),
+		},
+		Rows: []CampaignRow{
+			{Label: "hybrid u=0.9"},
+			{Label: "hybrid u=0.5", Options: []Option{FluidThreshold(0.5)}},
+			{Label: "hybrid u=1.0", Options: []Option{FluidThreshold(1)}},
+		},
+		Columns: []Column{
+			{Header: "jobs done", Key: KeyJobsCompleted, Format: FormatCount},
+			{Header: "job p99", Key: KeyJobP99, Format: FormatSeconds},
+			{Header: "RPC p99", Key: KeyRPCP99, Format: FormatSeconds},
+			{Header: "fluid bytes", Key: KeyFluidBytes, Format: FormatBytes},
+			{Header: "packet bytes", Key: KeyPacketBytes, Format: FormatBytes},
+			{Header: "promotions", Key: KeyPromotions, Format: FormatCount},
+			{Header: "events", Key: KeySimEvents, Format: FormatCount},
+		},
+	})
 }

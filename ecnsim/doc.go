@@ -20,9 +20,9 @@
 //
 //   - A Scenario registry. Workloads implement Scenario and register under
 //     a name; terasort, incast, mixed, aqmcompare, leafspine, degradedfabric,
-//     multijob and tenantmix ship registered. Scenarios() lists them, Lookup
-//     retrieves one, and every scenario produces uniform Result rows (JSON-
-//     and CSV-marshalable) whatever it simulates.
+//     multijob, tenantmix and macroscale ship registered. Scenarios() lists
+//     them, Lookup retrieves one, and every scenario produces uniform Result
+//     rows (JSON- and CSV-marshalable) whatever it simulates.
 //
 //   - A Runner. Runner.Run accepts a context, fans jobs and their seed
 //     replications across a bounded worker pool, reports progress through a
@@ -43,7 +43,10 @@
 // on a shared-slot scheduler plus an open-loop RPC fleet, measured in
 // windows) is configured through the JobArrivals/Arrivals/FairShare/
 // RPCClients/Warmup/Measure/MeasureWindow options and consumed by the
-// multijob and tenantmix scenarios. The cmd/ binaries and examples/
+// multijob and tenantmix scenarios. The flow-level hybrid engine — fluid
+// rates on uncontended ports, packet fidelity where congestion lives — is
+// enabled by Hybrid() and tuned by FluidThreshold/PromoteHysteresis; the
+// macroscale scenario is its home regime. The cmd/ binaries and examples/
 // programs are thin shells over this package — see DESIGN.md for the system
 // inventory, and the Example functions in this package's test files for
 // runnable godoc examples.

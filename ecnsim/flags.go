@@ -26,6 +26,9 @@ const (
 	// FlagsTenant is the multi-tenant workload engine: -jobs, -arrival,
 	// -rpc-clients.
 	FlagsTenant
+	// FlagsHybrid is the hybrid fluid/packet engine: -hybrid,
+	// -fluid-threshold.
+	FlagsHybrid
 	// FlagsRun is the run-execution surface: -shards. Every FlagBinder
 	// includes it whether or not it is requested — how a run executes is
 	// never a per-binary decision.
@@ -63,6 +66,10 @@ type FlagSet struct {
 	Jobs       int    // -jobs: max batch jobs the arrival process admits
 	Arrival    string // -arrival: "poisson:400ms" | "fixed:250ms" | "poisson"
 	RPCClients int    // -rpc-clients: open-loop RPC fleet size
+
+	// Hybrid engine flags.
+	Hybrid         bool    // -hybrid: enable the fluid/packet hybrid engine
+	FluidThreshold float64 // -fluid-threshold: fluid utilization threshold in [0, 1]
 }
 
 // DefaultFlags returns the paper-testbed defaults (16 nodes, 1 GiB Terasort,
@@ -82,6 +89,8 @@ func DefaultFlags() *FlagSet {
 		Reducers:  32,
 		SeedVal:   1,
 		Shards:    1,
+
+		FluidThreshold: 0.9,
 	}
 }
 
@@ -142,6 +151,10 @@ func (f *FlagSet) bindGroups(fs *flag.FlagSet, g FlagGroup) {
 		fs.IntVar(&f.Jobs, "jobs", f.Jobs, "max batch jobs the open-loop arrival process admits (enables the multi-tenant grid; 0 = scenario default)")
 		fs.StringVar(&f.Arrival, "arrival", f.Arrival, `job arrival process, "poisson:400ms" or "fixed:250ms" (takes effect with -jobs/-rpc-clients or a tenant scenario)`)
 		fs.IntVar(&f.RPCClients, "rpc-clients", f.RPCClients, "open-loop RPC fleet size (enables the multi-tenant grid; 0 = scenario default)")
+	}
+	if g&FlagsHybrid != 0 {
+		fs.BoolVar(&f.Hybrid, "hybrid", f.Hybrid, "run bulk transfers on the fluid/packet hybrid engine (bit-identical at every shard count)")
+		fs.Float64Var(&f.FluidThreshold, "fluid-threshold", f.FluidThreshold, "hybrid fluid utilization threshold in [0, 1]; 0 keeps every transfer at packet level")
 	}
 	if g&FlagsRun != 0 {
 		fs.IntVar(&f.Shards, "shards", f.Shards, "event-loop shards: 1 = serial, 0 = auto (sized to the machine on leaf-spine fabrics), n > 1 = explicit leaf-spine partitions; results are bit-identical at every value")
@@ -205,6 +218,11 @@ func (f *FlagSet) optionsFor(g FlagGroup) ([]Option, error) {
 			return nil, err
 		}
 		opts = append(opts, tenant...)
+	}
+	if g&FlagsHybrid != 0 && f.Hybrid {
+		// -fluid-threshold only takes effect with -hybrid, mirroring the
+		// builder (FluidThreshold is a resolved default otherwise).
+		opts = append(opts, Hybrid(), FluidThreshold(f.FluidThreshold))
 	}
 	if g&FlagsRun != 0 {
 		if f.Shards == 0 {

@@ -1,0 +1,124 @@
+package ecnsim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/units"
+)
+
+// Extra value keys produced by the macroscale scenario: the hybrid engine's
+// lifecycle counters and the byte split between the two service levels.
+const (
+	// KeyFluidStarted / KeyFluidCompleted count transfers admitted into and
+	// completed by the fluid model; KeyFluidBytes is the payload it carried
+	// (including the settled portion of flows later promoted to packets).
+	KeyFluidStarted   = "fluid_started"
+	KeyFluidCompleted = "fluid_completed"
+	KeyFluidBytes     = "fluid_bytes"
+	// KeyPacketBytes is the payload carried by real packets (wire view).
+	KeyPacketBytes = "packet_payload_bytes"
+	// KeyPromotions / KeyDemotions count port service-level transitions;
+	// KeyPromotedFlows counts fluid flows converted to packets mid-flight;
+	// KeyPacketRefused counts admissions sent straight to the packet path.
+	KeyPromotions    = "promotions"
+	KeyDemotions     = "demotions"
+	KeyPromotedFlows = "promoted_flows"
+	KeyPacketRefused = "packet_refused"
+)
+
+func init() {
+	Register(NewScenario("macroscale",
+		"10k-node leaf-spine cell under an open-loop transfer mix: the hybrid engine's home regime",
+		runMacroscale))
+}
+
+// macroscaleDefaults reshapes an unshaped cluster to the scenario's home
+// cell: 10,000 nodes in 250 racks of 40 under 16 spines — a scale only the
+// hybrid engine can hold (the pure packet engine would need every byte as
+// ~1500 B packet events). An explicitly shaped cluster (Racks >= 2) is
+// honored as-is, which is what the tests and the benchmark suite use.
+func macroscaleDefaults(c *Cluster) (*Cluster, error) {
+	d := *c
+	if d.racks <= 1 {
+		d.nodes, d.racks, d.spines = 10000, 250, 16
+		if err := d.validateDegrade(); err != nil {
+			return nil, fmt.Errorf("ecnsim: macroscale: configured degradations do not fit the %d-rack/%d-spine cell: %w", d.racks, d.spines, err)
+		}
+	}
+	if d.spines == 0 {
+		return nil, fmt.Errorf("ecnsim: macroscale: a %d-rack fabric needs a spine tier (Spines >= 1)", d.racks)
+	}
+	return &d, nil
+}
+
+// macroWorkload derives the scenario's transfer mix from the builder knobs:
+// the tenant phases set the open-loop horizon, FlowSize sizes the background
+// transfers, and the RPC fleet knobs shape the latency probes. Everything
+// else keeps the fixed DefaultMacroWorkload mix (arrival density, fan-out,
+// hot-spot cadence), so the workload is a pure function of fingerprinted
+// configuration.
+func macroWorkload(c *Cluster) experiment.MacroWorkload {
+	w := experiment.DefaultMacroWorkload()
+	w.Warmup = c.warmup
+	w.Measure = c.measure
+	w.Drain = c.measure / 3
+	w.JobBytes = units.ByteSize(c.flowSize)
+	w.RPCInterval = c.rpcInterval
+	w.RPCBytes = units.ByteSize(c.rpcRespSize)
+	if c.rpcClients > 0 {
+		w.RPCClients = c.rpcClients
+	}
+	return w
+}
+
+// runMacroscale drives the macro-scale open-loop harness: a stream of
+// background fan-out jobs, periodic incast hot spots, and an RPC probe fleet,
+// placed directly over the fabric. Under Hybrid() the uncontended majority of
+// transfers runs as fluid rates and only the hot spots pay packet fidelity;
+// without it every transfer is a real TCP flow (feasible only at test
+// scales). Results are bit-identical at any shard or worker count.
+func runMacroscale(ctx context.Context, c *Cluster) ([]Result, error) {
+	d, err := macroscaleDefaults(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w := macroWorkload(d)
+	cfg := d.experimentConfig()
+	cfg.Macro = &w
+	r := experiment.RunMacro(cfg, w)
+
+	label := d.Label()
+	if d.hybrid {
+		label += "/hybrid"
+	}
+	values := map[string]float64{
+		KeyJobsSubmitted:  float64(r.JobsStarted),
+		KeyJobsCompleted:  float64(r.JobsCompleted),
+		KeyJobP50:         r.JobP50,
+		KeyJobP99:         r.JobP99,
+		KeyRPCCount:       float64(r.RPCCount),
+		KeyRPCP50:         r.RPCP50,
+		KeyRPCP99:         r.RPCP99,
+		KeyFluidStarted:   float64(r.Fluid.FluidStarted),
+		KeyFluidCompleted: float64(r.Fluid.FluidCompleted),
+		KeyFluidBytes:     float64(r.Fluid.FluidBytes),
+		KeyPacketBytes:    float64(r.PacketPayload),
+		KeyPromotions:     float64(r.Fluid.Promotions),
+		KeyDemotions:      float64(r.Fluid.Demotions),
+		KeyPromotedFlows:  float64(r.Fluid.PromotedFlows),
+		KeyPacketRefused:  float64(r.Fluid.PacketRefused),
+		KeySimEvents:      float64(r.Events),
+		KeySimTime:        r.SimTime.Seconds(),
+	}
+	return []Result{{
+		Scenario: "macroscale",
+		Label:    label,
+		Seed:     d.seed,
+		Values:   values,
+	}}, nil
+}

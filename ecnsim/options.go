@@ -275,6 +275,13 @@ type Cluster struct {
 	// (cluster.ShardAuto), n > 1 = explicit. Lowered through scale() into
 	// the experiment config, so it is part of the canonical form.
 	shards int
+	// Hybrid engine knobs. hybrid switches bulk transfers to the flow-level
+	// fluid/packet hybrid engine; fluidThreshold and promoteHysteresis carry
+	// resolved defaults (0.9, 1 ms) but lower only under hybrid, so every
+	// Hybrid-off fingerprint is byte-identical to the pure packet engine's.
+	hybrid            bool
+	fluidThreshold    float64
+	promoteHysteresis time.Duration
 	// warnings collects non-fatal configuration demotions (currently only
 	// shard fallback); it changes nothing about what runs beyond what the
 	// resolved fields already say.
@@ -315,25 +322,27 @@ type Option func(*Cluster) error
 // validates the result.
 func NewCluster(opts ...Option) (*Cluster, error) {
 	c := &Cluster{
-		nodes:       16,
-		racks:       1,
-		linkRate:    int64(10 * units.Gbps),
-		linkDelay:   5 * time.Microsecond,
-		queue:       DropTail,
-		targetDelay: 500 * time.Microsecond,
-		seed:        1,
-		inputSize:   int64(1 * units.GiB),
-		blockSize:   int64(64 * units.MiB),
-		reducers:    32,
-		flowSize:    int64(4 * units.MiB),
-		rpcInterval: 2 * time.Millisecond,
-		arrivalKind: PoissonArrivals,
-		arrivalMean: 150 * time.Millisecond,
-		rpcReqSize:  128,
-		rpcRespSize: 4096,
-		warmup:      250 * time.Millisecond,
-		measure:     2 * time.Second,
-		window:      500 * time.Millisecond,
+		nodes:             16,
+		racks:             1,
+		linkRate:          int64(10 * units.Gbps),
+		linkDelay:         5 * time.Microsecond,
+		queue:             DropTail,
+		targetDelay:       500 * time.Microsecond,
+		seed:              1,
+		inputSize:         int64(1 * units.GiB),
+		blockSize:         int64(64 * units.MiB),
+		reducers:          32,
+		flowSize:          int64(4 * units.MiB),
+		rpcInterval:       2 * time.Millisecond,
+		arrivalKind:       PoissonArrivals,
+		arrivalMean:       150 * time.Millisecond,
+		fluidThreshold:    0.9,
+		promoteHysteresis: 1 * time.Millisecond,
+		rpcReqSize:        128,
+		rpcRespSize:       4096,
+		warmup:            250 * time.Millisecond,
+		measure:           2 * time.Second,
+		window:            500 * time.Millisecond,
 	}
 	for _, opt := range opts {
 		if opt == nil {
@@ -537,6 +546,49 @@ func Shards(n int) Option {
 func ShardAuto() Option {
 	return func(c *Cluster) error {
 		c.shards = cluster.ShardAuto
+		return nil
+	}
+}
+
+// Hybrid enables the flow-level hybrid engine: bulk transfers whose paths
+// sit below the fluid utilization threshold run as fluid rates (FCT from
+// max-min share-of-bottleneck math, completion as a single event) instead of
+// packet exchanges; a port crossing the threshold — or observing an AQM
+// marking episode — promotes every flow it carries to packet level, and
+// demotes back after a quiet hysteresis window. Results stay bit-identical
+// at any shard or worker count. Off (the default), the packet engine runs
+// exactly as before — Hybrid() changes nothing unless a scenario's transfers
+// go through the fluid admission path (macroscale; plus the shuffle fetches
+// of the MapReduce scenarios).
+func Hybrid() Option {
+	return func(c *Cluster) error { c.hybrid = true; return nil }
+}
+
+// FluidThreshold sets the hybrid engine's port utilization threshold u in
+// [0, 1]: a transfer is admitted fluidly only while every port on its path
+// stays below u after admission. 0 keeps every transfer at packet level —
+// the exactness mode, byte-identical to the pure packet engine. Takes effect
+// only under Hybrid(); the resolved default is 0.9.
+func FluidThreshold(u float64) Option {
+	return func(c *Cluster) error {
+		if u < 0 || u > 1 {
+			return fmt.Errorf("ecnsim: FluidThreshold(%g): must be in [0, 1]", u)
+		}
+		c.fluidThreshold = u
+		return nil
+	}
+}
+
+// PromoteHysteresis sets the quiet window a promoted (packet-mode) port must
+// observe — no AQM marks, utilization back under the threshold — before it
+// demotes back to fluid service. Takes effect only under Hybrid(); the
+// resolved default is 1 ms.
+func PromoteHysteresis(d time.Duration) Option {
+	return func(c *Cluster) error {
+		if d <= 0 {
+			return fmt.Errorf("ecnsim: PromoteHysteresis(%v): must be positive", d)
+		}
+		c.promoteHysteresis = d
 		return nil
 	}
 }
@@ -1038,6 +1090,11 @@ func (c *Cluster) spec() cluster.Spec {
 	spec.ByteMode = c.byteMode
 	spec.Instantaneous = c.instantaneous
 	spec.Shards = c.shards
+	if c.hybrid {
+		spec.Hybrid = true
+		spec.FluidThreshold = c.fluidThreshold
+		spec.PromoteHysteresis = c.promoteHysteresis
+	}
 	return spec
 }
 
@@ -1130,7 +1187,7 @@ func (c *Cluster) Fingerprint() string {
 // experimentConfig lowers the full configuration (including ablations) onto
 // the internal experiment config.
 func (c *Cluster) experimentConfig() experiment.Config {
-	return experiment.Config{
+	cfg := experiment.Config{
 		Setup: experiment.QueueSetup{
 			Label:     c.Label(),
 			Queue:     c.queue.internal(),
@@ -1149,4 +1206,13 @@ func (c *Cluster) experimentConfig() experiment.Config {
 		DisableDelAck: c.disableDelAck,
 		Degrade:       c.degrade,
 	}
+	// The hybrid knobs lower only when the engine is on: a Hybrid-off
+	// configuration's canonical form — and therefore its fingerprint — is
+	// byte-identical to what it was before the hybrid engine existed.
+	if c.hybrid {
+		cfg.Hybrid = true
+		cfg.FluidThreshold = c.fluidThreshold
+		cfg.PromoteHysteresis = c.promoteHysteresis
+	}
+	return cfg
 }

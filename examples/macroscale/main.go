@@ -1,0 +1,88 @@
+// Macroscale: the flow-level hybrid engine over a 10,000-node leaf-spine
+// cell (250 racks under 16 spines) carrying an open-loop transfer mix —
+// background fan-out jobs, periodic incast hot spots, and an RPC probe
+// fleet. Uncontended transfers run as fluid rates; a port crossing the
+// utilization threshold or entering an AQM marking episode promotes every
+// flow traversing it to packet fidelity, demoting after a hysteresis
+// window. The cell is unrunnable on the pure packet engine — that is the
+// point.
+//
+//	go run ./examples/macroscale                   # the full cell (minutes)
+//	go run ./examples/macroscale -quick -shards 4  # the CI smoke cell
+//	go run ./examples/macroscale -fluid-threshold 0.5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/ecnsim"
+)
+
+func main() {
+	flags := ecnsim.NewFlagBinder(ecnsim.FlagsFabric | ecnsim.FlagsSeed | ecnsim.FlagsHybrid)
+	// The scenario's home cell, hybrid on — override any of it on the
+	// command line. The shape must be explicit for -shards to engage.
+	flags.Nodes = 10000
+	flags.Racks = 250
+	flags.Spines = 16
+	flags.Hybrid = true
+	flags.Bind(flag.CommandLine)
+	nodes := flag.Int("nodes", flags.Nodes, "hosts in the cell")
+	measure := flag.Duration("measure", 300*time.Millisecond, "measurement phase length")
+	quick := flag.Bool("quick", false, "run the CI smoke cell (64 nodes, 8 racks, 40 ms) instead of the full one")
+	flag.Parse()
+
+	hybridOpts, err := flags.Options()
+	if err != nil {
+		log.Fatalf("macroscale: %v", err)
+	}
+	opts := append([]ecnsim.Option{
+		ecnsim.Nodes(*nodes),
+		ecnsim.Queue(ecnsim.RED),
+		ecnsim.Protect(ecnsim.ACKSYN),
+		ecnsim.TargetDelay(500 * time.Microsecond),
+		ecnsim.Measure(*measure),
+	}, hybridOpts...)
+	if *quick {
+		opts = append(opts,
+			ecnsim.Nodes(64), ecnsim.Racks(8), ecnsim.Spines(4),
+			ecnsim.FlowSize(512<<10),
+			ecnsim.Warmup(5*time.Millisecond), ecnsim.Measure(40*time.Millisecond))
+	}
+
+	start := time.Now()
+	rs, err := ecnsim.RunScenario(context.Background(), "macroscale", opts...)
+	if err != nil {
+		log.Fatalf("macroscale: %v", err)
+	}
+	wall := time.Since(start)
+
+	gib := func(k string, r ecnsim.Result) float64 { return r.Value(k) / (1 << 30) }
+	for _, r := range rs.Results {
+		fluid, packet := gib(ecnsim.KeyFluidBytes, r), gib(ecnsim.KeyPacketBytes, r)
+		fmt.Printf("%s (seed %d)\n", r.Label, r.Seed)
+		fmt.Printf("  jobs      %4.0f/%-4.0f done   p50=%-10s p99=%s\n",
+			r.Value(ecnsim.KeyJobsCompleted), r.Value(ecnsim.KeyJobsSubmitted),
+			seconds(r.Value(ecnsim.KeyJobP50)), seconds(r.Value(ecnsim.KeyJobP99)))
+		fmt.Printf("  rpc       %5.0f probes     p50=%-10s p99=%s\n",
+			r.Value(ecnsim.KeyRPCCount),
+			seconds(r.Value(ecnsim.KeyRPCP50)), seconds(r.Value(ecnsim.KeyRPCP99)))
+		fmt.Printf("  bytes     fluid=%.2fGiB packet=%.2fGiB (%.1f%% at packet fidelity)\n",
+			fluid, packet, 100*packet/(fluid+packet))
+		fmt.Printf("  hybrid    %3.0f promotions %3.0f demotions %4.0f flows converted %4.0f refused\n",
+			r.Value(ecnsim.KeyPromotions), r.Value(ecnsim.KeyDemotions),
+			r.Value(ecnsim.KeyPromotedFlows), r.Value(ecnsim.KeyPacketRefused))
+		fmt.Printf("  engine    %.0f events over %s simulated in %s wall\n",
+			r.Value(ecnsim.KeySimEvents),
+			seconds(r.Value(ecnsim.KeySimTime)), wall.Round(time.Millisecond))
+	}
+}
+
+// seconds renders a float seconds value at microsecond resolution.
+func seconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -126,6 +126,37 @@ func fullSpecs() []Spec {
 				ecnsim.Seed(1),
 			},
 		},
+		macroscaleHybridSpec(),
+	}
+}
+
+// macroscaleHybridSpec is the hybrid engine's benchmark cell: the macroscale
+// open-loop transfer mix on a 1024-node leaf-spine fabric with fluid service
+// for uncontended transfers. HybridGate extrapolates what the pure packet
+// engine would have spent on the same bytes (from leafspine-ecmp's
+// events-per-byte) and enforces the speedup floor. The fabric is deliberately
+// wide: on a small fabric promotion cascades spill across the few shared core
+// ports and packet traffic dominates, while at this width hot spots stay
+// confined and fluid service carries ~96% of the bytes — the regime the
+// hybrid engine exists for. Both suites share one cell — its cost is the
+// hybrid engine's, not the input's.
+func macroscaleHybridSpec() Spec {
+	return Spec{
+		Name:     "macroscale-hybrid",
+		Scenario: "macroscale",
+		Opts: []ecnsim.Option{
+			ecnsim.Nodes(1024),
+			ecnsim.Racks(32),
+			ecnsim.Spines(8),
+			ecnsim.Queue(ecnsim.RED),
+			ecnsim.Protect(ecnsim.ACKSYN),
+			ecnsim.TargetDelay(500 * time.Microsecond),
+			ecnsim.Warmup(5 * time.Millisecond),
+			ecnsim.Measure(40 * time.Millisecond),
+			ecnsim.FlowSize(512 << 10),
+			ecnsim.Hybrid(),
+			ecnsim.Seed(1),
+		},
 	}
 }
 
@@ -223,6 +254,7 @@ func reducedSpecs() []Spec {
 				ecnsim.Seed(1),
 			},
 		},
+		macroscaleHybridSpec(),
 	}
 }
 
@@ -252,6 +284,14 @@ type Measurement struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 	NSPerSimSec    float64 `json:"ns_per_sim_sec"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+
+	// Payload accounting for the hybrid gate. PayloadBytes is what the
+	// packet engine carried (shuffled or wire payload bytes); FluidBytes is
+	// what the fluid model carried without per-packet events. Both are zero
+	// for scenarios that don't report byte keys, and omitted from JSON so
+	// pre-hybrid reports stay byte-identical.
+	PayloadBytes float64 `json:"payload_bytes,omitempty"`
+	FluidBytes   float64 `json:"fluid_bytes,omitempty"`
 }
 
 // Report is the BENCH_<rev>.json payload.
@@ -379,18 +419,23 @@ func measure(ctx context.Context, spec Spec) (Measurement, error) {
 	// are unchanged.
 	var simSeconds float64
 	var events uint64
+	var payloadBytes, fluidBytes float64
 	for _, row := range rs.Results {
 		simSeconds += row.Value(ecnsim.KeySimTime)
 		events += uint64(row.Value(ecnsim.KeySimEvents))
+		payloadBytes += row.Value(ecnsim.KeyShuffledBytes) + row.Value(ecnsim.KeyPacketBytes)
+		fluidBytes += row.Value(ecnsim.KeyFluidBytes)
 	}
 	m := Measurement{
-		Name:       spec.Name,
-		Scenario:   spec.Scenario,
-		SimSeconds: simSeconds,
-		Events:     events,
-		WallNS:     wall.Nanoseconds(),
-		Allocs:     after.Mallocs - before.Mallocs,
-		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Name:         spec.Name,
+		Scenario:     spec.Scenario,
+		SimSeconds:   simSeconds,
+		Events:       events,
+		WallNS:       wall.Nanoseconds(),
+		Allocs:       after.Mallocs - before.Mallocs,
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		PayloadBytes: payloadBytes,
+		FluidBytes:   fluidBytes,
 	}
 	if m.Events == 0 {
 		return Measurement{}, fmt.Errorf("scenario reported no engine events (missing %s key?)", ecnsim.KeySimEvents)
@@ -477,6 +522,55 @@ func ShardGate(rep *Report, serial, sharded string, minSpeedup float64) []string
 		findings = append(findings, fmt.Sprintf(
 			"%s: %.0f events/sec is %.2fx %s's %.0f (gate: >= %.2fx)",
 			sharded, p.EventsPerSec, p.EventsPerSec/s.EventsPerSec, serial, s.EventsPerSec, minSpeedup))
+	}
+	return findings
+}
+
+// HybridGate checks the hybrid engine's reason to exist within one report:
+// moving a byte fluidly must be far cheaper in events than moving it as
+// packets. The pure packet engine's cost model comes from the packetRef
+// scenario (events per payload byte); extrapolating that rate over every byte
+// the hybrid scenario moved — fluid and packet alike — estimates what a pure
+// packet run of the same workload would have cost. Both scenarios report the
+// same sim-time basis (events over their own simulated horizon), so the
+// event-count ratio is the events-per-sim-second ratio. The gate fails when
+// the extrapolated count is under minFactor times the hybrid scenario's
+// actual event count. Missing scenarios or missing byte accounting are
+// findings too — the gate cannot pass vacuously. minFactor <= 0 only checks
+// the accounting is present.
+func HybridGate(rep *Report, packetRef, hybrid string, minFactor float64) []string {
+	byName := make(map[string]Measurement, len(rep.Scenarios))
+	for _, m := range rep.Scenarios {
+		byName[m.Name] = m
+	}
+	var findings []string
+	ref, refOK := byName[packetRef]
+	h, hOK := byName[hybrid]
+	if !refOK {
+		findings = append(findings, fmt.Sprintf("%s: packet reference not measured", packetRef))
+	}
+	if !hOK {
+		findings = append(findings, fmt.Sprintf("%s: hybrid scenario not measured", hybrid))
+	}
+	if !refOK || !hOK {
+		return findings
+	}
+	if ref.PayloadBytes <= 0 {
+		findings = append(findings, fmt.Sprintf("%s: no payload byte accounting; cannot derive events/byte", packetRef))
+	}
+	if h.FluidBytes <= 0 {
+		findings = append(findings, fmt.Sprintf("%s: moved no fluid bytes; the hybrid engine did not engage", hybrid))
+	}
+	if len(findings) > 0 || minFactor <= 0 {
+		return findings
+	}
+	eventsPerByte := float64(ref.Events) / ref.PayloadBytes
+	extrapolated := (h.FluidBytes + h.PayloadBytes) * eventsPerByte
+	if extrapolated < minFactor*float64(h.Events) {
+		findings = append(findings, fmt.Sprintf(
+			"%s: %.0f events for %.0f bytes is only %.2fx cheaper than %s's extrapolated %.0f events (gate: >= %.2fx)",
+			hybrid, float64(h.Events), h.FluidBytes+h.PayloadBytes,
+			extrapolated/float64(h.Events), packetRef, extrapolated, minFactor))
 	}
 	return findings
 }

@@ -113,6 +113,40 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHybridGate pins the extrapolation arithmetic and the non-vacuity
+// findings: 100 events over 1e6 payload bytes gives the packet reference an
+// events/byte of 1e-4, so a hybrid run moving 2e6 total bytes extrapolates to
+// 200 packet events. With 10 actual events that's a 20x factor.
+func TestHybridGate(t *testing.T) {
+	rep := func(hybrid Measurement) *Report {
+		return &Report{Schema: SchemaV1, Scenarios: []Measurement{
+			{Name: "ref", Events: 100, PayloadBytes: 1e6},
+			hybrid,
+		}}
+	}
+	ok := rep(Measurement{Name: "hyb", Events: 10, PayloadBytes: 0.5e6, FluidBytes: 1.5e6})
+	if f := HybridGate(ok, "ref", "hyb", 10); len(f) != 0 {
+		t.Errorf("20x factor failed a 10x gate: %v", f)
+	}
+	if f := HybridGate(ok, "ref", "hyb", 50); len(f) != 1 {
+		t.Errorf("20x factor passed a 50x gate: %v", f)
+	}
+	noFluid := rep(Measurement{Name: "hyb", Events: 10, PayloadBytes: 2e6})
+	if f := HybridGate(noFluid, "ref", "hyb", 10); len(f) != 1 {
+		t.Errorf("hybrid run without fluid bytes passed: %v", f)
+	}
+	if f := HybridGate(ok, "ref", "missing", 10); len(f) != 1 {
+		t.Errorf("missing hybrid scenario passed: %v", f)
+	}
+	bare := &Report{Schema: SchemaV1, Scenarios: []Measurement{
+		{Name: "ref", Events: 100},
+		{Name: "hyb", Events: 10, FluidBytes: 1e6},
+	}}
+	if f := HybridGate(bare, "ref", "hyb", 10); len(f) != 1 {
+		t.Errorf("reference without byte accounting passed: %v", f)
+	}
+}
+
 func TestSuiteLookup(t *testing.T) {
 	for _, name := range []string{SuiteFull, SuiteReduced} {
 		specs, err := Suite(name)

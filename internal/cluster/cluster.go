@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/flow"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -153,6 +154,20 @@ type Spec struct {
 	// rack; RunJob is the sharded drive path (RunUntil/Drain/NewScheduler
 	// need a serial spec). Results are bit-identical at every shard count.
 	Shards int
+
+	// Hybrid enables the fluid/packet hybrid engine: transfers whose paths
+	// are uncontended run as fluid rates (one completion event instead of a
+	// packet exchange), and ports that cross FluidThreshold utilization or
+	// see AQM activity promote their flows to packet level. Off, the cluster
+	// is literally the pure packet engine — no controller is built.
+	Hybrid bool
+	// FluidThreshold is the fluid utilization threshold u in [0, 1]. 0 keeps
+	// the hybrid controller built but inactive (every transfer runs at packet
+	// level — the exactness mode).
+	FluidThreshold float64
+	// PromoteHysteresis is the quiet window a promoted port must observe
+	// before demoting back to fluid (0 defaults to 1ms when Hybrid is set).
+	PromoteHysteresis units.Duration
 }
 
 // ShardAuto is the Spec.Shards sentinel for automatic shard-count selection:
@@ -202,6 +217,14 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("cluster: %d shards need a leaf-spine fabric (Spines > 0); other fabrics run serially", s.Shards)
 	case s.Shards > 1 && s.Shards > s.Racks:
 		return fmt.Errorf("cluster: %d shards exceed %d racks (the cut is at most one shard per rack)", s.Shards, s.Racks)
+	case s.FluidThreshold < 0 || s.FluidThreshold > 1:
+		return fmt.Errorf("cluster: fluid threshold %g out of range [0, 1]", s.FluidThreshold)
+	case !s.Hybrid && s.FluidThreshold != 0:
+		return fmt.Errorf("cluster: fluid threshold needs Hybrid")
+	case !s.Hybrid && s.PromoteHysteresis != 0:
+		return fmt.Errorf("cluster: promote hysteresis needs Hybrid")
+	case s.PromoteHysteresis < 0:
+		return fmt.Errorf("cluster: promote hysteresis must be non-negative, got %v", s.PromoteHysteresis)
 	}
 	for _, d := range s.Degrade {
 		if err := d.Validate(); err != nil {
@@ -250,6 +273,9 @@ type Cluster struct {
 	// TCP aggregates transport counters. In sharded runs each shard writes
 	// its own block and RunJob folds them in here after the run.
 	TCP *tcp.Stats
+	// Fluid is the hybrid engine's fluid controller, nil unless Spec.Hybrid.
+	// With FluidThreshold 0 it exists but never admits a transfer.
+	Fluid *flow.Fluid
 
 	shardViews []*metrics.ShardView
 	shardStats []*tcp.Stats
@@ -355,8 +381,45 @@ func New(spec Spec) *Cluster {
 		TCP:     &tcp.Stats{},
 	}
 
+	if spec.Hybrid {
+		hyst := spec.PromoteHysteresis
+		if hyst <= 0 {
+			hyst = units.Duration(1 * units.Millisecond)
+		}
+		c.Fluid = flow.NewFluid(group, tc.Net, flow.FluidConfig{
+			Threshold:  spec.FluidThreshold,
+			Hysteresis: hyst,
+			Lag:        c.ControlLag(),
+		})
+		c.Fluid.OnDelivered = col.AddFluidPayload
+		// Track every port a flow can traverse; a fluid transfer crossing an
+		// untracked port would be invisible to the congestion accounting.
+		for _, h := range tc.Hosts {
+			c.Fluid.Track(h.Uplink())
+		}
+		for _, p := range tc.EdgePorts {
+			c.Fluid.Track(p)
+		}
+		for _, p := range tc.UpPorts {
+			c.Fluid.Track(p)
+		}
+		for _, p := range tc.DownPorts {
+			c.Fluid.Track(p)
+		}
+	}
+	// hybridObs tees AQM verdicts into the fluid controller. With the fluid
+	// model inactive (Hybrid off, or FluidThreshold 0) the tee is not
+	// installed at all — the observer chain is byte-for-byte the packet
+	// engine's.
+	hybridObs := func(shard int, inner netsim.Observer) netsim.Observer {
+		if !c.Fluid.Active() {
+			return inner
+		}
+		return &hybridTee{inner: inner, fluid: c.Fluid, shard: shard}
+	}
+
 	if group.Serial() {
-		tc.Net.SetObserver(col)
+		tc.Net.SetObserver(hybridObs(0, col))
 	} else {
 		// Each shard observes through its own view: order-free counters stay
 		// shard-local, order-sensitive delivery observations are buffered and
@@ -365,7 +428,7 @@ func New(spec Spec) *Cluster {
 		c.shardViews = make([]*metrics.ShardView, shards)
 		for i, e := range engines {
 			c.shardViews[i] = col.ShardView(e)
-			tc.Net.SetShardObserver(i, c.shardViews[i])
+			tc.Net.SetShardObserver(i, hybridObs(i, c.shardViews[i]))
 		}
 		group.OnBarrier = func() {
 			tc.Net.DrainCrossShard()
@@ -415,16 +478,52 @@ func (c *Cluster) mergeShardState() {
 	}
 }
 
-// controlPlane adapts the group's control scheduler to mapred's view of the
-// world, translating a worker index into its shard id.
-type controlPlane struct {
-	g       *sim.Group
-	shardOf []int
+// hybridTee wraps one shard's observer to feed AQM verdicts into the fluid
+// controller as they happen, in shard context: any mark or drop on a tracked
+// port opens the port's episode window and (if fluid flows traverse it)
+// routes a promotion control event at the verdict's own timestamp.
+type hybridTee struct {
+	inner netsim.Observer
+	fluid *flow.Fluid
+	shard int
 }
 
-func (cp *controlPlane) ScheduleControl(worker int, at units.Time, fn func()) {
-	sid := cp.shardOf[worker]
-	cp.g.ScheduleControl(sid, at, cp.g.Shards()[sid].ChildLineage(), fn)
+func (t *hybridTee) PacketEnqueued(now units.Time, port *netsim.Port, p *packet.Packet, v qdisc.Verdict) {
+	t.inner.PacketEnqueued(now, port, p, v)
+	if v != qdisc.Enqueued {
+		t.fluid.NoteAQM(t.shard, now, port)
+	}
+}
+
+func (t *hybridTee) PacketDelivered(now units.Time, p *packet.Packet) {
+	t.inner.PacketDelivered(now, p)
+}
+
+// ScheduleControl registers fn as a globally-serialized control event at
+// time at from the context of the given worker's shard, ordered exactly
+// where a serial engine would have placed it. It implements
+// mapred.ControlPlane and is the hybrid harnesses' bridge from shard-context
+// completions back into control context.
+func (c *Cluster) ScheduleControl(worker int, at units.Time, fn func()) {
+	sid := c.shardOf[worker]
+	c.Group.ScheduleControl(sid, at, c.Group.Shards()[sid].ChildLineage(), fn)
+}
+
+// ControlLag is the fixed delay hybrid feedback events (shard-context
+// observations re-entering control context) must carry: the minimum
+// core-link propagation delay of the fabric. It is a property of the
+// topology, not the partitioning — equal at every shard count, and at least
+// the shard group's lookahead — so a control event at observation+lag fires
+// after every shard event any window could have raced past, in serial and
+// sharded runs alike. Zero on single-switch fabrics (nothing to race).
+func (c *Cluster) ControlLag() units.Duration {
+	lag := units.Duration(0)
+	for _, p := range c.Topo.CorePorts {
+		if d := p.Link().Delay; lag == 0 || d < lag {
+			lag = d
+		}
+	}
+	return lag
 }
 
 // RunJob creates, starts and drives a MapReduce job to completion (with a
@@ -438,7 +537,13 @@ func (c *Cluster) RunJob(cfg mapred.JobConfig) *mapred.Job {
 	}
 	job := mapred.NewJob(c.Engine, cfg, c.Workers)
 	if !c.Group.Serial() {
-		job.SetControlPlane(&controlPlane{g: c.Group, shardOf: c.shardOf})
+		job.SetControlPlane(c)
+	}
+	if c.Fluid.Active() {
+		// Serial hybrid runs need the control plane too: the fluid feedback
+		// hops must incur the same ControlLag at every shard count.
+		job.SetControlPlane(c)
+		job.SetFluid(c.Fluid, c.ControlLag())
 	}
 	// Start slightly after t=0 so TSVal==0 never collides with the "no
 	// timestamp" sentinel.

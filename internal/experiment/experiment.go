@@ -127,6 +127,21 @@ type Config struct {
 	// fleet, measured in steady state (see RunTenants). Run then reports
 	// the figure metrics over the measurement window.
 	Workload *WorkloadConfig `json:"workload,omitempty"`
+	// Hybrid enables the fluid/packet hybrid engine: uncontended transfers
+	// run as fluid rates, ports crossing FluidThreshold utilization or
+	// seeing AQM activity promote their flows to packet level. Off is
+	// literally the pure packet engine.
+	Hybrid bool `json:"hybrid,omitempty"`
+	// FluidThreshold is the hybrid utilization threshold u in [0, 1]; 0
+	// with Hybrid set keeps every transfer at packet level (exactness mode).
+	FluidThreshold float64 `json:"fluid_threshold,omitempty"`
+	// PromoteHysteresis is the quiet window before a promoted port demotes
+	// back to fluid (0 = the cluster default of 1ms).
+	PromoteHysteresis units.Duration `json:"promote_hysteresis_ns,omitempty"`
+	// Macro, when non-nil, replaces the drive workload with the
+	// macro-scale open-loop transfer mix (see RunMacro) — the 10k-node
+	// regime the hybrid engine exists for.
+	Macro *MacroWorkload `json:"macro,omitempty"`
 }
 
 // String identifies the run compactly.
@@ -197,8 +212,21 @@ func clusterSpec(cfg Config) cluster.Spec {
 	spec.ByteMode = cfg.ByteMode
 	spec.Instantaneous = cfg.Instantaneous
 	spec.Shards = cfg.Scale.Shards
+	spec.Hybrid = cfg.Hybrid
+	spec.FluidThreshold = cfg.FluidThreshold
+	spec.PromoteHysteresis = cfg.PromoteHysteresis
 
-	tcpCfg := tcp.DefaultConfig(spec.Transport)
+	spec.TCPOverride = tcpOverride(cfg, spec.Transport)
+	return spec
+}
+
+// tcpOverride resolves the transport config with cfg's TCP-level overrides
+// applied. Every harness that builds a cluster by hand (incast, mixed) must
+// install it, not just clusterSpec — a knob like MinRTO that rides in the
+// canonical configuration but never reaches the wire poisons every cached
+// result keyed on it.
+func tcpOverride(cfg Config, transport tcp.Variant) *tcp.Config {
+	tcpCfg := tcp.DefaultConfig(transport)
 	if cfg.AckWireSize > 0 {
 		tcpCfg.AckWireSize = cfg.AckWireSize
 	}
@@ -211,8 +239,7 @@ func clusterSpec(cfg Config) cluster.Spec {
 	if cfg.DisableDelAck {
 		tcpCfg.DelayedAck = false
 	}
-	spec.TCPOverride = &tcpCfg
-	return spec
+	return &tcpCfg
 }
 
 // RunJob is Run exposing the finished MapReduce job as well, for callers

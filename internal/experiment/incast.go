@@ -42,6 +42,7 @@ func RunIncast(cfg Config, senders int, flowSize units.ByteSize) IncastResult {
 	spec.Protect = cfg.Setup.Protect
 	spec.Transport = cfg.Setup.Transport
 	spec.Seed = cfg.Seed
+	spec.TCPOverride = tcpOverride(cfg, spec.Transport)
 
 	c := cluster.New(spec)
 	flow.RegisterBulkSink(c.Stacks[senders], 9000, nil)

@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/flow"
+	"repro/internal/netsim"
+	"repro/internal/units"
+)
+
+// smallMacroConfig is a macro workload small enough for unit tests.
+func smallMacroConfig(hybrid bool, shards int) (Config, MacroWorkload) {
+	cfg := Config{
+		Setup:       SetupECNDefault,
+		TargetDelay: 500 * units.Microsecond,
+		Scale: Scale{
+			Nodes: 64, Racks: 8, Spines: 4,
+			InputSize: 1, BlockSize: 1, Reducers: 1, // unused by the macro harness
+			Shards: shards,
+		},
+		Seed: 7,
+	}
+	if hybrid {
+		cfg.Hybrid = true
+		cfg.FluidThreshold = 0.9
+	}
+	w := MacroWorkload{
+		Warmup:         5 * units.Millisecond,
+		Measure:        40 * units.Millisecond,
+		Drain:          20 * units.Millisecond,
+		JobMeanArrival: 400 * units.Microsecond,
+		JobFanout:      4,
+		JobBytes:       512 * units.KiB,
+		HotspotEvery:   10,
+		HotspotFanIn:   8,
+		RPCClients:     8,
+		RPCInterval:    2 * units.Millisecond,
+		RPCBytes:       4 * units.KiB,
+	}
+	return cfg, w
+}
+
+// macroKey flattens a MacroResult into a comparable trace string.
+func macroKey(r MacroResult) string {
+	return fmt.Sprintf("jobs=%d/%d jp50=%.9f jp99=%.9f rpc=%d rp50=%.9f rp99=%.9f fluid=%+v pkt=%d",
+		r.JobsStarted, r.JobsCompleted, r.JobP50, r.JobP99,
+		r.RPCCount, r.RPCP50, r.RPCP99, r.Fluid, r.PacketPayload)
+}
+
+// TestMacroHybridRuns exercises the hybrid macro harness end to end: fluid
+// transfers must dominate, hot spots must force promotions, and both fluid
+// and packet bytes must move.
+func TestMacroHybridRuns(t *testing.T) {
+	cfg, w := smallMacroConfig(true, 1)
+	r := RunMacro(cfg, w)
+	if r.JobsCompleted == 0 {
+		t.Fatalf("no jobs completed: %s", macroKey(r))
+	}
+	if r.Fluid.FluidCompleted == 0 {
+		t.Fatalf("hybrid run completed no fluid transfers: %+v", r.Fluid)
+	}
+	if r.Fluid.FluidBytes == 0 {
+		t.Fatalf("hybrid run carried no fluid bytes: %+v", r.Fluid)
+	}
+	if r.PacketPayload == 0 {
+		t.Fatalf("hot spots should force packet-level transfers, packet payload is zero")
+	}
+	if r.RPCCount == 0 {
+		t.Fatalf("no RPC probes scored")
+	}
+}
+
+// TestMacroHybridShardWorkerDeterminism is the determinism matrix at unit
+// scale: the same macro workload at 1 and 4 shards must produce identical
+// figures (the full-size matrix runs in the ecnsim scenario tests).
+func TestMacroHybridShardWorkerDeterminism(t *testing.T) {
+	cfg1, w := smallMacroConfig(true, 1)
+	cfg4, _ := smallMacroConfig(true, 4)
+	r1 := RunMacro(cfg1, w)
+	r4 := RunMacro(cfg4, w)
+	k1, k4 := macroKey(r1), macroKey(r4)
+	if k1 != k4 {
+		t.Fatalf("macro results diverge across shard counts:\n 1 shard: %s\n4 shards: %s", k1, k4)
+	}
+}
+
+// TestFluidNeverOnMarkedPort is the promotion/demotion property test: no
+// fluid flow may traverse a port during an AQM marking episode. An episode is
+// what the controller's admission gate sees — a port in packet mode, or one
+// whose last AQM observation lies within the hysteresis window. Concretely,
+// over the full fluid trace of a serial hybrid run:
+//
+//  1. no admission path may include a port in packet mode or within the
+//     hysteresis window of an AQM mark, and
+//  2. at any instant strictly after a port's promotion, the port's live
+//     fluid-flow count must be zero — the promotion cascade converts every
+//     resident flow at the promotion instant itself.
+func TestFluidNeverOnMarkedPort(t *testing.T) {
+	cfg, w := smallMacroConfig(true, 1)
+	// Pin the hysteresis the checker mirrors (1 ms is also the resolved
+	// default the cluster would apply).
+	const hyst = 1 * units.Millisecond
+	cfg.PromoteHysteresis = hyst
+
+	type portState struct {
+		live      int // fluid flows currently traversing the port
+		aqmSeen   bool
+		aqmLast   units.Time
+		promoted  bool
+		promoteAt units.Time
+	}
+	states := make(map[*netsim.Port]*portState)
+	st := func(p *netsim.Port) *portState {
+		s := states[p]
+		if s == nil {
+			s = &portState{}
+			states[p] = s
+		}
+		return s
+	}
+	var admits, promotes int
+	runMacro(cfg, w, func(c *cluster.Cluster) {
+		c.Fluid.OnTrace = func(ev flow.TraceEvent) {
+			switch ev.Kind {
+			case flow.TraceAdmit:
+				admits++
+				for _, p := range ev.Path {
+					s := st(p)
+					if s.promoted {
+						t.Errorf("fluid admission at %v crosses a packet-mode port", ev.At)
+					}
+					if s.aqmSeen && ev.At.Sub(s.aqmLast) < hyst {
+						t.Errorf("fluid admission at %v crosses a port marked at %v, inside the %v episode window", ev.At, s.aqmLast, hyst)
+					}
+					s.live++
+				}
+			case flow.TraceComplete, flow.TracePromoteFlow:
+				for _, p := range ev.Path {
+					st(p).live--
+				}
+			case flow.TraceAQM:
+				s := st(ev.Port)
+				s.aqmSeen, s.aqmLast = true, ev.At
+			case flow.TracePromote:
+				promotes++
+				s := st(ev.Port)
+				s.promoted, s.promoteAt = true, ev.At
+			case flow.TraceDemote:
+				s := st(ev.Port)
+				if s.live != 0 {
+					t.Errorf("port demotes at %v while %d fluid flows traverse it", ev.At, s.live)
+				}
+				s.promoted = false
+			}
+			// Invariant 2: past its promotion instant, a promoted port
+			// carries nothing fluidly.
+			for p, s := range states {
+				if s.promoted && ev.At > s.promoteAt && s.live > 0 {
+					t.Fatalf("port %p still carries %d fluid flows at %v, promoted at %v",
+						p, s.live, ev.At, s.promoteAt)
+				}
+			}
+		}
+	})
+	// The property must not hold vacuously: this workload admits fluid flows
+	// and its hot spots force promotions.
+	if admits == 0 || promotes == 0 {
+		t.Fatalf("trace saw %d admissions and %d promotions; the property test needs both", admits, promotes)
+	}
+}
+
+// TestMacroPacketOnly checks the harness also runs on the pure packet engine
+// (the extrapolation reference for the hybrid gate) with zero fluid state.
+func TestMacroPacketOnly(t *testing.T) {
+	cfg, w := smallMacroConfig(false, 1)
+	w.Measure = 10 * units.Millisecond
+	r := RunMacro(cfg, w)
+	if r.Fluid != (MacroResult{}).Fluid {
+		t.Fatalf("packet-only run has fluid stats: %+v", r.Fluid)
+	}
+	if r.JobsCompleted == 0 {
+		t.Fatalf("no jobs completed on the packet engine")
+	}
+}

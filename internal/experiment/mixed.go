@@ -52,6 +52,7 @@ func RunMixedInterval(cfg Config, interval units.Duration) MixedResult {
 	spec.Protect = cfg.Setup.Protect
 	spec.Transport = cfg.Setup.Transport
 	spec.Seed = cfg.Seed
+	spec.TCPOverride = tcpOverride(cfg, spec.Transport)
 
 	c := cluster.New(spec)
 	flow.RegisterRPCServer(c.Stacks[1], 7000, 128, 4096)

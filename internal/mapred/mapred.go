@@ -265,10 +265,13 @@ type ControlPlane interface {
 // use that worker's stack engine. With one shard both engines are the same
 // object and the distinction compiles away.
 type Job struct {
-	Cfg     JobConfig
-	eng     *sim.Engine
-	workers []*Worker
-	ctrl    ControlPlane // nil: schedule control events on eng directly
+	Cfg      JobConfig
+	eng      *sim.Engine
+	workers  []*Worker
+	ctrl     ControlPlane   // nil: schedule control events on eng directly
+	fluid    FluidStarter   // nil: every shuffle fetch runs at packet level
+	fluidLag units.Duration // feedback delay for control-context hops
+	fluidSeq uint32         // distinguishes fluid flows' ECMP hash inputs
 
 	Maps    []*MapTask
 	Reduces []*ReduceTask
@@ -345,6 +348,40 @@ func NewJob(eng *sim.Engine, cfg JobConfig, workers []*Worker) *Job {
 // before Start; nil (the default) schedules control events on the job
 // engine directly, which is the serial path.
 func (j *Job) SetControlPlane(cp ControlPlane) { j.ctrl = cp }
+
+// FluidStarter is the hybrid engine's admission interface (implemented by
+// flow.Fluid): offer a transfer to the fluid model, with false meaning the
+// transfer must run at packet level. Declared here so mapred stays decoupled
+// from the controller package.
+type FluidStarter interface {
+	StartFlow(src, dst packet.Addr, size units.ByteSize, demand units.Bandwidth,
+		onComplete func(), onPromote func(remaining units.ByteSize)) bool
+}
+
+// SetFluid installs the hybrid engine's fluid controller: every shuffle
+// fetch is offered to the fluid model first, falling back to a packet-level
+// connection when refused — or mid-flight, when a path port promotes. Must
+// be called before Start, together with a control plane. lag is the fabric's
+// feedback delay (cluster.ControlLag): shard-context completions re-enter
+// control context that much later, identically at every shard count.
+func (j *Job) SetFluid(f FluidStarter, lag units.Duration) {
+	j.fluid = f
+	j.fluidLag = lag
+}
+
+// onCtrl runs fn in control context under the hybrid engine; on the pure
+// packet path it calls fn inline, preserving the historical event order bit
+// for bit. The hybrid engine needs fetch bookkeeping (and hence the next
+// fetch's fluid admission) in control context because admission mutates
+// controller state shared across shards; the fluidLag delay keeps the hop
+// deterministic (see cluster.ControlLag).
+func (j *Job) onCtrl(worker int, fn func()) {
+	if j.fluid == nil || j.ctrl == nil {
+		fn()
+		return
+	}
+	j.ctrl.ScheduleControl(worker, j.engOf(worker).Now().Add(j.fluidLag), fn)
+}
 
 // engOf returns the engine a worker's shard events run on. With one shard
 // it is the job engine.
@@ -585,11 +622,49 @@ func (j *Job) pumpFetcher(r *ReduceTask) {
 	}
 }
 
-// startFetch opens one shuffle connection: reducer dials the mapper's
-// shuffle server, which streams the partition and closes.
+// startFetch issues one shuffle fetch. On the pure packet path it opens the
+// connection directly in the caller's context, exactly as it always has.
+// Under the hybrid engine every fetch decision runs in control context
+// (packet-fetch completions hop through onCtrl), so the fluid admission
+// below mutates controller state with all shard workers parked.
 func (j *Job) startFetch(r *ReduceTask, mapID int) {
 	m := j.Maps[mapID]
 	size := m.OutputPerReducer(&j.Cfg)
+	if j.fluid == nil {
+		j.packetFetch(r, mapID, size)
+		return
+	}
+	mapper := j.workers[m.Node].Stack.Host()
+	reducer := j.workers[r.Node].Stack.Host()
+	j.fluidSeq++
+	// The address pair only feeds the ECMP path hash; the sequence counter in
+	// the reducer-side port spreads concurrent fetches over the spines the
+	// way distinct ephemeral ports would.
+	src := packet.Addr{Node: mapper.ID(), Port: j.Cfg.shufflePort()}
+	dst := packet.Addr{Node: reducer.ID(), Port: uint16(0x8000 + j.fluidSeq&0x7fff)}
+	// An app-limited stream: the fetcher's design concurrency shares the
+	// mapper's uplink.
+	demand := mapper.Uplink().Link().Rate / units.Bandwidth(j.Cfg.ParallelFetches)
+	admitted := j.fluid.StartFlow(src, dst, size, demand,
+		func() {
+			r.Received += size
+			r.Fetched++
+			r.activeFetch--
+			j.fetchDone(r)
+		},
+		func(remaining units.ByteSize) {
+			r.Received += size - remaining
+			j.packetFetch(r, mapID, remaining)
+		})
+	if !admitted {
+		j.packetFetch(r, mapID, size)
+	}
+}
+
+// packetFetch opens one packet-level shuffle connection: the reducer dials
+// the mapper's shuffle server, which streams size bytes and closes.
+func (j *Job) packetFetch(r *ReduceTask, mapID int, size units.ByteSize) {
+	m := j.Maps[mapID]
 	src := j.workers[r.Node].Stack
 	dst := packet.Addr{Node: j.workers[m.Node].Stack.Host().ID(), Port: j.Cfg.shufflePort()}
 
@@ -603,9 +678,11 @@ func (j *Job) startFetch(r *ReduceTask, mapID int) {
 		j.fetchMu.Lock()
 		delete(j.fetchSize, c.LocalAddr())
 		j.fetchMu.Unlock()
-		r.Fetched++
-		r.activeFetch--
-		j.fetchDone(r)
+		j.onCtrl(r.Node, func() {
+			r.Fetched++
+			r.activeFetch--
+			j.fetchDone(r)
+		})
 	}
 	c.OnError = func(err error) {
 		// Connection setup failed (SYN retries exhausted under extreme
@@ -614,9 +691,11 @@ func (j *Job) startFetch(r *ReduceTask, mapID int) {
 		delete(j.fetchSize, c.LocalAddr())
 		j.FetchRetries++
 		j.fetchMu.Unlock()
-		r.activeFetch--
-		r.pendingFetch = append(r.pendingFetch, mapID)
-		j.pumpFetcher(r)
+		j.onCtrl(r.Node, func() {
+			r.activeFetch--
+			r.pendingFetch = append(r.pendingFetch, mapID)
+			j.pumpFetcher(r)
+		})
 	}
 }
 

@@ -84,6 +84,10 @@ type Collector struct {
 	// DeliveredPackets counts final deliveries.
 	DeliveredPackets uint64
 
+	// FluidPayload accumulates payload bytes carried by the hybrid engine's
+	// fluid model (AddFluidPayload). Always zero on the pure packet path.
+	FluidPayload units.ByteSize
+
 	// deliveredPayload accumulates payload bytes delivered per destination
 	// node (wire view; includes retransmitted duplicates). Node IDs are
 	// dense (the fabric hands them out sequentially), so a grow-on-demand
@@ -243,6 +247,15 @@ func (c *Collector) deliverAt(now, sentAt units.Time, payload int, dst packet.No
 		}
 		c.deliveredPayload[node] += units.ByteSize(payload)
 	}
+}
+
+// AddFluidPayload credits payload bytes carried by the hybrid engine's fluid
+// model. Fluid transfers emit no packets, so these bytes are accounted apart
+// from packet deliveries: they contribute no latency samples and do not
+// enter DeliveredPayload. Called only from control context (workers parked).
+func (c *Collector) AddFluidPayload(dst packet.NodeID, payload units.ByteSize) {
+	_ = dst
+	c.FluidPayload += payload
 }
 
 // DeliveredPayload returns payload bytes delivered to one node.

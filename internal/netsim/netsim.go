@@ -731,3 +731,40 @@ func (s *Switch) Receive(pkt *packet.Packet) {
 	h := FlowHash(s.net.hashSeed, pkt.Src, pkt.Dst)
 	e.many[h%uint64(len(e.many))].Send(pkt)
 }
+
+// PathPorts resolves the deterministic egress-port path a flow from src to
+// dst traverses, mirroring Switch.Receive's forwarding decision at every hop
+// — including the ECMP hash pick on multipath route groups, so a flow-level
+// model and the packet engine agree on which ports a given flow loads. It
+// returns nil when either endpoint is not a host or the path is unroutable.
+func (n *Network) PathPorts(src, dst packet.Addr) []*Port {
+	srcHost, ok := n.Node(src.Node).(*Host)
+	if !ok || srcHost.uplink == nil {
+		return nil
+	}
+	path := []*Port{srcHost.uplink}
+	cur := srcHost.uplink.peer
+	// A leaf-spine fabric is at most host->leaf->spine->leaf->host; the hop
+	// bound only guards against accidental routing loops.
+	for hop := 0; hop < 8; hop++ {
+		sw, ok := cur.(*Switch)
+		if !ok {
+			if h, isHost := cur.(*Host); isHost && h.id == dst.Node {
+				return path
+			}
+			return nil
+		}
+		e, routed := sw.routes[dst.Node]
+		if !routed {
+			return nil
+		}
+		p := e.one
+		if p == nil {
+			h := FlowHash(n.hashSeed, src, dst)
+			p = e.many[h%uint64(len(e.many))]
+		}
+		path = append(path, p)
+		cur = p.peer
+	}
+	return nil
+}

@@ -266,10 +266,12 @@ func (g *Group) RunLoop(done func() bool, deadline Time) RunOutcome {
 				g.parallel = false
 				continue
 			}
-			// h <= mAt means a control event shares the instant. Execute
-			// shard events that order before it one at a time (the control
-			// key caps the window, so these are rare ties).
-			if !keyLess(gLin, gTok, mLin, mTok) {
+			// h <= mAt means a control event caps the window at or before the
+			// shard minimum. Only at a genuinely shared instant does the key
+			// tail decide; if the control event is strictly earlier it is
+			// globally next regardless of lineage (a shard event's lineage
+			// starts at its *schedule* time, which can predate everything).
+			if gAt == mAt && !keyLess(gLin, gTok, mLin, mTok) {
 				g.shards[mi].Step()
 				continue
 			}
@@ -283,6 +285,7 @@ func (g *Group) RunLoop(done func() bool, deadline Time) RunOutcome {
 			if sh.Now() < gAt {
 				sh.SetNow(gAt)
 			}
+			sh.SetContext(gLin, gTok)
 		}
 		g.ctrl.Step()
 		if deadline != 0 && g.ctrl.Now() > deadline {

@@ -423,6 +423,16 @@ func (e *Engine) PeekKey() (at Time, lin Lineage, tok Token, ok bool) {
 	return s.at, s.lin, s.tok, true
 }
 
+// SetContext primes the scheduling context (current lineage and token)
+// without executing an event. The shard group aligns every shard engine on
+// the control event about to execute, so anything that event schedules on a
+// shard engine derives the same child lineage a single serial engine would
+// have produced (where the control event IS the last event executed).
+func (e *Engine) SetContext(lin Lineage, tok Token) {
+	e.curLin = lin
+	e.curTok = tok
+}
+
 // SetNow advances the clock to t without executing anything. It is used by
 // the shard group to align every engine on a globally-serialized event's
 // timestamp before executing it. Moving the clock backwards, or past the
