@@ -162,6 +162,32 @@ func init() {
 	})
 
 	RegisterCampaign(Campaign{
+		Name:     "hotspot",
+		Scenario: "hotspot",
+		Title:    "Hot spot — switch-originated notifications vs end-to-end ECN",
+		Note: "The degradedfabric sickness (one leaf→spine uplink at 25%) under ECN-RED, with " +
+			"the switch itself reacting: congestion notifications re-salt ECMP off the hot " +
+			"port (reroute), gate the offending sources (throttle), or both. Reaction at " +
+			"the switch beats waiting a full RTT for marks to reach the senders.",
+		Common: []Option{PaperScale(), Racks(4), Spines(2), Queue(RED), TargetDelay(500 * time.Microsecond)},
+		Quick:  append(quickScale(), Nodes(8), Racks(4), Spines(2)),
+		Rows: []CampaignRow{
+			{Label: "ecn-plain"},
+			{Label: "reroute", Options: []Option{Reroute()}},
+			{Label: "throttle", Options: []Option{Throttle()}},
+			{Label: "reroute+throttle", Options: []Option{Notify()}},
+		},
+		Columns: []Column{
+			{Header: "runtime", Key: KeyRuntime, Format: FormatSeconds},
+			{Header: "vs plain", Key: KeyRuntime, Norm: true},
+			{Header: "p99 lat", Key: KeyP99Latency, Format: FormatSeconds},
+			{Header: "rerouted", Key: KeyRerouted, Format: FormatCount},
+			{Header: "throttles", Key: KeyThrottles, Format: FormatCount},
+			{Header: "RTOs", Key: KeyRTOEvents, Format: FormatCount},
+		},
+	})
+
+	RegisterCampaign(Campaign{
 		Name:     "multijob",
 		Scenario: "multijob",
 		Title:    "Multi-job — FIFO vs fair-share under open-loop arrivals",

@@ -22,6 +22,14 @@ const (
 	KeyEdgeOcc     = "edge_occ_pkts"
 	KeyCoreUpOcc   = "coreup_occ_pkts"
 	KeyCoreDownOcc = "coredown_occ_pkts"
+
+	// Congestion-notification lifecycle counters (hotspot; zero unless the
+	// cluster enables Notify/Reroute/Throttle).
+	KeyNotifications      = "notifications"
+	KeyHotEpisodes        = "hot_episodes"
+	KeyRerouted           = "rerouted_pkts"
+	KeyThrottles          = "throttles"
+	KeyThrottleRecoveries = "throttle_recoveries"
 )
 
 func init() {
@@ -31,6 +39,9 @@ func init() {
 	Register(NewScenario("degradedfabric",
 		"leaf-spine Terasort with one derated spine uplink: protection modes under asymmetric link health",
 		runDegradedFabric))
+	Register(NewScenario("hotspot",
+		"degraded leaf-spine Terasort under switch-originated congestion notifications: path reselection and source throttling vs plain ECN",
+		runHotspot))
 }
 
 // leafSpineDefaults returns a copy of c shaped as a leaf-spine fabric: the
@@ -139,4 +150,54 @@ func runDegradedFabric(ctx context.Context, c *Cluster) ([]Result, error) {
 		})
 	}
 	return rows, nil
+}
+
+// notifyLabel names the notification mechanisms the cluster runs with.
+func notifyLabel(c *Cluster) string {
+	switch {
+	case !c.notify:
+		return "plain"
+	case c.reroute && c.throttle:
+		return "reroute+throttle"
+	case c.reroute:
+		return "reroute"
+	default:
+		return "throttle"
+	}
+}
+
+// runHotspot asks the congestion-notification question: on the same sick
+// fabric as degradedfabric (one leaf->spine uplink derated to 25% unless the
+// cluster configured its own degradations), does reacting at the *switch* —
+// notification-driven path reselection and source throttling — beat leaving
+// the hot spot to end-to-end ECN? It runs the cluster's own queue and
+// notification configuration as one row; sweep the mechanisms via the hotspot
+// campaign (plain vs Reroute() vs Throttle() vs both).
+func runHotspot(ctx context.Context, c *Cluster) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	d, err := leafSpineDefaults(c)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.degrade) == 0 {
+		dg := *d
+		if err := DegradeLink("leaf0", "spine0", 0.25)(&dg); err != nil {
+			return nil, err
+		}
+		d = &dg
+	}
+	cfg := d.experimentConfig()
+	cfg.WatchTiers = true
+	r := experiment.Run(cfg)
+	values := experimentValues(r)
+	tierValues(values, r, d.racks, d.spines)
+	values[KeyNotifications] = float64(r.Notifications)
+	values[KeyHotEpisodes] = float64(r.HotEpisodes)
+	values[KeyRerouted] = float64(r.Rerouted)
+	values[KeyThrottles] = float64(r.Throttles)
+	values[KeyThrottleRecoveries] = float64(r.ThrottleRecoveries)
+	label := d.Label() + "/" + notifyLabel(d)
+	return []Result{{Scenario: "hotspot", Label: label, Seed: d.seed, Values: values}}, nil
 }

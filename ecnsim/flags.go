@@ -29,6 +29,9 @@ const (
 	// FlagsHybrid is the hybrid fluid/packet engine: -hybrid,
 	// -fluid-threshold.
 	FlagsHybrid
+	// FlagsNotify is the switch-originated congestion-notification surface:
+	// -notify, -notify-threshold, -reroute, -throttle.
+	FlagsNotify
 	// FlagsRun is the run-execution surface: -shards. Every FlagBinder
 	// includes it whether or not it is requested — how a run executes is
 	// never a per-binary decision.
@@ -70,6 +73,12 @@ type FlagSet struct {
 	// Hybrid engine flags.
 	Hybrid         bool    // -hybrid: enable the fluid/packet hybrid engine
 	FluidThreshold float64 // -fluid-threshold: fluid utilization threshold in [0, 1]
+
+	// Congestion-notification flags.
+	Notify          bool // -notify: enable switch-originated notifications (both mechanisms)
+	NotifyThreshold int  // -notify-threshold: occupancy (packets) that triggers a notification
+	Reroute         bool // -reroute: congestion-aware ECMP reselection (implies -notify)
+	Throttle        bool // -throttle: notification-driven source gating (implies -notify)
 }
 
 // DefaultFlags returns the paper-testbed defaults (16 nodes, 1 GiB Terasort,
@@ -91,6 +100,8 @@ func DefaultFlags() *FlagSet {
 		Shards:    1,
 
 		FluidThreshold: 0.9,
+
+		NotifyThreshold: 64,
 	}
 }
 
@@ -155,6 +166,12 @@ func (f *FlagSet) bindGroups(fs *flag.FlagSet, g FlagGroup) {
 	if g&FlagsHybrid != 0 {
 		fs.BoolVar(&f.Hybrid, "hybrid", f.Hybrid, "run bulk transfers on the fluid/packet hybrid engine (bit-identical at every shard count)")
 		fs.Float64Var(&f.FluidThreshold, "fluid-threshold", f.FluidThreshold, "hybrid fluid utilization threshold in [0, 1]; 0 keeps every transfer at packet level")
+	}
+	if g&FlagsNotify != 0 {
+		fs.BoolVar(&f.Notify, "notify", f.Notify, "switch-originated congestion notifications (reroute + throttle unless one is selected)")
+		fs.IntVar(&f.NotifyThreshold, "notify-threshold", f.NotifyThreshold, "queue occupancy (packets) that triggers a notification; takes effect with -notify/-reroute/-throttle")
+		fs.BoolVar(&f.Reroute, "reroute", f.Reroute, "congestion-aware ECMP path reselection (implies -notify)")
+		fs.BoolVar(&f.Throttle, "throttle", f.Throttle, "notification-driven source injection gating (implies -notify)")
 	}
 	if g&FlagsRun != 0 {
 		fs.IntVar(&f.Shards, "shards", f.Shards, "event-loop shards: 1 = serial, 0 = auto (sized to the machine on leaf-spine fabrics), n > 1 = explicit leaf-spine partitions; results are bit-identical at every value")
@@ -223,6 +240,20 @@ func (f *FlagSet) optionsFor(g FlagGroup) ([]Option, error) {
 		// -fluid-threshold only takes effect with -hybrid, mirroring the
 		// builder (FluidThreshold is a resolved default otherwise).
 		opts = append(opts, Hybrid(), FluidThreshold(f.FluidThreshold))
+	}
+	if g&FlagsNotify != 0 && (f.Notify || f.Reroute || f.Throttle) {
+		// -notify-threshold only takes effect with an enabler, mirroring the
+		// builder (NotifyThreshold is a resolved default otherwise).
+		if f.Reroute {
+			opts = append(opts, Reroute())
+		}
+		if f.Throttle {
+			opts = append(opts, Throttle())
+		}
+		if !f.Reroute && !f.Throttle {
+			opts = append(opts, Notify())
+		}
+		opts = append(opts, NotifyThreshold(f.NotifyThreshold))
 	}
 	if g&FlagsRun != 0 {
 		if f.Shards == 0 {

@@ -1,0 +1,127 @@
+package ecnsim
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestNotifyFingerprint pins the canonical-form contract of the notification
+// knobs: a Notify-off configuration fingerprints identically whatever the
+// resolved threshold default says (it must not lower — byte-identical to the
+// pre-notification engine), while Notify() and each knob move the
+// fingerprint and the mechanism options resolve as the spec does.
+func TestNotifyFingerprint(t *testing.T) {
+	base := mustCluster(t, TestScale())
+	// The resolved default (threshold 64) exists on every cluster; without an
+	// enabler it must stay out of the canonical form.
+	if got := mustCluster(t, TestScale(), NotifyThreshold(32)); base.Fingerprint() != got.Fingerprint() {
+		t.Error("NotifyThreshold without Notify() moved the fingerprint")
+	}
+	notify := mustCluster(t, TestScale(), Notify())
+	if base.Fingerprint() == notify.Fingerprint() {
+		t.Error("Notify() did not move the fingerprint")
+	}
+	if got := mustCluster(t, TestScale(), Notify(), NotifyThreshold(32)); got.Fingerprint() == notify.Fingerprint() {
+		t.Error("NotifyThreshold under Notify() did not move the fingerprint")
+	}
+	// Notify() resolves to both mechanisms, so Reroute()+Throttle() is the
+	// same canonical form — and each mechanism alone is a distinct one.
+	if got := mustCluster(t, TestScale(), Reroute(), Throttle()); got.Fingerprint() != notify.Fingerprint() {
+		t.Error("Reroute()+Throttle() diverged from Notify()")
+	}
+	reroute := mustCluster(t, TestScale(), Reroute())
+	throttle := mustCluster(t, TestScale(), Throttle())
+	if reroute.Fingerprint() == notify.Fingerprint() || throttle.Fingerprint() == notify.Fingerprint() ||
+		reroute.Fingerprint() == throttle.Fingerprint() {
+		t.Error("mechanism selections do not fingerprint distinctly")
+	}
+}
+
+// TestNotifyOptionValidation pins the NewCluster-time contract of the
+// notification options.
+func TestNotifyOptionValidation(t *testing.T) {
+	for _, n := range []int{0, -1, -64} {
+		if _, err := NewCluster(TestScale(), Notify(), NotifyThreshold(n)); err == nil {
+			t.Errorf("NotifyThreshold(%d) accepted", n)
+		}
+	}
+	if _, err := NewCluster(TestScale(), Notify()); err != nil {
+		t.Errorf("Notify() on the default testbed rejected: %v", err)
+	}
+}
+
+// TestFlagsNotify: the FlagsNotify group binds -notify, -notify-threshold,
+// -reroute and -throttle, resolves them only when an enabler is set, and
+// stays off other binders.
+func TestFlagsNotify(t *testing.T) {
+	b := NewFlagBinder(FlagsNotify | FlagsFabric)
+	fs := flag.NewFlagSet("notify", flag.ContinueOnError)
+	b.Bind(fs)
+	for _, want := range []string{"notify", "notify-threshold", "reroute", "throttle", "shards"} {
+		if fs.Lookup(want) == nil {
+			t.Errorf("FlagsNotify binder missing -%s", want)
+		}
+	}
+	if fs := flag.NewFlagSet("plain", flag.ContinueOnError); true {
+		NewFlagBinder(FlagsFabric).Bind(fs)
+		if fs.Lookup("notify") != nil {
+			t.Error("FlagsFabric binder grew -notify")
+		}
+	}
+
+	if err := fs.Parse([]string{"-reroute", "-notify-threshold", "32", "-racks", "8", "-spines", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := b.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(append([]Option{Nodes(64)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shards(1): the binder's implicit FlagsRun group always resolves.
+	want := mustCluster(t, Nodes(64), Racks(8), Spines(4), Shards(1), Reroute(), NotifyThreshold(32))
+	if c.Fingerprint() != want.Fingerprint() {
+		t.Errorf("flag-built cluster fingerprint diverges from the option-built one")
+	}
+
+	// -notify alone engages both mechanisms, exactly like Notify().
+	b3 := NewFlagBinder(FlagsNotify)
+	fs3 := flag.NewFlagSet("both", flag.ContinueOnError)
+	b3.Bind(fs3)
+	if err := fs3.Parse([]string{"-notify"}); err != nil {
+		t.Fatal(err)
+	}
+	opts3, err := b3.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := NewCluster(opts3...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustCluster(t, Shards(1), Notify()); c3.Fingerprint() != want.Fingerprint() {
+		t.Error("-notify diverged from Notify()")
+	}
+
+	// Without an enabler the threshold flag contributes nothing: the build is
+	// fingerprint-identical to a plain cluster — the Notify-off pin.
+	b2 := NewFlagBinder(FlagsNotify)
+	fs2 := flag.NewFlagSet("off", flag.ContinueOnError)
+	b2.Bind(fs2)
+	if err := fs2.Parse([]string{"-notify-threshold", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	opts2, err := b2.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCluster(opts2...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain := mustCluster(t, Shards(1)); c2.Fingerprint() != plain.Fingerprint() {
+		t.Error("-notify-threshold without an enabler moved the fingerprint")
+	}
+}

@@ -282,6 +282,16 @@ type Cluster struct {
 	hybrid            bool
 	fluidThreshold    float64
 	promoteHysteresis time.Duration
+	// Congestion-notification knobs. notify arms switch-originated
+	// notifications; notifyThreshold carries a resolved default (64 packets)
+	// and reroute/throttle select the mechanisms (neither chosen = both,
+	// resolved in NewCluster). All four lower only under notify, so every
+	// Notify-off fingerprint is byte-identical to the pre-notification
+	// engine's.
+	notify          bool
+	notifyThreshold int
+	reroute         bool
+	throttle        bool
 	// warnings collects non-fatal configuration demotions (currently only
 	// shard fallback); it changes nothing about what runs beyond what the
 	// resolved fields already say.
@@ -338,6 +348,7 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 		arrivalMean:       150 * time.Millisecond,
 		fluidThreshold:    0.9,
 		promoteHysteresis: 1 * time.Millisecond,
+		notifyThreshold:   64,
 		rpcReqSize:        128,
 		rpcRespSize:       4096,
 		warmup:            250 * time.Millisecond,
@@ -369,6 +380,12 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	}
 	if c.senders == 0 {
 		c.senders = c.nodes - 1
+	}
+	if c.notify && !c.reroute && !c.throttle {
+		// Notify() without a mechanism choice engages both, mirroring the
+		// cluster spec's resolution; resolving here keeps the fingerprint the
+		// resolved form, so Notify() and Reroute()+Throttle() coincide.
+		c.reroute, c.throttle = true, true
 	}
 	if c.shards > 1 && (c.spines == 0 || c.racks < 2) {
 		// An explicit shard request on a fabric with no leaf/spine cut:
@@ -591,6 +608,46 @@ func PromoteHysteresis(d time.Duration) Option {
 		c.promoteHysteresis = d
 		return nil
 	}
+}
+
+// Notify enables switch-originated congestion notifications: a switch egress
+// whose queue crosses the notification threshold emits one notification per
+// episode, propagating at the fabric's wire delay, that steers ECMP
+// reselection off the hot path and throttles the offending sources. Notify()
+// alone engages both mechanisms; combine with Reroute() or Throttle() to
+// select one. Results stay bit-identical at any shard or worker count. Off
+// (the default), the engine runs exactly as before.
+func Notify() Option {
+	return func(c *Cluster) error { c.notify = true; return nil }
+}
+
+// NotifyThreshold sets the queue occupancy, in packets, at which a switch
+// egress emits a congestion notification. Takes effect only under Notify()
+// (or Reroute()/Throttle()); the resolved default is 64.
+func NotifyThreshold(n int) Option {
+	return func(c *Cluster) error {
+		if n < 1 {
+			return fmt.Errorf("ecnsim: NotifyThreshold(%d): must be at least 1 packet", n)
+		}
+		c.notifyThreshold = n
+		return nil
+	}
+}
+
+// Reroute enables congestion-aware ECMP path reselection (implies Notify()):
+// flows hashed onto a notified-hot port re-salt onto a cold candidate of the
+// same route group, holding the alternate for the affinity window so paths
+// don't flap.
+func Reroute() Option {
+	return func(c *Cluster) error { c.notify, c.reroute = true, true; return nil }
+}
+
+// Throttle enables notification-driven source injection gating (implies
+// Notify()): hosts whose packets cross a notified-hot queue have their uplink
+// paced down by a token-bucket gate that decays back to line rate after a
+// quiet period.
+func Throttle() Option {
+	return func(c *Cluster) error { c.notify, c.throttle = true, true; return nil }
 }
 
 // Oversub sets the rack oversubscription factor shaping the default core
@@ -1095,6 +1152,12 @@ func (c *Cluster) spec() cluster.Spec {
 		spec.FluidThreshold = c.fluidThreshold
 		spec.PromoteHysteresis = c.promoteHysteresis
 	}
+	if c.notify {
+		spec.Notify = true
+		spec.NotifyThreshold = c.notifyThreshold
+		spec.NotifyReroute = c.reroute
+		spec.NotifyThrottle = c.throttle
+	}
 	return spec
 }
 
@@ -1213,6 +1276,14 @@ func (c *Cluster) experimentConfig() experiment.Config {
 		cfg.Hybrid = true
 		cfg.FluidThreshold = c.fluidThreshold
 		cfg.PromoteHysteresis = c.promoteHysteresis
+	}
+	// Same discipline for the notification knobs: a Notify-off canonical
+	// form is byte-identical to the pre-notification engine's.
+	if c.notify {
+		cfg.Notify = true
+		cfg.NotifyThreshold = c.notifyThreshold
+		cfg.NotifyReroute = c.reroute
+		cfg.NotifyThrottle = c.throttle
 	}
 	return cfg
 }

@@ -27,20 +27,17 @@ func shardMatrixOpts(extra ...Option) []Option {
 	}, extra...)
 }
 
-// TestShardMatrixByteIdentical is the cross-engine determinism matrix: the
-// leafspine and degradedfabric scenarios at 1, 2, 4 and 8 event-loop shards,
-// each under 1 and 4 Runner workers, must all serialize to byte-identical
-// ResultSets. Shards parallelize inside one simulation, Runner workers
-// parallelize across simulations; neither may leak into the results.
-func TestShardMatrixByteIdentical(t *testing.T) {
+// runShardMatrix drives the determinism matrix: jobs(shards) builds the job
+// list for one shard count, and every 1/2/4/8-shard × 1/4-worker combination
+// must serialize to a ResultSet byte-identical to the serial single-worker
+// run. Shards parallelize inside one simulation, Runner workers parallelize
+// across simulations; neither may leak into the results.
+func runShardMatrix(t *testing.T, jobs func(t *testing.T, shards int) []Job) {
+	t.Helper()
 	run := func(shards, workers int) []byte {
 		t.Helper()
-		jobs := []Job{
-			{Scenario: mustLookup(t, "leafspine"), Cluster: mustCluster(t, shardMatrixOpts(Shards(shards))...)},
-			{Scenario: mustLookup(t, "degradedfabric"), Cluster: mustCluster(t, shardMatrixOpts(Shards(shards))...)},
-		}
 		r := &Runner{Workers: workers}
-		rs, err := r.Run(context.Background(), jobs...)
+		rs, err := r.Run(context.Background(), jobs(t, shards)...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,6 +60,32 @@ func TestShardMatrixByteIdentical(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestShardMatrixByteIdentical is the cross-engine determinism matrix over
+// the plain packet engine: the leafspine and degradedfabric scenarios.
+func TestShardMatrixByteIdentical(t *testing.T) {
+	runShardMatrix(t, func(t *testing.T, shards int) []Job {
+		return []Job{
+			{Scenario: mustLookup(t, "leafspine"), Cluster: mustCluster(t, shardMatrixOpts(Shards(shards))...)},
+			{Scenario: mustLookup(t, "degradedfabric"), Cluster: mustCluster(t, shardMatrixOpts(Shards(shards))...)},
+		}
+	})
+}
+
+// TestNotifyMatrixByteIdentical is the same matrix over the congestion
+// notifier: hotspot (reroute + throttle on the derated fabric) and
+// degradedfabric with notifications on. Notifications cross the shard cut —
+// occupancy crossings observed in shard context become control events that
+// re-salt routing and gate sources — so this is the proof that the whole
+// notification pipeline lives inside the determinism contract.
+func TestNotifyMatrixByteIdentical(t *testing.T) {
+	runShardMatrix(t, func(t *testing.T, shards int) []Job {
+		return []Job{
+			{Scenario: mustLookup(t, "hotspot"), Cluster: mustCluster(t, shardMatrixOpts(Notify(), Shards(shards))...)},
+			{Scenario: mustLookup(t, "degradedfabric"), Cluster: mustCluster(t, shardMatrixOpts(Notify(), Shards(shards))...)},
+		}
+	})
 }
 
 // TestShardsOptionValidation pins the NewCluster-time contract of the

@@ -126,6 +126,22 @@ func fullSpecs() []Spec {
 				ecnsim.Seed(1),
 			},
 		},
+		// The congestion notifier on the derated fabric — both mechanisms
+		// live, so the benchmark carries the notification control events,
+		// reselection hash work and throttle decay timers.
+		{
+			Name:     "hotspot-notify",
+			Scenario: "hotspot",
+			Opts: []ecnsim.Option{
+				ecnsim.TestScale(),
+				ecnsim.Racks(4),
+				ecnsim.Spines(2),
+				ecnsim.Queue(ecnsim.RED),
+				ecnsim.TargetDelay(500 * time.Microsecond),
+				ecnsim.Notify(),
+				ecnsim.Seed(1),
+			},
+		},
 		macroscaleHybridSpec(),
 	}
 }
@@ -251,6 +267,23 @@ func reducedSpecs() []Spec {
 				ecnsim.Queue(ecnsim.RED),
 				ecnsim.Protect(ecnsim.ACKSYN),
 				ecnsim.TargetDelay(500 * time.Microsecond),
+				ecnsim.Seed(1),
+			},
+		},
+		// The congestion notifier at CI scale (see fullSpecs' hotspot-notify).
+		{
+			Name:     "hotspot-notify",
+			Scenario: "hotspot",
+			Opts: []ecnsim.Option{
+				ecnsim.Nodes(8),
+				ecnsim.Racks(4),
+				ecnsim.Spines(2),
+				ecnsim.InputSize(32 << 20),
+				ecnsim.BlockSize(8 << 20),
+				ecnsim.Reducers(4),
+				ecnsim.Queue(ecnsim.RED),
+				ecnsim.TargetDelay(500 * time.Microsecond),
+				ecnsim.Notify(),
 				ecnsim.Seed(1),
 			},
 		},

@@ -168,7 +168,31 @@ type Spec struct {
 	// PromoteHysteresis is the quiet window a promoted port must observe
 	// before demoting back to fluid (0 defaults to 1ms when Hybrid is set).
 	PromoteHysteresis units.Duration
+
+	// Notify enables switch-originated congestion notifications: a switch
+	// egress whose queue occupancy crosses NotifyThreshold emits an in-band
+	// notification that steers ECMP reselection off the hot port
+	// (NotifyReroute) and/or gates the offending sources' injection rate
+	// (NotifyThrottle). Off, the fabric is literally the pure packet engine —
+	// no notifier is built.
+	Notify bool
+	// NotifyThreshold is the emitting queue occupancy in packets (0 defaults
+	// to 64 when Notify is set).
+	NotifyThreshold int
+	// NotifyReroute and NotifyThrottle select the reaction mechanisms. With
+	// Notify set and neither selected, both engage.
+	NotifyReroute, NotifyThrottle bool
 }
+
+// Notification reaction constants: derived defaults, not spec knobs. The
+// affinity window pins a rerouted flow to its alternate path long enough to
+// outlive transient queue wiggle; the quiet period sets the throttle's decay
+// clock (a gated host is back at line rate at most log2(16)+1 quiet periods
+// after its last notification).
+const (
+	NotifyAffinity = units.Duration(1 * units.Millisecond)
+	NotifyQuiet    = units.Duration(500 * units.Microsecond)
+)
 
 // ShardAuto is the Spec.Shards sentinel for automatic shard-count selection:
 // min(GOMAXPROCS, Racks) on leaf-spine fabrics, serial everywhere else.
@@ -225,6 +249,12 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("cluster: promote hysteresis needs Hybrid")
 	case s.PromoteHysteresis < 0:
 		return fmt.Errorf("cluster: promote hysteresis must be non-negative, got %v", s.PromoteHysteresis)
+	case !s.Notify && s.NotifyThreshold != 0:
+		return fmt.Errorf("cluster: notify threshold needs Notify")
+	case !s.Notify && (s.NotifyReroute || s.NotifyThrottle):
+		return fmt.Errorf("cluster: notification mechanisms need Notify")
+	case s.NotifyThreshold < 0:
+		return fmt.Errorf("cluster: notify threshold must be non-negative, got %d", s.NotifyThreshold)
 	}
 	for _, d := range s.Degrade {
 		if err := d.Validate(); err != nil {
@@ -276,6 +306,8 @@ type Cluster struct {
 	// Fluid is the hybrid engine's fluid controller, nil unless Spec.Hybrid.
 	// With FluidThreshold 0 it exists but never admits a transfer.
 	Fluid *flow.Fluid
+	// Notify is the congestion notifier, nil unless Spec.Notify.
+	Notify *netsim.Notifier
 
 	shardViews []*metrics.ShardView
 	shardStats []*tcp.Stats
@@ -407,15 +439,51 @@ func New(spec Spec) *Cluster {
 			c.Fluid.Track(p)
 		}
 	}
-	// hybridObs tees AQM verdicts into the fluid controller. With the fluid
-	// model inactive (Hybrid off, or FluidThreshold 0) the tee is not
+	if spec.Notify {
+		thr := spec.NotifyThreshold
+		if thr == 0 {
+			thr = 64
+		}
+		reroute, throttle := spec.NotifyReroute, spec.NotifyThrottle
+		if !reroute && !throttle {
+			reroute, throttle = true, true
+		}
+		c.Notify = netsim.NewNotifier(group, tc.Net, netsim.NotifyConfig{
+			Threshold: thr,
+			Reroute:   reroute,
+			Throttle:  throttle,
+			Affinity:  NotifyAffinity,
+			Quiet:     NotifyQuiet,
+			Lag:       c.ControlLag(),
+		})
+		// Track every switch egress that can congest: edge (switch->host),
+		// core up and core down. Host uplinks are not tracked — a host
+		// noticing its own queue gains nothing from notifying itself.
+		for _, p := range tc.EdgePorts {
+			c.Notify.Track(p)
+		}
+		for _, p := range tc.UpPorts {
+			c.Notify.Track(p)
+		}
+		for _, p := range tc.DownPorts {
+			c.Notify.Track(p)
+		}
+		for _, h := range tc.Hosts {
+			c.Notify.RegisterHost(h)
+		}
+	}
+	// hybridObs tees AQM verdicts into the fluid controller, and enqueue
+	// verdicts into the congestion notifier. With both inactive no tee is
 	// installed at all — the observer chain is byte-for-byte the packet
 	// engine's.
 	hybridObs := func(shard int, inner netsim.Observer) netsim.Observer {
-		if !c.Fluid.Active() {
-			return inner
+		if c.Fluid.Active() {
+			inner = &hybridTee{inner: inner, fluid: c.Fluid, shard: shard}
 		}
-		return &hybridTee{inner: inner, fluid: c.Fluid, shard: shard}
+		if c.Notify != nil {
+			inner = &notifyTee{inner: inner, notify: c.Notify, shard: shard}
+		}
+		return inner
 	}
 
 	if group.Serial() {
@@ -496,6 +564,26 @@ func (t *hybridTee) PacketEnqueued(now units.Time, port *netsim.Port, p *packet.
 }
 
 func (t *hybridTee) PacketDelivered(now units.Time, p *packet.Packet) {
+	t.inner.PacketDelivered(now, p)
+}
+
+// notifyTee wraps one shard's observer to feed every enqueue verdict into the
+// congestion notifier in shard context: the notifier checks the port's
+// occupancy against its threshold and, on a crossing, records the source and
+// routes one notification control event at wire delay. Not installed when
+// Notify is off, keeping the off-chain byte-identical.
+type notifyTee struct {
+	inner  netsim.Observer
+	notify *netsim.Notifier
+	shard  int
+}
+
+func (t *notifyTee) PacketEnqueued(now units.Time, port *netsim.Port, p *packet.Packet, v qdisc.Verdict) {
+	t.inner.PacketEnqueued(now, port, p, v)
+	t.notify.NoteEnqueue(t.shard, now, port, p)
+}
+
+func (t *notifyTee) PacketDelivered(now units.Time, p *packet.Packet) {
 	t.inner.PacketDelivered(now, p)
 }
 

@@ -142,6 +142,18 @@ type Config struct {
 	// macro-scale open-loop transfer mix (see RunMacro) — the 10k-node
 	// regime the hybrid engine exists for.
 	Macro *MacroWorkload `json:"macro,omitempty"`
+	// Notify enables switch-originated congestion notifications: ports
+	// crossing NotifyThreshold occupancy emit a wire-delayed notification
+	// that reroutes flows off the hot path and/or throttles the offending
+	// sources. Off is literally the pre-notification engine.
+	Notify bool `json:"notify,omitempty"`
+	// NotifyThreshold is the occupancy, in packets, that triggers a
+	// notification (0 with Notify set = the cluster default of 64).
+	NotifyThreshold int `json:"notify_threshold,omitempty"`
+	// NotifyReroute / NotifyThrottle select the notification mechanisms;
+	// with Notify set and neither selected, both engage.
+	NotifyReroute  bool `json:"notify_reroute,omitempty"`
+	NotifyThrottle bool `json:"notify_throttle,omitempty"`
 }
 
 // String identifies the run compactly.
@@ -178,6 +190,27 @@ type Result struct {
 	// (the sum of the tier's per-port mean queue lengths), indexed by
 	// metrics.Tier. Populated only when Config.WatchTiers is set.
 	TierOccupancy [metrics.TierCount]float64
+
+	// Congestion-notification lifecycle counters (zero unless Config.Notify).
+	Notifications      uint64
+	HotEpisodes        uint64
+	Rerouted           uint64
+	Throttles          uint64
+	ThrottleRecoveries uint64
+}
+
+// notifyStats copies the cluster's congestion-notification counters into the
+// result when the notifier ran.
+func notifyStats(c *cluster.Cluster, res *Result) {
+	if c.Notify == nil {
+		return
+	}
+	s := c.Notify.Stats()
+	res.Notifications = s.Notifications
+	res.HotEpisodes = s.HotEpisodes
+	res.Rerouted = s.Rerouted
+	res.Throttles = s.Throttles
+	res.ThrottleRecoveries = s.Recoveries
 }
 
 // Run executes one Terasort under the configuration and returns its result.
@@ -215,6 +248,10 @@ func clusterSpec(cfg Config) cluster.Spec {
 	spec.Hybrid = cfg.Hybrid
 	spec.FluidThreshold = cfg.FluidThreshold
 	spec.PromoteHysteresis = cfg.PromoteHysteresis
+	spec.Notify = cfg.Notify
+	spec.NotifyThreshold = cfg.NotifyThreshold
+	spec.NotifyReroute = cfg.NotifyReroute
+	spec.NotifyThrottle = cfg.NotifyThrottle
 
 	spec.TCPOverride = tcpOverride(cfg, spec.Transport)
 	return spec
@@ -273,6 +310,7 @@ func RunJob(cfg Config) (Result, *mapred.Job) {
 		SimTime:           units.Duration(c.Now()),
 	}
 	res.EarlyDrops, res.OverflowDrops = c.Metrics.Drops()
+	notifyStats(c, &res)
 	if cfg.WatchTiers {
 		at := c.Now().Seconds()
 		for t := metrics.Tier(0); t < metrics.TierCount; t++ {

@@ -366,6 +366,7 @@ func RunTenants(cfg Config, w WorkloadConfig) TenantResult {
 	res.EarlyDrops, res.OverflowDrops = c.Metrics.Drops()
 	res.Events = c.Engine.Executed()
 	res.SimTime = units.Duration(c.Engine.Now())
+	notifyStats(c, &res.Result)
 	if cfg.WatchTiers {
 		at := c.Engine.Now().Seconds()
 		for t := metrics.Tier(0); t < metrics.TierCount; t++ {

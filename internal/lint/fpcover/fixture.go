@@ -1,4 +1,22 @@
-// Golden fixture for the fingerprintcoverage analyzer: a miniature of the
+package fpcover
+
+import "strings"
+
+// FixtureSource returns the canonical source of the golden coverage fixture
+// (testdata/src/fp/fp.go). The fixture is generated, not hand-edited: every
+// builder pattern the analyzer must understand — nested lowering hops,
+// annotation-allowed bookkeeping, conditionally-lowered option blocks — is
+// added here once, and TestFixtureInSync fails if the on-disk copy drifts.
+// Regenerate with:
+//
+//	go run ./internal/lint/fpcover/gen
+func FixtureSource() string {
+	// The fixture carries struct tags; ~ stands in for the backquote so this
+	// source can stay one raw literal.
+	return strings.ReplaceAll(fixtureTemplate, "~", "`")
+}
+
+const fixtureTemplate = `// Golden fixture for the fingerprintcoverage analyzer: a miniature of the
 // ecnsim builder. Serializability diagnostics anchor at the canonicalConfig
 // field that roots the offending path; coverage diagnostics anchor at the
 // unread Cluster field.
@@ -10,25 +28,25 @@ package fp
 import "encoding/json"
 
 type lowered struct {
-	Exported int `json:"exported"`
+	Exported int ~json:"exported"~
 	hidden   int
 	// Shards mirrors the run-plan lowering: the builder's shard request
 	// reaches the canonical form through a nested lowering call, two hops
 	// below canonicalJSON.
-	Shards int `json:"shards"`
+	Shards int ~json:"shards"~
 	// Notify/NotifyThreshold mirror the conditional option blocks (hybrid,
 	// notifications): resolved defaults that lower only under their enabler,
 	// so the off form stays byte-identical to the engine before the option
 	// existed.
-	Notify          bool `json:"notify,omitempty"`
-	NotifyThreshold int  `json:"notify_threshold,omitempty"`
+	Notify          bool ~json:"notify,omitempty"~
+	NotifyThreshold int  ~json:"notify_threshold,omitempty"~
 }
 
 type canonicalConfig struct {
-	Config  lowered `json:"config"` // want "path Config.hidden is unexported"
-	Skipped int     `json:"-"`      // want "carries json:"
-	Hook    func()  `json:"hook"`   // want "cannot canonicalize"
-	Depth   int     `json:"depth"`
+	Config  lowered ~json:"config"~ // want "path Config.hidden is unexported"
+	Skipped int     ~json:"-"~      // want "carries json:"
+	Hook    func()  ~json:"hook"~   // want "cannot canonicalize"
+	Depth   int     ~json:"depth"~
 }
 
 type Cluster struct {
@@ -84,3 +102,4 @@ func use(c *Cluster) (int, bool) {
 func warned(c *Cluster) []error {
 	return c.warnings
 }
+`

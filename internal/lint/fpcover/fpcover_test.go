@@ -1,6 +1,8 @@
 package fpcover_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/lint/fpcover"
@@ -9,6 +11,21 @@ import (
 
 func TestCoverageAndSerializability(t *testing.T) {
 	linttest.Run(t, fpcover.Analyzer, "testdata/src/fp", "repro/somepkg")
+}
+
+// TestFixtureInSync pins the golden fixture to its generator: the on-disk
+// testdata is a build artifact of fpcover.FixtureSource, never hand-edited,
+// so a new builder pattern is added exactly once (in fixture.go) and cannot
+// silently drift out of the linted form.
+func TestFixtureInSync(t *testing.T) {
+	path := filepath.Join("testdata", "src", "fp", "fp.go")
+	disk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(disk), fpcover.FixtureSource(); got != want {
+		t.Errorf("%s drifted from fpcover.FixtureSource; regenerate with: go run ./internal/lint/fpcover/gen", path)
+	}
 }
 
 func TestPackagesWithoutFingerprintAreSilent(t *testing.T) {

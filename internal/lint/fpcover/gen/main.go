@@ -1,0 +1,25 @@
+// Regenerates the fingerprintcoverage golden fixture from its canonical
+// source (fpcover.FixtureSource), so adding a builder pattern to the fixture
+// is one edit in fixture.go instead of hand-synchronized test data:
+//
+//	go run ./internal/lint/fpcover/gen
+package main
+
+import (
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint/fpcover"
+)
+
+func main() {
+	path := filepath.Join("internal", "lint", "fpcover", "testdata", "src", "fp", "fp.go")
+	if _, err := os.Stat(filepath.Dir(path)); err != nil {
+		log.Fatalf("fpcover/gen: run from the module root: %v", err)
+	}
+	if err := os.WriteFile(path, []byte(fpcover.FixtureSource()), 0o644); err != nil {
+		log.Fatalf("fpcover/gen: %v", err)
+	}
+	log.Printf("fpcover/gen: wrote %s", path)
+}

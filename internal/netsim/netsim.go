@@ -346,6 +346,32 @@ type Port struct {
 	// Counters.
 	sentPackets uint64
 	sentBytes   units.ByteSize
+
+	// Congestion-notification state (notify.go). hotUntil/hotGen and gate are
+	// written only in control context and read by the owning shard between
+	// barriers — the same synchronization discipline as the fluid
+	// controller's port state. rerouted is written only by the owning shard.
+	hotUntil units.Time      // reselection steers flows off this port until then
+	hotGen   uint64          // re-salt generation, advanced per hot episode
+	gate     units.Bandwidth // injection throttle (0 = line rate)
+	noti     *notifyPort     // notifier registration, nil if untracked
+	rerouted uint64          // packets steered away while this port was hot
+}
+
+// hotAt reports whether the port is inside a reselection hot window. The
+// zero hotUntil doubles as "never marked", so the cold fast path is a single
+// field compare.
+func (p *Port) hotAt(now units.Time) bool { return p.hotUntil != 0 && now < p.hotUntil }
+
+// MarkHot opens a reselection hot window on the port until the given time,
+// advancing the re-salt generation if the port was cold. Exported for the
+// route-reselection property tests; simulation code marks ports through a
+// Notifier, in control context only.
+func (p *Port) MarkHot(until units.Time) {
+	if !p.hotAt(p.sh.eng.Now()) {
+		p.hotGen++
+	}
+	p.hotUntil = until
 }
 
 // NewPort wires an egress port from owner to peer with the given link
@@ -500,7 +526,13 @@ func (p *Port) transmitNext() {
 	}
 	p.busy = true
 	p.txPkt = pkt
-	tx := p.link.Rate.TransmitTime(pkt.Size())
+	rate := p.link.Rate
+	if p.gate != 0 && p.gate < rate {
+		// Injection throttle: a one-MTU-deep token bucket refilled at the
+		// gate rate — equivalently, serialization paced down to the gate.
+		rate = p.gate
+	}
+	tx := rate.TransmitTime(pkt.Size())
 	eng.AfterArg(tx, portTxDone, p)
 	if p.peerSh == p.sh {
 		eng.AfterArgToken(tx+p.link.Delay, pktToken(pkt), propArrive, p.sh.newPropCell(p.peer, pkt))
@@ -728,8 +760,47 @@ func (s *Switch) Receive(pkt *packet.Packet) {
 		e.one.Send(pkt)
 		return
 	}
-	h := FlowHash(s.net.hashSeed, pkt.Src, pkt.Dst)
-	e.many[h%uint64(len(e.many))].Send(pkt)
+	p, primary := selectEgress(s.net.hashSeed, e.many, pkt.Src, pkt.Dst, s.sh.eng.Now())
+	if p != primary {
+		primary.rerouted++
+	}
+	p.Send(pkt)
+}
+
+// selectEgress resolves the ECMP pick for (src, dst) over a multipath group
+// at time now: the flow-hashed primary, or — when the primary is inside a
+// hot window — a cold candidate chosen by re-salting the hash with the hot
+// port's episode generation. The generation is fixed per episode, so one
+// flow keeps one alternate path for the whole affinity window (no flapping),
+// and candidates only ever come from the group itself, which the route
+// rebuild keeps free of failed links. With every candidate hot the primary
+// stands. Returns (pick, primary); a never-marked group costs one field
+// compare over the pre-notification hot path.
+func selectEgress(seed uint64, many []*Port, src, dst packet.Addr, now units.Time) (pick, primary *Port) {
+	primary = many[FlowHash(seed, src, dst)%uint64(len(many))]
+	if !primary.hotAt(now) {
+		return primary, primary
+	}
+	cold := 0
+	for _, q := range many {
+		if !q.hotAt(now) {
+			cold++
+		}
+	}
+	if cold == 0 {
+		return primary, primary
+	}
+	k := FlowHash(seed^primary.hotGen*0x9e37_79b9_7f4a_7c15, src, dst) % uint64(cold)
+	for _, q := range many {
+		if q.hotAt(now) {
+			continue
+		}
+		if k == 0 {
+			return q, primary
+		}
+		k--
+	}
+	return primary, primary
 }
 
 // PathPorts resolves the deterministic egress-port path a flow from src to
@@ -760,8 +831,10 @@ func (n *Network) PathPorts(src, dst packet.Addr) []*Port {
 		}
 		p := e.one
 		if p == nil {
-			h := FlowHash(n.hashSeed, src, dst)
-			p = e.many[h%uint64(len(e.many))]
+			// Mirror the congestion-aware reselection at the switch's own
+			// clock, so a flow-level model resolves the same egress the
+			// packet engine would forward on right now.
+			p, _ = selectEgress(n.hashSeed, e.many, src, dst, sw.sh.eng.Now())
 		}
 		path = append(path, p)
 		cur = p.peer

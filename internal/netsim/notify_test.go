@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// TestThrottleAlwaysRecovers is the no-permanent-starvation property: over 1k
+// seeded configurations — random line rates, quiet periods and notification
+// hit trains — a throttled host always returns to line rate (gate lifted,
+// decay timer disarmed) within log2(minGateDiv)+1 quiet periods of its last
+// hit, and the gate never drops below line/minGateDiv in between.
+func TestThrottleAlwaysRecovers(t *testing.T) {
+	const seeds = 1000
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		line := units.Bandwidth(1+rng.Int63n(100_000)) * units.Mbps
+		quiet := units.Duration(1+rng.Int63n(2000)) * units.Microsecond
+		cfg := NotifyConfig{
+			Threshold: 1 + rng.Intn(256),
+			Throttle:  true,
+			Affinity:  units.Duration(1+rng.Int63n(2000)) * units.Microsecond,
+			Quiet:     quiet,
+		}
+		eng := sim.New()
+		g := sim.NewGroup([]*sim.Engine{eng}, 0)
+		n := NewNotifier(g, nil, cfg)
+		th := &throttleHost{up: &Port{}, line: line}
+
+		// A train of 1..20 hits at seeded instants, overlapping decay
+		// schedules in every phase relationship.
+		hits := 1 + rng.Intn(20)
+		var lastHit units.Time
+		floor := line / minGateDiv
+		for i := 0; i < hits; i++ {
+			at := units.Time(rng.Int63n(int64(20 * quiet)))
+			if at > lastHit {
+				lastHit = at
+			}
+			eng.Schedule(at, func() {
+				n.throttleHit(th, eng.Now())
+				if th.gate < floor {
+					t.Errorf("seed %d: gate %v below floor %v", seed, th.gate, floor)
+				}
+			})
+		}
+		eng.Run()
+
+		if th.gate != 0 || th.up.gate != 0 || th.armed {
+			t.Errorf("seed %d: host starved after drain: gate=%v up.gate=%v armed=%v",
+				seed, th.gate, th.up.gate, th.armed)
+		}
+		if n.stats.Recoveries < 1 {
+			t.Errorf("seed %d: no recovery recorded over %d hits", seed, hits)
+		}
+		// The last event the engine ran is the recovering decay; the ladder
+		// from the floor is bounded by log2(minGateDiv)+1 quiet periods.
+		if bound := lastHit.Add(5 * cfg.Quiet); eng.Now() > bound {
+			t.Errorf("seed %d: recovery at %v, later than last hit %v + 5 quiet periods (%v)",
+				seed, eng.Now(), lastHit, bound)
+		}
+	}
+}

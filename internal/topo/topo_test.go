@@ -330,6 +330,56 @@ func TestLeafSpineAllPairsConnectivity(t *testing.T) {
 	}
 }
 
+// TestReselectionAllPairsConnectivity extends the post-failure property to
+// congestion-aware reselection (netsim.Port.MarkHot): over many seeded
+// combinations of hot ports — including every port hot at once — layered on
+// top of a failed spine link, every ordered host pair still exchanges a
+// packet and the dead link still carries nothing. Reselection only ever walks
+// the route group, and route groups exclude failed links by construction, so
+// no hot marking can steer a flow onto a dead or partitioned path.
+func TestReselectionAllPairsConnectivity(t *testing.T) {
+	const seeds = 32
+	for seed := uint64(0); seed < seeds; seed++ {
+		eng := sim.New()
+		cfg := leafSpineConfig(12, 3, 2)
+		cfg.HashSeed = seed
+		cl := Build(eng, cfg)
+		if err := cl.FailLink("leaf0", "spine0"); err != nil {
+			t.Fatalf("seed %d: FailLink: %v", seed, err)
+		}
+		failedUp := cl.UpPorts[0] // leaf0->spine0 is built first
+		if failedUp.Label != "leaf0->spine0" {
+			t.Fatalf("port order changed: %q", failedUp.Label)
+		}
+		sentBefore, _ := failedUp.Sent()
+
+		// A seeded subset of the surviving core ports runs hot for the whole
+		// exchange (far future expiry); seed 1 marks every core port, so the
+		// all-candidates-hot fallback is always covered.
+		rng := seed * 0x9e3779b97f4a7c15
+		forever := eng.Now().Add(units.Duration(1 << 50))
+		for i, p := range cl.CorePorts {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			if seed == 1 || rng&(1<<uint(i%8)) != 0 {
+				p.MarkHot(forever)
+			}
+		}
+
+		want := len(cl.Hosts) - 1
+		got := allPairs(t, eng, cl)
+		for _, h := range cl.Hosts {
+			if got[h.ID()] != want {
+				t.Errorf("seed %d: host %v received %d, want %d", seed, h.ID(), got[h.ID()], want)
+			}
+		}
+		if sentAfter, _ := failedUp.Sent(); sentAfter != sentBefore {
+			t.Errorf("seed %d: failed link carried %d packets under reselection", seed, sentAfter-sentBefore)
+		}
+	}
+}
+
 func TestLeafSpineFailLastSpineErrors(t *testing.T) {
 	eng := sim.New()
 	cl := Build(eng, leafSpineConfig(4, 2, 1))
