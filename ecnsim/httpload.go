@@ -1,0 +1,95 @@
+package ecnsim
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func init() {
+	Register(NewScenario("httpload",
+		"real net/http echo/fan-out service over the simnet façade: DropTail vs ECN default vs ack+syn",
+		runHTTPLoad))
+
+	RegisterCampaign(Campaign{
+		Name:     "httpload",
+		Scenario: "httpload",
+		Title:    "HTTP load — unmodified net/http tenants over the façade",
+		Note: "A stock http.Server and http.Client pool exchange echo and nested fan-out " +
+			"requests entirely over the simulated fabric (DESIGN.md §2.9). The latency an " +
+			"actual service stack observes tells the same story the modeled fleet does: " +
+			"default-mode ECN protects the exchanges, ack+syn protects them without " +
+			"collateral ACK loss. Byte-identical at any shard or worker count.",
+		// 256 KiB responses every millisecond push the oversubscribed rack
+		// uplinks into sustained queueing — the load that separates the three
+		// setups (DropTail rides the standing queue, RED marks it away).
+		Common: []Option{
+			Nodes(16), Racks(8), Spines(2), RPCClients(8),
+			RPCSizes(2048, 256<<10), RPCInterval(time.Millisecond),
+			TargetDelay(100 * time.Microsecond),
+			Warmup(50 * time.Millisecond), Measure(300 * time.Millisecond),
+			MeasureWindow(75 * time.Millisecond),
+		},
+		// Quick mode is the CI cell: the same contention story at a size the
+		// examples smoke can re-run under -race.
+		Quick: []Option{
+			Nodes(8), Racks(4), Spines(2), RPCClients(4),
+			Warmup(10 * time.Millisecond), Measure(40 * time.Millisecond),
+			MeasureWindow(20 * time.Millisecond),
+		},
+		Rows: []CampaignRow{
+			{}, // the scenario runs droptail / ecn-default / ecn-ack+syn itself
+		},
+		Columns: []Column{
+			{Header: "RPCs", Key: KeyRPCCount, Format: FormatCount},
+			{Header: "RPC p50", Key: KeyRPCP50, Format: FormatSeconds},
+			{Header: "RPC p99", Key: KeyRPCP99, Format: FormatSeconds},
+			{Header: "failed", Key: KeyRPCFailed, Format: FormatCount},
+			{Header: "ACK drop share", Key: KeyAckDropShare, Format: FormatFloat},
+			{Header: "events", Key: KeySimEvents, Format: FormatCount},
+		},
+	})
+}
+
+// runHTTPLoad is the façade's headline scenario: the tenantmix service tier
+// realized as real net/http code — a stock http.Server per pair answering
+// echo and nested fan-out requests, a stock http.Client per pair issuing
+// them — measured through the same phase layout and reported under the same
+// three queue setups as tenantmix (DropTail baseline, the AQM's default
+// mode, ACK+SYN protection; DCTCP-RED under Transport(DCTCP)). The façade is
+// enabled implicitly, like macroscale reshapes its cell: the scenario is
+// what the option exists for. Defaults: a 4-client fleet if the cluster
+// configured none.
+func runHTTPLoad(ctx context.Context, c *Cluster) ([]Result, error) {
+	d := *c
+	if d.rpcClients == 0 {
+		d.rpcClients = 4
+	}
+	d.facade = true
+	setups := []experiment.QueueSetup{
+		experiment.SetupDropTail, experiment.SetupECNDefault, experiment.SetupECNAckSyn,
+	}
+	if d.transport == DCTCP {
+		setups = []experiment.QueueSetup{
+			experiment.SetupDropTail, experiment.SetupDCTCPDefault, experiment.SetupDCTCPAckSyn,
+		}
+	}
+	w := d.workloadConfig()
+	rows := make([]Result, 0, len(setups))
+	for _, setup := range setups {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cfg := d.experimentConfig()
+		cfg.Setup = setup
+		r := experiment.RunHTTPLoad(cfg, w)
+		rows = append(rows, Result{
+			Scenario: "httpload",
+			Label:    setup.Label,
+			Seed:     d.seed,
+			Values:   tenantValues(r),
+		})
+	}
+	return rows, nil
+}

@@ -292,6 +292,10 @@ type Cluster struct {
 	notifyThreshold int
 	reroute         bool
 	throttle        bool
+	// facade arms the drop-in net façade (simnet.Net on the lowered
+	// cluster). It lowers only when set, so every Facade-off fingerprint is
+	// byte-identical to the pre-façade engine's.
+	facade bool
 	// warnings collects non-fatal configuration demotions (currently only
 	// shard fallback); it changes nothing about what runs beyond what the
 	// resolved fields already say.
@@ -648,6 +652,17 @@ func Reroute() Option {
 // quiet period.
 func Throttle() Option {
 	return func(c *Cluster) error { c.notify, c.throttle = true, true; return nil }
+}
+
+// Facade enables the drop-in net façade: the lowered cluster carries a
+// simnet.Net whose DialContext and Listen are stdlib-shaped, so unmodified
+// net/http code runs as a tenant over the simulated fabric under the
+// cooperative virtual-time gate (DESIGN.md §2.9). Same seed, same bytes: a
+// façade workload's ResultSet is byte-identical at every shard and worker
+// count. Off (the default), the engine runs exactly as before — a Facade-off
+// configuration's fingerprint is byte-identical to the pre-façade engine's.
+func Facade() Option {
+	return func(c *Cluster) error { c.facade = true; return nil }
 }
 
 // Oversub sets the rack oversubscription factor shaping the default core
@@ -1158,6 +1173,9 @@ func (c *Cluster) spec() cluster.Spec {
 		spec.NotifyReroute = c.reroute
 		spec.NotifyThrottle = c.throttle
 	}
+	if c.facade {
+		spec.Facade = true
+	}
 	return spec
 }
 
@@ -1284,6 +1302,11 @@ func (c *Cluster) experimentConfig() experiment.Config {
 		cfg.NotifyThreshold = c.notifyThreshold
 		cfg.NotifyReroute = c.reroute
 		cfg.NotifyThrottle = c.throttle
+	}
+	// And for the façade: Facade-off canonical forms predate the façade
+	// byte for byte.
+	if c.facade {
+		cfg.Facade = true
 	}
 	return cfg
 }

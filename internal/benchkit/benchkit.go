@@ -142,6 +142,27 @@ func fullSpecs() []Spec {
 				ecnsim.Seed(1),
 			},
 		},
+		// The simnet façade under load: real net/http servers and clients
+		// exchanging 256 KiB echo/fan-out responses over the oversubscribed
+		// leaf-spine. The cost under test is the gate machinery — settle
+		// probes, op drains, deadline timers — stacked on the packet engine.
+		{
+			Name:     "httpload-facade",
+			Scenario: "httpload",
+			Opts: []ecnsim.Option{
+				ecnsim.Nodes(16),
+				ecnsim.Racks(8),
+				ecnsim.Spines(2),
+				ecnsim.RPCClients(8),
+				ecnsim.RPCSizes(2048, 256<<10),
+				ecnsim.RPCInterval(time.Millisecond),
+				ecnsim.TargetDelay(100 * time.Microsecond),
+				ecnsim.Warmup(10 * time.Millisecond),
+				ecnsim.Measure(40 * time.Millisecond),
+				ecnsim.MeasureWindow(20 * time.Millisecond),
+				ecnsim.Seed(1),
+			},
+		},
 		macroscaleHybridSpec(),
 	}
 }
@@ -267,6 +288,24 @@ func reducedSpecs() []Spec {
 				ecnsim.Queue(ecnsim.RED),
 				ecnsim.Protect(ecnsim.ACKSYN),
 				ecnsim.TargetDelay(500 * time.Microsecond),
+				ecnsim.Seed(1),
+			},
+		},
+		// The simnet façade at CI scale (see fullSpecs' httpload-facade).
+		{
+			Name:     "httpload-facade",
+			Scenario: "httpload",
+			Opts: []ecnsim.Option{
+				ecnsim.Nodes(8),
+				ecnsim.Racks(4),
+				ecnsim.Spines(2),
+				ecnsim.RPCClients(4),
+				ecnsim.RPCSizes(2048, 128<<10),
+				ecnsim.RPCInterval(500 * time.Microsecond),
+				ecnsim.TargetDelay(100 * time.Microsecond),
+				ecnsim.Warmup(5 * time.Millisecond),
+				ecnsim.Measure(20 * time.Millisecond),
+				ecnsim.MeasureWindow(10 * time.Millisecond),
 				ecnsim.Seed(1),
 			},
 		},

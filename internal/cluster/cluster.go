@@ -15,6 +15,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/qdisc"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 	"repro/internal/tcp"
 	"repro/internal/topo"
 	"repro/internal/units"
@@ -182,6 +183,13 @@ type Spec struct {
 	// NotifyReroute and NotifyThrottle select the reaction mechanisms. With
 	// Notify set and neither selected, both engage.
 	NotifyReroute, NotifyThrottle bool
+
+	// Facade enables the drop-in net façade: a simnet.Net over the cluster's
+	// stacks whose DialContext/Listen let unmodified Go network code (real
+	// net/http servers and clients) run as tenants over the simulated
+	// fabric. Off, no gate or façade state is built — the cluster is
+	// byte-for-byte the plain engine.
+	Facade bool
 }
 
 // Notification reaction constants: derived defaults, not spec knobs. The
@@ -308,6 +316,9 @@ type Cluster struct {
 	Fluid *flow.Fluid
 	// Notify is the congestion notifier, nil unless Spec.Notify.
 	Notify *netsim.Notifier
+	// Net is the drop-in net façade over the cluster's stacks, nil unless
+	// Spec.Facade.
+	Net *simnet.Net
 
 	shardViews []*metrics.ShardView
 	shardStats []*tcp.Stats
@@ -528,12 +539,27 @@ func New(spec Spec) *Cluster {
 			Stack: st,
 		})
 	}
+	if spec.Facade {
+		// The façade's shard-context observations (TCP delivery callbacks)
+		// re-enter control at observation time plus ControlLag, through the
+		// same ScheduleControl seam as hybrid promotion — one hop discipline,
+		// identical at every shard count.
+		c.Net = simnet.New(simnet.Config{
+			Stacks:   c.Stacks,
+			Group:    group,
+			Schedule: c.ScheduleControl,
+			Lag:      c.ControlLag(),
+		})
+	}
 	return c
 }
 
-// mergeShardState folds per-shard aggregates (metrics counters, transport
-// stats) into the run-wide views. Idempotent; a no-op in serial runs.
-func (c *Cluster) mergeShardState() {
+// MergeShardState folds per-shard aggregates (metrics counters, transport
+// stats) into the run-wide views. RunJob folds on return; a harness that
+// drives a sharded run through the group loop itself (the simnet façade
+// does) must fold before reading Metrics or TCP, or every counter the
+// shards accumulated reads as zero. Idempotent; a no-op in serial runs.
+func (c *Cluster) MergeShardState() {
 	if c.Group.Serial() {
 		return
 	}
@@ -643,7 +669,7 @@ func (c *Cluster) RunJob(cfg mapred.JobConfig) *mapred.Job {
 	case sim.RunTimeout:
 		panic(fmt.Sprintf("cluster: job exceeded deadline %v (done=%v)", deadline, job.Done()))
 	}
-	c.mergeShardState()
+	c.MergeShardState()
 	return job
 }
 

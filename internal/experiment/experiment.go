@@ -154,6 +154,10 @@ type Config struct {
 	// with Notify set and neither selected, both engage.
 	NotifyReroute  bool `json:"notify_reroute,omitempty"`
 	NotifyThrottle bool `json:"notify_throttle,omitempty"`
+	// Facade enables the drop-in net façade: the cluster carries a
+	// simnet.Net so unmodified net/http tenants run over the simulated
+	// fabric. Off is literally the pre-façade engine.
+	Facade bool `json:"facade,omitempty"`
 }
 
 // String identifies the run compactly.
@@ -252,6 +256,7 @@ func clusterSpec(cfg Config) cluster.Spec {
 	spec.NotifyThreshold = cfg.NotifyThreshold
 	spec.NotifyReroute = cfg.NotifyReroute
 	spec.NotifyThrottle = cfg.NotifyThrottle
+	spec.Facade = cfg.Facade
 
 	spec.TCPOverride = tcpOverride(cfg, spec.Transport)
 	return spec

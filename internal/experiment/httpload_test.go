@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// httpLoadTestConfig is a CI-sized façade run: 4 nodes, a 4-client
+// echo/fan-out service, 300 ms of measurement in 100 ms windows.
+func httpLoadTestConfig() (Config, WorkloadConfig) {
+	cfg := Config{
+		Setup:       SetupECNAckSyn,
+		TargetDelay: 500 * units.Microsecond,
+		Scale:       Scale{Nodes: 4, InputSize: 32 * units.MiB, BlockSize: 8 * units.MiB, Reducers: 4},
+		Seed:        1,
+	}
+	w := DefaultWorkload()
+	w.Warmup = 50 * units.Millisecond
+	w.Measure = 300 * units.Millisecond
+	w.Window = 100 * units.Millisecond
+	return cfg, w
+}
+
+func TestRunHTTPLoadSmoke(t *testing.T) {
+	cfg, w := httpLoadTestConfig()
+	r := RunHTTPLoad(cfg, w)
+	if r.RPCCount == 0 {
+		t.Fatal("no HTTP exchanges measured")
+	}
+	if r.RPCFailed != 0 {
+		t.Fatalf("%d exchanges failed", r.RPCFailed)
+	}
+	if !r.Drained {
+		t.Error("fleet did not drain")
+	}
+	if r.RPCMean <= 0 || r.RPCP99 < r.RPCP50 {
+		t.Errorf("latency stats implausible: mean=%v p50=%v p99=%v", r.RPCMean, r.RPCP50, r.RPCP99)
+	}
+	if want := w.Windows(); len(r.RPCWindows) != want || len(r.NetWindows) != want {
+		t.Fatalf("window series lengths %d/%d, want %d", len(r.RPCWindows), len(r.NetWindows), want)
+	}
+	var rpcTotal uint64
+	for _, win := range r.RPCWindows {
+		rpcTotal += win.Count
+	}
+	if rpcTotal != r.RPCCount {
+		t.Errorf("window counts sum to %d, aggregate is %d", rpcTotal, r.RPCCount)
+	}
+	if r.ThroughputPerNode <= 0 {
+		t.Error("no steady-state throughput measured")
+	}
+	if r.Events == 0 || r.SimTime <= 0 {
+		t.Error("substrate accounting missing")
+	}
+}
+
+// TestRunHTTPLoadDeterministic pins the byte-identity contract at the
+// harness level: the same configuration reproduces the identical result,
+// real net/http goroutine scheduling notwithstanding.
+func TestRunHTTPLoadDeterministic(t *testing.T) {
+	cfg, w := httpLoadTestConfig()
+	a := RunHTTPLoad(cfg, w)
+	b := RunHTTPLoad(cfg, w)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -142,6 +142,66 @@ func (w *WorkloadConfig) fleetConfig(seed uint64) flow.FleetConfig {
 	}
 }
 
+// ServiceFleet is the service-tier seam: the RPC fleet a harness drives can
+// be the packet-modeled flow fleet (RunTenants) or the façade's pool of real
+// http.Clients (RunHTTPLoad). Stop and Outstanding feed the phase machinery;
+// Exchanges feeds the shared SLO aggregation.
+type ServiceFleet interface {
+	// Stop closes the issue loop; exchanges already in flight still finish.
+	Stop()
+	// Outstanding returns the number of issued-but-unanswered exchanges —
+	// the drain predicate polls it between engine steps.
+	Outstanding() int
+	// Exchanges returns every completed exchange plus the issue times of
+	// exchanges still unanswered at drain cutoff, both in deterministic
+	// (client, issue) order.
+	Exchanges() ([]flow.RPCResult, []units.Time)
+}
+
+// modeledFleet adapts the packet-modeled open-loop fleet to the seam.
+type modeledFleet struct{ f *flow.Fleet }
+
+func (m modeledFleet) Stop()            { m.f.Stop() }
+func (m modeledFleet) Outstanding() int { return m.f.Outstanding() }
+
+func (m modeledFleet) Exchanges() ([]flow.RPCResult, []units.Time) {
+	var results []flow.RPCResult
+	var cut []units.Time
+	for _, cl := range m.f.Clients {
+		results = append(results, cl.Results...)
+		cut = append(cut, cl.OutstandingIssued()...)
+	}
+	return results, cut
+}
+
+// aggregateRPC windows every exchange issued inside the measurement phase
+// into the whole-run sample and the windowed series, and returns the failure
+// count: exchanges that failed outright plus exchanges the drain deadline
+// cut off — the slowest tail must not vanish from the SLO accounting.
+func aggregateRPC(results []flow.RPCResult, cutOff []units.Time,
+	measureStart, measureEnd units.Time, all *stats.Sample, win *stats.Windowed) int {
+	failed := 0
+	for i := range results {
+		r := &results[i]
+		if r.Issued < measureStart || r.Issued >= measureEnd {
+			continue
+		}
+		if r.Failed {
+			failed++
+			continue
+		}
+		lat := r.Latency().Seconds()
+		all.Add(lat)
+		win.Add(r.Issued.Seconds(), lat)
+	}
+	for _, issued := range cutOff {
+		if issued >= measureStart && issued < measureEnd {
+			failed++
+		}
+	}
+	return failed
+}
+
 // WindowStat is one measurement window's latency summary.
 type WindowStat struct {
 	// Start is the window's offset from the start of the measurement phase.
@@ -250,10 +310,10 @@ func RunTenants(cfg Config, w WorkloadConfig) TenantResult {
 	}
 	c.Engine.Schedule(start, submitNext)
 
-	// Service tier: the open-loop RPC fleet.
-	var fleet *flow.Fleet
+	// Service tier: the open-loop RPC fleet (the modeled side of the seam).
+	var fleet ServiceFleet
 	if w.RPCClients > 0 {
-		fleet = flow.StartFleet(c.Stacks, w.fleetConfig(spec.Seed^0x3c6ef372fe94f82b), start)
+		fleet = modeledFleet{flow.StartFleet(c.Stacks, w.fleetConfig(spec.Seed^0x3c6ef372fe94f82b), start)}
 	}
 
 	// Steady-state throughput comes from the delivered-byte delta across
@@ -317,29 +377,8 @@ func RunTenants(cfg Config, w WorkloadConfig) TenantResult {
 	rpcAll := stats.NewSample()
 	rpcWin := stats.NewWindowed(measureStart.Seconds(), w.Window.Seconds(), nw)
 	if fleet != nil {
-		for _, cl := range fleet.Clients {
-			for i := range cl.Results {
-				r := &cl.Results[i]
-				if r.Issued < measureStart || r.Issued >= measureEnd {
-					continue
-				}
-				if r.Failed {
-					res.RPCFailed++
-					continue
-				}
-				lat := r.Latency().Seconds()
-				rpcAll.Add(lat)
-				rpcWin.Add(r.Issued.Seconds(), lat)
-			}
-			// Exchanges the drain deadline cut off never produced a result;
-			// they are the slowest tail, so book them as failures rather
-			// than letting them vanish from the SLO accounting.
-			for _, issued := range cl.OutstandingIssued() {
-				if issued >= measureStart && issued < measureEnd {
-					res.RPCFailed++
-				}
-			}
-		}
+		results, cut := fleet.Exchanges()
+		res.RPCFailed = aggregateRPC(results, cut, measureStart, measureEnd, rpcAll, rpcWin)
 	}
 	res.RPCCount = rpcAll.N()
 	res.RPCMean = toDur(rpcAll.Mean())

@@ -11,6 +11,19 @@ func TestBareGoStatementsAreFlagged(t *testing.T) {
 	linttest.Run(t, poolonly.Analyzer, "testdata/src/bad", "repro/internal/somepkg")
 }
 
+// TestFacadeSpawnSeamIsSanctioned pins both halves of the façade allowance:
+// played as the simnet package, (*gate).spawn's go passes while every other
+// go in the package — including a spawn on a different receiver — fires.
+func TestFacadeSpawnSeamIsSanctioned(t *testing.T) {
+	linttest.Run(t, poolonly.Analyzer, "testdata/src/facade", "repro/internal/simnet")
+}
+
+// TestGateSpawnElsewhereStillFires: the identical method shape under any
+// other import path is an ordinary bare go statement.
+func TestGateSpawnElsewhereStillFires(t *testing.T) {
+	linttest.Run(t, poolonly.Analyzer, "testdata/src/gateelsewhere", "repro/internal/gateelsewhere")
+}
+
 func TestExemptPathsAreSilent(t *testing.T) {
 	for _, path := range []string{
 		"repro/internal/pool",

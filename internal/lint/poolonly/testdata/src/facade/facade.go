@@ -1,0 +1,31 @@
+// Golden fixture for the façade allowance: played as repro/internal/simnet,
+// the (*gate).spawn method is the sanctioned tenant-goroutine seam and its
+// bare go passes, while a go statement anywhere else in the package — even
+// a spawn method on some other receiver — still fires.
+package facade
+
+type gate struct{ seq int }
+
+func (g *gate) bump() { g.seq++ }
+
+func (g *gate) spawn(fn func()) {
+	g.bump()
+	go func() {
+		defer g.bump()
+		fn()
+	}()
+}
+
+type pump struct{}
+
+func (p *pump) spawn(fn func()) {
+	go fn() // want "bare go statement"
+}
+
+func spawn(fn func()) {
+	go fn() // want "bare go statement"
+}
+
+func (g *gate) leak(fn func()) {
+	go fn() // want "bare go statement"
+}

@@ -1,0 +1,11 @@
+// Golden fixture for the other half of the façade allowance: the exact
+// (*gate).spawn shape outside repro/internal/simnet is still a bare go
+// statement. The seam is one method of one package, not a naming convention.
+package gateelsewhere
+
+type gate struct{ seq int }
+
+func (g *gate) spawn(fn func()) {
+	g.seq++
+	go fn() // want "bare go statement"
+}

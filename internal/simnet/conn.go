@@ -1,0 +1,178 @@
+package simnet
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// winCap bounds the bytes a façade writer may run ahead of the peer's
+// in-order delivery. It is a stream-layer backpressure window on top of the
+// TCP model's own congestion control — without it a tenant writing a large
+// buffer would queue the whole thing into the sender in one control event,
+// which is legal but hides the pacing real applications experience.
+const winCap = 64 << 10
+
+// deadlineHorizon caps how far ahead of virtual now a deadline is honored as
+// a timer event. Unmodified code derives deadlines from the wall clock
+// (time.Now().Add(d)), which lands decades past the virtual epoch; treating
+// everything beyond the horizon as "no deadline" makes those uniformly inert
+// — and deterministic — while virtual-time-aware deadlines (Net.Now().Add(d))
+// stay exact. One simulated hour is orders of magnitude past any simulated
+// run while staying unreachable from a wall-derived time.
+const deadlineHorizon = units.Time(time.Hour)
+
+// stream is one direction of a façade connection: the writer's bytes in
+// flight between the two endpoints. Offsets are cumulative from the start of
+// the connection; buf holds written-but-not-yet-consumed bytes, so buf[0] is
+// byte number consumed. All fields are control-context state: they change
+// only inside control events.
+type stream struct {
+	buf       []byte
+	written   int64 // appended by the writing endpoint (tcp.Send issued)
+	delivered int64 // in-order bytes the TCP model delivered to the reader
+	consumed  int64 // bytes the reading tenant has taken
+	eof       bool  // writer's FIN delivered in order after all data
+}
+
+func (s *stream) readable() int64 { return s.delivered - s.consumed }
+
+// Conn is a simulated TCP connection implementing net.Conn. Tenant
+// goroutines use it exactly like a *net.TCPConn; every blocking method is a
+// gate rendezvous, so the Go scheduler's interleaving of tenant code never
+// reaches engine state. Control-context fields (everything but the sXxx
+// accumulators) change only inside control events.
+type Conn struct {
+	id     uint64 // canonical identity, assigned in control context
+	n      *Net
+	node   int // host index owning the local endpoint
+	active bool
+	laddr  Addr
+	raddr  Addr
+	tc     *tcp.Conn
+	lis    *Listener // passive side: the listener that accepted us
+
+	// in carries the peer's writes toward our reads; out carries our writes
+	// toward the peer. They are the same *stream objects as the peer's out
+	// and in, so one side's delivery advances the other's write window.
+	in, out *stream
+	peer    *Conn
+
+	established bool
+	failed      error
+	closed      bool
+
+	// Parked tenant operations, at most one of each: the façade serializes
+	// one reader and one writer per conn (net.Conn's ownership discipline).
+	dialer, reader, writer *op
+
+	rdDeadline, wrDeadline units.Time // 0 = none
+	rdTimer, wrTimer       sim.Event
+	rdTimerSet, wrTimerSet bool
+
+	// Shard-context accumulators: the TCP model's callbacks run on the
+	// owning shard engine and may only record observations here, coalesced
+	// into a single control hop at observation time plus the control lag.
+	// The shard/control barrier orders these against the hop that folds
+	// them into the stream state.
+	sDelivered int64
+	sConnected bool
+	sEOF       bool
+	sErr       error
+	hopPending bool
+}
+
+// install wires the TCP model's callbacks to the shard-side accumulators.
+// Callbacks run in shard context; they record the observation and coalesce a
+// control hop (DESIGN.md §2.7): at most one pending hop per conn, scheduled
+// at observation time plus the control lag so the fold happens at the same
+// virtual instant at every shard count.
+func (c *Conn) install() {
+	c.tc.OnConnected = func() { c.sConnected = true; c.scheduleHop() }
+	c.tc.OnDeliver = func(nb int) { c.sDelivered += int64(nb); c.scheduleHop() }
+	c.tc.OnEOF = func() { c.sEOF = true; c.scheduleHop() }
+	c.tc.OnError = func(err error) { c.sErr = err; c.scheduleHop() }
+}
+
+// scheduleHop coalesces pending observations into one control hop. Shard
+// context; hopPending is cleared by the hop itself (control context), which
+// the group barrier orders against the next shard window.
+func (c *Conn) scheduleHop() {
+	if c.hopPending {
+		return
+	}
+	c.hopPending = true
+	at := c.n.stacks[c.node].Engine().Now() + units.Time(c.n.lag)
+	c.n.sched(c.node, at, func() { c.n.hop(c) })
+}
+
+// Read implements net.Conn: it blocks in virtual time until at least one
+// byte is available, the peer's FIN is delivered (io.EOF), the read deadline
+// expires (os.ErrDeadlineExceeded), or the conn is closed (net.ErrClosed).
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	o := &op{kind: opRead, conn: c, buf: p}
+	c.n.gate.do(o)
+	return o.n, o.err
+}
+
+// Write implements net.Conn: it blocks in virtual time until every byte is
+// accepted by the stream (partial counts are returned only with an error —
+// deadline expiry, close, or a connection failure).
+func (c *Conn) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	o := &op{kind: opWrite, conn: c, buf: p}
+	c.n.gate.do(o)
+	return o.n, o.err
+}
+
+// Close implements net.Conn: it queues a FIN after any written data, fails
+// the conn's parked reader and writer with net.ErrClosed, and makes every
+// future operation fail the same way. A second Close returns net.ErrClosed.
+func (c *Conn) Close() error {
+	o := &op{kind: opClose, conn: c}
+	c.n.gate.do(o)
+	return o.err
+}
+
+// LocalAddr implements net.Conn. Addresses are immutable once the conn is
+// visible to tenants, so this needs no rendezvous.
+func (c *Conn) LocalAddr() net.Addr { return c.laddr }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.raddr }
+
+// SetDeadline implements net.Conn. Deadlines are virtual-time instants
+// (interpreted against simnet.Epoch) lowered to control-engine timer events;
+// see Net.Now for the mapping and deadlineHorizon for how wall-derived
+// deadlines from unmodified code stay inert.
+func (c *Conn) SetDeadline(t time.Time) error {
+	return c.setDeadline(t, deadlineRead|deadlineWrite)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	return c.setDeadline(t, deadlineRead)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	return c.setDeadline(t, deadlineWrite)
+}
+
+func (c *Conn) setDeadline(t time.Time, which deadlineTarget) error {
+	o := &op{kind: opDeadline, conn: c, dmap: which}
+	if !t.IsZero() {
+		o.set = true
+		o.at = units.Time(t.Sub(Epoch))
+	}
+	c.n.gate.do(o)
+	return o.err
+}

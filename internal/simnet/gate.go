@@ -1,0 +1,281 @@
+// Package simnet is the drop-in net façade: it exposes the simulator's TCP
+// stacks behind net.Conn and net.Listener so unmodified Go network code — a
+// real net/http server, a real http.Client — runs as a tenant over the
+// simulated fabric, deterministically.
+//
+// The determinism problem is that tenant code runs on ordinary goroutines
+// the Go scheduler interleaves freely, while the simulation's bit-identical
+// contract (DESIGN.md §4) requires every state change to happen as a
+// control-engine event in a reproducible order. The façade resolves it with
+// a cooperative virtual-time gate: tenant goroutines may touch simulation
+// state only through blocking Conn/Listener operations, and each such
+// operation is a rendezvous with the control engine — the tenant publishes a
+// request and parks; a control event drains the parked requests in a
+// canonical order, applies them to the stream state, and wakes the tenants
+// whose operations completed. Between control events every tenant goroutine
+// is parked (in a façade operation, or on a channel that only a façade wake
+// can unblock), so the Go scheduler's interleaving of tenant code can never
+// reach engine state. Simulated time is the only clock tenants observe
+// (Net.Now, deadlines as control-engine timer events), mirroring the
+// control-context discipline of the hybrid engine (DESIGN.md §2.7): shard
+// observations feeding the gate re-enter control at observation time plus
+// the cluster's control lag, identically at every shard count.
+package simnet
+
+import (
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/units"
+)
+
+// quiesceRounds is how many consecutive scheduler yields the gate requires
+// without a version change before it considers the tenant world settled. The
+// gate cannot watch tenant goroutines directly — net/http parks its workers
+// on internal channels the gate never sees — so the settle condition is
+// behavioral: no unacknowledged wake, and no gate activity (publish, wake
+// acknowledgement, spawn) across this many yields. The count is deliberately
+// generous: a settle happens at most once per wake batch, so its cost is
+// noise next to the packet events it interleaves with.
+const quiesceRounds = 256
+
+// opKind orders parked requests within one settle batch. The order is part
+// of the determinism contract: requests drained together raced in wall time,
+// so the gate processes them in a canonical (kind, endpoint, tie-break)
+// order instead of arrival order.
+type opKind uint8
+
+const (
+	opListen opKind = iota
+	opAccept
+	opDial
+	opRead
+	opWrite
+	opClose
+	opDeadline
+	opSleep
+)
+
+// op is one parked tenant request: the rendezvous record a blocking façade
+// call publishes before parking. Fields under "request" are written by the
+// tenant before it parks and read by the control engine; fields under
+// "result" are written by the control engine before the wake and read by the
+// tenant after it. The park/wake handoff orders both directions.
+type op struct {
+	kind opKind
+
+	// request
+	conn *Conn
+	lis  *Listener
+	node int            // dialing node (opDial)
+	dst  string         // dial/listen target, canonical sort tie-break
+	buf  []byte         // tenant buffer (opRead/opWrite); safe to touch only while the tenant is parked
+	at   units.Time     // absolute deadline (opDeadline with set=true); duration to sleep (opSleep)
+	set  bool           // opDeadline: set vs clear
+	dmap deadlineTarget // opDeadline: which deadlines the call sets
+
+	// result
+	n       int
+	err     error
+	newConn *Conn
+	newLis  *Listener
+
+	seq  uint64 // arrival order, last-resort tie-break only
+	done chan struct{}
+}
+
+// deadlineTarget selects which of a conn's deadlines a SetDeadline call
+// touches.
+type deadlineTarget uint8
+
+const (
+	deadlineRead deadlineTarget = 1 << iota
+	deadlineWrite
+)
+
+// gate is the virtual-time rendezvous between tenant goroutines and the
+// control engine. All fields are guarded by mu except vnow (atomic, the
+// tenant-visible virtual clock) and the request fields of individual ops
+// (ordered by the park/wake handoff).
+type gate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	reqs []*op // published, not yet drained by the control engine
+
+	// seq is the gate's version: it bumps on every publish, every wake
+	// acknowledgement, and every spawn or spawned-goroutine exit. The settle
+	// probe declares the world quiet only after it stays unchanged across
+	// quiesceRounds scheduler yields.
+	seq uint64
+
+	// wakes counts delivered-but-unacknowledged wakes: the control engine
+	// incremented it before signalling a parked op, and the woken tenant
+	// decrements it as its first action. Nonzero means a woken goroutine has
+	// not yet been scheduled, so the world is definitely not settled; this is
+	// the gate's one hard wait.
+	wakes int
+
+	shut bool
+
+	vnow atomic.Int64 // units.Time; see Net.Now
+}
+
+func newGate() *gate {
+	g := &gate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// bump records gate activity, resetting any in-progress settle probe.
+func (g *gate) bump() {
+	g.mu.Lock()
+	g.seq++
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// spawn launches fn on a tenant goroutine. It is the façade's one sanctioned
+// goroutine entry point (see the poolonly analyzer): both the spawn and the
+// goroutine's exit bump the gate version, so a settle probe that raced the
+// new goroutine restarts and gives it its scheduler turns.
+func (g *gate) spawn(fn func()) {
+	g.bump()
+	go func() {
+		defer g.bump()
+		fn()
+	}()
+}
+
+// do publishes o and parks until the control engine completes it. Called
+// from tenant goroutines only.
+func (g *gate) do(o *op) {
+	o.done = make(chan struct{})
+	g.mu.Lock()
+	if g.shut {
+		g.mu.Unlock()
+		o.err = net.ErrClosed
+		return
+	}
+	g.seq++
+	o.seq = g.seq
+	g.reqs = append(g.reqs, o)
+	g.cond.Broadcast()
+	g.mu.Unlock()
+
+	<-o.done
+
+	g.mu.Lock()
+	g.wakes--
+	g.seq++
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// wake completes o: records an outstanding wake and signals the parked
+// tenant. Control context only; the result fields must be final.
+func (g *gate) wake(o *op) {
+	g.mu.Lock()
+	g.wakes++
+	g.mu.Unlock()
+	close(o.done)
+}
+
+// quiesce blocks the control engine until the tenant world is settled: no
+// unacknowledged wake, and the gate version stable across quiesceRounds
+// scheduler yields — long enough for every runnable tenant goroutine
+// (including net/http internals the gate cannot track) to reach its next
+// façade operation or park for good.
+func (g *gate) quiesce() {
+	for {
+		g.mu.Lock()
+		for g.wakes > 0 {
+			g.cond.Wait()
+		}
+		seq := g.seq
+		g.mu.Unlock()
+
+		settled := true
+		for stable := 0; stable < quiesceRounds; {
+			runtime.Gosched()
+			g.mu.Lock()
+			if g.wakes > 0 {
+				g.mu.Unlock()
+				settled = false
+				break
+			}
+			if g.seq != seq {
+				seq = g.seq
+				stable = 0
+			} else {
+				stable++
+			}
+			g.mu.Unlock()
+		}
+		if settled {
+			return
+		}
+	}
+}
+
+// drain removes and returns the published requests in canonical order.
+// Control context only, with the world quiesced.
+func (g *gate) drain() []*op {
+	g.mu.Lock()
+	reqs := g.reqs
+	g.reqs = nil
+	g.mu.Unlock()
+	sort.SliceStable(reqs, func(i, j int) bool {
+		a, b := reqs[i], reqs[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if ai, bi := a.endpointID(), b.endpointID(); ai != bi {
+			return ai < bi
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		return a.seq < b.seq
+	})
+	return reqs
+}
+
+// endpointID is the canonical per-endpoint sort key: the conn or listener
+// id the request addresses, or the dialing node. Ids are assigned in control
+// context, so they are identical across runs; the racy arrival seq decides
+// only between same-kind requests on one endpoint with identical targets,
+// which the façade's usage discipline (one reader and one writer per conn,
+// staggered dial instants) keeps symmetric when it occurs at all.
+func (o *op) endpointID() uint64 {
+	switch {
+	case o.conn != nil:
+		return o.conn.id
+	case o.lis != nil:
+		return o.lis.id
+	default:
+		return uint64(o.node)
+	}
+}
+
+// parked reports whether any request is published but not yet drained.
+func (g *gate) parked() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.reqs) > 0
+}
+
+// shutdown marks the gate closed: every future do returns net.ErrClosed
+// immediately without parking. The caller (Net.Shutdown) separately fails
+// the operations already parked.
+func (g *gate) shutdown() {
+	g.mu.Lock()
+	g.shut = true
+	g.mu.Unlock()
+}

@@ -1,0 +1,148 @@
+package simnet_test
+
+// The headline contract: an unmodified net/http server and http.Client
+// exchange requests entirely over the simulated fabric. Everything here is
+// stock stdlib — http.Server, http.Transport, http.Client — wired to the
+// façade only through Listener and DialContext.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func TestHTTPOverFacade(t *testing.T) {
+	h := newHarness(t)
+	h.run(t, func(n *simnet.Net) {
+		l, err := n.Listen("sim", "host1:80")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/echo", func(w http.ResponseWriter, r *http.Request) {
+			w.Header()["Date"] = nil // keep the wall clock off the wire
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Write(body)
+		})
+		srv := &http.Server{Handler: mux}
+		n.Go(func() { srv.Serve(l) })
+
+		client := &http.Client{Transport: &http.Transport{
+			DialContext:       n.DialContext,
+			DisableKeepAlives: true,
+		}}
+		for i := 0; i < 3; i++ {
+			payload := bytes.Repeat([]byte{byte('a' + i)}, 1000*(i+1))
+			req, err := http.NewRequestWithContext(
+				simnet.WithSource(context.Background(), 0), http.MethodPost, "http://host1:80/echo", bytes.NewReader(payload))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			got, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("request %d body: %v", i, err)
+			}
+			if resp.StatusCode != http.StatusOK || !bytes.Equal(got, payload) {
+				t.Fatalf("request %d: status %d, %d bytes echoed, want %d",
+					i, resp.StatusCode, len(got), len(payload))
+			}
+		}
+	})
+}
+
+// TestHTTPFanout: a frontend handler that itself fans out over the fabric —
+// real nested HTTP, three hosts deep.
+func TestHTTPFanout(t *testing.T) {
+	h := newHarness(t)
+	h.run(t, func(n *simnet.Net) {
+		// Backends on hosts 2 and 3 serve fixed blocks.
+		for _, node := range []int{2, 3} {
+			l, err := n.Listen("sim", fmt.Sprintf("host%d:81", node))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mux := http.NewServeMux()
+			mux.HandleFunc("/block", func(w http.ResponseWriter, r *http.Request) {
+				w.Header()["Date"] = nil
+				w.Write(bytes.Repeat([]byte("b"), 2048))
+			})
+			srv := &http.Server{Handler: mux}
+			n.Go(func() { srv.Serve(l) })
+		}
+
+		// Frontend on host 1 aggregates both backends per request.
+		backendClient := &http.Client{Transport: &http.Transport{
+			DialContext:       n.DialContext,
+			DisableKeepAlives: true,
+		}}
+		fl, err := n.Listen("sim", "host1:80")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmux := http.NewServeMux()
+		fmux.HandleFunc("/fanout", func(w http.ResponseWriter, r *http.Request) {
+			w.Header()["Date"] = nil
+			total := 0
+			for _, node := range []int{2, 3} {
+				req, err := http.NewRequestWithContext(
+					simnet.WithSource(context.Background(), 1), http.MethodGet,
+					fmt.Sprintf("http://host%d:81/block", node), nil)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				resp, err := backendClient.Do(req)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadGateway)
+					return
+				}
+				b, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadGateway)
+					return
+				}
+				total += len(b)
+			}
+			fmt.Fprintf(w, "%d", total)
+		})
+		fsrv := &http.Server{Handler: fmux}
+		n.Go(func() { fsrv.Serve(fl) })
+
+		client := &http.Client{Transport: &http.Transport{
+			DialContext:       n.DialContext,
+			DisableKeepAlives: true,
+		}}
+		req, err := http.NewRequestWithContext(
+			simnet.WithSource(context.Background(), 0), http.MethodGet, "http://host1:80/fanout", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "4096" {
+			t.Fatalf("fanout total = %q, want 4096", got)
+		}
+	})
+}

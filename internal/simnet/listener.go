@@ -1,0 +1,48 @@
+package simnet
+
+import (
+	"net"
+
+	"repro/internal/tcp"
+)
+
+// Listener is a simulated accept queue implementing net.Listener. Passive
+// opens the TCP stack accepts are paired with their dialing conn and queued
+// in control context; Accept is a gate rendezvous like every blocking façade
+// operation.
+type Listener struct {
+	id   uint64
+	n    *Net
+	node int
+	addr Addr
+	tl   *tcp.Listener
+
+	// Control-context state.
+	queue   []*Conn // established, not yet accepted
+	accepts []*op   // parked Accept calls, completed in canonical order
+	closed  bool
+}
+
+// Accept implements net.Listener: it blocks in virtual time until a
+// connection is established on the listening port, or fails with
+// net.ErrClosed once the listener is closed.
+func (l *Listener) Accept() (net.Conn, error) {
+	o := &op{kind: opAccept, lis: l}
+	l.n.gate.do(o)
+	if o.err != nil {
+		return nil, o.err
+	}
+	return o.newConn, nil
+}
+
+// Close implements net.Listener: it stops accepting, fails parked Accept
+// calls with net.ErrClosed, and closes queued connections that were never
+// accepted. A second Close returns net.ErrClosed.
+func (l *Listener) Close() error {
+	o := &op{kind: opClose, lis: l}
+	l.n.gate.do(o)
+	return o.err
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.addr }
